@@ -1,0 +1,39 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+section at laptop scale, prints the measured rows (run pytest with ``-s``
+to see them inline; they are also asserted on), and times one
+representative execution through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import Fig6Config, Fig7Config, Fig8Config, Fig9Config
+from repro.bench.experiments.micro import MicroConfig
+
+
+@pytest.fixture(scope="session")
+def fig6_config() -> Fig6Config:
+    return Fig6Config(n_tuples=1 << 17)
+
+
+@pytest.fixture(scope="session")
+def fig7_config() -> Fig7Config:
+    return Fig7Config(n_tuples=1 << 17)
+
+
+@pytest.fixture(scope="session")
+def fig8_config() -> Fig8Config:
+    return Fig8Config(n_tuples=1 << 14)
+
+
+@pytest.fixture(scope="session")
+def fig9_config() -> Fig9Config:
+    return Fig9Config(scale_factor=0.02)
+
+
+@pytest.fixture(scope="session")
+def micro_config() -> MicroConfig:
+    return MicroConfig(n_integers=1 << 19)

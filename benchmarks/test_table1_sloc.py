@@ -1,0 +1,45 @@
+"""Table 1 and the §5.1.1 implementation-effort claims.
+
+Claims checked (as they transfer to a Python+numpy substrate; see the
+table1 experiment's module docstring for why absolute C++ ratios do not):
+
+* per-operator size *ordering* matches the paper: MpiExchange is the
+  largest operator, LocalPartitioning and BuildProbe are next, and
+  ParameterLookup is the smallest;
+* the platform-specific operators (MpiExecutor, MpiHistogram, MpiExchange)
+  are a small fraction of the library — the code a port must replace;
+* adding GROUP BY costs one ReduceByKey with sub-operators versus a whole
+  new monolithic module.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.table1 import run_table1
+from repro.bench.sloc import operator_sloc_table
+
+
+def test_table1(benchmark):
+    per_op, summary = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    print()
+    print(per_op.render("{:.0f}"))
+    print(summary.render("{:.0f}"))
+
+    sloc = {row.labels["abbrev"]: row.metrics["sloc"] for row in per_op.rows}
+    largest = max(sloc, key=sloc.get)
+    assert largest == "EX", sloc
+    assert sloc["PL"] == min(sloc.values()), sloc
+    top4 = sorted(sloc, key=sloc.get, reverse=True)[:4]
+    assert {"EX", "LP", "BP"} <= set(top4), top4
+
+    claims = {row.labels["quantity"]: row.metrics["sloc"] for row in summary.rows}
+    assert claims["platform-specific fraction (%)"] < 40.0
+    assert (
+        claims["GROUP BY marginal cost, modular (ReduceByKey only)"]
+        < claims["GROUP BY marginal cost, monolithic (new module)"]
+    )
+
+
+def test_every_operator_measured(benchmark):
+    rows = benchmark.pedantic(operator_sloc_table, rounds=1, iterations=1)
+    assert len(rows) == 16
+    assert all(row.sloc > 0 for row in rows)

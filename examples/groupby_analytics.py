@@ -1,0 +1,45 @@
+"""Distributed GROUP BY built from the join's sub-operators (Fig. 5).
+
+Shows the paper's §4.3 point: once the join plan exists, a distributed
+GROUP BY is a re-composition of the same building blocks plus ReduceByKey.
+Runs the plan across key cardinalities and cluster sizes (the two knobs of
+Figure 7), checking every result against an exact reference.
+
+Run:  python examples/groupby_analytics.py
+"""
+
+from __future__ import annotations
+
+from repro.core.plans import build_distributed_groupby
+from repro.mpi import SimCluster
+from repro.workloads import make_groupby_table
+
+N_TUPLES = 1 << 16
+
+
+def main() -> None:
+    print(f"{'machines':>9} {'dups/key':>9} {'groups':>8} {'seconds':>10}")
+    for machines in (2, 4, 8):
+        for duplicates in (1, 4, 16):
+            workload = make_groupby_table(N_TUPLES, duplicates_per_key=duplicates)
+            cluster = SimCluster(machines)
+            plan = build_distributed_groupby(
+                cluster, workload.table.element_type, key_bits=workload.key_bits
+            )
+            result = plan.run(workload.table)
+            groups = plan.groups(result)
+
+            got = dict(
+                zip(groups.column("key").tolist(), groups.column("value").tolist())
+            )
+            assert got == workload.expected_sums(), "aggregation mismatch"
+
+            makespan = result.cluster_results[0].makespan
+            print(f"{machines:>9} {duplicates:>9} {len(groups):>8} "
+                  f"{makespan:>10.5f}")
+    print("\nAs in Figure 7: runtime falls with machines, and is nearly flat "
+          "in key cardinality\n(network + materialization dominate).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Modularis: modular relational analytics from composable sub-operators.
+
+A faithful, laptop-scale reproduction of *"Modularis: Modular Data
+Analytics for Hardware, Software, and Platform Heterogeneity"* (VLDB 2021).
+The package provides:
+
+* :mod:`repro.types` — the recursive tuple/collection type system;
+* :mod:`repro.mpi` — the simulated MPI/RDMA cluster substrate;
+* :mod:`repro.core` — the sub-operator library, plan compiler, and executor;
+* :mod:`repro.relational` — a logical algebra, optimizer, and dataframe DSL;
+* :mod:`repro.storage` — in-memory tables and the catalog;
+* :mod:`repro.tpch` — a TPC-H generator and queries 4/12/14/19;
+* :mod:`repro.baselines` — the monolithic RDMA join and the Presto/MemSQL
+  engine models used by the paper's comparisons;
+* :mod:`repro.workloads` — the paper's synthetic join/GROUP BY workloads;
+* :mod:`repro.bench` — the experiment harness regenerating every table and
+  figure of the evaluation section.
+
+Quickstart::
+
+    from repro import types, core
+    from repro.core import operators as ops
+
+See ``examples/quickstart.py`` for a complete runnable tour.
+"""
+
+__version__ = "1.0.0"
+
+from repro import core, mpi, types
+from repro.core.executor import execute
+from repro.errors import (
+    CatalogError,
+    ExecutionError,
+    ModularisError,
+    PlanError,
+    SimulationError,
+    TypeCheckError,
+)
+
+__all__ = [
+    "__version__",
+    "core",
+    "mpi",
+    "types",
+    "execute",
+    "ModularisError",
+    "TypeCheckError",
+    "PlanError",
+    "ExecutionError",
+    "SimulationError",
+    "CatalogError",
+]

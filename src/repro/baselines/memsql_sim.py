@@ -1,0 +1,44 @@
+"""MemSQL engine model (Figure 9 comparator).
+
+MemSQL in the paper's setup is "a distributed, relational SQL database that
+compiles SQL into machine code", deployed as one master aggregator plus
+7 leaf nodes, all data in memory.  The model captures why it is on par
+with Modularis on queries 4 and 12 but 25–33 % faster on 14 and 19:
+
+* compiled kernels at hand-tuned per-row rates (no sub-operator
+  abstraction overhead) over in-memory columns;
+* mature exchange machinery with pre-established connections and
+  pre-registered buffers — a much smaller fixed cost per query than
+  Modularis' per-query RMA window registration and per-upstream collective
+  epochs.  On the highly selective queries (14, 19) that fixed cost is a
+  visible fraction of the runtime, which is exactly where MemSQL wins;
+  on the bulkier joins (4, 12) both systems are throughput-bound and par.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.engine_base import EngineModel, EngineProfile
+
+__all__ = ["MEMSQL_PROFILE", "MemSqlModel"]
+
+MEMSQL_PROFILE = EngineProfile(
+    name="memsql",
+    n_workers=7,  # one node is the master aggregator
+    query_overhead=380.0e-6,  # aggregator round-trips, plan dispatch
+    stage_overhead=15.0e-6,
+    cpu_row=1.4e-9,  # compiled, vectorized kernels
+    cpu_join_row=4.5e-9,
+    cpu_agg_row=1.5e-9,
+    scan_bandwidth=28.0e9,  # in-memory columnstore scan
+    scan_row_decode=0.0,
+    exchange_bandwidth=2.2e9,
+    exchange_row_cost=12.0e-9,
+    skew=1.05,
+)
+
+
+class MemSqlModel(EngineModel):
+    """MemSQL with the calibrated profile above."""
+
+    def __init__(self) -> None:
+        super().__init__(MEMSQL_PROFILE)

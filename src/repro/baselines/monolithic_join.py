@@ -1,0 +1,371 @@
+"""The monolithic distributed radix hash join (Barthels et al., paper §4.1.1).
+
+One imperative function implements the whole three-phase algorithm of
+Figure 2 — histogram computation, multi-pass partitioning with network
+transfer and compression, hash build and probe — directly against the
+simulated MPI substrate, with no sub-operator abstractions.  This is the
+baseline the Modularis plan of Figure 3 is compared against in Figures 6a
+and 6b.
+
+Structural differences from the modular plan, mirroring the paper:
+
+* histograms of *both* relations are combined in a single ``MPI_Allreduce``
+  and both windows are registered back-to-back, so ranks stall at most once
+  per phase (the modular plan runs one collective epoch per upstream path);
+* no abstraction overhead: CPU work is charged at the hand-written-loop
+  rate (overhead 1.0) instead of the fused-pipeline rate;
+* only the final join result is materialized (the paper extended the
+  original code with a result materialization to make the comparison fair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.mpi.cluster import ClusterResult, RankContext, SimCluster
+from repro.types.atoms import INT64
+from repro.types.collections import RowVector
+from repro.types.tuples import TupleType
+
+__all__ = ["MonolithicJoinResult", "run_monolithic_join", "monolithic_radix_join"]
+
+_PUT_CHUNK_ROWS = 1 << 15
+
+#: Wire format of the compressed network transfer.
+_PACKED_TYPE = TupleType.of(packed=INT64)
+
+
+@dataclass
+class MonolithicJoinResult:
+    """Join output plus the timing evidence of the run."""
+
+    matches: RowVector
+    cluster_result: ClusterResult
+
+    @property
+    def seconds(self) -> float:
+        return self.cluster_result.makespan
+
+    def phase_breakdown(self) -> dict[str, float]:
+        return self.cluster_result.phase_breakdown()
+
+
+def run_monolithic_join(
+    cluster: SimCluster,
+    left: RowVector,
+    right: RowVector,
+    key_bits: int = 27,
+    network_fanout: int | None = None,
+    local_fanout: int = 16,
+    compression: bool = True,
+) -> MonolithicJoinResult:
+    """Run the monolithic join on a cluster and gather the global result.
+
+    Both relations must be ⟨key, payload⟩ INT64 relations with distinct
+    payload field names (the paper's 16-byte workload).
+    """
+    n_net = network_fanout or _next_power_of_two(cluster.n_ranks)
+    result = cluster.run(
+        lambda ctx: monolithic_radix_join(
+            ctx, left, right,
+            key_bits=key_bits, network_fanout=n_net,
+            local_fanout=local_fanout, compression=compression,
+        )
+    )
+    parts = [p for p in result.per_rank if len(p)]
+    if parts:
+        element_type = parts[0].element_type
+        merged = RowVector(
+            element_type,
+            [
+                np.concatenate([p.columns[i] for p in parts])
+                for i in range(len(element_type))
+            ],
+        )
+    else:
+        merged = result.per_rank[0]
+    return MonolithicJoinResult(matches=merged, cluster_result=result)
+
+
+def monolithic_radix_join(
+    ctx: RankContext,
+    left: RowVector,
+    right: RowVector,
+    key_bits: int,
+    network_fanout: int,
+    local_fanout: int,
+    compression: bool,
+) -> RowVector:
+    """One rank's share of the monolithic join; returns its match tuples."""
+    if network_fanout & (network_fanout - 1) or local_fanout & (local_fanout - 1):
+        raise SimulationError("radix fan-outs must be powers of two")
+    comm, clock, cost = ctx.comm, ctx.clock, ctx.cost
+    fanout_bits = network_fanout.bit_length() - 1
+    net_mask = network_fanout - 1
+    payload_mask = (1 << key_bits) - 1
+
+    left_keys, left_payloads = _rank_shard(ctx, left)
+    right_keys, right_payloads = _rank_shard(ctx, right)
+
+    # -- phase 1: histograms of both relations, one collective --------------
+    clock.phase = "local_histogram"
+    left_hist = np.bincount(left_keys & net_mask, minlength=network_fanout)
+    right_hist = np.bincount(right_keys & net_mask, minlength=network_fanout)
+    clock.advance(
+        cost.cpu_cost("histogram", len(left_keys) + len(right_keys)), jitter=True
+    )
+    clock.phase = "global_histogram"
+    both = np.concatenate([left_hist, right_hist]).astype(np.int64)
+    global_both = comm.allreduce(both, op="sum")
+    matrix_both = np.stack(comm.allgather(both, payload_bytes=both.nbytes))
+    left_global = global_both[:network_fanout]
+    right_global = global_both[network_fanout:]
+    left_matrix = matrix_both[:, :network_fanout]
+    right_matrix = matrix_both[:, network_fanout:]
+
+    # -- phase 2: network partitioning with compression ----------------------
+    clock.phase = "network_partition"
+    wire_type = _PACKED_TYPE if compression else left.element_type
+    left_window = comm.win_create(
+        wire_type if compression else left.element_type,
+        _owned_rows(left_global, comm.rank, comm.n_ranks),
+    )
+    right_window = comm.win_create(
+        wire_type if compression else right.element_type,
+        _owned_rows(right_global, comm.rank, comm.n_ranks),
+    )
+    _scatter_to_windows(
+        ctx, left_window, left_keys, left_payloads, left.element_type,
+        left_matrix, net_mask, key_bits, fanout_bits, compression,
+    )
+    _scatter_to_windows(
+        ctx, right_window, right_keys, right_payloads, right.element_type,
+        right_matrix, net_mask, key_bits, fanout_bits, compression,
+    )
+    clock.phase = "network_partition"
+    left_window.fence()
+    right_window.fence()
+
+    # -- phases 3+4: local partitioning, build, and probe ---------------------
+    out_key_parts: list[np.ndarray] = []
+    out_left_parts: list[np.ndarray] = []
+    out_right_parts: list[np.ndarray] = []
+    for pid in range(comm.rank, network_fanout, comm.n_ranks):
+        lk, lp = _read_partition(
+            left_window, left_matrix, pid, comm, key_bits, payload_mask,
+            fanout_bits, compression,
+        )
+        rk, rp = _read_partition(
+            right_window, right_matrix, pid, comm, key_bits, payload_mask,
+            fanout_bits, compression,
+        )
+        _join_partition(
+            ctx, pid, lk, lp, rk, rp, local_fanout, fanout_bits,
+            out_key_parts, out_left_parts, out_right_parts, compression,
+        )
+
+    clock.phase = "materialize"
+    left_payload_name = _payload_name(left.element_type)
+    right_payload_name = _payload_name(right.element_type)
+    out_type = TupleType.of(
+        key=INT64, **{left_payload_name: INT64, right_payload_name: INT64}
+    )
+    if out_key_parts:
+        columns = [
+            np.concatenate(out_key_parts),
+            np.concatenate(out_left_parts),
+            np.concatenate(out_right_parts),
+        ]
+        matches = RowVector(out_type, columns)
+    else:
+        matches = RowVector.empty(out_type)
+    clock.advance(cost.materialize_cost(matches.size_bytes()), jitter=True)
+    return matches
+
+
+# -- helpers -------------------------------------------------------------------
+
+
+def _payload_name(element_type: TupleType) -> str:
+    names = [f for f in element_type.field_names if f != "key"]
+    if len(names) != 1:
+        raise SimulationError(
+            f"monolithic join expects ⟨key, payload⟩ relations, got {element_type!r}"
+        )
+    return names[0]
+
+
+def _rank_shard(ctx: RankContext, table: RowVector) -> tuple[np.ndarray, np.ndarray]:
+    base, extra = divmod(len(table), ctx.n_ranks)
+    start = ctx.rank * base + min(ctx.rank, extra)
+    stop = start + base + (1 if ctx.rank < extra else 0)
+    keys = table.column("key")[start:stop]
+    payloads = table.column(_payload_name(table.element_type))[start:stop]
+    ctx.clock.phase = "local_histogram"
+    ctx.clock.advance(ctx.cost.cpu_cost("scan", stop - start), jitter=True)
+    return keys, payloads
+
+
+def _owned_rows(global_hist: np.ndarray, rank: int, n_ranks: int) -> int:
+    return int(global_hist[rank::n_ranks].sum())
+
+
+def _partition_bases(
+    matrix: np.ndarray, target: int, n_ranks: int
+) -> dict[int, int]:
+    bases: dict[int, int] = {}
+    cursor = 0
+    totals = matrix.sum(axis=0)
+    for pid in range(target, matrix.shape[1], n_ranks):
+        bases[pid] = cursor
+        cursor += int(totals[pid])
+    return bases
+
+
+def _scatter_to_windows(
+    ctx: RankContext,
+    windows,
+    keys: np.ndarray,
+    payloads: np.ndarray,
+    element_type: TupleType,
+    matrix: np.ndarray,
+    net_mask: int,
+    key_bits: int,
+    fanout_bits: int,
+    compression: bool,
+) -> None:
+    """Radix-partition one relation and put it into the remote windows."""
+    comm, clock, cost = ctx.comm, ctx.clock, ctx.cost
+    clock.phase = "network_partition"
+    # The partitioning pass reads the input again (paper §4.1.1).
+    clock.advance(cost.cpu_cost("scan", len(keys)), jitter=True)
+    pids = keys & net_mask
+    order = np.argsort(pids, kind="stable")
+    counts = np.bincount(pids, minlength=matrix.shape[1])
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    clock.advance(cost.cpu_cost("partition", len(keys)), jitter=True)
+    my_prefix = matrix[: comm.rank].sum(axis=0)
+    for pid in np.flatnonzero(counts):
+        pid = int(pid)
+        idx = order[offsets[pid] : offsets[pid + 1]]
+        if compression:
+            packed = ((keys[idx] >> fanout_bits) << key_bits) | payloads[idx]
+            clock.advance(cost.cpu_cost("map", len(idx)), jitter=True)
+            rows = RowVector(_PACKED_TYPE, [packed.astype(np.int64)])
+        else:
+            rows = RowVector(element_type, [keys[idx], payloads[idx]])
+        target = pid % comm.n_ranks
+        base = _partition_bases(matrix, target, comm.n_ranks)[pid] + int(my_prefix[pid])
+        for start in range(0, len(rows), _PUT_CHUNK_ROWS):
+            chunk = rows.slice(start, min(start + _PUT_CHUNK_ROWS, len(rows)))
+            windows.put(target, base + start, chunk)
+
+
+def _read_partition(
+    windows,
+    matrix: np.ndarray,
+    pid: int,
+    comm,
+    key_bits: int,
+    payload_mask: int,
+    fanout_bits: int,
+    compression: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Read one owned network partition back out of the local window."""
+    bases = _partition_bases(matrix, comm.rank, comm.n_ranks)
+    size = int(matrix.sum(axis=0)[pid])
+    data = windows.local.read(bases[pid], bases[pid] + size)
+    if compression:
+        packed = data.column("packed")
+        return packed >> key_bits, packed & payload_mask  # still compressed keys
+    return data.columns[0], data.columns[1]
+
+
+def _join_partition(
+    ctx: RankContext,
+    pid: int,
+    left_keys: np.ndarray,
+    left_payloads: np.ndarray,
+    right_keys: np.ndarray,
+    right_payloads: np.ndarray,
+    local_fanout: int,
+    fanout_bits: int,
+    out_keys: list[np.ndarray],
+    out_left: list[np.ndarray],
+    out_right: list[np.ndarray],
+    compression: bool,
+) -> None:
+    """Second partitioning pass plus hash build/probe of one partition pair."""
+    clock, cost = ctx.clock, ctx.cost
+    local_mask = local_fanout - 1
+    # With compression the network bits are already dropped from the key;
+    # without, they are the low bits and must be skipped.
+    shift = 0 if compression else fanout_bits
+
+    clock.phase = "local_partition"
+    # Two passes over the received partition: histogram, then scatter.
+    clock.advance(
+        cost.cpu_cost("scan", 2 * (len(left_keys) + len(right_keys))), jitter=True
+    )
+    lsub = (left_keys >> shift) & local_mask
+    rsub = (right_keys >> shift) & local_mask
+    clock.advance(
+        cost.cpu_cost("histogram", len(left_keys) + len(right_keys)), jitter=True
+    )
+    lorder = np.argsort(lsub, kind="stable")
+    rorder = np.argsort(rsub, kind="stable")
+    lcounts = np.bincount(lsub, minlength=local_fanout)
+    rcounts = np.bincount(rsub, minlength=local_fanout)
+    loffsets = np.concatenate(([0], np.cumsum(lcounts)))
+    roffsets = np.concatenate(([0], np.cumsum(rcounts)))
+    clock.advance(
+        cost.cpu_cost("partition", len(left_keys) + len(right_keys)), jitter=True
+    )
+    clock.advance(
+        cost.copy_cost(16 * (len(left_keys) + len(right_keys))), jitter=True
+    )
+
+    clock.phase = "build_probe"
+    # One pass over each side to feed the hash build and the probe.
+    clock.advance(
+        cost.cpu_cost("scan", len(left_keys) + len(right_keys)), jitter=True
+    )
+    for sub in range(local_fanout):
+        li = lorder[loffsets[sub] : loffsets[sub + 1]]
+        ri = rorder[roffsets[sub] : roffsets[sub + 1]]
+        if len(li) == 0 or len(ri) == 0:
+            clock.advance(cost.cpu_cost("build", len(li)), jitter=True)
+            clock.advance(cost.cpu_cost("probe", len(ri)), jitter=True)
+            continue
+        bk = left_keys[li]
+        border = np.argsort(bk, kind="stable")
+        bk_sorted = bk[border]
+        pk = right_keys[ri]
+        lo = np.searchsorted(bk_sorted, pk, side="left")
+        hi = np.searchsorted(bk_sorted, pk, side="right")
+        match_counts = hi - lo
+        emitted = int(match_counts.sum())
+        clock.advance(cost.cpu_cost("build", len(li)), jitter=True)
+        clock.advance(cost.cpu_cost("probe", len(ri) + emitted), jitter=True)
+        if emitted == 0:
+            continue
+        probe_idx = np.repeat(np.arange(len(ri)), match_counts)
+        run_offsets = np.repeat(hi - np.cumsum(match_counts), match_counts)
+        build_idx = border[np.arange(emitted) + run_offsets]
+        keys = pk[probe_idx]
+        if compression:
+            keys = (keys << fanout_bits) | pid  # recover the dropped bits
+            clock.advance(cost.cpu_cost("map", emitted), jitter=True)
+        out_keys.append(keys)
+        out_left.append(left_payloads[li][build_idx])
+        out_right.append(right_payloads[ri][probe_idx])
+
+
+def _next_power_of_two(n: int) -> int:
+    power = 1
+    while power < n:
+        power *= 2
+    return power

@@ -1,0 +1,14 @@
+"""Benchmark harness regenerating every table and figure of the paper."""
+
+from repro.bench.charts import bar_chart, series_chart
+from repro.bench.harness import ResultTable, Row
+from repro.bench.sloc import module_sloc, operator_sloc_table
+
+__all__ = [
+    "ResultTable",
+    "Row",
+    "bar_chart",
+    "series_chart",
+    "module_sloc",
+    "operator_sloc_table",
+]

@@ -1,0 +1,104 @@
+"""Text charts for experiment tables (no plotting dependency needed).
+
+The benchmark harness renders each figure's rows as a table
+(:mod:`repro.bench.harness`); this module adds terminal-friendly unicode
+charts so the *shapes* the reproduction targets — who wins, where the
+crossover falls — are visible at a glance in CI logs and EXPERIMENTS.md.
+
+Two renderers:
+
+* :func:`bar_chart` — one horizontal bar per row, for categorical
+  comparisons (Figure 9's per-query engine times, Table 1's SLOC).
+* :func:`series_chart` — grouped bars over an x-axis, for sweeps
+  (Figure 6b/7/8 machine and cardinality sweeps, the crossover).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.harness import ResultTable
+
+__all__ = ["bar_chart", "series_chart"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, maximum: float, width: int) -> str:
+    """A unicode bar of ``width`` cells filled proportionally."""
+    if maximum <= 0:
+        return ""
+    cells = value / maximum * width
+    full = int(cells)
+    remainder = cells - full
+    bar = "█" * full
+    partial_index = int(remainder * (len(_BLOCKS) - 1))
+    if partial_index > 0 and full < width:
+        bar += _BLOCKS[partial_index]
+    return bar
+
+
+def _format_value(value: float) -> str:
+    return f"{value:.4g}"
+
+
+def bar_chart(
+    table: ResultTable,
+    metric: str,
+    label: str | None = None,
+    width: int = 40,
+) -> str:
+    """One horizontal bar per row of ``table``, sized by ``metric``.
+
+    Args:
+        table: The experiment rows.
+        metric: Metric name to chart.
+        label: Label column for the row names (defaults to the first).
+        width: Bar width in character cells.
+    """
+    label = label or table.label_names[0]
+    values = [float(row.metrics[metric]) for row in table.rows]
+    names = [str(row.labels.get(label, "")) for row in table.rows]
+    if not values:
+        return f"{table.title}\n(no rows)"
+    maximum = max(values)
+    name_width = max(len(n) for n in names)
+    lines = [f"{table.title} — {metric}"]
+    for name, value in zip(names, values):
+        lines.append(
+            f"  {name.ljust(name_width)}  {_bar(value, maximum, width).ljust(width)}"
+            f"  {_format_value(value)}"
+        )
+    return "\n".join(lines)
+
+
+def series_chart(
+    table: ResultTable,
+    metrics: Sequence[str],
+    label: str | None = None,
+    width: int = 40,
+) -> str:
+    """Grouped bars: for each row, one bar per metric in ``metrics``.
+
+    Renders sweeps like "naive vs optimized per machine count" so the gap
+    between the series is visible line by line.
+    """
+    label = label or table.label_names[0]
+    if not table.rows:
+        return f"{table.title}\n(no rows)"
+    maximum = max(
+        float(row.metrics[m]) for row in table.rows for m in metrics
+    )
+    names = [str(row.labels.get(label, "")) for row in table.rows]
+    name_width = max(len(n) for n in names)
+    metric_width = max(len(m) for m in metrics)
+    lines = [f"{table.title}"]
+    for row, name in zip(table.rows, names):
+        for i, metric in enumerate(metrics):
+            value = float(row.metrics[metric])
+            prefix = name.ljust(name_width) if i == 0 else " " * name_width
+            lines.append(
+                f"  {prefix}  {metric.ljust(metric_width)}  "
+                f"{_bar(value, maximum, width).ljust(width)}  {_format_value(value)}"
+            )
+    return "\n".join(lines)

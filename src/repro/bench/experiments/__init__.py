@@ -1,0 +1,36 @@
+"""One experiment module per table/figure of the paper's evaluation,
+plus extension experiments (broadcast-join crossover, NIC offload)."""
+
+from repro.bench.experiments.broadcast import BroadcastConfig, run_broadcast_crossover
+from repro.bench.experiments.fig6 import Fig6Config, run_fig6
+from repro.bench.experiments.fig7 import Fig7Config, run_fig7
+from repro.bench.experiments.fig8 import Fig8Config, run_fig8
+from repro.bench.experiments.fig9 import Fig9Config, run_fig9
+from repro.bench.experiments.micro import MicroConfig, run_micro
+from repro.bench.experiments.scaling import (
+    ScalingConfig,
+    SkewConfig,
+    run_scaleout,
+    run_skew,
+)
+from repro.bench.experiments.table1 import run_table1
+
+__all__ = [
+    "BroadcastConfig",
+    "run_broadcast_crossover",
+    "Fig6Config",
+    "run_fig6",
+    "Fig7Config",
+    "run_fig7",
+    "Fig8Config",
+    "run_fig8",
+    "Fig9Config",
+    "run_fig9",
+    "MicroConfig",
+    "run_micro",
+    "ScalingConfig",
+    "run_scaleout",
+    "SkewConfig",
+    "run_skew",
+    "run_table1",
+]

@@ -1,0 +1,120 @@
+"""Source-lines-of-code analysis for Table 1 and the §5.1.1 LoC claims.
+
+The paper reports SLOC per sub-operator (Table 1), the total for the
+operators used in the distributed-join plan (1152) versus the monolithic
+original (1754, a 35 % reduction), and the 461 lines of the three
+platform-specific operators (⇒ porting to a new platform rewrites 3.8×
+less code than the monolithic operator).
+
+This module measures the same quantities over *this* code base: SLOC are
+counted per operator class with ``ast`` (docstrings, comments, and blank
+lines excluded), so the numbers are reproducible from source.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import io
+import tokenize
+from dataclasses import dataclass
+
+from repro.core import operators as ops
+
+__all__ = ["OperatorSloc", "operator_sloc_table", "module_sloc", "JOIN_PLAN_OPERATORS", "PLATFORM_OPERATORS"]
+
+#: Abbreviation -> operator class, mirroring the paper's Table 1 rows.
+JOIN_PLAN_OPERATORS = {
+    "PL": ops.ParameterLookup,
+    "NM": ops.NestedMap,
+    "PR": ops.Projection,
+    "BP": ops.BuildProbe,
+    "LH": ops.LocalHistogram,
+    "ZP": ops.Zip,
+    "CP": ops.CartesianProduct,
+    "PM": ops.ParametrizedMap,
+    "RK": ops.ReduceByKey,
+    "MP": ops.Map,
+    "RS": ops.RowScan,
+    "LP": ops.LocalPartitioning,
+    "MR": ops.MaterializeRowVector,
+    "ME": ops.MpiExecutor,
+    "EX": ops.MpiExchange,
+    "MH": ops.MpiHistogram,
+}
+
+#: The operators that are specific to the MPI/RDMA platform (§5.1.1).
+PLATFORM_OPERATORS = ("ME", "EX", "MH")
+
+
+@dataclass(frozen=True)
+class OperatorSloc:
+    abbreviation: str
+    name: str
+    sloc: int
+
+
+def _docstring_lines(tree: ast.AST) -> set[int]:
+    """Line numbers covered by module/class/function docstrings."""
+    lines: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        body = node.body
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            lines.update(range(body[0].lineno, body[0].end_lineno + 1))
+    return lines
+
+
+def _code_lines(source: str) -> set[int]:
+    """Line numbers carrying actual code (no comments/blank/docstrings)."""
+    lines: set[int] = set()
+    skip = (
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENCODING,
+        tokenize.ENDMARKER,
+    )
+    for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+        if tok.type in skip:
+            continue
+        lines.update(range(tok.start[0], tok.end[0] + 1))
+    return lines - _docstring_lines(ast.parse(source))
+
+
+def _class_sloc(cls: type) -> int:
+    """SLOC of one class body (docstrings/comments/blank lines excluded)."""
+    module_source = inspect.getsource(inspect.getmodule(cls))
+    tree = ast.parse(module_source)
+    code_lines = _code_lines(module_source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == cls.__name__:
+            body_lines = {
+                line for line in code_lines if node.lineno <= line <= node.end_lineno
+            }
+            return len(body_lines)
+    raise LookupError(f"class {cls.__name__} not found in its module source")
+
+
+def module_sloc(module: object) -> int:
+    """SLOC of a whole module (docstrings/comments/blank lines excluded)."""
+    source = inspect.getsource(module)
+    return len(_code_lines(source))
+
+
+def operator_sloc_table() -> list[OperatorSloc]:
+    """Table 1 over this code base: SLOC per sub-operator class."""
+    rows = []
+    for abbrev, cls in JOIN_PLAN_OPERATORS.items():
+        rows.append(OperatorSloc(abbrev, cls.__name__, _class_sloc(cls)))
+    return rows

@@ -1,0 +1,223 @@
+"""Command-line interface: run experiments and queries from a shell.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro bench fig6 --n-tuples 131072
+    python -m repro bench all
+    python -m repro tpch --query 12 --sf 0.02 --machines 8
+    python -m repro tpch --query 14 --strategy broadcast
+    python -m repro join --log2-tuples 16 --machines 4
+    python -m repro explain --query 4
+
+Every command prints the same text tables the benchmark suite asserts on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Modularis reproduction: experiments, TPC-H, and joins.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    bench = commands.add_parser(
+        "bench", help="regenerate one (or all) of the paper's tables/figures"
+    )
+    bench.add_argument(
+        "experiment",
+        choices=(
+            "table1", "micro", "fig6", "fig7", "fig8", "fig9", "broadcast",
+            "scaleout", "skew", "all",
+        ),
+    )
+    bench.add_argument("--n-tuples", type=int, default=None,
+                       help="workload tuples for fig6/fig7/fig8/broadcast")
+    bench.add_argument("--sf", type=float, default=0.05, help="TPC-H scale factor")
+
+    tpch = commands.add_parser("tpch", help="run one TPC-H query distributed")
+    tpch.add_argument("--query", type=int, required=True, choices=(1, 3, 4, 6, 12, 14, 19))
+    tpch.add_argument("--sf", type=float, default=0.02)
+    tpch.add_argument("--machines", type=int, default=8)
+    tpch.add_argument(
+        "--strategy", choices=("exchange", "broadcast", "auto"), default="exchange"
+    )
+    tpch.add_argument("--mode", choices=("fused", "interpreted"), default="fused")
+
+    join = commands.add_parser(
+        "join", help="run the Fig. 3 join vs the monolithic baseline"
+    )
+    join.add_argument("--log2-tuples", type=int, default=16)
+    join.add_argument("--machines", type=int, default=8)
+    join.add_argument("--no-compression", action="store_true")
+    join.add_argument("--algorithm", choices=("hash", "sortmerge"), default="hash")
+
+    explain = commands.add_parser("explain", help="show a query's plans")
+    explain.add_argument("--query", type=int, required=True, choices=(1, 3, 4, 6, 12, 14, 19))
+    explain.add_argument("--sf", type=float, default=0.005)
+
+    return parser
+
+
+def _all_queries():
+    from repro.tpch import ALL_QUERIES, EXTENSION_QUERIES
+
+    return {**ALL_QUERIES, **EXTENSION_QUERIES}
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import experiments as exp
+
+    def show(*tables):
+        for table in tables:
+            print(table.render("{:.5g}"))
+            print()
+
+    wanted = (
+        (
+            "table1", "micro", "fig6", "fig7", "fig8", "fig9", "broadcast",
+            "scaleout", "skew",
+        )
+        if args.experiment == "all"
+        else (args.experiment,)
+    )
+    for name in wanted:
+        if name == "table1":
+            show(*exp.run_table1())
+        elif name == "micro":
+            show(exp.run_micro())
+        elif name == "fig6":
+            config = exp.Fig6Config(**({"n_tuples": args.n_tuples} if args.n_tuples else {}))
+            show(*exp.run_fig6(config))
+        elif name == "fig7":
+            config = exp.Fig7Config(**({"n_tuples": args.n_tuples} if args.n_tuples else {}))
+            show(*exp.run_fig7(config))
+        elif name == "fig8":
+            config = exp.Fig8Config(**({"n_tuples": args.n_tuples} if args.n_tuples else {}))
+            show(*exp.run_fig8(config))
+        elif name == "fig9":
+            show(exp.run_fig9(exp.Fig9Config(scale_factor=args.sf)))
+        elif name == "broadcast":
+            config = exp.BroadcastConfig(
+                **({"big_rows": args.n_tuples} if args.n_tuples else {})
+            )
+            show(exp.run_broadcast_crossover(config))
+        elif name == "scaleout":
+            config = exp.ScalingConfig(
+                **({"n_tuples": args.n_tuples} if args.n_tuples else {})
+            )
+            show(exp.run_scaleout(config))
+        elif name == "skew":
+            config = exp.SkewConfig(
+                **({"n_tuples": args.n_tuples} if args.n_tuples else {})
+            )
+            show(exp.run_skew(config))
+    return 0
+
+
+def _cmd_tpch(args: argparse.Namespace) -> int:
+    from repro.bench.experiments.fig9 import frames_match
+    from repro.mpi.cluster import SimCluster
+    from repro.relational import lower_to_modularis, run_logical_plan
+    from repro.tpch import load_catalog
+
+    catalog = load_catalog(scale_factor=args.sf)
+    query = _all_queries()[args.query]()
+    reference = run_logical_plan(query.plan, catalog)
+    lowered = lower_to_modularis(
+        query.plan, catalog, SimCluster(args.machines), join_strategy=args.strategy
+    )
+    result = lowered.run(catalog, mode=args.mode)
+    frame = lowered.result_frame(result)
+    if not frames_match(reference, frame, tolerance=1e-6):
+        print("ERROR: distributed result diverges from the reference", file=sys.stderr)
+        return 1
+
+    names = list(frame.columns)
+    print("  ".join(names))
+    for i in range(frame.n_rows):
+        print("  ".join(str(frame.columns[n][i]) for n in names))
+    print(
+        f"\nstrategy={lowered.strategy} machines={args.machines} "
+        f"simulated={result.seconds * 1e3:.3f} ms"
+    )
+    for phase, seconds in sorted(result.phase_breakdown().items()):
+        print(f"  {phase:<20}{seconds * 1e6:>12.1f} µs")
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    from repro.baselines import run_monolithic_join
+    from repro.core.plans import build_distributed_join
+    from repro.mpi.cluster import SimCluster
+    from repro.workloads import make_join_relations
+
+    workload = make_join_relations(1 << args.log2_tuples)
+    plan = build_distributed_join(
+        SimCluster(args.machines),
+        workload.left.element_type,
+        workload.right.element_type,
+        key_bits=workload.key_bits,
+        compression=not args.no_compression,
+        algorithm=args.algorithm,
+    )
+    result = plan.run(workload.left, workload.right)
+    matches = plan.matches(result)
+    mono = run_monolithic_join(
+        SimCluster(args.machines),
+        workload.left,
+        workload.right,
+        key_bits=workload.key_bits,
+        compression=not args.no_compression,
+    )
+    assert len(matches) == len(mono.matches) == workload.expected_matches
+    modularis_seconds = result.cluster_results[0].makespan
+    print(f"tuples per relation : {len(workload.left)}")
+    print(f"matches             : {len(matches)}")
+    print(f"modularis           : {modularis_seconds * 1e3:.4f} ms")
+    print(f"monolithic          : {mono.seconds * 1e3:.4f} ms")
+    print(f"slowdown            : {modularis_seconds / mono.seconds:.2f}x")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core.plan import explain as explain_physical
+    from repro.mpi.cluster import SimCluster
+    from repro.relational.optimizer import lower_to_modularis, optimize
+    from repro.tpch import load_catalog
+
+    catalog = load_catalog(scale_factor=args.sf)
+    query = _all_queries()[args.query]()
+    print("=== logical plan ===")
+    print(query.plan.explain())
+    print("\n=== optimized logical plan ===")
+    print(optimize(query.plan, catalog).explain())
+    lowered = lower_to_modularis(query.plan, catalog, SimCluster(2))
+    from repro.core.plan import prepare
+
+    prepare(lowered.root)
+    print(f"\n=== physical driver plan (strategy={lowered.strategy}) ===")
+    print(explain_physical(lowered.root))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "bench": _cmd_bench,
+        "tpch": _cmd_tpch,
+        "join": _cmd_join,
+        "explain": _cmd_explain,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Modularis core: the sub-operator execution layer (the paper's contribution)."""
+
+from repro.core.compression import COMPRESSED_TYPE, RadixCompression
+from repro.core.context import ExecutionContext
+from repro.core.executor import ExecutionResult, execute
+from repro.core.functions import (
+    CallablePartition,
+    HashPartition,
+    ParamTupleFunction,
+    PartitionFunction,
+    Predicate,
+    RadixPartition,
+    ReduceFunction,
+    TupleFunction,
+    field_sum,
+)
+from repro.core.operator import Operator
+from repro.core.plan import SharedScan, explain, prepare, walk
+
+__all__ = [
+    "COMPRESSED_TYPE",
+    "RadixCompression",
+    "ExecutionContext",
+    "ExecutionResult",
+    "execute",
+    "CallablePartition",
+    "HashPartition",
+    "ParamTupleFunction",
+    "PartitionFunction",
+    "Predicate",
+    "RadixPartition",
+    "ReduceFunction",
+    "TupleFunction",
+    "field_sum",
+    "Operator",
+    "SharedScan",
+    "explain",
+    "prepare",
+    "walk",
+]

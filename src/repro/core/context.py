@@ -1,0 +1,148 @@
+"""Execution contexts: what flows *alongside* the data path.
+
+An :class:`ExecutionContext` carries everything a sub-operator needs beyond
+its upstream iterators: the simulated clock and cost model to charge, the
+communicator when running inside an MPI rank, the execution mode
+(fused vs interpreted — the JIT-compilation analogue), and the parameter
+stack that connects ``NestedMap`` invocations to the ``ParameterLookup``
+operators of their nested plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+from repro.mpi.clock import SimClock
+from repro.mpi.cluster import RankContext
+from repro.mpi.comm import SimComm
+from repro.mpi.costmodel import DEFAULT_COST_MODEL, CostModel
+
+__all__ = ["ExecutionContext", "ExecutionMode"]
+
+#: Execution modes. ``fused`` models JiT-compiled pipelines (vectorized
+#: kernels, low abstraction overhead); ``interpreted`` models a pure
+#: tuple-at-a-time Volcano interpreter without compilation.
+ExecutionMode = str
+
+_MODES = ("fused", "interpreted")
+
+
+@dataclass
+class ExecutionContext:
+    """Mutable per-execution state shared by all operators of one plan run."""
+
+    cost: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
+    clock: SimClock = field(default_factory=SimClock)
+    mode: ExecutionMode = "fused"
+    rank_ctx: RankContext | None = None
+    #: Parameter bindings of active NestedMap invocations, keyed by slot id.
+    _params: dict[int, tuple] = field(default_factory=dict)
+    #: Bumped on every NestedMap invocation; invalidates pipeline caches.
+    invocation_epoch: int = 0
+    #: Materialized results of shared (multi-consumer) operators, keyed by
+    #: the wrapped operator's id; see ``repro.core.plan.SharedScan``.
+    shared_cache: dict[int, tuple] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ExecutionError(f"unknown execution mode {self.mode!r}")
+
+    # -- distributed facets -------------------------------------------------
+
+    @property
+    def comm(self) -> SimComm:
+        """The rank's communicator; only available inside an MPI worker."""
+        if self.rank_ctx is None:
+            raise ExecutionError(
+                "this operator needs an MPI cluster; wrap the plan in MpiExecutor"
+            )
+        return self.rank_ctx.comm
+
+    @property
+    def rank(self) -> int:
+        return self.rank_ctx.rank if self.rank_ctx is not None else 0
+
+    @property
+    def n_ranks(self) -> int:
+        return self.rank_ctx.n_ranks if self.rank_ctx is not None else 1
+
+    @classmethod
+    def for_rank(cls, rank_ctx: RankContext, mode: ExecutionMode = "fused") -> "ExecutionContext":
+        """The context a worker uses to execute a nested plan on its rank."""
+        return cls(
+            cost=rank_ctx.cost, clock=rank_ctx.clock, mode=mode, rank_ctx=rank_ctx
+        )
+
+    # -- cost charging --------------------------------------------------------
+
+    def overhead_for(self, pipeline_size: int) -> float:
+        """Execution-layer multiplier on CPU work for one operator.
+
+        Mirrors the paper's observation (§5.1): operators isolated in small
+        pipelines compile to code as good as (or better than) hand-written
+        loops, while operators buried in long pipelines keep some abstraction
+        overhead that the compiler cannot remove.
+        """
+        if self.mode == "interpreted":
+            return self.cost.interpreted_overhead
+        if pipeline_size <= self.cost.small_pipeline_max_ops:
+            return self.cost.small_pipeline_overhead
+        return self.cost.fused_overhead
+
+    def set_phase(self, phase: str) -> None:
+        """Attribute subsequent clock advances (incl. comm costs) to ``phase``."""
+        self.clock.phase = phase
+
+    def charge_cpu(self, op, kind: str, tuples: int) -> None:
+        """Charge per-tuple CPU work of class ``kind`` on behalf of ``op``.
+
+        The operator supplies the phase label and its pipeline size (which
+        determines the abstraction-overhead multiplier).
+        """
+        if tuples <= 0:
+            return
+        self.set_phase(op.assigned_phase)
+        seconds = self.cost.cpu_cost(kind, tuples, self.overhead_for(op.pipeline_size))
+        self.clock.advance(seconds, jitter=True)
+
+    def charge_materialize(self, op, payload_bytes: int) -> None:
+        if payload_bytes > 0:
+            self.set_phase(op.assigned_phase)
+            self.clock.advance(self.cost.materialize_cost(payload_bytes), jitter=True)
+
+    # -- nested-plan parameters -----------------------------------------------
+
+    def push_parameter(self, slot_id: int, value: tuple) -> None:
+        if slot_id in self._params:
+            raise ExecutionError(f"parameter slot {slot_id} is already bound")
+        self._params[slot_id] = value
+        self.invocation_epoch += 1
+
+    def pop_parameter(self, slot_id: int) -> None:
+        if slot_id not in self._params:
+            raise ExecutionError(f"parameter slot {slot_id} is not bound")
+        binding = (slot_id, id(self._params[slot_id]))
+        del self._params[slot_id]
+        # Drop shared-result caches that depended on this binding: the bound
+        # tuple may be garbage collected and its id reused, which would
+        # otherwise let a later invocation read a stale materialization.
+        stale = [
+            key
+            for key, (binding_key, _vector) in self.shared_cache.items()
+            if binding in binding_key
+        ]
+        for key in stale:
+            del self.shared_cache[key]
+
+    def parameter_binding_key(self) -> tuple:
+        """Identity of the current nested-plan bindings, for result caching."""
+        return tuple(sorted((k, id(v)) for k, v in self._params.items()))
+
+    def lookup_parameter(self, slot_id: int) -> tuple:
+        try:
+            return self._params[slot_id]
+        except KeyError:
+            raise ExecutionError(
+                f"ParameterLookup for slot {slot_id} executed outside its NestedMap"
+            ) from None

@@ -1,0 +1,88 @@
+"""Driver-side plan execution (§3.4).
+
+The top-level plan runs on the *driver* (the user's workstation in the
+paper's architecture).  ``execute`` prepares the plan (pipeline cutting),
+binds plan inputs to their parameter slots, drives the root operator, and
+collects both the result tuples and the timing evidence (driver simulated
+time plus the per-rank phase breakdowns of every MPI job the plan ran).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.context import ExecutionContext, ExecutionMode
+from repro.core.operator import Operator
+from repro.core.operators.mpi_executor import MpiExecutor
+from repro.core.operators.parameter_lookup import ParameterSlot
+from repro.core.plan import prepare, walk
+from repro.mpi.cluster import ClusterResult
+from repro.mpi.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.types.tuples import TupleType
+
+__all__ = ["ExecutionResult", "execute"]
+
+
+@dataclass
+class ExecutionResult:
+    """Everything one plan execution produced."""
+
+    rows: list[tuple]
+    output_type: TupleType
+    #: Total simulated seconds on the driver, including waiting for every
+    #: data-parallel job it dispatched.
+    seconds: float
+    #: One entry per MpiExecutor execution, in completion order.
+    cluster_results: list[ClusterResult] = field(default_factory=list)
+
+    def phase_breakdown(self) -> dict[str, float]:
+        """Max-over-ranks seconds per phase, summed over all MPI jobs."""
+        merged: dict[str, float] = {}
+        for result in self.cluster_results:
+            for phase, seconds in result.phase_breakdown().items():
+                merged[phase] = merged.get(phase, 0.0) + seconds
+        return merged
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def execute(
+    root: Operator,
+    params: dict[ParameterSlot, tuple] | None = None,
+    mode: ExecutionMode = "fused",
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> ExecutionResult:
+    """Run a plan on the driver and return its result.
+
+    Args:
+        root: Root operator of the plan DAG.
+        params: Bindings for driver-level :class:`ParameterSlot` inputs
+            (the plan's base tables and constants).
+        mode: ``fused`` (JiT-compiled pipelines) or ``interpreted``.
+        cost_model: Timing calibration for the driver's clock; workers use
+            the cost model of their cluster.
+    """
+    prepare(root)
+    ctx = ExecutionContext(cost=cost_model, mode=mode)
+    bound: list[int] = []
+    for slot, value in (params or {}).items():
+        ctx.push_parameter(slot.id, value)
+        bound.append(slot.id)
+    try:
+        rows = list(root.stream(ctx))
+    finally:
+        for slot_id in bound:
+            ctx.pop_parameter(slot_id)
+
+    cluster_results = [
+        op.last_result
+        for op in walk(root, into_nested=True)
+        if isinstance(op, MpiExecutor) and op.last_result is not None
+    ]
+    return ExecutionResult(
+        rows=rows,
+        output_type=root.output_type,
+        seconds=ctx.clock.now,
+        cluster_results=cluster_results,
+    )

@@ -1,0 +1,279 @@
+"""First-class function objects passed to data-processing sub-operators.
+
+The paper's sub-operators are parametrized by UDFs that the query compiler
+lowers to LLVM IR and inlines into pipelines.  Here, a function object
+bundles the scalar (row-at-a-time) implementation with an optional
+vectorized (numpy, column-at-a-time) implementation; the fused execution
+mode uses the vectorized form when present, which plays the role of the
+inlined, compiled UDF.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import TypeCheckError
+from repro.types.collections import RowVector
+from repro.types.tuples import TupleType
+
+__all__ = [
+    "TupleFunction",
+    "ParamTupleFunction",
+    "Predicate",
+    "PartitionFunction",
+    "RadixPartition",
+    "HashPartition",
+    "CallablePartition",
+    "ReduceFunction",
+    "field_sum",
+]
+
+
+class TupleFunction:
+    """A UDF for ``Map``: one input tuple in, one output tuple out.
+
+    Args:
+        fn: Scalar implementation, ``fn(row) -> row``.
+        output_type: Either a fixed :class:`TupleType` or a callable
+            ``input_type -> output_type`` (most operators' types depend on
+            their upstream types; paper Section 3.2).
+        vectorized: Optional columnar implementation,
+            ``vectorized(columns) -> columns`` over numpy arrays.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[tuple], tuple],
+        output_type: TupleType | Callable[[TupleType], TupleType],
+        vectorized: Callable[[tuple[np.ndarray, ...]], tuple[np.ndarray, ...]] | None = None,
+    ) -> None:
+        self.fn = fn
+        self._output_type = output_type
+        self.vectorized = vectorized
+
+    def output_type_for(self, input_type: TupleType) -> TupleType:
+        if callable(self._output_type):
+            return self._output_type(input_type)
+        return self._output_type
+
+    def __call__(self, row: tuple) -> tuple:
+        return self.fn(row)
+
+    def apply_batch(self, batch: RowVector, output_type: TupleType) -> RowVector:
+        """Columnar application; falls back to a scalar loop if needed."""
+        if self.vectorized is not None:
+            return RowVector(output_type, list(self.vectorized(batch.columns)))
+        return RowVector.from_rows(output_type, (self.fn(r) for r in batch.iter_rows()))
+
+
+class ParamTupleFunction:
+    """A UDF for ``ParametrizedMap``: ``fn(param_tuple, row) -> row``.
+
+    The parameter tuple comes from a dedicated upstream and is fixed for the
+    whole stream — e.g. the network partition ID used to recover compressed
+    key bits (paper Section 4.1.2).
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[tuple, tuple], tuple],
+        output_type: TupleType | Callable[[TupleType], TupleType],
+        vectorized: Callable[[tuple, tuple[np.ndarray, ...]], tuple[np.ndarray, ...]] | None = None,
+    ) -> None:
+        self.fn = fn
+        self._output_type = output_type
+        self.vectorized = vectorized
+
+    def output_type_for(self, input_type: TupleType) -> TupleType:
+        if callable(self._output_type):
+            return self._output_type(input_type)
+        return self._output_type
+
+    def __call__(self, param: tuple, row: tuple) -> tuple:
+        return self.fn(param, row)
+
+    def apply_batch(self, param: tuple, batch: RowVector, output_type: TupleType) -> RowVector:
+        if self.vectorized is not None:
+            return RowVector(output_type, list(self.vectorized(param, batch.columns)))
+        return RowVector.from_rows(
+            output_type, (self.fn(param, r) for r in batch.iter_rows())
+        )
+
+
+class Predicate:
+    """A boolean UDF for ``Filter``."""
+
+    def __init__(
+        self,
+        fn: Callable[[tuple], bool],
+        vectorized: Callable[[tuple[np.ndarray, ...]], np.ndarray] | None = None,
+    ) -> None:
+        self.fn = fn
+        self.vectorized = vectorized
+
+    def __call__(self, row: tuple) -> bool:
+        return bool(self.fn(row))
+
+    def mask(self, batch: RowVector) -> np.ndarray:
+        """Boolean selection mask over a batch."""
+        if self.vectorized is not None:
+            return np.asarray(self.vectorized(batch.columns), dtype=bool)
+        return np.fromiter(
+            (bool(self.fn(r)) for r in batch.iter_rows()), dtype=bool, count=len(batch)
+        )
+
+
+class PartitionFunction:
+    """Maps tuples to bucket/partition ids in ``[0, n_partitions)``.
+
+    Used by ``LocalHistogram``, ``LocalPartitioning``, ``MpiExchange``
+    (paper Section 3.3): all three share one function object, which is what
+    guarantees the histogram describes exactly the partitions the exchange
+    will write.
+    """
+
+    def __init__(self, n_partitions: int) -> None:
+        if n_partitions < 1:
+            raise TypeCheckError(f"need >= 1 partition, got {n_partitions}")
+        self.n_partitions = n_partitions
+
+    def __call__(self, row: tuple) -> int:
+        raise NotImplementedError
+
+    def map_batch(self, batch: RowVector) -> np.ndarray:
+        """Vectorized bucket ids for a whole batch."""
+        return np.fromiter(
+            (self(r) for r in batch.iter_rows()), dtype=np.int64, count=len(batch)
+        )
+
+
+class RadixPartition(PartitionFunction):
+    """Radix partitioning on the bits of an integer key field.
+
+    ``partition = (key >> shift) & (n_partitions - 1)`` with an identity
+    hash, exactly the scheme whose dropped bits the compression of
+    Section 4.1.1 recovers.  ``n_partitions`` must be a power of two.
+    """
+
+    def __init__(self, key_field: str, n_partitions: int, shift: int = 0) -> None:
+        super().__init__(n_partitions)
+        if n_partitions & (n_partitions - 1):
+            raise TypeCheckError(
+                f"radix partitioning needs a power-of-two fan-out, got {n_partitions}"
+            )
+        self.key_field = key_field
+        self.shift = shift
+        self.mask = n_partitions - 1
+        self._key_pos: int | None = None
+
+    def bind(self, input_type: TupleType) -> "RadixPartition":
+        """Resolve the key field position against the operator's input type."""
+        self._key_pos = input_type.position(self.key_field)
+        return self
+
+    @property
+    def fanout_bits(self) -> int:
+        return self.n_partitions.bit_length() - 1
+
+    def __call__(self, row: tuple) -> int:
+        if self._key_pos is None:
+            raise TypeCheckError("RadixPartition used before bind()")
+        return (row[self._key_pos] >> self.shift) & self.mask
+
+    def map_batch(self, batch: RowVector) -> np.ndarray:
+        keys = batch.column(self.key_field)
+        return (keys >> self.shift) & self.mask
+
+
+class HashPartition(PartitionFunction):
+    """Multiplicative (Fibonacci) hashing of an integer key field.
+
+    ``salt`` selects an independent hash function, so that e.g. the local
+    partitioning pass is uncorrelated with the network partitioning pass
+    (correlated passes would leave most local partitions empty).
+    """
+
+    _MULTIPLIERS = (0x9E3779B97F4A7C15, 0xC2B2AE3D27D4EB4F, 0x165667B19E3779F9)
+
+    def __init__(self, key_field: str, n_partitions: int, salt: int = 0) -> None:
+        super().__init__(n_partitions)
+        self.key_field = key_field
+        self.salt = salt
+        self._multiplier = self._MULTIPLIERS[salt % len(self._MULTIPLIERS)]
+        self._key_pos: int | None = None
+
+    def bind(self, input_type: TupleType) -> "HashPartition":
+        self._key_pos = input_type.position(self.key_field)
+        return self
+
+    def _hash(self, keys: np.ndarray) -> np.ndarray:
+        mixed = (keys.astype(np.uint64) * np.uint64(self._multiplier)) >> np.uint64(33)
+        return (mixed % np.uint64(self.n_partitions)).astype(np.int64)
+
+    def __call__(self, row: tuple) -> int:
+        if self._key_pos is None:
+            raise TypeCheckError("HashPartition used before bind()")
+        key = np.uint64(row[self._key_pos] & 0xFFFFFFFFFFFFFFFF)
+        return int(self._hash(np.array([key]))[0])
+
+    def map_batch(self, batch: RowVector) -> np.ndarray:
+        return self._hash(batch.column(self.key_field))
+
+
+class CallablePartition(PartitionFunction):
+    """Adapter for an arbitrary Python bucket function (no fast path)."""
+
+    def __init__(self, fn: Callable[[tuple], int], n_partitions: int) -> None:
+        super().__init__(n_partitions)
+        self.fn = fn
+
+    def __call__(self, row: tuple) -> int:
+        bucket = self.fn(row)
+        if not 0 <= bucket < self.n_partitions:
+            raise TypeCheckError(
+                f"bucket function returned {bucket}, outside [0, {self.n_partitions})"
+            )
+        return bucket
+
+
+class ReduceFunction:
+    """An associative, commutative combiner for ``Reduce``/``ReduceByKey``.
+
+    Args:
+        fn: Scalar combiner ``fn(acc_tuple, row_tuple) -> tuple`` over the
+            *value* tuples (key stripped, per the paper's ReduceByKey rule).
+        vectorized_sum_fields: If all the function does is sum a set of
+            numeric fields, name them here and the fused path uses
+            ``np.add.reduceat``-style segment sums instead of a Python fold.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[tuple, tuple], tuple],
+        vectorized_sum_fields: Sequence[str] | None = None,
+    ) -> None:
+        self.fn = fn
+        self.vectorized_sum_fields = (
+            tuple(vectorized_sum_fields) if vectorized_sum_fields else None
+        )
+
+    def __call__(self, acc: tuple, row: tuple) -> tuple:
+        return self.fn(acc, row)
+
+
+def field_sum(*fields: str) -> ReduceFunction:
+    """A ReduceFunction that sums the named fields position-wise.
+
+    The value tuples handed to the combiner must consist of exactly these
+    fields (in order), which is how the paper's GROUP BY and the TPC-H
+    post-aggregations use it.
+    """
+    if not fields:
+        raise TypeCheckError("field_sum needs at least one field")
+
+    def fn(acc: tuple, row: tuple) -> tuple:
+        return tuple(a + b for a, b in zip(acc, row))
+
+    return ReduceFunction(fn, vectorized_sum_fields=fields)

@@ -1,0 +1,174 @@
+"""The sub-operator interface.
+
+Sub-operators are Volcano-style iterators over tuples of a statically known
+type (paper Section 3.2).  In this reproduction the ``Next()`` data path is
+expressed as Python generators — :meth:`Operator.rows` — which is the
+idiomatic iterator form; a second, optional data path, :meth:`Operator.batches`,
+yields :class:`~repro.types.collections.RowVector` morsels and is the fused
+(vectorized) execution path, our analogue of the paper's JiT-compiled
+pipelines.
+
+Design-principle mapping (paper Section 3.1):
+
+1. *One inner loop per operator* — each concrete operator implements one
+   ``rows``/``batches`` loop.
+2. *Dedicated scan/materialize operators per physical format* — only
+   ``RowScan`` and ``MaterializeRowVector`` (and the window-reading network
+   operators) know what a ``RowVector`` looks like inside.
+3. *Control flow as nested operators* — ``NestedMap``/``MpiExecutor`` run
+   whole nested plans through this same interface.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.context import ExecutionContext
+from repro.errors import PlanError, TypeCheckError
+from repro.types.collections import RowVector, RowVectorBuilder
+from repro.types.tuples import TupleType
+
+__all__ = ["Operator", "require_fields", "require_collection_field"]
+
+
+class Operator:
+    """Base class of all sub-operators.
+
+    Subclasses set ``self._output_type`` during ``__init__`` (after
+    type-checking their upstreams) and implement :meth:`rows`.  Operators
+    with a profitable vectorized implementation also override
+    :meth:`batches`.
+
+    Instances are *plan nodes*: immutable descriptions plus the per-node
+    pipeline-size annotation that the plan compiler fills in.  All mutable
+    execution state lives in local variables of the generators, so the same
+    plan can be executed many times (nested plans run once per input tuple).
+    """
+
+    #: Short display/abbreviation name, mirroring the paper's Table 1.
+    abbreviation = "??"
+
+    #: Algorithm phase this operator *defines* (e.g. LocalHistogram defines
+    #: ``local_histogram``); None for plumbing operators, whose work is
+    #: attributed to the phase of their consumer.  The plan compiler
+    #: propagates these into ``assigned_phase``.
+    phase_name: str | None = None
+
+    def __init__(self, upstreams: Sequence["Operator"]) -> None:
+        for up in upstreams:
+            if not isinstance(up, Operator):
+                raise PlanError(f"upstream {up!r} is not an Operator")
+        self.upstreams: tuple[Operator, ...] = tuple(upstreams)
+        self._output_type: TupleType | None = None
+        #: Number of operators in this node's pipeline; set by the plan
+        #: compiler, consumed by the cost model's overhead rule.
+        self.pipeline_size: int = 1
+        #: Phase label charged for this node's work; set by the plan
+        #: compiler (defaults to the node's own phase or "other").
+        self.assigned_phase: str = self.phase_name or "other"
+
+    # -- static typing ---------------------------------------------------------
+
+    @property
+    def output_type(self) -> TupleType:
+        """The statically known type of the tuples this operator returns."""
+        if self._output_type is None:
+            raise PlanError(f"{type(self).__name__} did not set its output type")
+        return self._output_type
+
+    # -- data path ---------------------------------------------------------------
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        """Yield output tuples one at a time (the interpreted data path).
+
+        The default derives rows from :meth:`batches` for batch-first
+        operators; at least one of the two methods must be overridden.
+        """
+        for batch in self.batches(ctx):
+            yield from batch.iter_rows()
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
+        """Yield output tuples as RowVector morsels (the fused data path).
+
+        The default materializes :meth:`rows` into a single batch, which is
+        correct but gains nothing; operators on hot paths override this.
+        """
+        builder = RowVectorBuilder(self.output_type)
+        for row in self.rows(ctx):
+            builder.append(row)
+        yield builder.finish()
+
+    def stream(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        """The mode-dispatching row iterator consumers should use."""
+        if ctx.mode == "fused":
+            for batch in self.batches(ctx):
+                yield from batch.iter_rows()
+        else:
+            yield from self.rows(ctx)
+
+    def drain(self, ctx: ExecutionContext) -> RowVector:
+        """Execute fully and materialize the result (no cost charged).
+
+        Convenience for operators (and tests) that need a whole upstream at
+        once; cost-bearing materialization is ``MaterializeRowVector``'s job.
+        """
+        if ctx.mode == "fused":
+            parts = list(self.batches(ctx))
+            if len(parts) == 1:
+                return parts[0]
+            builder = RowVectorBuilder(self.output_type)
+            for part in parts:
+                builder.extend(part.iter_rows())
+            return builder.finish()
+        return RowVector.from_rows(self.output_type, self.rows(ctx))
+
+    # -- plan structure ------------------------------------------------------------
+
+    def nested_roots(self) -> tuple["Operator", ...]:
+        """Roots of nested plans owned by this operator (NestedMap & co.)."""
+        return ()
+
+    def label(self) -> str:
+        """Human-readable node label for plan explanations."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({', '.join(u.label() for u in self.upstreams)})"
+
+
+# -- shared type-checking helpers used by several operators ---------------------
+
+
+def require_fields(op_name: str, tuple_type: TupleType, names: Sequence[str]) -> None:
+    """Fail plan construction unless ``tuple_type`` has all ``names``."""
+    missing = [n for n in names if n not in tuple_type]
+    if missing:
+        raise TypeCheckError(
+            f"{op_name}: upstream type {tuple_type!r} lacks fields {missing}"
+        )
+
+
+def require_collection_field(
+    op_name: str, tuple_type: TupleType, field: str | None
+) -> str:
+    """Resolve which field of ``tuple_type`` holds the collection to scan.
+
+    If ``field`` is None the tuple type must have exactly one field and it
+    must be a collection; otherwise the named field must be a collection.
+    Returns the resolved field name.
+    """
+    from repro.types.collections import CollectionType  # local to avoid cycle
+
+    if field is None:
+        if len(tuple_type) != 1:
+            raise TypeCheckError(
+                f"{op_name}: cannot infer the collection field of {tuple_type!r}; "
+                "project to a single field or name it explicitly"
+            )
+        field = tuple_type.field_names[0]
+    require_fields(op_name, tuple_type, [field])
+    if not isinstance(tuple_type[field], CollectionType):
+        raise TypeCheckError(
+            f"{op_name}: field {field!r} of {tuple_type!r} is not a collection"
+        )
+    return field

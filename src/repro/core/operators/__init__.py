@@ -1,0 +1,72 @@
+"""The Modularis sub-operator library (paper Section 3.3).
+
+Nineteen sub-operators in four categories:
+
+* orchestration — :class:`ParameterLookup`, :class:`NestedMap`;
+* data processing — :class:`Map`, :class:`ParametrizedMap`,
+  :class:`Projection`, :class:`CartesianProduct`, :class:`Filter`,
+  :class:`Reduce`, :class:`ReduceByKey`, :class:`Zip`,
+  :class:`LocalHistogram`, :class:`BuildProbe`;
+* network — :class:`MpiExecutor`, :class:`MpiHistogram`,
+  :class:`MpiExchange`, :class:`MpiBroadcast`;
+* materialize/scan — :class:`LocalPartitioning`, :class:`RowScan`,
+  :class:`MaterializeRowVector`;
+* extensions beyond the paper's list — :class:`ChunkScan` /
+  :class:`MaterializeChunks` (a second physical format demonstrating design
+  principle 2), :class:`LocalSort`, :class:`MergeJoin`
+  (the sort-vs-hash ablation) and :class:`NicPartialAggregate` (the smart-NIC
+  offload scenario of the paper's §1 future work).
+"""
+
+from repro.core.operators.build_probe import JOIN_TYPES, BuildProbe
+from repro.core.operators.cartesian_product import CartesianProduct
+from repro.core.operators.chunk_ops import ChunkScan, MaterializeChunks
+from repro.core.operators.filter_op import Filter
+from repro.core.operators.local_histogram import HISTOGRAM_TYPE, LocalHistogram
+from repro.core.operators.limit_op import Limit
+from repro.core.operators.local_partitioning import LocalPartitioning
+from repro.core.operators.map_ops import Map, ParametrizedMap
+from repro.core.operators.materialize import MaterializeRowVector
+from repro.core.operators.mpi_broadcast import MpiBroadcast
+from repro.core.operators.mpi_exchange import MpiExchange
+from repro.core.operators.mpi_executor import MpiExecutor
+from repro.core.operators.mpi_histogram import MpiHistogram
+from repro.core.operators.nested_map import NestedMap
+from repro.core.operators.nic_aggregate import NicPartialAggregate
+from repro.core.operators.parameter_lookup import ParameterLookup, ParameterSlot
+from repro.core.operators.projection import Projection
+from repro.core.operators.reduce_ops import Reduce, ReduceByKey
+from repro.core.operators.row_scan import RowScan
+from repro.core.operators.sort_ops import LocalSort, MergeJoin
+from repro.core.operators.zip_op import Zip
+
+__all__ = [
+    "BuildProbe",
+    "JOIN_TYPES",
+    "CartesianProduct",
+    "ChunkScan",
+    "MaterializeChunks",
+    "Filter",
+    "HISTOGRAM_TYPE",
+    "LocalHistogram",
+    "Limit",
+    "LocalPartitioning",
+    "Map",
+    "ParametrizedMap",
+    "MaterializeRowVector",
+    "MpiBroadcast",
+    "MpiExchange",
+    "MpiExecutor",
+    "MpiHistogram",
+    "NestedMap",
+    "NicPartialAggregate",
+    "ParameterLookup",
+    "ParameterSlot",
+    "Projection",
+    "Reduce",
+    "ReduceByKey",
+    "RowScan",
+    "LocalSort",
+    "MergeJoin",
+    "Zip",
+]

@@ -1,0 +1,177 @@
+"""BuildProbe: in-memory hash join of two upstreams (§3.3.2).
+
+Builds a hash table from the *left* upstream on the join attributes, then
+streams the *right* upstream probing it.  This single, 100-line operator is
+where join-variant semantics live; supporting semi/anti/outer joins means
+changing only the small probe policy below — the extensibility argument of
+paper Section 5.1.1 ("to support other join types we only need to modify
+the HashProbe operator that consists of 103 lines").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.context import ExecutionContext
+from repro.core.operator import Operator, require_fields
+from repro.errors import TypeCheckError
+from repro.types.atoms import INT64
+from repro.types.collections import RowVector
+from repro.types.tuples import concat_tuple_types
+
+__all__ = ["BuildProbe", "JOIN_TYPES"]
+
+#: Supported join variants.  ``inner`` emits matching combinations;
+#: ``semi``/``anti`` emit right tuples with/without a build-side match;
+#: ``left_outer`` additionally emits unmatched build tuples padded with
+#: ``outer_fill`` on the probe side.
+JOIN_TYPES = ("inner", "semi", "anti", "left_outer")
+
+
+class BuildProbe(Operator):
+    """Join left and right upstreams on equal values of ``keys``.
+
+    Output tuples consist of the join attributes followed by the remaining
+    left fields and the remaining right fields; the non-key field names of
+    the two sides must be distinct.
+    """
+
+    abbreviation = "BP"
+    phase_name = "build_probe"
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        keys: tuple[str, ...] | str,
+        join_type: str = "inner",
+        outer_fill: object = 0,
+    ) -> None:
+        super().__init__(upstreams=(left, right))
+        if isinstance(keys, str):
+            keys = (keys,)
+        if not keys:
+            raise TypeCheckError("BuildProbe needs at least one join attribute")
+        if join_type not in JOIN_TYPES:
+            raise TypeCheckError(
+                f"unknown join type {join_type!r}; supported: {JOIN_TYPES}"
+            )
+        left_type, right_type = left.output_type, right.output_type
+        require_fields("BuildProbe", left_type, keys)
+        require_fields("BuildProbe", right_type, keys)
+        for key in keys:
+            if left_type[key] != right_type[key]:
+                raise TypeCheckError(
+                    f"join attribute {key!r} has type {left_type[key]!r} on the left "
+                    f"but {right_type[key]!r} on the right"
+                )
+        self.keys = tuple(keys)
+        self.join_type = join_type
+        self.outer_fill = outer_fill
+
+        key_type = left_type.project(self.keys)
+        left_rest = left_type.drop(self.keys)
+        right_rest = right_type.drop(self.keys)
+        self._left_key_pos = tuple(left_type.position(k) for k in self.keys)
+        self._left_rest_pos = tuple(
+            left_type.position(f) for f in left_rest.field_names
+        )
+        self._right_key_pos = tuple(right_type.position(k) for k in self.keys)
+        self._right_rest_pos = tuple(
+            right_type.position(f) for f in right_rest.field_names
+        )
+        if join_type in ("semi", "anti"):
+            self._output_type = concat_tuple_types(key_type, right_rest)
+        else:
+            self._output_type = concat_tuple_types(
+                concat_tuple_types(key_type, left_rest), right_rest
+            )
+
+    # -- scalar implementation ----------------------------------------------------
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        table: dict[tuple, list[tuple]] = {}
+        built = 0
+        for row in self.upstreams[0].rows(ctx):
+            built += 1
+            key = tuple(row[p] for p in self._left_key_pos)
+            rest = tuple(row[p] for p in self._left_rest_pos)
+            table.setdefault(key, []).append(rest)
+        ctx.charge_cpu(self, "build", built)
+
+        matched_keys: set[tuple] = set()
+        probed = 0
+        emitted = 0
+        for row in self.upstreams[1].rows(ctx):
+            probed += 1
+            key = tuple(row[p] for p in self._right_key_pos)
+            right_rest = tuple(row[p] for p in self._right_rest_pos)
+            hits = table.get(key)
+            if self.join_type == "semi":
+                if hits:
+                    emitted += 1
+                    yield key + right_rest
+            elif self.join_type == "anti":
+                if not hits:
+                    emitted += 1
+                    yield key + right_rest
+            else:
+                if hits:
+                    matched_keys.add(key)
+                    for left_rest in hits:
+                        emitted += 1
+                        yield key + left_rest + right_rest
+        ctx.charge_cpu(self, "probe", probed + emitted)
+
+        if self.join_type == "left_outer":
+            fill = (self.outer_fill,) * len(self._right_rest_pos)
+            for key, hits in table.items():
+                if key not in matched_keys:
+                    for left_rest in hits:
+                        yield key + left_rest + fill
+
+    # -- fused implementation -------------------------------------------------------
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
+        vectorizable = (
+            self.join_type == "inner"
+            and len(self.keys) == 1
+            and self.upstreams[0].output_type[self.keys[0]] == INT64
+        )
+        if not vectorizable:
+            yield from Operator.batches(self, ctx)
+            return
+        left = self.upstreams[0].drain(ctx)
+        right = self.upstreams[1].drain(ctx)
+        ctx.charge_cpu(self, "build", len(left))
+        yield self._vector_inner_join(ctx, left, right)
+
+    def _vector_inner_join(
+        self, ctx: ExecutionContext, left: RowVector, right: RowVector
+    ) -> RowVector:
+        """Sort-based equi-join on a single INT64 key, duplicates included."""
+        key = self.keys[0]
+        if len(left) == 0 or len(right) == 0:
+            ctx.charge_cpu(self, "probe", len(right))
+            return RowVector.empty(self.output_type)
+        left_keys = left.column(key)
+        order = np.argsort(left_keys, kind="stable")
+        sorted_keys = left_keys[order]
+        right_keys = right.column(key)
+        lo = np.searchsorted(sorted_keys, right_keys, side="left")
+        hi = np.searchsorted(sorted_keys, right_keys, side="right")
+        match_counts = hi - lo
+        emitted = int(match_counts.sum())
+        ctx.charge_cpu(self, "probe", len(right) + emitted)
+
+        right_idx = np.repeat(np.arange(len(right)), match_counts)
+        # For each probe row, the run of matching build positions.
+        offsets = np.repeat(hi - np.cumsum(match_counts), match_counts)
+        left_idx = order[np.arange(emitted) + offsets]
+
+        columns: list[np.ndarray] = [right_keys[right_idx]]
+        columns += [left.columns[p][left_idx] for p in self._left_rest_pos]
+        columns += [right.columns[p][right_idx] for p in self._right_rest_pos]
+        return RowVector(self.output_type, columns)

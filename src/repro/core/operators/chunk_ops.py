@@ -1,0 +1,137 @@
+"""Scan/materialize sub-operators for the ChunkedRowVector format.
+
+Design principle 2 of the paper (§3.1): *"Each physical (in-memory)
+materialization format is handled by a dedicated set of
+read/write/build/... sub-operators.  This decouples the processing of data
+from where and how it is stored."*  The worked example in the paper is
+that "a single partitioning sub-operator implementation can consume inputs
+of two different scan operators".
+
+These two operators are the dedicated set for the chunked format: nothing
+else in the library knows what a :class:`ChunkedRowVector` looks like
+inside, and any operator that consumes tuples (histograms, filters, joins,
+partitioners) works identically behind a ``ChunkScan`` or a ``RowScan`` —
+the property ``tests/test_operators_chunks.py`` demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.context import ExecutionContext
+from repro.core.operator import Operator
+from repro.errors import TypeCheckError
+from repro.types.collections import ChunkedRowVector, CollectionType, RowVector, chunked_type
+from repro.types.tuples import TupleType
+
+__all__ = ["ChunkScan", "MaterializeChunks"]
+
+
+def _resolve_chunked_field(op_name: str, tuple_type: TupleType, field: str | None) -> str:
+    if field is None:
+        candidates = [
+            f.name
+            for f in tuple_type
+            if isinstance(f.item_type, CollectionType)
+            and f.item_type.kind == "ChunkedRowVector"
+        ]
+        if len(candidates) != 1:
+            raise TypeCheckError(
+                f"{op_name}: cannot infer the chunked field of {tuple_type!r}"
+            )
+        return candidates[0]
+    if field not in tuple_type:
+        raise TypeCheckError(f"{op_name}: no field {field!r} in {tuple_type!r}")
+    item = tuple_type[field]
+    if not isinstance(item, CollectionType) or item.kind != "ChunkedRowVector":
+        raise TypeCheckError(
+            f"{op_name}: field {field!r} is not a ChunkedRowVector collection"
+        )
+    return field
+
+
+class ChunkScan(Operator):
+    """Yield the element tuples of chunked collections arriving upstream.
+
+    The fused path emits each stored chunk directly as a batch — the
+    chunked format is its own natural morsel source.
+    """
+
+    abbreviation = "CS"
+
+    def __init__(self, upstream: Operator, field: str | None = None) -> None:
+        super().__init__(upstreams=(upstream,))
+        self.field = _resolve_chunked_field("ChunkScan", upstream.output_type, field)
+        self._position = upstream.output_type.position(self.field)
+        self._output_type = upstream.output_type[self.field].element_type
+        self._scan_weight = max(1, round(self._output_type.row_size_bytes() / 16))
+
+    def _collections(self, ctx: ExecutionContext) -> Iterator[ChunkedRowVector]:
+        for row in self.upstreams[0].stream(ctx):
+            collection = row[self._position]
+            if collection.element_type != self.output_type:
+                raise TypeError(
+                    f"ChunkScan expected {self.output_type!r} elements, found "
+                    f"{collection.element_type!r}"
+                )
+            yield collection
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        for collection in self._collections(ctx):
+            ctx.charge_cpu(self, "scan", len(collection) * self._scan_weight)
+            yield from collection.iter_rows()
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
+        for collection in self._collections(ctx):
+            ctx.charge_cpu(self, "scan", len(collection) * self._scan_weight)
+            yield from collection.chunks
+
+
+class MaterializeChunks(Operator):
+    """Collect the upstream stream into a ChunkedRowVector of bounded chunks.
+
+    The counterpart of :class:`ChunkScan`; like ``MaterializeRowVector`` it
+    returns a single tuple whose one field holds the collection, and it
+    charges the memory-bandwidth cost of the copy (without the realloc
+    amplification: bounded chunks are allocated at their final size — the
+    structural advantage of a paged format).
+    """
+
+    abbreviation = "MC"
+    phase_name = "materialize"
+
+    def __init__(self, upstream: Operator, chunk_rows: int, field: str = "data") -> None:
+        super().__init__(upstreams=(upstream,))
+        if chunk_rows < 1:
+            raise TypeCheckError(f"chunk size must be positive, got {chunk_rows}")
+        self.chunk_rows = chunk_rows
+        self.field = field
+        self._output_type = TupleType.of(
+            **{field: chunked_type(upstream.output_type)}
+        )
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        for batch in self.batches(ctx):
+            yield from batch.iter_rows()
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
+        from repro.types.collections import RowVectorBuilder
+
+        element_type = self.upstreams[0].output_type
+        chunks: list[RowVector] = []
+        pending = RowVectorBuilder(element_type)
+        for row in self.upstreams[0].stream(ctx):
+            pending.append(row)
+            if len(pending) == self.chunk_rows:
+                chunks.append(pending.finish())
+                pending = RowVectorBuilder(element_type)
+        if len(pending):
+            chunks.append(pending.finish())
+        collection = ChunkedRowVector(element_type, chunks)
+        ctx.set_phase(self.assigned_phase)
+        ctx.clock.advance(
+            ctx.cost.copy_cost(collection.size_bytes()), jitter=True
+        )
+        out = RowVectorBuilder(self.output_type)
+        out.append((collection,))
+        yield out.finish()

@@ -1,0 +1,72 @@
+"""LocalHistogram: bucket counts of a stream (§3.3.2).
+
+The first phase of every partitioned algorithm in the paper: count how many
+tuples fall into each of ``n`` buckets so that the partitioning operators
+can compute exact offsets and write without synchronization.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.context import ExecutionContext
+from repro.core.functions import PartitionFunction
+from repro.core.operator import Operator
+from repro.types.atoms import INT64
+from repro.types.collections import RowVector
+from repro.types.tuples import TupleType
+
+__all__ = ["HISTOGRAM_TYPE", "LocalHistogram"]
+
+#: ⟨bucketID, count⟩ — the type both histogram operators produce.
+HISTOGRAM_TYPE = TupleType.of(bucket=INT64, count=INT64)
+
+
+class LocalHistogram(Operator):
+    """Count upstream tuples per bucket; yields one ⟨bucketID, count⟩ per bucket.
+
+    The bucket function must return integers in ``[0, n_buckets)``; every
+    bucket id is emitted (with count 0 if empty) in increasing order, which
+    is what lets downstream operators rely on dense, ordered histograms.
+    """
+
+    abbreviation = "LH"
+    phase_name = "local_histogram"
+
+    def __init__(self, upstream: Operator, bucket_fn: PartitionFunction) -> None:
+        super().__init__(upstreams=(upstream,))
+        self.bucket_fn = bucket_fn
+        if hasattr(bucket_fn, "bind"):
+            bucket_fn.bind(upstream.output_type)
+        self._output_type = HISTOGRAM_TYPE
+
+    @property
+    def n_buckets(self) -> int:
+        return self.bucket_fn.n_partitions
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        counts = [0] * self.n_buckets
+        bucket_fn = self.bucket_fn
+        total = 0
+        for row in self.upstreams[0].rows(ctx):
+            total += 1
+            counts[bucket_fn(row)] += 1
+        ctx.charge_cpu(self, "histogram", total)
+        for bucket, count in enumerate(counts):
+            yield (bucket, count)
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
+        counts = np.zeros(self.n_buckets, dtype=np.int64)
+        total = 0
+        for batch in self.upstreams[0].batches(ctx):
+            if len(batch) == 0:
+                continue
+            total += len(batch)
+            buckets = self.bucket_fn.map_batch(batch)
+            counts += np.bincount(buckets, minlength=self.n_buckets)
+        ctx.charge_cpu(self, "histogram", total)
+        yield RowVector(
+            HISTOGRAM_TYPE, [np.arange(self.n_buckets, dtype=np.int64), counts]
+        )

@@ -1,0 +1,139 @@
+"""LocalPartitioning: split a stream into materialized partitions (§3.3.4).
+
+Consumes the data to partition and its (local) histogram; the histogram
+provides the exact per-partition sizes, so the operator computes prefix
+offsets once and then scatters tuples into pre-sized partition buffers —
+the cache-conscious radix-partitioning routine of the monolithic joins,
+factored out as a reusable building block (design principle 1).
+
+Yields one ⟨partitionID, partitionData⟩ pair per partition, in increasing
+partition order (the dense, ordered sequence that ``Zip`` relies on).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.context import ExecutionContext
+from repro.core.functions import PartitionFunction
+from repro.core.operator import Operator, require_fields
+from repro.core.operators.local_histogram import HISTOGRAM_TYPE
+from repro.errors import ExecutionError, TypeCheckError
+from repro.types.atoms import INT64
+from repro.types.collections import RowVector, RowVectorBuilder, row_vector_type
+from repro.types.tuples import TupleType
+
+__all__ = ["LocalPartitioning"]
+
+
+class LocalPartitioning(Operator):
+    """Partition upstream tuples using a histogram for exact pre-sizing.
+
+    Args:
+        data: Upstream producing the tuples to partition.
+        histogram: Upstream producing ⟨bucketID, count⟩ pairs (usually a
+            ``LocalHistogram`` over the same input, isolated in its own
+            pipeline because the input has two consumers).
+        partition_fn: The same function object the histogram used.
+        id_field / data_field: Output field names, so plans can give the two
+            join sides distinct names before zipping them.
+    """
+
+    abbreviation = "LP"
+    phase_name = "local_partition"
+
+    def __init__(
+        self,
+        data: Operator,
+        histogram: Operator,
+        partition_fn: PartitionFunction,
+        id_field: str = "partition",
+        data_field: str = "data",
+    ) -> None:
+        super().__init__(upstreams=(data, histogram))
+        require_fields("LocalPartitioning", histogram.output_type, ("bucket", "count"))
+        if histogram.output_type != HISTOGRAM_TYPE:
+            raise TypeCheckError(
+                f"LocalPartitioning histogram upstream must produce {HISTOGRAM_TYPE!r}, "
+                f"got {histogram.output_type!r}"
+            )
+        self.partition_fn = partition_fn
+        if hasattr(partition_fn, "bind"):
+            partition_fn.bind(data.output_type)
+        self.id_field = id_field
+        self.data_field = data_field
+        self._output_type = TupleType.of(
+            **{id_field: INT64, data_field: row_vector_type(data.output_type)}
+        )
+
+    @property
+    def n_partitions(self) -> int:
+        return self.partition_fn.n_partitions
+
+    def _read_histogram(self, ctx: ExecutionContext) -> np.ndarray:
+        counts = np.zeros(self.n_partitions, dtype=np.int64)
+        for bucket, count in self.upstreams[1].stream(ctx):
+            if not 0 <= bucket < self.n_partitions:
+                raise ExecutionError(
+                    f"histogram bucket {bucket} outside [0, {self.n_partitions})"
+                )
+            counts[bucket] += count
+        return counts
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        counts = self._read_histogram(ctx)
+        element_type = self.upstreams[0].output_type
+        builders = [RowVectorBuilder(element_type) for _ in range(self.n_partitions)]
+        fn = self.partition_fn
+        total = 0
+        for row in self.upstreams[0].rows(ctx):
+            total += 1
+            builders[fn(row)].append(row)
+        ctx.charge_cpu(self, "partition", total)
+        for pid, builder in enumerate(builders):
+            if len(builder) != counts[pid]:
+                raise ExecutionError(
+                    f"partition {pid} holds {len(builder)} tuples but the histogram "
+                    f"promised {counts[pid]}; data and histogram upstreams diverged"
+                )
+            vector = builder.finish()
+            ctx.charge_materialize(self, vector.size_bytes())
+            yield (pid, vector)
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
+        counts = self._read_histogram(ctx)
+        element_type = self.upstreams[0].output_type
+        parts = [b for b in self.upstreams[0].batches(ctx) if len(b)]
+        if parts:
+            columns = [
+                np.concatenate([p.columns[i] for p in parts])
+                for i in range(len(element_type))
+            ]
+            data = RowVector(element_type, columns)
+        else:
+            data = RowVector.empty(element_type)
+        ctx.charge_cpu(self, "partition", len(data))
+
+        buckets = (
+            self.partition_fn.map_batch(data)
+            if len(data)
+            else np.empty(0, dtype=np.int64)
+        )
+        observed = np.bincount(buckets, minlength=self.n_partitions)
+        if not np.array_equal(observed, counts):
+            raise ExecutionError(
+                "partition sizes diverge from the histogram; data and histogram "
+                "upstreams were not computed over the same input"
+            )
+        order = np.argsort(buckets, kind="stable")
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+
+        out = RowVectorBuilder(self.output_type)
+        for pid in range(self.n_partitions):
+            indices = order[offsets[pid] : offsets[pid + 1]]
+            vector = data.take(indices)
+            ctx.charge_materialize(self, vector.size_bytes())
+            out.append((pid, vector))
+        yield out.finish()

@@ -1,0 +1,65 @@
+"""MaterializeRowVector: collect a stream into one collection (§3.3.4).
+
+The counterpart of ``RowScan`` and the operator that ends every nested
+plan: it consumes the whole upstream, builds a ``RowVector``, and returns a
+*single* tuple whose one field holds that collection.  It charges the
+memory-bandwidth cost of the copy (with the realloc growth amplification
+the paper observes in §5.1.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.context import ExecutionContext
+from repro.core.operator import Operator
+from repro.types.collections import RowVector, RowVectorBuilder, row_vector_type
+from repro.types.tuples import TupleType
+
+__all__ = ["MaterializeRowVector"]
+
+
+class MaterializeRowVector(Operator):
+    """Materialize upstream tuples into a RowVector, returned as one tuple.
+
+    Args:
+        upstream: The stream to materialize.
+        field: Name of the single output field holding the collection.
+    """
+
+    abbreviation = "MR"
+    phase_name = "materialize"
+
+    def __init__(self, upstream: Operator, field: str = "data") -> None:
+        super().__init__(upstreams=(upstream,))
+        self.field = field
+        collection = row_vector_type(upstream.output_type)
+        self._output_type = TupleType.of(**{field: collection})
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        builder = RowVectorBuilder(self.upstreams[0].output_type)
+        for row in self.upstreams[0].rows(ctx):
+            builder.append(row)
+        vector = builder.finish()
+        ctx.charge_materialize(self, vector.size_bytes())
+        yield (vector,)
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
+        parts = [b for b in self.upstreams[0].batches(ctx) if len(b)]
+        element_type = self.upstreams[0].output_type
+        if not parts:
+            vector = RowVector.empty(element_type)
+        elif len(parts) == 1:
+            vector = parts[0]
+        else:
+            columns = [
+                np.concatenate([p.columns[i] for p in parts])
+                for i in range(len(element_type))
+            ]
+            vector = RowVector(element_type, columns)
+        ctx.charge_materialize(self, vector.size_bytes())
+        out = RowVectorBuilder(self.output_type)
+        out.append((vector,))
+        yield out.finish()

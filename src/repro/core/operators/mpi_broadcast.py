@@ -1,0 +1,97 @@
+"""MpiBroadcast: replicate all tuples on every rank (§3.3.3).
+
+Very similar to ``MpiExchange`` — it also consumes a local and a global
+histogram from dedicated upstreams to compute exclusive offsets into a
+shared RMA window and uses synchronization-free one-sided writes — but it
+sends all tuples from the main upstream to *all* ranks and returns them
+directly, without partition IDs.  This is the building block for broadcast
+joins of small relations.
+
+The histograms use a single bucket (bucket 0): the only quantity needed is
+how many tuples each rank contributes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.context import ExecutionContext
+from repro.core.operator import Operator
+from repro.core.operators.local_histogram import HISTOGRAM_TYPE
+from repro.core.operators.mpi_exchange import BUFFER_ROWS
+from repro.errors import ExecutionError, TypeCheckError
+from repro.types.collections import RowVector
+
+__all__ = ["MpiBroadcast"]
+
+
+class MpiBroadcast(Operator):
+    """Send every upstream tuple to every rank; return the union stream."""
+
+    abbreviation = "MB"
+    phase_name = "network_partition"
+
+    def __init__(
+        self,
+        data: Operator,
+        local_histogram: Operator,
+        global_histogram: Operator,
+    ) -> None:
+        super().__init__(upstreams=(data, local_histogram, global_histogram))
+        for side, name in ((local_histogram, "local"), (global_histogram, "global")):
+            if side.output_type != HISTOGRAM_TYPE:
+                raise TypeCheckError(
+                    f"MpiBroadcast {name} histogram upstream must produce "
+                    f"{HISTOGRAM_TYPE!r}, got {side.output_type!r}"
+                )
+        self._output_type = data.output_type
+
+    def _read_total(self, ctx: ExecutionContext, upstream: Operator) -> int:
+        total = 0
+        for _bucket, count in upstream.stream(ctx):
+            total += count
+        return total
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
+        ctx.set_phase(self.assigned_phase)
+        comm = ctx.comm
+        local_total = self._read_total(ctx, self.upstreams[1])
+        global_total = self._read_total(ctx, self.upstreams[2])
+
+        ctx.set_phase(self.assigned_phase)
+        per_rank = np.asarray(
+            comm.allgather(local_total, payload_bytes=8), dtype=np.int64
+        )
+        if int(per_rank.sum()) != global_total:
+            raise ExecutionError(
+                "global histogram disagrees with the sum of local histograms"
+            )
+        my_offset = int(per_rank[: comm.rank].sum())
+
+        windows = comm.win_create(self.output_type, global_total)
+        sent = 0
+        for batch in self.upstreams[0].batches(ctx):
+            if len(batch) == 0:
+                continue
+            ctx.charge_cpu(self, "partition", len(batch))
+            ctx.set_phase(self.assigned_phase)
+            for start in range(0, len(batch), BUFFER_ROWS):
+                chunk = batch.slice(start, min(start + BUFFER_ROWS, len(batch)))
+                for target in range(comm.n_ranks):
+                    windows.put(target, my_offset + sent + start, chunk)
+            sent += len(batch)
+        if sent != local_total:
+            raise ExecutionError(
+                f"data upstream produced {sent} tuples but the local histogram "
+                f"promised {local_total}"
+            )
+
+        ctx.set_phase(self.assigned_phase)
+        windows.fence()
+        yield windows.local.read(0, global_total)
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        for batch in self.batches(ctx):
+            yield from batch.iter_rows()

@@ -1,0 +1,213 @@
+"""MpiExchange: partition tuples across the cluster through RMA (§3.3.3).
+
+The synchronization-free network shuffle of the monolithic RDMA joins
+[Barthels et al.], factored out as a reusable sub-operator:
+
+1. consume the local histogram (tuples this rank contributes per partition)
+   and the global histogram (total partition sizes) from two dedicated
+   upstream operators;
+2. allgather the local histograms so every rank can compute, locally, the
+   exclusive offset of every ⟨source rank, partition⟩ region;
+3. collectively create one RMA window per rank, sized to exactly the
+   partitions that rank owns;
+4. consume the data upstream, determine each tuple's partition with the
+   shared partition function, optionally compress ⟨key, payload⟩ pairs into
+   single words (halving network volume), and write buffer-sized batches
+   into the remote windows with one-sided puts — no synchronization during
+   the transfer, because the offsets are exclusive by construction;
+5. fence, then return the partitions this rank owns as
+   ⟨partitionID, partitionData⟩ pairs in dense, increasing order.
+
+Partition ``p`` is owned by rank ``p mod n_ranks``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.compression import COMPRESSED_TYPE, RadixCompression
+from repro.core.context import ExecutionContext
+from repro.core.functions import PartitionFunction
+from repro.core.operator import Operator
+from repro.core.operators.local_histogram import HISTOGRAM_TYPE
+from repro.errors import ExecutionError, TypeCheckError
+from repro.types.atoms import INT64
+from repro.types.collections import RowVector, RowVectorBuilder, row_vector_type
+from repro.types.tuples import TupleType
+
+__all__ = ["MpiExchange"]
+
+#: Rows per one-sided put; models the software write-combining buffers the
+#: monolithic algorithm flushes asynchronously when full.
+BUFFER_ROWS = 1 << 15
+
+
+class MpiExchange(Operator):
+    """Shuffle tuples so every partition lands entirely on one rank.
+
+    Args:
+        data: Main upstream with the tuples to partition.
+        local_histogram: Upstream yielding this rank's ⟨bucket, count⟩ pairs.
+        global_histogram: Upstream yielding global ⟨bucket, count⟩ pairs
+            (usually an ``MpiHistogram``).
+        partition_fn: The same partition function the histograms used.
+        compression: Optional radix compression; when set, the exchanged
+            tuples travel as single packed words and ``partitionData`` keeps
+            the compressed type — downstream recovers the dropped bits from
+            ``partitionID`` (paper Section 4.1.1).
+        id_field / data_field: Names of the two output fields.
+    """
+
+    abbreviation = "EX"
+    phase_name = "network_partition"
+
+    def __init__(
+        self,
+        data: Operator,
+        local_histogram: Operator,
+        global_histogram: Operator,
+        partition_fn: PartitionFunction,
+        compression: RadixCompression | None = None,
+        id_field: str = "partition",
+        data_field: str = "data",
+    ) -> None:
+        super().__init__(upstreams=(data, local_histogram, global_histogram))
+        for side, name in ((local_histogram, "local"), (global_histogram, "global")):
+            if side.output_type != HISTOGRAM_TYPE:
+                raise TypeCheckError(
+                    f"MpiExchange {name} histogram upstream must produce "
+                    f"{HISTOGRAM_TYPE!r}, got {side.output_type!r}"
+                )
+        self.partition_fn = partition_fn
+        if hasattr(partition_fn, "bind"):
+            partition_fn.bind(data.output_type)
+        self.compression = compression
+        if compression is not None:
+            element = data.output_type
+            if len(element) != 2 or any(
+                element[f] != INT64 for f in element.field_names
+            ):
+                raise TypeCheckError(
+                    "radix compression needs ⟨key, payload⟩ INT64 tuples, "
+                    f"got {element!r}"
+                )
+        self.id_field = id_field
+        self.data_field = data_field
+        self._wire_type = COMPRESSED_TYPE if compression else data.output_type
+        self._output_type = TupleType.of(
+            **{id_field: INT64, data_field: row_vector_type(self._wire_type)}
+        )
+
+    @property
+    def n_partitions(self) -> int:
+        return self.partition_fn.n_partitions
+
+    def _read_histogram(self, ctx: ExecutionContext, upstream: Operator) -> np.ndarray:
+        counts = np.zeros(self.n_partitions, dtype=np.int64)
+        for bucket, count in upstream.stream(ctx):
+            if not 0 <= bucket < self.n_partitions:
+                raise ExecutionError(
+                    f"histogram bucket {bucket} outside [0, {self.n_partitions})"
+                )
+            counts[bucket] += count
+        return counts
+
+    def _owned_partitions(self, rank: int, n_ranks: int) -> range:
+        return range(rank, self.n_partitions, n_ranks)
+
+    def _window_layout(
+        self, matrix: np.ndarray, rank: int, n_ranks: int
+    ) -> tuple[int, dict[int, int]]:
+        """Capacity of ``rank``'s window and base offset of each owned pid."""
+        bases: dict[int, int] = {}
+        cursor = 0
+        global_counts = matrix.sum(axis=0)
+        for pid in self._owned_partitions(rank, n_ranks):
+            bases[pid] = cursor
+            cursor += int(global_counts[pid])
+        return cursor, bases
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
+        ctx.set_phase(self.assigned_phase)
+        comm = ctx.comm
+        n_ranks = comm.n_ranks
+        local_counts = self._read_histogram(ctx, self.upstreams[1])
+        global_counts = self._read_histogram(ctx, self.upstreams[2])
+
+        ctx.set_phase(self.assigned_phase)
+        gathered = comm.allgather(local_counts, payload_bytes=local_counts.nbytes)
+        matrix = np.stack(gathered)  # [source rank, partition] -> count
+        if not np.array_equal(matrix.sum(axis=0), global_counts):
+            raise ExecutionError(
+                "global histogram disagrees with the sum of local histograms; "
+                "the histogram upstreams were not computed over the same input"
+            )
+
+        # Every rank derives the same layout locally — no synchronization.
+        capacity, _ = self._window_layout(matrix, comm.rank, n_ranks)
+        windows = comm.win_create(self._wire_type, capacity)
+
+        # Exclusive write offset of this rank inside every partition region.
+        my_prefix = matrix[: comm.rank].sum(axis=0)
+
+        total = 0
+        pending: dict[int, int] = {}  # pid -> rows already sent by this rank
+        for batch in self.upstreams[0].batches(ctx):
+            if len(batch) == 0:
+                continue
+            total += len(batch)
+            ctx.charge_cpu(self, "partition", len(batch))
+            buckets = self.partition_fn.map_batch(batch)
+            order = np.argsort(buckets, kind="stable")
+            counts = np.bincount(buckets, minlength=self.n_partitions)
+            offsets = np.concatenate(([0], np.cumsum(counts)))
+            for pid in np.flatnonzero(counts):
+                pid = int(pid)
+                rows = batch.take(order[offsets[pid] : offsets[pid + 1]])
+                self._send_partition(ctx, windows, matrix, my_prefix, pending, pid, rows)
+        if total != int(local_counts.sum()):
+            raise ExecutionError(
+                f"data upstream produced {total} tuples but the local histogram "
+                f"promised {int(local_counts.sum())}"
+            )
+
+        ctx.set_phase(self.assigned_phase)
+        windows.fence()
+
+        out = RowVectorBuilder(self.output_type)
+        _, bases = self._window_layout(matrix, comm.rank, n_ranks)
+        for pid in self._owned_partitions(comm.rank, n_ranks):
+            data = windows.local.read(bases[pid], bases[pid] + int(global_counts[pid]))
+            out.append((pid, data))
+        yield out.finish()
+
+    def _send_partition(
+        self,
+        ctx: ExecutionContext,
+        windows,
+        matrix: np.ndarray,
+        my_prefix: np.ndarray,
+        pending: dict[int, int],
+        pid: int,
+        rows: RowVector,
+    ) -> None:
+        """Compress and put one partition's share of a batch."""
+        comm = ctx.comm
+        target = pid % comm.n_ranks
+        if self.compression is not None:
+            ctx.charge_cpu(self, "map", len(rows))
+            rows = self.compression.pack_batch(rows)
+        _, target_bases = self._window_layout(matrix, target, comm.n_ranks)
+        sent = pending.get(pid, 0)
+        base = target_bases[pid] + int(my_prefix[pid]) + sent
+        ctx.set_phase(self.assigned_phase)
+        for start in range(0, len(rows), BUFFER_ROWS):
+            chunk = rows.slice(start, min(start + BUFFER_ROWS, len(rows)))
+            windows.put(target, base + start, chunk)
+        pending[pid] = sent + len(rows)
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        for batch in self.batches(ctx):
+            yield from batch.iter_rows()

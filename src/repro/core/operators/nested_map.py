@@ -1,0 +1,78 @@
+"""NestedMap: execute a nested plan once per input tuple (§3.3.1).
+
+High-level control flow expressed as an operator — design principle 3.
+Instead of an imperative "for each pair of matching partitions: join them"
+loop inside a monolithic operator, the plan nests a partition-unaware
+sub-plan inside a NestedMap and lets the same iterator interface drive it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.core.context import ExecutionContext
+from repro.core.operator import Operator
+from repro.core.operators.parameter_lookup import ParameterSlot
+from repro.errors import ExecutionError, PlanError
+
+__all__ = ["NestedMap"]
+
+
+class NestedMap(Operator):
+    """Run a nested plan independently on each input tuple.
+
+    Args:
+        upstream: Producer of the input tuples (each typically carrying
+            nested collections, e.g. ⟨partitionID, partitionData⟩ pairs).
+        build_inner: Callback receiving a :class:`ParameterSlot` typed with
+            the upstream's tuple type; it returns the root operator of the
+            nested plan, whose ``ParameterLookup`` operators read that slot.
+
+    Each invocation of the nested plan must produce exactly one output
+    tuple (the paper requires nested plans to end with a
+    ``MaterializeRowVector``); NestedMap returns one tuple per input tuple,
+    typed like the nested root's output.
+    """
+
+    abbreviation = "NM"
+
+    def __init__(
+        self,
+        upstream: Operator,
+        build_inner: Callable[[ParameterSlot], Operator],
+    ) -> None:
+        super().__init__(upstreams=(upstream,))
+        self.slot = ParameterSlot(upstream.output_type)
+        inner = build_inner(self.slot)
+        if not isinstance(inner, Operator):
+            raise PlanError(
+                f"build_inner must return an Operator, got {type(inner).__name__}"
+            )
+        self.inner = inner
+        self._output_type = inner.output_type
+
+    def nested_roots(self) -> tuple[Operator, ...]:
+        return (self.inner,)
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        for row in self.upstreams[0].stream(ctx):
+            yield self._run_inner(ctx, row)
+
+    def _run_inner(self, ctx: ExecutionContext, row: tuple) -> tuple:
+        ctx.push_parameter(self.slot.id, row)
+        try:
+            result: tuple | None = None
+            for out in self.inner.stream(ctx):
+                if result is not None:
+                    raise ExecutionError(
+                        "nested plan produced more than one tuple; nested plans "
+                        "must end with MaterializeRowVector"
+                    )
+                result = out
+            if result is None:
+                raise ExecutionError("nested plan produced no output tuple")
+            return result
+        finally:
+            ctx.pop_parameter(self.slot.id)
+
+    batches = Operator.batches

@@ -1,0 +1,135 @@
+"""NicPartialAggregate: a smart-NIC offload sub-operator (extension).
+
+The paper's introduction names exactly this as the pay-off of the
+sub-operator design: *"using smart NICs ... to execute (partial)
+aggregations ... should be possible by introducing a single
+target-specific sub-operator to handle the data transfer, while reusing
+existing operators for the remaining logic."*
+
+This operator is that single target-specific sub-operator.  Semantically
+it is a partial ``ReduceByKey`` (a combiner) placed in front of the
+network exchange, shrinking the stream to one tuple per key before any
+histogram is computed or byte is transmitted.  What makes it
+platform-specific is only its *cost*: the aggregation runs on the NIC's
+cores — slower per tuple than the host, but largely overlapped with the
+host's partitioning work — so the host clock is charged just the
+non-overlapped remainder, at NIC rates, with no CPU jitter.
+
+Everything downstream (LocalHistogram, MpiHistogram, MpiExchange, the
+nested partition/aggregate plans) is reused unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.context import ExecutionContext
+from repro.core.functions import ReduceFunction
+from repro.core.operator import Operator
+from repro.core.operators.reduce_ops import ReduceByKey
+from repro.types.collections import RowVector
+
+__all__ = ["NicPartialAggregate"]
+
+
+class NicPartialAggregate(Operator):
+    """Combine tuples per key on the smart NIC before the network transfer.
+
+    Same data semantics as :class:`ReduceByKey`; only the charging differs
+    (NIC rates, overlapped with host work, attributed to the
+    network-partitioning phase it accelerates).
+    """
+
+    abbreviation = "NA"
+    phase_name = "network_partition"
+
+    def __init__(
+        self,
+        upstream: Operator,
+        key_fields: Sequence[str] | str,
+        fn: ReduceFunction,
+    ) -> None:
+        super().__init__(upstreams=(upstream,))
+        # Delegate the data path to a private ReduceByKey over the same
+        # upstream; this operator only re-owns the cost accounting.
+        self._combiner = ReduceByKey(upstream, key_fields, fn)
+        self._output_type = self._combiner.output_type
+
+    def _charge_nic(self, ctx: ExecutionContext, tuples: int) -> None:
+        if tuples <= 0:
+            return
+        ctx.set_phase(self.assigned_phase)
+        seconds = tuples * ctx.cost.nic_agg_tuple * (1.0 - ctx.cost.nic_overlap)
+        ctx.clock.advance(seconds)  # NIC-paced: no host CPU jitter
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        yield from self._with_nic_billing(ctx, batched=False)
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
+        yield from self._with_nic_billing(ctx, batched=True)
+
+    def _with_nic_billing(self, ctx: ExecutionContext, batched: bool):
+        """Run the combiner with its CPU charge replaced by the NIC charge.
+
+        The upstream is drained normally (the host still reads its data and
+        pays its scan costs); the aggregation itself is then billed to the
+        NIC and the combiner runs under a context whose CPU charges are
+        muted, so the host never pays hash-aggregation rates for it.
+        """
+        upstream = self.upstreams[0]
+        if batched:
+            parts = [b for b in upstream.batches(ctx) if len(b)]
+            input_count = sum(len(b) for b in parts)
+            source = _Replay(upstream.output_type, parts)
+        else:
+            rows = list(upstream.rows(ctx))
+            input_count = len(rows)
+            source = _Replay(upstream.output_type, [
+                RowVector.from_rows(upstream.output_type, rows)
+            ])
+        combiner = ReduceByKey(source, self._combiner.key_fields, self._combiner.fn)
+        combiner.assigned_phase = self.assigned_phase
+        combiner.pipeline_size = self.pipeline_size
+        self._charge_nic(ctx, input_count)
+        quiet = _QuietContext(ctx)
+        if batched:
+            yield from combiner.batches(quiet)
+        else:
+            yield from combiner.rows(quiet)
+
+
+class _Replay(Operator):
+    """Serve already-drained batches (internal to the NIC operator)."""
+
+    abbreviation = "__"
+
+    def __init__(self, element_type, parts: list[RowVector]) -> None:
+        super().__init__(upstreams=())
+        self._output_type = element_type
+        self._parts = parts
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
+        if not self._parts:
+            yield RowVector.empty(self.output_type)
+            return
+        yield from self._parts
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        for part in self._parts:
+            yield from part.iter_rows()
+
+
+class _QuietContext:
+    """Context proxy whose CPU charges are no-ops (the NIC already paid)."""
+
+    def __init__(self, inner: ExecutionContext) -> None:
+        self._inner = inner
+
+    def charge_cpu(self, op, kind: str, tuples: int) -> None:
+        return None
+
+    def charge_materialize(self, op, payload_bytes: int) -> None:
+        return None
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)

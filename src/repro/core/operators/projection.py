@@ -1,0 +1,43 @@
+"""Projection: keep a subset of fields, unmodified (§3.3.2).
+
+A special case of ``Map``, kept as its own operator for plan readability —
+exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.context import ExecutionContext
+from repro.core.operator import Operator, require_fields
+from repro.types.collections import RowVector
+
+__all__ = ["Projection"]
+
+
+class Projection(Operator):
+    """Return new tuples keeping only ``fields`` of the upstream tuples."""
+
+    abbreviation = "PR"
+
+    def __init__(self, upstream: Operator, fields: Sequence[str]) -> None:
+        super().__init__(upstreams=(upstream,))
+        require_fields("Projection", upstream.output_type, fields)
+        self.fields = tuple(fields)
+        self._positions = tuple(upstream.output_type.position(f) for f in fields)
+        self._output_type = upstream.output_type.project(fields)
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        positions = self._positions
+        count = 0
+        for row in self.upstreams[0].rows(ctx):
+            count += 1
+            yield tuple(row[p] for p in positions)
+        ctx.charge_cpu(self, "map", count)
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
+        for batch in self.upstreams[0].batches(ctx):
+            ctx.charge_cpu(self, "map", len(batch))
+            yield RowVector(
+                self.output_type, [batch.columns[p] for p in self._positions]
+            )

@@ -1,0 +1,186 @@
+"""Sort-based sub-operators: LocalSort and MergeJoin.
+
+The paper names "(partial) sorting" among the operations that fine-grained
+sub-operators make offloadable and re-composable (§1), and its related
+work revisits the classic sort-vs-hash join question [Kim et al.].  These
+two operators let the same distributed join plan of Figure 3 swap its
+innermost hash build/probe for a sort-merge join by replacing exactly one
+plan fragment — the ablation in ``benchmarks/test_sort_vs_hash.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.context import ExecutionContext
+from repro.core.operator import Operator, require_fields
+from repro.errors import ExecutionError, TypeCheckError
+from repro.types.collections import RowVector
+from repro.types.tuples import concat_tuple_types
+
+__all__ = ["LocalSort", "MergeJoin"]
+
+
+class LocalSort(Operator):
+    """Materialize and sort the upstream by ``keys``.
+
+    A blocking operator: it consumes its whole input before emitting the
+    first tuple.  The cost model charges ``n · log2(n)`` comparison steps,
+    the textbook in-cache sort cost.
+    """
+
+    abbreviation = "LS"
+    phase_name = "sort"
+
+    def __init__(
+        self,
+        upstream: Operator,
+        keys: Sequence[str] | str,
+        descending: bool | Sequence[bool] = False,
+    ) -> None:
+        super().__init__(upstreams=(upstream,))
+        if isinstance(keys, str):
+            keys = (keys,)
+        if not keys:
+            raise TypeCheckError("LocalSort needs at least one sort key")
+        require_fields("LocalSort", upstream.output_type, keys)
+        self.keys = tuple(keys)
+        if isinstance(descending, bool):
+            self.descending = (descending,) * len(self.keys)
+        else:
+            self.descending = tuple(descending)
+            if len(self.descending) != len(self.keys):
+                raise TypeCheckError(
+                    "per-key sort directions must match the number of keys"
+                )
+        self._positions = tuple(upstream.output_type.position(k) for k in self.keys)
+        self._output_type = upstream.output_type
+
+    def _charge(self, ctx: ExecutionContext, n: int) -> None:
+        if n > 1:
+            ctx.charge_cpu(self, "sort", n * max(1, math.ceil(math.log2(n))))
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        data = list(self.upstreams[0].rows(ctx))
+        self._charge(ctx, len(data))
+        # Stable multi-pass sort: apply keys from least to most significant
+        # so mixed per-key directions compose correctly.
+        for position, desc in reversed(list(zip(self._positions, self.descending))):
+            data.sort(key=lambda row, p=position: row[p], reverse=desc)
+        yield from data
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
+        data = self.upstreams[0].drain(ctx)
+        self._charge(ctx, len(data))
+        if len(data) == 0:
+            yield data
+            return
+        key_columns = []
+        for position, desc in zip(reversed(self._positions), reversed(self.descending)):
+            column = data.columns[position]
+            if desc:
+                if column.dtype.kind not in "iuf":
+                    raise TypeCheckError(
+                        "descending sort keys must be numeric in fused mode; "
+                        f"column {data.element_type.field_names[position]!r} is not"
+                    )
+                column = -column
+            key_columns.append(column)
+        order = np.lexsort(key_columns)
+        yield data.take(order)
+
+
+class MergeJoin(Operator):
+    """Join two *sorted* inputs on a single key by merging (§ sort-vs-hash).
+
+    Both upstreams must arrive sorted ascending by ``key`` (violations are
+    detected at runtime).  Output layout matches ``BuildProbe``: the key,
+    the remaining left fields, then the remaining right fields.  The merge
+    costs one sequential step per input/output tuple — cheaper per tuple
+    than hash probing, which is the whole point of sorting first.
+    """
+
+    abbreviation = "MJ"
+    phase_name = "build_probe"
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        key: str,
+        join_type: str = "inner",
+    ) -> None:
+        super().__init__(upstreams=(left, right))
+        if join_type not in ("inner", "semi", "anti"):
+            raise TypeCheckError(f"MergeJoin does not support join type {join_type!r}")
+        left_type, right_type = left.output_type, right.output_type
+        require_fields("MergeJoin", left_type, (key,))
+        require_fields("MergeJoin", right_type, (key,))
+        if left_type[key] != right_type[key]:
+            raise TypeCheckError(
+                f"join key {key!r} has type {left_type[key]!r} on the left but "
+                f"{right_type[key]!r} on the right"
+            )
+        self.key = key
+        self.join_type = join_type
+        key_type = left_type.project((key,))
+        left_rest = left_type.drop((key,))
+        right_rest = right_type.drop((key,))
+        self._left_key = left_type.position(key)
+        self._right_key = right_type.position(key)
+        self._left_rest = tuple(left_type.position(f) for f in left_rest.field_names)
+        self._right_rest = tuple(
+            right_type.position(f) for f in right_rest.field_names
+        )
+        if join_type in ("semi", "anti"):
+            self._output_type = concat_tuple_types(key_type, right_rest)
+        else:
+            self._output_type = concat_tuple_types(
+                concat_tuple_types(key_type, left_rest), right_rest
+            )
+
+    @staticmethod
+    def _check_sorted(keys: np.ndarray, side: str) -> None:
+        if len(keys) > 1 and not (keys[1:] >= keys[:-1]).all():
+            raise ExecutionError(
+                f"MergeJoin {side} input is not sorted by the join key; "
+                "insert a LocalSort upstream"
+            )
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
+        left = self.upstreams[0].drain(ctx)
+        right = self.upstreams[1].drain(ctx)
+        left_keys = np.asarray(left.columns[self._left_key])
+        right_keys = np.asarray(right.columns[self._right_key])
+        self._check_sorted(left_keys, "left")
+        self._check_sorted(right_keys, "right")
+
+        lo = np.searchsorted(left_keys, right_keys, side="left")
+        hi = np.searchsorted(left_keys, right_keys, side="right")
+        match_counts = hi - lo
+
+        if self.join_type in ("semi", "anti"):
+            keep = match_counts > 0 if self.join_type == "semi" else match_counts == 0
+            ctx.charge_cpu(self, "merge", len(left) + len(right))
+            idx = np.flatnonzero(keep)
+            columns = [right_keys[idx]]
+            columns += [right.columns[p][idx] for p in self._right_rest]
+            yield RowVector(self.output_type, columns)
+            return
+
+        emitted = int(match_counts.sum())
+        ctx.charge_cpu(self, "merge", len(left) + len(right) + emitted)
+        right_idx = np.repeat(np.arange(len(right)), match_counts)
+        offsets = np.repeat(hi - np.cumsum(match_counts), match_counts)
+        left_idx = np.arange(emitted) + offsets
+        columns = [right_keys[right_idx]]
+        columns += [left.columns[p][left_idx] for p in self._left_rest]
+        columns += [right.columns[p][right_idx] for p in self._right_rest]
+        yield RowVector(self.output_type, columns)
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        for batch in self.batches(ctx):
+            yield from batch.iter_rows()

@@ -1,0 +1,243 @@
+"""The distributed GROUP BY as a sub-operator plan (paper Fig. 5, §4.3).
+
+Re-uses the join's building blocks — histograms, exchange, nested local
+partitioning, compression — and differs only at the leaves: instead of a
+``BuildProbe``, each local partition is aggregated by a ``ReduceByKey``
+(fed by the decompressing ``ParametrizedMap``), and a post-aggregating
+``ReduceByKey`` is inserted between every ``RowScan`` and
+``MaterializeRowVector`` on the way out of each nesting level, plus a final
+post-aggregation on the driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.compression import RadixCompression
+from repro.core.executor import ExecutionResult, execute
+from repro.core.functions import (
+    ParamTupleFunction,
+    RadixPartition,
+    ReduceFunction,
+    field_sum,
+)
+from repro.core.operator import Operator
+from repro.core.operators import (
+    CartesianProduct,
+    NicPartialAggregate,
+    LocalHistogram,
+    LocalPartitioning,
+    MaterializeRowVector,
+    MpiExchange,
+    MpiExecutor,
+    MpiHistogram,
+    NestedMap,
+    ParameterLookup,
+    ParameterSlot,
+    ParametrizedMap,
+    Projection,
+    ReduceByKey,
+    RowScan,
+)
+from repro.errors import TypeCheckError
+from repro.mpi.cluster import SimCluster
+from repro.types.atoms import INT64
+from repro.types.collections import RowVector, row_vector_type
+from repro.types.tuples import TupleType
+
+__all__ = ["DistributedGroupByPlan", "build_distributed_groupby"]
+
+
+@dataclass
+class DistributedGroupByPlan:
+    """A ready-to-run distributed GROUP BY plan plus its binding points."""
+
+    root: Operator
+    slot: ParameterSlot
+    executor: MpiExecutor
+    output_type: TupleType
+    cluster: SimCluster
+
+    def run(self, table: RowVector, mode: str = "fused") -> ExecutionResult:
+        return execute(self.root, params={self.slot: (table,)}, mode=mode)
+
+    @staticmethod
+    def groups(result: ExecutionResult) -> RowVector:
+        """Extract the materialized ⟨key, aggregate⟩ output."""
+        (row,) = result.rows
+        return row[0]
+
+
+def build_distributed_groupby(
+    cluster: SimCluster,
+    input_type: TupleType,
+    key: str = "key",
+    network_fanout: int | None = None,
+    local_fanout: int = 16,
+    key_bits: int = 27,
+    compression: bool = True,
+    reduce_fn: ReduceFunction | None = None,
+    offload: str | None = None,
+) -> DistributedGroupByPlan:
+    """Assemble the Figure 5 plan for a ⟨key, value⟩ relation.
+
+    Args:
+        cluster: Simulated cluster for the data-parallel part.
+        input_type: Two INT64 fields, the group key and the value.
+        key: Name of the group-by attribute.
+        network_fanout / local_fanout: Radix fan-outs (powers of two);
+            network fan-out defaults to the cluster size.
+        key_bits: Dense-domain width for the compression scheme.
+        compression: Halve network volume by packing ⟨key, value⟩ (the
+            paper notes this is not required for correctness but crucial
+            for performance).
+        reduce_fn: Aggregation; defaults to summing the value field.
+        offload: Pre-aggregate (combine) each rank's stream before the
+            exchange: ``"host"`` uses a plain ReduceByKey on the CPU,
+            ``"nic"`` uses the smart-NIC offload sub-operator (extension;
+            the paper's §1 future-work scenario), ``None`` ships raw
+            tuples as in Figure 5.
+    """
+    if offload not in (None, "host", "nic"):
+        raise TypeCheckError(f"unknown offload target {offload!r}")
+    if key not in input_type:
+        raise TypeCheckError(f"input {input_type!r} lacks group key {key!r}")
+    values = [f.name for f in input_type if f.name != key]
+    if len(values) != 1 or any(input_type[f] != INT64 for f in input_type.field_names):
+        raise TypeCheckError(
+            f"the distributed GROUP BY plan expects ⟨key, value⟩ INT64 tuples "
+            f"(the paper's 16-byte workload); got {input_type!r}"
+        )
+    value = values[0]
+    fn = reduce_fn or field_sum(value)
+
+    n_net = network_fanout or _next_power_of_two(cluster.n_ranks)
+    if n_net & (n_net - 1):
+        raise TypeCheckError(f"network fan-out must be a power of two, got {n_net}")
+    fanout_bits = n_net.bit_length() - 1
+    comp = RadixCompression(key_bits, fanout_bits) if compression else None
+
+    slot = ParameterSlot(TupleType.of(table=row_vector_type(input_type)))
+
+    def build_worker(worker_slot: ParameterSlot) -> Operator:
+        scan: Operator = RowScan(
+            Projection(ParameterLookup(worker_slot), ["table"]),
+            field="table",
+            shard_by_rank=True,
+        )
+        if offload == "host":
+            scan = ReduceByKey(scan, key, fn)
+        elif offload == "nic":
+            scan = NicPartialAggregate(scan, key, fn)
+        net_fn = RadixPartition(key, n_net)
+        local_hist = LocalHistogram(scan, net_fn)
+        global_hist = MpiHistogram(local_hist, n_net)
+        exchange = MpiExchange(
+            scan, local_hist, global_hist, net_fn,
+            compression=comp, id_field="net", data_field="data",
+        )
+        aggregated = NestedMap(
+            exchange,
+            lambda s: _build_network_partition_plan(
+                s, key, value, input_type, local_fanout, key_bits, fanout_bits,
+                comp, fn,
+            ),
+        )
+        flat = RowScan(aggregated, field="agg")
+        merged = ReduceByKey(flat, key, fn)
+        return MaterializeRowVector(merged, field="result")
+
+    executor = MpiExecutor(ParameterLookup(slot), build_worker, cluster)
+    flat = RowScan(executor, field="result")
+    # Final post-aggregation of all results received on the driver (§4.3).
+    final = ReduceByKey(flat, key, fn)
+    root = MaterializeRowVector(final, field="result")
+    return DistributedGroupByPlan(
+        root=root,
+        slot=slot,
+        executor=executor,
+        output_type=root.output_type,
+        cluster=cluster,
+    )
+
+
+def _build_network_partition_plan(
+    slot: ParameterSlot,
+    key: str,
+    value: str,
+    kv_type: TupleType,
+    local_fanout: int,
+    key_bits: int,
+    fanout_bits: int,
+    comp: RadixCompression | None,
+    fn: ReduceFunction,
+) -> Operator:
+    """First-level nested plan: locally partition and aggregate one network
+    partition, then post-aggregate across its local partitions."""
+    pid = Projection(ParameterLookup(slot), ["net"])
+    stream = RowScan(Projection(ParameterLookup(slot), ["data"]))
+    if comp is not None:
+        local_fn = RadixPartition("packed", local_fanout, shift=key_bits)
+    else:
+        local_fn = RadixPartition(key, local_fanout, shift=fanout_bits)
+    hist = LocalHistogram(stream, local_fn)
+    # Second-pass histograms count toward the local-partitioning phase.
+    hist.phase_name = "local_partition"
+    partitioned = LocalPartitioning(
+        stream, hist, local_fn, id_field="sub", data_field="sdata"
+    )
+    pairs = CartesianProduct(pid, partitioned)  # ⟨net, sub, sdata⟩ triples
+    aggregated = NestedMap(
+        pairs,
+        lambda s: _build_local_partition_plan(s, key, value, kv_type, key_bits, comp, fn),
+    )
+    flat = RowScan(aggregated, field="agg")
+    merged = ReduceByKey(flat, key, fn)
+    return MaterializeRowVector(merged, field="agg")
+
+
+def _build_local_partition_plan(
+    slot: ParameterSlot,
+    key: str,
+    value: str,
+    kv_type: TupleType,
+    key_bits: int,
+    comp: RadixCompression | None,
+    fn: ReduceFunction,
+) -> Operator:
+    """Second-level nested plan: decompress and aggregate one local partition."""
+    stream = RowScan(Projection(ParameterLookup(slot), ["sdata"]))
+    if comp is not None:
+        pid = Projection(ParameterLookup(slot), ["net"])
+        stream = ParametrizedMap(stream, pid, _decompress_fn(comp, key, value))
+    aggregated = ReduceByKey(stream, key, fn)
+    return MaterializeRowVector(aggregated, field="agg")
+
+
+def _decompress_fn(
+    comp: RadixCompression, key: str, value: str
+) -> ParamTupleFunction:
+    """Restore ⟨key, value⟩ from a packed word and the network partition id."""
+    key_bits = comp.key_bits
+    fanout_bits = comp.fanout_bits
+    mask = comp.payload_mask
+    output_type = TupleType.of(**{key: INT64, value: INT64})
+
+    def scalar(param: tuple, row: tuple) -> tuple:
+        packed = row[0]
+        return (((packed >> key_bits) << fanout_bits) | param[0], packed & mask)
+
+    def vectorized(param: tuple, columns: tuple[np.ndarray, ...]) -> tuple:
+        packed = columns[0]
+        return (((packed >> key_bits) << fanout_bits) | param[0], packed & mask)
+
+    return ParamTupleFunction(scalar, output_type, vectorized)
+
+
+def _next_power_of_two(n: int) -> int:
+    power = 1
+    while power < n:
+        power *= 2
+    return power

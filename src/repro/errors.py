@@ -1,0 +1,49 @@
+"""Exception hierarchy for the Modularis reproduction.
+
+Every error raised by the library derives from :class:`ModularisError` so
+applications can catch library failures with a single ``except`` clause while
+still being able to distinguish planning mistakes (bad schemas, malformed
+plans) from runtime failures (cardinality mismatches, simulation faults).
+"""
+
+from __future__ import annotations
+
+
+class ModularisError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TypeCheckError(ModularisError):
+    """A plan failed static type checking.
+
+    Raised while *building* a plan, e.g. when an operator receives upstream
+    tuples whose structure does not match what the operator requires (a
+    ``BuildProbe`` whose sides share non-key field names, a ``Projection`` of
+    a field that does not exist, ...).
+    """
+
+
+class PlanError(ModularisError):
+    """A plan is structurally malformed (cycles, missing upstreams, ...)."""
+
+
+class ExecutionError(ModularisError):
+    """A plan failed while executing.
+
+    Examples: a ``Zip`` whose upstreams yield different numbers of tuples
+    (a *runtime* error per the paper), or a nested plan that does not end in
+    ``MaterializeRowVector``.
+    """
+
+
+class SimulationError(ModularisError):
+    """The simulated MPI/RDMA substrate detected an illegal operation.
+
+    Examples: a one-sided ``put`` outside the registered window bounds,
+    overlapping exclusive regions (which would be a data race on real RDMA
+    hardware), or mismatched collective calls across ranks.
+    """
+
+
+class CatalogError(ModularisError):
+    """A storage/catalog operation referenced an unknown or duplicate table."""

@@ -1,0 +1,186 @@
+"""The simulated MPI cluster: rank processes, dispatch, result harvesting.
+
+:class:`SimCluster` plays the role of ``mpirun`` plus the physical machines:
+it spawns one thread per rank, hands each a :class:`RankContext` (rank id,
+communicator, simulated clock, seeded RNG), runs the same SPMD function on
+all of them, and harvests per-rank results, per-rank clocks, and per-phase
+timing breakdowns.
+
+All computation happens for real; the simulated clocks never influence
+results, only the reported timings, so runs are bit-deterministic for a
+given seed.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.mpi.clock import PhaseTimings, SimClock
+from repro.mpi.comm import CommWorld, SimComm
+from repro.mpi.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.mpi.trace import ClusterTrace
+
+__all__ = ["RankContext", "ClusterResult", "SimCluster"]
+
+T = TypeVar("T")
+
+_JOIN_TIMEOUT = 600.0  # real seconds; a safety net against deadlocks
+
+
+@dataclass
+class RankContext:
+    """Everything a rank's SPMD program needs."""
+
+    rank: int
+    n_ranks: int
+    comm: SimComm
+    clock: SimClock
+    cost: CostModel
+    rng: np.random.Generator
+
+    @property
+    def is_root(self) -> bool:
+        return self.rank == 0
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one SPMD run.
+
+    Attributes:
+        per_rank: The value returned by each rank's function.
+        clocks: Final simulated time of each rank.
+        timings: Per-rank phase breakdowns.
+    """
+
+    per_rank: list
+    clocks: list[float]
+    timings: list[PhaseTimings]
+    #: Event trace of the run, present when the cluster traces.
+    trace: ClusterTrace | None = None
+
+    @property
+    def makespan(self) -> float:
+        """Simulated completion time of the job (slowest rank)."""
+        return max(self.clocks) if self.clocks else 0.0
+
+    def phase_breakdown(self) -> dict[str, float]:
+        """Max-over-ranks duration of each phase, in first-seen order.
+
+        Taking the max per phase mirrors how the paper reports per-phase
+        times of a bulk-synchronous algorithm: a phase lasts as long as its
+        slowest participant.
+        """
+        breakdown: dict[str, float] = {}
+        for timing in self.timings:
+            for phase in timing.phases():
+                breakdown[phase] = max(breakdown.get(phase, 0.0), timing.get(phase))
+        return breakdown
+
+
+class SimCluster:
+    """A reusable simulated cluster of ``n_ranks`` worker processes.
+
+    With the default calibration one rank models one machine of the paper's
+    testbed (all of its cores together), so ``SimCluster(8)`` corresponds to
+    the full 8-machine RDMA cluster of Table 2.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        seed: int = 2021,
+        trace: bool = False,
+    ) -> None:
+        if n_ranks < 1:
+            raise SimulationError(f"cluster needs >= 1 rank, got {n_ranks}")
+        self.n_ranks = n_ranks
+        self.cost_model = cost_model
+        self.seed = seed
+        self.trace = trace
+
+    def run(self, spmd_fn: Callable[[RankContext], T]) -> ClusterResult:
+        """Execute ``spmd_fn`` on every rank concurrently and harvest results.
+
+        The function runs once per rank on its own thread; ranks interact
+        only through ``ctx.comm``.  If any rank raises, the whole job is
+        aborted (peers blocked in collectives are woken) and the original
+        exception is re-raised on the caller.
+        """
+        cluster_trace = ClusterTrace(self.n_ranks) if self.trace else None
+        world = CommWorld(self.n_ranks, self.cost_model, trace=cluster_trace)
+        jitter_rng = np.random.default_rng(self.seed)
+        jitters = 1.0 + jitter_rng.uniform(
+            0.0, self.cost_model.jitter_fraction, size=self.n_ranks
+        )
+
+        results: list = [None] * self.n_ranks
+        errors: list[BaseException | None] = [None] * self.n_ranks
+        contexts: list[RankContext] = []
+        for rank in range(self.n_ranks):
+            clock = SimClock(jitter_factor=float(jitters[rank]))
+            comm = SimComm(world, rank, clock)
+            rng = np.random.default_rng((self.seed, rank))
+            contexts.append(
+                RankContext(rank, self.n_ranks, comm, clock, self.cost_model, rng)
+            )
+
+        def worker(rank: int) -> None:
+            try:
+                results[rank] = spmd_fn(contexts[rank])
+            except BaseException as exc:  # noqa: BLE001 - must not hang peers
+                errors[rank] = exc
+                world.abort(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(rank,), name=f"sim-rank-{rank}")
+            for rank in range(self.n_ranks)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=_JOIN_TIMEOUT)
+            if thread.is_alive():
+                world.abort(SimulationError("rank did not finish within the timeout"))
+                raise SimulationError(
+                    f"{thread.name} did not finish within {_JOIN_TIMEOUT} s"
+                )
+
+        failures = [e for e in errors if e is not None]
+        if failures:
+            # Ranks released from a collective by an abort raise a secondary
+            # "peer rank failed" error chained to the root cause; surface
+            # the root cause itself when any rank still holds it.
+            def is_secondary(exc: BaseException) -> bool:
+                return (
+                    isinstance(exc, SimulationError)
+                    and exc.__cause__ is not None
+                    and "peer rank failed" in str(exc)
+                )
+
+            primary = next((e for e in failures if not is_secondary(e)), failures[0])
+            raise primary
+
+        return ClusterResult(
+            per_rank=results,
+            clocks=[ctx.clock.now for ctx in contexts],
+            timings=[ctx.clock.timings for ctx in contexts],
+            trace=cluster_trace,
+        )
+
+    def partition_rows(self, n_rows: int, rank: int) -> tuple[int, int]:
+        """Contiguous ``[start, stop)`` share of an input for one rank.
+
+        The same block distribution the paper's workers use when each
+        process "reads its part of the input".
+        """
+        base, extra = divmod(n_rows, self.n_ranks)
+        start = rank * base + min(rank, extra)
+        stop = start + base + (1 if rank < extra else 0)
+        return start, stop

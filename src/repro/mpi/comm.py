@@ -1,0 +1,343 @@
+"""Simulated MPI communicator with one-sided RMA operations.
+
+Each rank runs on its own thread and owns a :class:`SimComm` handle.  The
+handles share a :class:`CommWorld`, which implements collectives as
+rendezvous points: every rank deposits its contribution and its *simulated*
+arrival time; when the last rank arrives the result is computed and every
+participant's clock jumps to ``max(arrival times) + collective cost``.  The
+stall each rank experiences is exactly the paper's tail-latency effect —
+a rank that was slow in a preceding phase delays everybody at the next
+``MPI_Allreduce`` or ``MPI_Win_create``.
+
+MPI semantics enforced (violations raise
+:class:`~repro.errors.SimulationError` on every rank rather than
+deadlocking):
+
+* all ranks must issue the same sequence of collective calls,
+* one-sided puts target registered windows and must stay in bounds,
+* puts from different ranks within one epoch must not overlap.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.mpi.clock import SimClock
+from repro.mpi.costmodel import CostModel
+from repro.mpi.trace import ClusterTrace, TraceEvent
+from repro.mpi.window import Window
+from repro.types.collections import RowVector
+from repro.types.tuples import TupleType
+
+__all__ = ["CommWorld", "SimComm", "WindowSet"]
+
+_WAIT_SLICE = 0.05  # real seconds between abort checks while waiting
+
+
+class _Slot:
+    """Rendezvous state for one collective call index."""
+
+    __slots__ = ("tag", "values", "arrivals", "result", "result_time", "done", "retrieved")
+
+    def __init__(self, tag: str) -> None:
+        self.tag = tag
+        self.values: dict[int, object] = {}
+        self.arrivals: dict[int, float] = {}
+        self.result: object = None
+        self.result_time = 0.0
+        self.done = False
+        self.retrieved = 0
+
+
+class CommWorld:
+    """Shared state of one simulated MPI job (one communicator)."""
+
+    def __init__(
+        self,
+        n_ranks: int,
+        cost_model: CostModel,
+        trace: ClusterTrace | None = None,
+    ) -> None:
+        if n_ranks < 1:
+            raise SimulationError(f"need at least one rank, got {n_ranks}")
+        self.n_ranks = n_ranks
+        self.cost = cost_model
+        self.trace = trace
+        self._cond = threading.Condition()
+        self._slots: dict[int, _Slot] = {}
+        self._abort: BaseException | None = None
+
+    # -- failure propagation -------------------------------------------------
+
+    def abort(self, exc: BaseException) -> None:
+        """Mark the job failed; wakes every rank blocked in a collective."""
+        with self._cond:
+            if self._abort is None:
+                self._abort = exc
+            self._cond.notify_all()
+
+    def _check_abort(self) -> None:
+        if self._abort is not None:
+            raise SimulationError("peer rank failed; aborting collective") from self._abort
+
+    # -- the generic rendezvous -----------------------------------------------
+
+    def rendezvous(
+        self,
+        call_index: int,
+        tag: str,
+        rank: int,
+        value: object,
+        arrival_time: float,
+        combine: Callable[[dict[int, object]], object],
+        op_cost: float,
+    ) -> tuple[object, float]:
+        """Deposit ``value`` for collective ``call_index`` and await the result.
+
+        Returns ``(result, result_time)`` where ``result_time`` is the
+        simulated completion instant shared by all participants.
+        """
+        with self._cond:
+            self._check_abort()
+            slot = self._slots.get(call_index)
+            if slot is None:
+                slot = _Slot(tag)
+                self._slots[call_index] = slot
+            if slot.tag != tag:
+                exc = SimulationError(
+                    f"collective mismatch at call {call_index}: rank {rank} issued "
+                    f"{tag!r} but another rank issued {slot.tag!r}"
+                )
+                self.abort(exc)
+                raise exc
+            if rank in slot.values:
+                exc = SimulationError(
+                    f"rank {rank} issued collective call {call_index} twice"
+                )
+                self.abort(exc)
+                raise exc
+            slot.values[rank] = value
+            slot.arrivals[rank] = arrival_time
+            if len(slot.values) == self.n_ranks:
+                try:
+                    slot.result = combine(slot.values)
+                except BaseException as exc:
+                    self.abort(exc)
+                    raise
+                slot.result_time = max(slot.arrivals.values()) + op_cost
+                slot.done = True
+                self._cond.notify_all()
+            else:
+                while not slot.done:
+                    self._check_abort()
+                    self._cond.wait(timeout=_WAIT_SLICE)
+            result, result_time = slot.result, slot.result_time
+            slot.retrieved += 1
+            if slot.retrieved == self.n_ranks:
+                del self._slots[call_index]
+            return result, result_time
+
+
+class WindowSet:
+    """The windows created by one collective ``win_create`` call.
+
+    Gives a rank one-sided access to every peer's window while charging the
+    sender's clock for the transfer, exactly like an RDMA put: the receiving
+    CPU is not involved.
+    """
+
+    __slots__ = ("_windows", "_comm")
+
+    def __init__(self, windows: Sequence[Window], comm: "SimComm") -> None:
+        self._windows = tuple(windows)
+        self._comm = comm
+
+    @property
+    def local(self) -> Window:
+        """The window registered by the calling rank."""
+        return self._windows[self._comm.rank]
+
+    def window_of(self, rank: int) -> Window:
+        return self._windows[rank]
+
+    def put(self, target_rank: int, offset: int, data: RowVector) -> None:
+        """One-sided write of ``data`` rows at ``offset`` on ``target_rank``.
+
+        The sender's clock is charged ``transfer_cost × (1 − overlap)``;
+        the overlap discount models asynchronous RDMA writes hidden behind
+        the partitioning loop (paper Section 4.1.1).
+        """
+        self._windows[target_rank].write(offset, data, source_rank=self._comm.rank)
+        payload = data.size_bytes()
+        cost = self._comm.cost.transfer_cost(payload)
+        if target_rank == self._comm.rank:
+            cost = self._comm.cost.copy_cost(payload)
+        else:
+            cost *= 1.0 - self._comm.cost.network_overlap
+        start = self._comm.clock.now
+        self._comm.clock.advance(cost)
+        trace = self._comm.world.trace
+        if trace is not None:
+            trace.record(
+                TraceEvent(
+                    rank=self._comm.rank,
+                    kind="put",
+                    label=f"put->{target_rank}",
+                    start=start,
+                    end=self._comm.clock.now,
+                    detail={"target": target_rank, "rows": len(data), "bytes": payload},
+                )
+            )
+
+    def get(self, target_rank: int, start: int, stop: int) -> RowVector:
+        """One-sided read of rows ``[start, stop)`` from ``target_rank``."""
+        data = self._windows[target_rank].read(start, stop)
+        if target_rank != self._comm.rank:
+            self._comm.clock.advance(self._comm.cost.transfer_cost(data.size_bytes()))
+        return data
+
+    def flush(self) -> None:
+        """Complete this rank's outstanding puts (``MPI_Win_flush``).
+
+        Passive-target synchronization: unlike ``fence`` this is *not*
+        collective — only the calling rank's transfers are forced out, and
+        its buffers may be reused afterwards.  The simulation performs puts
+        eagerly, so flushing charges only the residual network time the
+        overlap discount deferred.
+        """
+        self._comm.clock.advance(self._comm.cost.net_latency)
+
+    def fence(self) -> None:
+        """Collective epoch boundary: all outstanding puts complete here."""
+        self._comm.fence(self)
+
+    def _end_epochs(self) -> None:
+        for window in self._windows:
+            window.end_epoch()
+
+
+class SimComm:
+    """Per-rank communicator handle (the simulation's ``MPI_COMM_WORLD``)."""
+
+    def __init__(self, world: CommWorld, rank: int, clock: SimClock) -> None:
+        self.world = world
+        self.rank = rank
+        self.clock = clock
+        self._call_index = 0
+
+    @property
+    def n_ranks(self) -> int:
+        return self.world.n_ranks
+
+    @property
+    def cost(self) -> CostModel:
+        return self.world.cost
+
+    def _collect(
+        self,
+        tag: str,
+        value: object,
+        combine: Callable[[dict[int, object]], object],
+        op_cost: float,
+    ) -> object:
+        index = self._call_index
+        self._call_index += 1
+        arrival = self.clock.now
+        result, result_time = self.world.rendezvous(
+            index, tag, self.rank, value, arrival, combine, op_cost
+        )
+        self.clock.advance_to(result_time)
+        if self.world.trace is not None:
+            self.world.trace.record(
+                TraceEvent(
+                    rank=self.rank,
+                    kind="collective",
+                    label=tag,
+                    start=arrival,
+                    end=result_time,
+                    detail={"stall": max(0.0, result_time - op_cost - arrival)},
+                )
+            )
+        return result
+
+    # -- collectives -----------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Synchronize all ranks (no data)."""
+        self._collect(
+            "barrier", None, lambda values: None, self.cost.collective_cost(self.n_ranks)
+        )
+
+    def allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
+        """Element-wise reduction of ``array`` across ranks (``MPI_Allreduce``).
+
+        This is what ``MpiHistogram`` uses to turn local histograms into the
+        global one (paper Section 3.3.3).
+        """
+        array = np.asarray(array)
+
+        def combine(values: dict[int, object]) -> np.ndarray:
+            stack = np.stack([values[r] for r in range(self.n_ranks)])
+            if op == "sum":
+                return stack.sum(axis=0)
+            if op == "max":
+                return stack.max(axis=0)
+            if op == "min":
+                return stack.min(axis=0)
+            raise SimulationError(f"unsupported allreduce op {op!r}")
+
+        cost = self.cost.collective_cost(self.n_ranks, array.nbytes)
+        return self._collect(f"allreduce:{op}", array, combine, cost)
+
+    def allgather(self, value: object, payload_bytes: int = 64) -> list:
+        """Gather one value from every rank, delivered to all ranks."""
+
+        def combine(values: dict[int, object]) -> list:
+            return [values[r] for r in range(self.n_ranks)]
+
+        cost = self.cost.collective_cost(self.n_ranks, payload_bytes * self.n_ranks)
+        return self._collect("allgather", value, combine, cost)
+
+    def win_create(self, element_type: TupleType, capacity: int) -> WindowSet:
+        """Collectively register one RMA window per rank (``MPI_Win_create``).
+
+        Each rank pays the registration (pinning) cost of its own window
+        *before* the collective synchronization, so a rank registering a
+        large window stalls everyone — the window-allocation tail latency
+        the paper observes in the network-partitioning phase.
+        """
+        window = Window(self.rank, element_type, capacity)
+        start = self.clock.now
+        self.clock.advance(self.cost.window_registration_cost(window.size_bytes()))
+        if self.world.trace is not None:
+            self.world.trace.record(
+                TraceEvent(
+                    rank=self.rank,
+                    kind="win_create",
+                    label=repr(element_type),
+                    start=start,
+                    end=self.clock.now,
+                    detail={"bytes": window.size_bytes(), "rows": capacity},
+                )
+            )
+
+        def combine(values: dict[int, object]) -> tuple[Window, ...]:
+            return tuple(values[r] for r in range(self.n_ranks))
+
+        windows = self._collect(
+            "win_create", window, combine, self.cost.collective_cost(self.n_ranks)
+        )
+        return WindowSet(windows, self)
+
+    def fence(self, window_set: WindowSet) -> None:
+        """Collective RMA epoch boundary (``MPI_Win_fence``)."""
+
+        def combine(values: dict[int, object]) -> None:
+            window_set._end_epochs()
+            return None
+
+        self._collect("fence", None, combine, self.cost.collective_cost(self.n_ranks))

@@ -1,0 +1,101 @@
+"""RMA windows: registered memory regions for one-sided transfers.
+
+A :class:`Window` models the memory region a rank reserves, pins, and
+registers with the NIC (paper Section 2.1).  Remote ranks write into it with
+one-sided puts at offsets they computed *locally* from the global histogram;
+no synchronization happens during the transfer.  The simulation preserves —
+and asserts — the property that makes this safe on real RDMA hardware:
+within one RMA epoch (between two fences), the regions written by different
+ranks must be disjoint.  Overlap would be a silent data race on InfiniBand;
+here it raises :class:`~repro.errors.SimulationError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.types.atoms import AtomType
+from repro.types.collections import RowVector
+from repro.types.tuples import TupleType
+
+__all__ = ["Window"]
+
+
+def _column_dtype(item_type: object) -> str:
+    if isinstance(item_type, AtomType):
+        return item_type.numpy_dtype
+    return "object"
+
+
+class Window:
+    """A typed, fixed-capacity RMA window owned by one rank.
+
+    Rows are addressed by row offset rather than byte offset; the byte view
+    used by the cost model is ``rows × element_type.row_size_bytes()``.
+    """
+
+    __slots__ = ("owner_rank", "element_type", "capacity", "_columns", "_epoch_writes")
+
+    def __init__(self, owner_rank: int, element_type: TupleType, capacity: int) -> None:
+        if capacity < 0:
+            raise SimulationError(f"window capacity must be >= 0, got {capacity}")
+        self.owner_rank = owner_rank
+        self.element_type = element_type
+        self.capacity = capacity
+        self._columns = [
+            np.zeros(capacity, dtype=_column_dtype(f.item_type)) for f in element_type
+        ]
+        #: (start, stop, source_rank) intervals written in the current epoch.
+        self._epoch_writes: list[tuple[int, int, int]] = []
+
+    def size_bytes(self) -> int:
+        """Registered size in bytes, charged at registration time."""
+        return self.capacity * self.element_type.row_size_bytes()
+
+    # -- one-sided access --------------------------------------------------
+
+    def write(self, offset: int, data: RowVector, source_rank: int) -> None:
+        """Deposit ``data`` at row ``offset`` on behalf of ``source_rank``.
+
+        Raises:
+            SimulationError: On out-of-bounds writes, element-type
+                mismatches, or overlap with a region another rank wrote in
+                the same epoch (a would-be RDMA data race).
+        """
+        if data.element_type != self.element_type:
+            raise SimulationError(
+                f"put of {data.element_type!r} into window of {self.element_type!r}"
+            )
+        stop = offset + len(data)
+        if offset < 0 or stop > self.capacity:
+            raise SimulationError(
+                f"put [{offset}, {stop}) outside window of capacity {self.capacity}"
+            )
+        for start0, stop0, src0 in self._epoch_writes:
+            if src0 != source_rank and offset < stop0 and start0 < stop:
+                raise SimulationError(
+                    f"RDMA race: ranks {src0} and {source_rank} both wrote rows "
+                    f"[{max(offset, start0)}, {min(stop, stop0)}) of the window "
+                    f"on rank {self.owner_rank} within one epoch"
+                )
+        self._epoch_writes.append((offset, stop, source_rank))
+        for dst, src in zip(self._columns, data.columns):
+            dst[offset:stop] = src
+
+    def read(self, start: int = 0, stop: int | None = None) -> RowVector:
+        """Read rows ``[start, stop)`` as a RowVector (one-sided get)."""
+        stop = self.capacity if stop is None else stop
+        if start < 0 or stop > self.capacity or start > stop:
+            raise SimulationError(
+                f"get [{start}, {stop}) outside window of capacity {self.capacity}"
+            )
+        return RowVector(self.element_type, [col[start:stop] for col in self._columns])
+
+    # -- epochs --------------------------------------------------------------
+
+    def end_epoch(self) -> int:
+        """Close the current RMA epoch (at a fence); returns rows written."""
+        written = sum(stop - start for start, stop, _ in self._epoch_writes)
+        self._epoch_writes.clear()
+        return written

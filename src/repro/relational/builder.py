@@ -1,0 +1,92 @@
+"""Fluent query-building DSL over the logical algebra.
+
+The paper's front end is "a UDF-based library interface written in Python";
+this builder is the equivalent surface::
+
+    q = (scan("lineitem")
+         .filter(col("l_shipdate").between(d0, d1))
+         .join(scan("part"), on="p_partkey", kind="inner")
+         .aggregate(group_by=[], aggs=[("sum", revenue, "total")]))
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import PlanError
+from repro.relational.expressions import Expression
+from repro.relational.logical import (
+    AggregateNode,
+    AggregateSpec,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    LogicalPlan,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+
+__all__ = ["Query", "scan"]
+
+
+class Query:
+    """An immutable wrapper around a logical plan with chaining methods."""
+
+    __slots__ = ("plan",)
+
+    def __init__(self, plan: LogicalPlan) -> None:
+        self.plan = plan
+
+    def filter(self, predicate: Expression) -> "Query":
+        """Keep rows satisfying ``predicate``."""
+        return Query(FilterNode(self.plan, predicate))
+
+    def project(self, outputs: Mapping[str, Expression]) -> "Query":
+        """Compute named output columns."""
+        if not outputs:
+            raise PlanError("projection needs at least one output column")
+        return Query(ProjectNode.of(self.plan, outputs))
+
+    def join(self, other: "Query", on: str, kind: str = "inner") -> "Query":
+        """Equi-join with another query on a same-named key column.
+
+        For ``semi``/``anti``, *this* query is the build side whose matches
+        qualify (or disqualify) the rows of ``other``.
+        """
+        return Query(JoinNode(self.plan, other.plan, key=on, kind=kind))
+
+    def aggregate(
+        self,
+        group_by: Sequence[str],
+        aggs: Sequence[tuple[str, Expression, str]],
+    ) -> "Query":
+        """Group by columns and compute ``(func, expr, alias)`` aggregates."""
+        specs = tuple(AggregateSpec(func, expr, alias) for func, expr, alias in aggs)
+        return Query(AggregateNode(self.plan, tuple(group_by), specs))
+
+    def order_by(
+        self, *keys: str, descending: bool | Sequence[bool] = False
+    ) -> "Query":
+        """Order the final result by columns (driver-side).
+
+        ``descending`` may be a single flag or one flag per key.
+        """
+        if not isinstance(descending, bool):
+            descending = tuple(descending)
+        return Query(SortNode(self.plan, tuple(keys), descending))
+
+    def limit(self, n: int) -> "Query":
+        """Keep the first ``n`` result rows (driver-side)."""
+        return Query(LimitNode(self.plan, n))
+
+    def explain(self) -> str:
+        return self.plan.explain()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Query(\n{self.plan.explain()}\n)"
+
+
+def scan(table: str, columns: Sequence[str] | None = None) -> Query:
+    """Start a query from a base table."""
+    return Query(ScanNode(table, tuple(columns) if columns else None))

@@ -1,0 +1,18 @@
+"""The simplistic query optimizer: rewrite rules plus physical lowering."""
+
+from repro.relational.optimizer.planner import ModularisQuery, lower_to_modularis
+from repro.relational.optimizer.rules import (
+    optimize,
+    output_columns,
+    prune_columns,
+    push_filters,
+)
+
+__all__ = [
+    "ModularisQuery",
+    "lower_to_modularis",
+    "optimize",
+    "output_columns",
+    "prune_columns",
+    "push_filters",
+]

@@ -1,0 +1,762 @@
+"""Lower logical plans to distributed Modularis sub-operator plans.
+
+This is the paper's "very simplistic query optimizer" (§4.4): it handles
+queries following the TPC-H pattern — *a single join on two tables that
+were previously filtered, then a projection and post-aggregation of the
+join results* — and produces the same plan shape as Figure 3, with the
+query's post-processing spliced in at the innermost nesting level and
+post-aggregations at every level on the way out (§4.4, "exactly as in the
+case of the distributed GROUP BY").
+
+Lowering steps:
+
+1. run the rewrite rules (filter pushdown, projection pruning);
+2. pattern-match the plan into two *sides* (scan → filter → payload
+   projection), a join kind, an optional residual post-join filter, and an
+   aggregation (grouped or scalar) with an optional final projection;
+3. emit the physical plan: per rank, each side runs
+   ``RowScan → Filter → Map → LocalHistogram → MpiHistogram → MpiExchange``
+   (hash partitioning — TPC-H keys are not dense, so no radix compression),
+   the sides are zipped and joined through the two nested-map levels, and
+   ``ReduceByKey``/``Reduce`` post-aggregations run at every level plus a
+   final one on the driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.executor import ExecutionResult, execute
+from repro.core.functions import (
+    HashPartition,
+    Predicate,
+    ReduceFunction,
+    TupleFunction,
+)
+from repro.core.operator import Operator
+from repro.core.operators import (
+    BuildProbe,
+    Filter,
+    Limit,
+    LocalHistogram,
+    LocalSort,
+    LocalPartitioning,
+    Map,
+    MaterializeRowVector,
+    MpiExchange,
+    MpiExecutor,
+    MpiHistogram,
+    NestedMap,
+    ParameterLookup,
+    ParameterSlot,
+    Projection,
+    Reduce,
+    ReduceByKey,
+    RowScan,
+    Zip,
+)
+from repro.errors import PlanError
+from repro.mpi.cluster import SimCluster
+from repro.relational.expressions import Expression, col, infer_atom_type, lit
+from repro.relational.interpreter import Frame
+from repro.relational.logical import (
+    AggregateNode,
+    AggregateSpec,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    LogicalPlan,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+from repro.relational.optimizer.rules import optimize
+from repro.storage.catalog import Catalog
+from repro.types.collections import RowVector, row_vector_type
+from repro.types.tuples import Field, TupleType
+
+__all__ = ["ModularisQuery", "lower_to_modularis"]
+
+
+# -- pattern extraction --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Side:
+    """One join input: a filtered, projected base-table scan."""
+
+    table: str
+    columns: tuple[str, ...]
+    predicate: Expression | None
+    outputs: tuple[tuple[str, Expression], ...]  # includes the join key
+
+
+@dataclass(frozen=True)
+class _Stage:
+    """One additional join applied to the running intermediate result."""
+
+    side: _Side
+    key: str
+    kind: str
+
+
+@dataclass(frozen=True)
+class _Shape:
+    """The query patterns the simplistic optimizer supports: a single join
+    of two filtered tables (the paper's TPC-H pattern) or a single-table
+    scan-filter-aggregate (the Q1-style extension)."""
+
+    left: _Side
+    #: None for single-table aggregation queries (no join).
+    right: _Side | None
+    key: str
+    join_kind: str
+    post_filter: Expression | None
+    group_by: tuple[str, ...]
+    aggregates: tuple[AggregateSpec, ...]
+    final_outputs: tuple[tuple[str, Expression], ...] | None
+    #: Driver-side ORDER BY / LIMIT post-processing (§3.4).
+    order_by: tuple[str, ...] | None = None
+    order_descending: bool | tuple[bool, ...] = False
+    limit: int | None = None
+    #: Left-deep joins beyond the first (extension; the paper's optimizer
+    #: handles only the single-join TPC-H pattern).
+    extra_stages: tuple[_Stage, ...] = ()
+
+
+def _extract_side(plan: LogicalPlan, catalog: Catalog, key: str) -> _Side:
+    outputs: tuple[tuple[str, Expression], ...] | None = None
+    if isinstance(plan, ProjectNode):
+        outputs = plan.outputs
+        plan = plan.child
+    predicate = None
+    while isinstance(plan, FilterNode):
+        predicate = (
+            plan.predicate if predicate is None else plan.predicate & predicate
+        )
+        plan = plan.child
+    if not isinstance(plan, ScanNode):
+        raise PlanError(
+            "the simplistic optimizer needs each join side to be "
+            f"scan → filter* → project?, found {type(plan).__name__}"
+        )
+    columns = plan.columns or catalog.get(plan.table).schema.field_names
+    if outputs is None:
+        outputs = tuple((c, col(c)) for c in columns)
+    names = [alias for alias, _ in outputs]
+    if key not in names:
+        raise PlanError(f"join side over {plan.table!r} does not produce key {key!r}")
+    return _Side(plan.table, tuple(columns), predicate, outputs)
+
+
+def _extract_side_any_key(plan: LogicalPlan, catalog: Catalog) -> _Side:
+    """Like :func:`_extract_side` but without a join-key requirement."""
+    outputs: tuple[tuple[str, Expression], ...] | None = None
+    if isinstance(plan, ProjectNode):
+        outputs = plan.outputs
+        plan = plan.child
+    predicate = None
+    while isinstance(plan, FilterNode):
+        predicate = (
+            plan.predicate if predicate is None else plan.predicate & predicate
+        )
+        plan = plan.child
+    if not isinstance(plan, ScanNode):
+        raise PlanError(
+            "the simplistic optimizer supports single-table aggregations of "
+            f"the form scan → filter* → project?; found {type(plan).__name__}"
+        )
+    columns = plan.columns or catalog.get(plan.table).schema.field_names
+    if outputs is None:
+        outputs = tuple((c, col(c)) for c in columns)
+    return _Side(plan.table, tuple(columns), predicate, outputs)
+
+
+def _extract_shape(plan: LogicalPlan, catalog: Catalog) -> _Shape:
+    limit = None
+    order_by = None
+    order_descending = False
+    if isinstance(plan, LimitNode):
+        limit = plan.n
+        plan = plan.child
+    if isinstance(plan, SortNode):
+        order_by = plan.keys
+        order_descending = plan.descending
+        plan = plan.child
+    final_outputs = None
+    if isinstance(plan, ProjectNode):
+        final_outputs = plan.outputs
+        plan = plan.child
+    if not isinstance(plan, AggregateNode):
+        raise PlanError(
+            "the simplistic optimizer expects an aggregation on top of the "
+            f"join (the TPC-H pattern of §4.4); found {type(plan).__name__}"
+        )
+    aggregate = plan
+    plan = plan.child
+    post_filter = None
+    while isinstance(plan, FilterNode):
+        post_filter = (
+            plan.predicate if post_filter is None else plan.predicate & post_filter
+        )
+        plan = plan.child
+    # Left-deep multi-join chains: peel enclosing joins whose left child is
+    # itself a join; each peeled join becomes a stage over the intermediate.
+    extra_stages: list[_Stage] = []
+    while isinstance(plan, JoinNode) and isinstance(plan.left, JoinNode):
+        extra_stages.append(
+            _Stage(
+                side=_extract_side(plan.right, catalog, plan.key),
+                key=plan.key,
+                kind=plan.kind,
+            )
+        )
+        plan = plan.left
+    extra_stages.reverse()
+
+    if not isinstance(plan, JoinNode):
+        # No join: accept a plain side (scan → filter* → project?) — the
+        # single-table aggregation pattern (e.g. TPC-H Q1).
+        side = _extract_side_any_key(plan, catalog)
+        return _Shape(
+            left=side,
+            right=None,
+            key="",
+            join_kind="none",
+            post_filter=post_filter,
+            group_by=aggregate.group_by,
+            aggregates=aggregate.aggregates,
+            final_outputs=final_outputs,
+            order_by=order_by,
+            order_descending=order_descending,
+            limit=limit,
+        )
+    return _Shape(
+        left=_extract_side(plan.left, catalog, plan.key),
+        right=_extract_side(plan.right, catalog, plan.key),
+        key=plan.key,
+        join_kind=plan.kind,
+        post_filter=post_filter,
+        group_by=aggregate.group_by,
+        aggregates=aggregate.aggregates,
+        final_outputs=final_outputs,
+        order_by=order_by,
+        order_descending=order_descending,
+        limit=limit,
+        extra_stages=tuple(extra_stages),
+    )
+
+
+# -- expression lowering ----------------------------------------------------------
+
+
+def _expr_tuple_fn(
+    outputs: tuple[tuple[str, Expression], ...], input_type: TupleType
+) -> TupleFunction:
+    """Compile named expressions into a vectorizable Map UDF."""
+    names = input_type.field_names
+    exprs = [expr for _alias, expr in outputs]
+    out_type = TupleType(
+        Field(alias, infer_atom_type(expr, input_type)) for alias, expr in outputs
+    )
+    dtypes = [f.item_type.numpy_dtype for f in out_type]
+
+    def scalar(row: tuple) -> tuple:
+        env = dict(zip(names, row))
+        return tuple(_as_scalar(e.evaluate(env)) for e in exprs)
+
+    def vectorized(columns: tuple[np.ndarray, ...]) -> tuple[np.ndarray, ...]:
+        env = dict(zip(names, columns))
+        n = len(columns[0]) if columns else 0
+        return tuple(
+            _broadcast(np.asarray(e.evaluate(env)), n, dt)
+            for e, dt in zip(exprs, dtypes)
+        )
+
+    return TupleFunction(scalar, out_type, vectorized)
+
+
+def _as_scalar(value: object) -> object:
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def _broadcast(values: np.ndarray, n: int, dtype: str) -> np.ndarray:
+    if values.ndim == 0:
+        values = np.full(n, values)
+    return values.astype(dtype, copy=False)
+
+
+def _expr_predicate(expr: Expression, input_type: TupleType) -> Predicate:
+    names = input_type.field_names
+
+    def scalar(row: tuple) -> bool:
+        return bool(expr.evaluate(dict(zip(names, row))))
+
+    def vectorized(columns: tuple[np.ndarray, ...]) -> np.ndarray:
+        return np.asarray(expr.evaluate(dict(zip(names, columns))), dtype=bool)
+
+    return Predicate(scalar, vectorized)
+
+
+def _agg_reduce_fn(aggregates: tuple[AggregateSpec, ...]) -> ReduceFunction:
+    """Combiner merging partial aggregates position-wise."""
+    funcs = tuple(a.func for a in aggregates)
+
+    def combine(acc: tuple, row: tuple) -> tuple:
+        out = []
+        for func, a, b in zip(funcs, acc, row):
+            if func in ("sum", "count"):
+                out.append(a + b)
+            elif func == "min":
+                out.append(min(a, b))
+            else:
+                out.append(max(a, b))
+        return tuple(out)
+
+    sum_fields = None
+    if all(f in ("sum", "count") for f in funcs):
+        sum_fields = tuple(a.alias for a in aggregates)
+    return ReduceFunction(combine, vectorized_sum_fields=sum_fields)
+
+
+def _agg_input_outputs(shape: _Shape) -> tuple[tuple[str, Expression], ...]:
+    """The Map outputs feeding the partial aggregation: keys then inputs."""
+    outputs: list[tuple[str, Expression]] = [(k, col(k)) for k in shape.group_by]
+    for agg in shape.aggregates:
+        expr = lit(1) if agg.func == "count" else agg.expr
+        outputs.append((agg.alias, expr))
+    return tuple(outputs)
+
+
+# -- the lowered plan ---------------------------------------------------------------
+
+
+@dataclass
+class ModularisQuery:
+    """A logical query lowered to a distributed Modularis plan."""
+
+    root: Operator
+    slot: ParameterSlot
+    executor: MpiExecutor
+    cluster: SimCluster
+    shape: _Shape
+    output_columns: tuple[str, ...]
+    #: Join strategy the lowering chose: "exchange" or "broadcast".
+    strategy: str = "exchange"
+
+    def run(self, catalog: Catalog, mode: str = "fused") -> ExecutionResult:
+        """Execute against the catalog's current table contents."""
+        tables = []
+        sides = [self.shape.left]
+        if self.shape.right is not None:
+            sides.append(self.shape.right)
+            sides.extend(stage.side for stage in self.shape.extra_stages)
+        for side in sides:
+            data = catalog.get(side.table).data
+            pruned = TupleType(
+                Field(c, data.element_type[c]) for c in side.columns
+            )
+            tables.append(
+                RowVector(pruned, [data.column(c) for c in side.columns])
+            )
+        return execute(self.root, params={self.slot: tuple(tables)}, mode=mode)
+
+    def result_frame(self, result: ExecutionResult) -> Frame:
+        """The final output as a columnar frame.
+
+        A scalar aggregation over zero qualifying rows yields one all-zero
+        row, matching the reference interpreter (and SUM-as-0 SQL engines).
+        """
+        (row,) = result.rows
+        vector: RowVector = row[0]
+        if not self.shape.group_by and len(vector) == 0:
+            return Frame(
+                {
+                    field.name: np.zeros(1, dtype=field.item_type.numpy_dtype)
+                    for field in vector.element_type
+                }
+            )
+        return Frame(
+            {
+                name: vector.column(name)
+                for name in vector.element_type.field_names
+            }
+        )
+
+
+JOIN_STRATEGIES = ("auto", "exchange", "broadcast")
+
+
+def _choose_strategy(
+    strategy: str, shape: _Shape, catalog: Catalog, n_ranks: int
+) -> str:
+    """Pick exchange vs broadcast for the join (the stats-based rule).
+
+    Broadcasting replicates the build side to every rank
+    (``|L| · (n−1)`` tuples on the wire) but leaves the probe side in
+    place; the exchange moves both sides once (``|L| + |R|`` tuples).
+    Using base-table row counts from the catalog (filter selectivities are
+    not estimated — the paper's optimizer is deliberately simplistic),
+    broadcast wins when ``|L| · n < |L| + |R|``.
+    """
+    if shape.right is None:
+        return "scan"
+    if shape.extra_stages:
+        if strategy == "broadcast":
+            raise PlanError(
+                "broadcast strategy is not supported for multi-join chains"
+            )
+        same_key = all(stage.key == shape.key for stage in shape.extra_stages)
+        all_inner = shape.join_kind == "inner" and all(
+            stage.kind == "inner" for stage in shape.extra_stages
+        )
+        if same_key and all_inner:
+            # The paper's §4.2 optimization as an optimizer rule: joins on
+            # one shared attribute pre-partition every relation once and
+            # chain BuildProbes, instead of re-shuffling intermediates.
+            return "cascade"
+        return "multistage"
+    if strategy != "auto":
+        return strategy
+    left_rows = catalog.get(shape.left.table).stats.row_count
+    right_rows = catalog.get(shape.right.table).stats.row_count
+    if left_rows * n_ranks < left_rows + right_rows:
+        return "broadcast"
+    return "exchange"
+
+
+def lower_to_modularis(
+    plan: LogicalPlan,
+    catalog: Catalog,
+    cluster: SimCluster,
+    local_fanout: int = 16,
+    network_fanout: int | None = None,
+    join_strategy: str = "exchange",
+) -> ModularisQuery:
+    """Optimize and lower a logical plan onto a simulated cluster.
+
+    Args:
+        join_strategy: ``exchange`` (the Figure 3 repartition join — the
+            paper's plan and the default), ``broadcast`` (replicate the
+            build side via MpiBroadcast — an extension this library adds),
+            or ``auto`` to let the stats rule decide.
+    """
+    if join_strategy not in JOIN_STRATEGIES:
+        raise PlanError(
+            f"unknown join strategy {join_strategy!r}; have {JOIN_STRATEGIES}"
+        )
+    optimized = optimize(plan, catalog)
+    shape = _extract_shape(optimized, catalog)
+    n_net = network_fanout or cluster.n_ranks
+    strategy = _choose_strategy(join_strategy, shape, catalog, cluster.n_ranks)
+
+    left_schema = _pruned_schema(catalog, shape.left)
+    if shape.right is None:
+        slot = ParameterSlot(TupleType.of(left=row_vector_type(left_schema)))
+        right_schema = None
+        stage_schemas = []
+    else:
+        right_schema = _pruned_schema(catalog, shape.right)
+        stage_schemas = [
+            _pruned_schema(catalog, stage.side) for stage in shape.extra_stages
+        ]
+        slot_fields = {
+            "left": row_vector_type(left_schema),
+            "right": row_vector_type(right_schema),
+        }
+        for i, schema in enumerate(stage_schemas):
+            slot_fields[f"stage{i}"] = row_vector_type(schema)
+        slot = ParameterSlot(TupleType.of(**slot_fields))
+
+    def side_stream(worker_slot: ParameterSlot, side: _Side, schema, param: str) -> Operator:
+        stream: Operator = RowScan(
+            Projection(ParameterLookup(worker_slot), [param]),
+            field=param,
+            shard_by_rank=True,
+        )
+        if side.predicate is not None:
+            stream = Filter(stream, _expr_predicate(side.predicate, schema))
+        return Map(stream, _expr_tuple_fn(side.outputs, schema))
+
+    def build_worker_exchange(worker_slot: ParameterSlot) -> Operator:
+        exchanged = []
+        for side, schema, param, pid_field, data_field in (
+            (shape.left, left_schema, "left", "net_l", "data_l"),
+            (shape.right, right_schema, "right", "net_r", "data_r"),
+        ):
+            stream = side_stream(worker_slot, side, schema, param)
+            net_fn = HashPartition(shape.key, n_net, salt=0)
+            local_hist = LocalHistogram(stream, net_fn)
+            global_hist = MpiHistogram(local_hist, n_net)
+            exchanged.append(
+                MpiExchange(
+                    stream, local_hist, global_hist, net_fn,
+                    id_field=pid_field, data_field=data_field,
+                )
+            )
+        zipped = Zip(exchanged)
+        joined = NestedMap(
+            zipped, lambda s: _level1(s, shape, local_fanout)
+        )
+        flat = RowScan(joined, field="agg")
+        merged = _merge_partials(flat, shape)
+        return MaterializeRowVector(merged, field="result")
+
+    def build_worker_broadcast(worker_slot: ParameterSlot) -> Operator:
+        from repro.core.functions import RadixPartition
+        from repro.core.operators import MpiBroadcast
+
+        build = side_stream(worker_slot, shape.left, left_schema, "left")
+        local_count = LocalHistogram(build, RadixPartition(shape.key, 1))
+        global_count = MpiHistogram(local_count, 1)
+        replicated = MpiBroadcast(build, local_count, global_count)
+        probe = side_stream(worker_slot, shape.right, right_schema, "right")
+        stream = _post_join(
+            BuildProbe(replicated, probe, keys=shape.key, join_type=shape.join_kind),
+            shape,
+        )
+        merged = _merge_partials(stream, shape)
+        return MaterializeRowVector(merged, field="result")
+
+    def build_worker_single(worker_slot: ParameterSlot) -> Operator:
+        stream = side_stream(worker_slot, shape.left, left_schema, "left")
+        merged = _merge_partials(_post_join(stream, shape), shape)
+        return MaterializeRowVector(merged, field="result")
+
+    def build_worker_cascade(worker_slot: ParameterSlot) -> Operator:
+        """Same-key join chain: the Figure 4 'optimized' plan shape.
+
+        All N+1 relations are network-partitioned up front on the shared
+        key; per partition, the sides are locally partitioned and joined
+        by a chain of BuildProbes whose intermediates never materialize or
+        re-shuffle.
+        """
+        sides = [
+            ("left", shape.left, left_schema),
+            ("right", shape.right, right_schema),
+        ] + [
+            (f"stage{i}", stage.side, stage_schemas[i])
+            for i, stage in enumerate(shape.extra_stages)
+        ]
+        exchanged = []
+        for i, (param, side, schema) in enumerate(sides):
+            stream = side_stream(worker_slot, side, schema, param)
+            net_fn = HashPartition(shape.key, n_net, salt=0)
+            local_hist = LocalHistogram(stream, net_fn)
+            global_hist = MpiHistogram(local_hist, n_net)
+            exchanged.append(
+                MpiExchange(
+                    stream, local_hist, global_hist, net_fn,
+                    id_field=f"net{i}", data_field=f"data{i}",
+                )
+            )
+        zipped = Zip(exchanged)
+        k = len(sides)
+
+        def level1(slot: ParameterSlot) -> Operator:
+            partitioned = []
+            for i in range(k):
+                stream = RowScan(Projection(ParameterLookup(slot), [f"data{i}"]))
+                local_fn = HashPartition(shape.key, local_fanout, salt=1)
+                hist = LocalHistogram(stream, local_fn)
+                hist.phase_name = "local_partition"
+                partitioned.append(
+                    LocalPartitioning(
+                        stream, hist, local_fn,
+                        id_field=f"sub{i}", data_field=f"sd{i}",
+                    )
+                )
+            pairs = Zip(partitioned)
+
+            def level2(slot2: ParameterSlot) -> Operator:
+                acc = RowScan(Projection(ParameterLookup(slot2), ["sd0"]))
+                for i in range(1, k):
+                    side_scan = RowScan(
+                        Projection(ParameterLookup(slot2), [f"sd{i}"])
+                    )
+                    acc = BuildProbe(side_scan, acc, keys=shape.key)
+                merged = _merge_partials(_post_join(acc, shape), shape)
+                return MaterializeRowVector(merged, field="agg")
+
+            joined = NestedMap(pairs, level2)
+            flat = RowScan(joined, field="agg")
+            merged = _merge_partials(flat, shape)
+            return MaterializeRowVector(merged, field="agg")
+
+        joined = NestedMap(zipped, level1)
+        flat = RowScan(joined, field="agg")
+        merged = _merge_partials(flat, shape)
+        return MaterializeRowVector(merged, field="result")
+
+    def build_worker_multistage(worker_slot: ParameterSlot) -> Operator:
+        stream = _exchange_join_stage(
+            side_stream(worker_slot, shape.left, left_schema, "left"),
+            side_stream(worker_slot, shape.right, right_schema, "right"),
+            shape.key,
+            shape.join_kind,
+            n_net,
+            local_fanout,
+        )
+        for i, stage in enumerate(shape.extra_stages):
+            stream = _exchange_join_stage(
+                stream,
+                side_stream(worker_slot, stage.side, stage_schemas[i], f"stage{i}"),
+                stage.key,
+                stage.kind,
+                n_net,
+                local_fanout,
+            )
+        merged = _merge_partials(_post_join(stream, shape), shape)
+        return MaterializeRowVector(merged, field="result")
+
+    if strategy == "scan":
+        build_worker = build_worker_single
+    elif strategy == "broadcast":
+        build_worker = build_worker_broadcast
+    elif strategy == "multistage":
+        build_worker = build_worker_multistage
+    elif strategy == "cascade":
+        build_worker = build_worker_cascade
+    else:
+        build_worker = build_worker_exchange
+    executor = MpiExecutor(ParameterLookup(slot), build_worker, cluster)
+    flat = RowScan(executor, field="result")
+    final = _merge_partials(flat, shape)
+    if shape.final_outputs is not None:
+        final = Map(
+            final, _expr_tuple_fn(shape.final_outputs, final.output_type)
+        )
+    if shape.order_by is not None:
+        final = LocalSort(final, shape.order_by, descending=shape.order_descending)
+    if shape.limit is not None:
+        final = Limit(final, shape.limit)
+    root = MaterializeRowVector(final, field="result")
+    return ModularisQuery(
+        root=root,
+        slot=slot,
+        executor=executor,
+        cluster=cluster,
+        shape=shape,
+        output_columns=root.output_type["result"].element_type.field_names,
+        strategy=strategy,
+    )
+
+
+def _pruned_schema(catalog: Catalog, side: _Side) -> TupleType:
+    schema = catalog.get(side.table).schema
+    return TupleType(Field(c, schema[c]) for c in side.columns)
+
+
+def _merge_partials(stream: Operator, shape: _Shape) -> Operator:
+    """Post-aggregate partial results at a nesting boundary (§4.4)."""
+    if shape.group_by:
+        return ReduceByKey(stream, shape.group_by, _agg_reduce_fn(shape.aggregates))
+    return Reduce(stream, _agg_reduce_fn(shape.aggregates))
+
+
+def _exchange_join_stage(
+    left: Operator,
+    right: Operator,
+    key: str,
+    kind: str,
+    n_net: int,
+    local_fanout: int,
+) -> Operator:
+    """One full exchange-join stage returning a flat match stream.
+
+    Used by the multi-join lowering: both inputs run the LocalHistogram →
+    MpiHistogram → MpiExchange ladder on ``key``, corresponding partitions
+    are zipped, locally partitioned, and joined — the Figure 3 pattern with
+    the stage's own key.  When ``left`` is the previous stage's output it
+    has two consumers (histogram and exchange), so the plan compiler
+    materializes it: the intermediate-result materialization every
+    re-shuffling join chain pays (§5.2.1).
+    """
+    exchanged = []
+    for stream, pid_field, data_field in (
+        (left, "net_l", "data_l"),
+        (right, "net_r", "data_r"),
+    ):
+        net_fn = HashPartition(key, n_net, salt=0)
+        local_hist = LocalHistogram(stream, net_fn)
+        global_hist = MpiHistogram(local_hist, n_net)
+        exchanged.append(
+            MpiExchange(
+                stream, local_hist, global_hist, net_fn,
+                id_field=pid_field, data_field=data_field,
+            )
+        )
+    zipped = Zip(exchanged)
+
+    def level1(slot: ParameterSlot) -> Operator:
+        partitioned = []
+        for data_field, sub_id, sub_data in (
+            ("data_l", "sub_l", "sd_l"),
+            ("data_r", "sub_r", "sd_r"),
+        ):
+            stream = RowScan(Projection(ParameterLookup(slot), [data_field]))
+            local_fn = HashPartition(key, local_fanout, salt=1)
+            hist = LocalHistogram(stream, local_fn)
+            hist.phase_name = "local_partition"
+            partitioned.append(
+                LocalPartitioning(
+                    stream, hist, local_fn, id_field=sub_id, data_field=sub_data
+                )
+            )
+        pairs = Zip(partitioned)
+
+        def level2(slot2: ParameterSlot) -> Operator:
+            build = RowScan(Projection(ParameterLookup(slot2), ["sd_l"]))
+            probe = RowScan(Projection(ParameterLookup(slot2), ["sd_r"]))
+            joined = BuildProbe(build, probe, keys=key, join_type=kind)
+            return MaterializeRowVector(joined, field="matches")
+
+        joined = NestedMap(pairs, level2)
+        flat = RowScan(joined, field="matches")
+        return MaterializeRowVector(flat, field="matches")
+
+    joined = NestedMap(zipped, level1)
+    return RowScan(joined, field="matches")
+
+
+def _level1(slot: ParameterSlot, shape: _Shape, local_fanout: int) -> Operator:
+    """First nesting level: local partitioning of one network partition."""
+    partitioned = []
+    for data_field, sub_id, sub_data in (
+        ("data_l", "sub_l", "sd_l"),
+        ("data_r", "sub_r", "sd_r"),
+    ):
+        stream = RowScan(Projection(ParameterLookup(slot), [data_field]))
+        local_fn = HashPartition(shape.key, local_fanout, salt=1)
+        hist = LocalHistogram(stream, local_fn)
+        hist.phase_name = "local_partition"
+        partitioned.append(
+            LocalPartitioning(
+                stream, hist, local_fn, id_field=sub_id, data_field=sub_data
+            )
+        )
+    pairs = Zip(partitioned)
+    joined = NestedMap(pairs, lambda s: _level2(s, shape))
+    flat = RowScan(joined, field="agg")
+    merged = _merge_partials(flat, shape)
+    return MaterializeRowVector(merged, field="agg")
+
+
+def _post_join(stream: Operator, shape: _Shape) -> Operator:
+    """Residual filter plus the projection feeding the partial aggregation."""
+    if shape.post_filter is not None:
+        stream = Filter(stream, _expr_predicate(shape.post_filter, stream.output_type))
+    return Map(stream, _expr_tuple_fn(_agg_input_outputs(shape), stream.output_type))
+
+
+def _level2(slot: ParameterSlot, shape: _Shape) -> Operator:
+    """Innermost level: join one sub-partition pair and pre-aggregate."""
+    build = RowScan(Projection(ParameterLookup(slot), ["sd_l"]))
+    probe = RowScan(Projection(ParameterLookup(slot), ["sd_r"]))
+    joined = BuildProbe(build, probe, keys=shape.key, join_type=shape.join_kind)
+    merged = _merge_partials(_post_join(joined, shape), shape)
+    return MaterializeRowVector(merged, field="agg")

@@ -1,0 +1,182 @@
+"""Logical optimization passes (paper §3.4: "a series of optimizations
+such as projection push-downs and transformations into data-parallel
+plans").
+
+Two classic rewrite rules are implemented on the logical algebra:
+
+* :func:`push_filters` — move filters below joins onto the side whose
+  columns they reference, and fold stacked filters into one conjunction;
+* :func:`prune_columns` — compute the columns each subtree actually needs
+  and narrow every ``Scan`` to exactly those (projection push-down).
+
+The data-parallel transformation itself happens during lowering
+(:mod:`repro.relational.optimizer.planner`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.relational.logical import (
+    AggregateNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    LogicalPlan,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+from repro.storage.catalog import Catalog
+
+__all__ = ["output_columns", "push_filters", "prune_columns", "optimize"]
+
+
+def output_columns(plan: LogicalPlan, catalog: Catalog) -> tuple[str, ...]:
+    """The column names a logical subtree produces, in order."""
+    if isinstance(plan, ScanNode):
+        if plan.columns is not None:
+            return plan.columns
+        return catalog.get(plan.table).schema.field_names
+    if isinstance(plan, FilterNode):
+        return output_columns(plan.child, catalog)
+    if isinstance(plan, ProjectNode):
+        return tuple(alias for alias, _ in plan.outputs)
+    if isinstance(plan, JoinNode):
+        left = output_columns(plan.left, catalog)
+        right = output_columns(plan.right, catalog)
+        if plan.kind in ("semi", "anti"):
+            return right
+        merged = [plan.key]
+        merged += [c for c in left if c != plan.key]
+        merged += [c for c in right if c != plan.key]
+        return tuple(merged)
+    if isinstance(plan, AggregateNode):
+        return plan.group_by + tuple(a.alias for a in plan.aggregates)
+    if isinstance(plan, (SortNode, LimitNode)):
+        return output_columns(plan.child, catalog)
+    raise PlanError(f"unknown logical node {type(plan).__name__}")
+
+
+def push_filters(plan: LogicalPlan, catalog: Catalog) -> LogicalPlan:
+    """Push filters below joins; merge adjacent filters."""
+    if isinstance(plan, ScanNode):
+        return plan
+    if isinstance(plan, FilterNode):
+        child = push_filters(plan.child, catalog)
+        if isinstance(child, FilterNode):
+            return FilterNode(child.child, child.predicate & plan.predicate)
+        if isinstance(child, ProjectNode):
+            # Rewrite the predicate over the projection's inputs and push it
+            # below (safe because Project computes pure expressions).
+            from repro.relational.expressions import substitute_columns
+
+            mapping = dict(child.outputs)
+            pushed = FilterNode(child.child, substitute_columns(plan.predicate, mapping))
+            return ProjectNode(push_filters(pushed, catalog), child.outputs)
+        if isinstance(child, JoinNode):
+            refs = plan.predicate.references()
+            left_cols = set(output_columns(child.left, catalog))
+            right_cols = set(output_columns(child.right, catalog))
+            if refs <= left_cols:
+                return push_filters(
+                    JoinNode(
+                        FilterNode(child.left, plan.predicate),
+                        child.right, child.key, child.kind,
+                    ),
+                    catalog,
+                )
+            if refs <= right_cols:
+                return push_filters(
+                    JoinNode(
+                        child.left,
+                        FilterNode(child.right, plan.predicate),
+                        child.key, child.kind,
+                    ),
+                    catalog,
+                )
+        return FilterNode(child, plan.predicate)
+    if isinstance(plan, ProjectNode):
+        return ProjectNode(push_filters(plan.child, catalog), plan.outputs)
+    if isinstance(plan, JoinNode):
+        return JoinNode(
+            push_filters(plan.left, catalog),
+            push_filters(plan.right, catalog),
+            plan.key,
+            plan.kind,
+        )
+    if isinstance(plan, AggregateNode):
+        return AggregateNode(
+            push_filters(plan.child, catalog), plan.group_by, plan.aggregates
+        )
+    if isinstance(plan, SortNode):
+        return SortNode(push_filters(plan.child, catalog), plan.keys, plan.descending)
+    if isinstance(plan, LimitNode):
+        return LimitNode(push_filters(plan.child, catalog), plan.n)
+    raise PlanError(f"unknown logical node {type(plan).__name__}")
+
+
+def prune_columns(plan: LogicalPlan, catalog: Catalog) -> LogicalPlan:
+    """Narrow every Scan to the columns its consumers actually use."""
+    return _prune(plan, catalog, needed=None)
+
+
+def _prune(
+    plan: LogicalPlan, catalog: Catalog, needed: set[str] | None
+) -> LogicalPlan:
+    if isinstance(plan, ScanNode):
+        available = catalog.get(plan.table).schema.field_names
+        if needed is None:
+            return plan
+        keep = tuple(c for c in available if c in needed)
+        if not keep:
+            keep = available[:1]  # a table must keep at least one column
+        return ScanNode(plan.table, keep)
+    if isinstance(plan, FilterNode):
+        child_needed = None
+        if needed is not None:
+            child_needed = set(needed) | plan.predicate.references()
+        return FilterNode(_prune(plan.child, catalog, child_needed), plan.predicate)
+    if isinstance(plan, ProjectNode):
+        outputs = plan.outputs
+        if needed is not None:
+            outputs = tuple((a, e) for a, e in plan.outputs if a in needed)
+            if not outputs:
+                outputs = plan.outputs[:1]
+        child_needed: set[str] = set()
+        for _alias, expr in outputs:
+            child_needed |= expr.references()
+        return ProjectNode(_prune(plan.child, catalog, child_needed), outputs)
+    if isinstance(plan, JoinNode):
+        left_cols = set(output_columns(plan.left, catalog))
+        right_cols = set(output_columns(plan.right, catalog))
+        if needed is None:
+            left_needed, right_needed = left_cols, right_cols
+        else:
+            left_needed = (set(needed) & left_cols) | {plan.key}
+            right_needed = (set(needed) & right_cols) | {plan.key}
+        return JoinNode(
+            _prune(plan.left, catalog, left_needed),
+            _prune(plan.right, catalog, right_needed),
+            plan.key,
+            plan.kind,
+        )
+    if isinstance(plan, AggregateNode):
+        child_needed = set(plan.group_by)
+        for agg in plan.aggregates:
+            child_needed |= agg.expr.references()
+        return AggregateNode(
+            _prune(plan.child, catalog, child_needed), plan.group_by, plan.aggregates
+        )
+    if isinstance(plan, SortNode):
+        child_needed = None if needed is None else set(needed) | set(plan.keys)
+        return SortNode(
+            _prune(plan.child, catalog, child_needed), plan.keys, plan.descending
+        )
+    if isinstance(plan, LimitNode):
+        return LimitNode(_prune(plan.child, catalog, needed), plan.n)
+    raise PlanError(f"unknown logical node {type(plan).__name__}")
+
+
+def optimize(plan: LogicalPlan, catalog: Catalog) -> LogicalPlan:
+    """The full (simplistic) rewrite pipeline: pushdown, then pruning."""
+    return prune_columns(push_filters(plan, catalog), catalog)

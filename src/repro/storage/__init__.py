@@ -1,0 +1,15 @@
+"""In-memory storage: tables, statistics, catalog, and persistence."""
+
+from repro.storage.catalog import Catalog
+from repro.storage.io import load_catalog_dir, load_table, save_catalog, save_table
+from repro.storage.table import Table, TableStats
+
+__all__ = [
+    "Catalog",
+    "Table",
+    "TableStats",
+    "save_table",
+    "load_table",
+    "save_catalog",
+    "load_catalog_dir",
+]

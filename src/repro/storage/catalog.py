@@ -1,0 +1,45 @@
+"""The catalog: the named-table namespace queries resolve against."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import CatalogError
+from repro.storage.table import Table
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """A mutable collection of named tables."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def register(self, table: Table, replace: bool = False) -> Table:
+        """Add a table; refuses to overwrite unless ``replace`` is set."""
+        if table.name in self._tables and not replace:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+        return table
+
+    def get(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            known = sorted(self._tables)
+            raise CatalogError(f"unknown table {name!r}; catalog has {known}") from None
+
+    def drop(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"cannot drop unknown table {name!r}")
+        del self._tables[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)

@@ -1,0 +1,76 @@
+"""Table persistence: save and load catalogs as ``.npz`` archives.
+
+The paper's workers read base tables from a shared file system (NFS);
+this module is the equivalent convenience for the reproduction — generate
+a dataset once (e.g. TPC-H at some scale factor), persist it, and reload
+it across benchmark runs without regenerating.
+
+One ``.npz`` file holds one table: each column is an array entry, plus a
+``__name__`` entry carrying the table name.  A catalog directory holds one
+file per table.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.errors import CatalogError
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+__all__ = ["save_table", "load_table", "save_catalog", "load_catalog_dir"]
+
+_NAME_KEY = "__name__"
+
+
+def save_table(table: Table, path: str | pathlib.Path) -> pathlib.Path:
+    """Write one table to a ``.npz`` file; returns the path written."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    columns = {
+        name: table.data.column(name) for name in table.schema.field_names
+    }
+    np.savez(path, **{_NAME_KEY: np.array(table.name)}, **columns)
+    return path if path.suffix == ".npz" else path.with_suffix(".npz")
+
+
+def load_table(path: str | pathlib.Path) -> Table:
+    """Read one table back from a ``.npz`` file."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise CatalogError(f"no table file at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        if _NAME_KEY not in archive:
+            raise CatalogError(f"{path} is not a saved table (missing name entry)")
+        name = str(archive[_NAME_KEY])
+        columns = {
+            key: archive[key] for key in archive.files if key != _NAME_KEY
+        }
+    if not columns:
+        raise CatalogError(f"{path} holds no columns")
+    return Table.from_arrays(name, **columns)
+
+
+def save_catalog(catalog: Catalog, directory: str | pathlib.Path) -> list[pathlib.Path]:
+    """Write every table of a catalog into ``directory`` (one file each)."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return [
+        save_table(table, directory / f"{table.name}.npz") for table in catalog
+    ]
+
+
+def load_catalog_dir(directory: str | pathlib.Path) -> Catalog:
+    """Load every ``.npz`` table in ``directory`` into a fresh catalog."""
+    directory = pathlib.Path(directory)
+    if not directory.is_dir():
+        raise CatalogError(f"no catalog directory at {directory}")
+    catalog = Catalog()
+    files = sorted(directory.glob("*.npz"))
+    if not files:
+        raise CatalogError(f"{directory} holds no .npz tables")
+    for path in files:
+        catalog.register(load_table(path))
+    return catalog

@@ -1,0 +1,81 @@
+"""In-memory tables: named, typed, columnar base relations.
+
+A :class:`Table` is the storage-side face of a
+:class:`~repro.types.collections.RowVector`: the same columnar payload plus
+a name and lightweight statistics for the optimizer.  In the paper's
+architecture base tables live on a shared file system that every worker can
+read; here they live in driver memory and workers scan rank-sized shards
+(see ``RowScan(shard_by_rank=True)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CatalogError
+from repro.types.atoms import atom_from_numpy_dtype
+from repro.types.collections import RowVector
+from repro.types.tuples import Field, TupleType
+
+__all__ = ["Table", "TableStats"]
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics the simplistic optimizer uses (paper §4.4)."""
+
+    row_count: int
+    #: Distinct-value estimates per column (exact, since tables are local).
+    distinct: dict[str, int]
+
+    @classmethod
+    def of(cls, data: RowVector) -> "TableStats":
+        distinct = {}
+        for field in data.element_type:
+            column = data.column(field.name)
+            if column.dtype == object:
+                distinct[field.name] = len(set(map(id, column)))
+            else:
+                distinct[field.name] = int(len(np.unique(column)))
+        return cls(row_count=len(data), distinct=distinct)
+
+
+class Table:
+    """A named base relation."""
+
+    __slots__ = ("name", "data", "stats")
+
+    def __init__(self, name: str, data: RowVector, stats: TableStats | None = None) -> None:
+        if not name:
+            raise CatalogError("table name must be non-empty")
+        self.name = name
+        self.data = data
+        self.stats = stats or TableStats.of(data)
+
+    @property
+    def schema(self) -> TupleType:
+        return self.data.element_type
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @classmethod
+    def from_arrays(cls, name: str, **columns: np.ndarray) -> "Table":
+        """Build a table from named numpy arrays (types are inferred)."""
+        if not columns:
+            raise CatalogError(f"table {name!r} needs at least one column")
+        arrays = {k: np.asarray(v) for k, v in columns.items()}
+        lengths = {len(a) for a in arrays.values()}
+        if len(lengths) != 1:
+            raise CatalogError(
+                f"table {name!r}: ragged columns with lengths {sorted(lengths)}"
+            )
+        schema = TupleType(
+            Field(col, atom_from_numpy_dtype(arr.dtype)) for col, arr in arrays.items()
+        )
+        return cls(name, RowVector(schema, list(arrays.values())))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table({self.name!r}, rows={len(self)}, schema={self.schema!r})"

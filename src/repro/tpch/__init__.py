@@ -1,0 +1,33 @@
+"""TPC-H substrate: schema, dbgen, and queries 4/12/14/19."""
+
+from repro.tpch.dbgen import TpchData, generate, load_catalog
+from repro.tpch.queries import (
+    ALL_QUERIES,
+    EXTENSION_QUERIES,
+    q1,
+    q3,
+    q4,
+    q6,
+    q12,
+    q14,
+    q19,
+)
+from repro.tpch.schema import LINEITEM_SCHEMA, ORDERS_SCHEMA, PART_SCHEMA
+
+__all__ = [
+    "TpchData",
+    "generate",
+    "load_catalog",
+    "ALL_QUERIES",
+    "EXTENSION_QUERIES",
+    "q1",
+    "q3",
+    "q4",
+    "q6",
+    "q12",
+    "q14",
+    "q19",
+    "LINEITEM_SCHEMA",
+    "ORDERS_SCHEMA",
+    "PART_SCHEMA",
+]

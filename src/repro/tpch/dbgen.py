@@ -1,0 +1,184 @@
+"""Seeded TPC-H data generator (``dbgen``) at configurable scale.
+
+Generates the ``orders``, ``lineitem``, and ``part`` tables with the value
+distributions of the TPC-H specification for every column that queries 4,
+12, 14, and 19 read: uniform order dates over the 7-year window, 1–7
+lineitems per order with the spec's date offsets, the spec's retail-price
+formula, and the categorical pools of :mod:`repro.tpch.schema`.  The paper
+runs scale factor 500; benchmarks here default to laptop scale (SF 0.01–
+0.1) — see DESIGN.md for the substitution argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModularisError
+from repro.relational.expressions import days_from_date
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+from repro.tpch.schema import (
+    CONTAINER_SYLLABLES,
+    MARKET_SEGMENTS,
+    ORDER_PRIORITIES,
+    ROWS_PER_SF,
+    SHIP_INSTRUCTIONS,
+    SHIP_MODES,
+    TYPE_SYLLABLES,
+)
+
+__all__ = ["TpchData", "generate", "load_catalog"]
+
+_START_DATE = days_from_date("1992-01-01")
+_END_DATE = days_from_date("1998-08-02")
+
+
+@dataclass
+class TpchData:
+    """The generated tables plus their scale factor."""
+
+    scale_factor: float
+    orders: Table
+    lineitem: Table
+    part: Table
+    customer: Table
+
+    def register_all(self, catalog: Catalog, replace: bool = False) -> Catalog:
+        for table in (self.orders, self.lineitem, self.part, self.customer):
+            catalog.register(table, replace=replace)
+        return catalog
+
+
+def _pick(rng: np.random.Generator, pool: tuple[str, ...], n: int) -> np.ndarray:
+    return np.asarray(pool, dtype="U32")[rng.integers(0, len(pool), size=n)]
+
+
+def _retail_price(partkeys: np.ndarray) -> np.ndarray:
+    """The spec's p_retailprice formula (clause 4.2.3)."""
+    return (
+        90000.0 + ((partkeys // 10) % 20001) + 100.0 * (partkeys % 1000)
+    ) / 100.0
+
+
+def generate(scale_factor: float = 0.01, seed: int = 2021) -> TpchData:
+    """Generate the three tables at ``scale_factor`` (deterministic)."""
+    if scale_factor <= 0:
+        raise ModularisError(f"scale factor must be positive, got {scale_factor}")
+    rng = np.random.default_rng(seed)
+    n_orders = max(int(ROWS_PER_SF["orders"] * scale_factor), 16)
+    n_parts = max(int(ROWS_PER_SF["part"] * scale_factor), 16)
+
+    # -- part ---------------------------------------------------------------
+    partkeys = np.arange(n_parts, dtype=np.int64)
+    brands = np.array(
+        [
+            f"Brand#{m}{n}"
+            for m, n in zip(
+                rng.integers(1, 6, size=n_parts), rng.integers(1, 6, size=n_parts)
+            )
+        ],
+        dtype="U32",
+    )
+    types = np.array(
+        [
+            f"{a} {b} {c}"
+            for a, b, c in zip(
+                _pick(rng, TYPE_SYLLABLES[0], n_parts),
+                _pick(rng, TYPE_SYLLABLES[1], n_parts),
+                _pick(rng, TYPE_SYLLABLES[2], n_parts),
+            )
+        ],
+        dtype="U32",
+    )
+    containers = np.array(
+        [
+            f"{a} {b}"
+            for a, b in zip(
+                _pick(rng, CONTAINER_SYLLABLES[0], n_parts),
+                _pick(rng, CONTAINER_SYLLABLES[1], n_parts),
+            )
+        ],
+        dtype="U32",
+    )
+    part = Table.from_arrays(
+        "part",
+        p_partkey=partkeys,
+        p_brand=brands,
+        p_type=types,
+        p_size=rng.integers(1, 51, size=n_parts).astype(np.int64),
+        p_container=containers,
+    )
+
+    # -- customer ------------------------------------------------------------
+    n_customers = max(int(ROWS_PER_SF["customer"] * scale_factor), 8)
+    customer = Table.from_arrays(
+        "customer",
+        c_custkey=np.arange(n_customers, dtype=np.int64),
+        c_mktsegment=_pick(rng, MARKET_SEGMENTS, n_customers),
+    )
+
+    # -- orders --------------------------------------------------------------
+    orderkeys = np.arange(n_orders, dtype=np.int64)
+    orderdates = rng.integers(
+        _START_DATE, _END_DATE - 151, size=n_orders
+    ).astype(np.int64)
+    orders = Table.from_arrays(
+        "orders",
+        o_orderkey=orderkeys,
+        o_custkey=rng.integers(0, n_customers, size=n_orders).astype(np.int64),
+        o_orderdate=orderdates,
+        o_orderpriority=_pick(rng, ORDER_PRIORITIES, n_orders),
+        o_shippriority=np.zeros(n_orders, dtype=np.int64),
+    )
+
+    # -- lineitem ------------------------------------------------------------
+    lines_per_order = rng.integers(1, 8, size=n_orders)
+    l_orderkey = np.repeat(orderkeys, lines_per_order)
+    n_lines = len(l_orderkey)
+    l_partkey = rng.integers(0, n_parts, size=n_lines).astype(np.int64)
+    l_quantity = rng.integers(1, 51, size=n_lines).astype(np.int64)
+    l_extendedprice = l_quantity * _retail_price(l_partkey)
+    l_discount = rng.integers(0, 11, size=n_lines) / 100.0
+    l_tax = rng.integers(0, 9, size=n_lines) / 100.0
+    order_dates_per_line = np.repeat(orderdates, lines_per_order)
+    l_shipdate = order_dates_per_line + rng.integers(1, 122, size=n_lines)
+    l_commitdate = order_dates_per_line + rng.integers(30, 91, size=n_lines)
+    l_receiptdate = l_shipdate + rng.integers(1, 31, size=n_lines)
+    # Spec clause 4.2.3: lines received after the "current date" minus 17
+    # days are still open ("O"); closed lines return "R" or "A" evenly.
+    current_date = days_from_date("1995-06-17")
+    open_line = l_receiptdate > current_date
+    l_linestatus = np.where(open_line, "O", "F").astype("U32")
+    returns = np.where(rng.integers(0, 2, size=n_lines) == 0, "R", "A")
+    l_returnflag = np.where(open_line, "N", returns).astype("U32")
+    lineitem = Table.from_arrays(
+        "lineitem",
+        l_orderkey=l_orderkey,
+        l_partkey=l_partkey,
+        l_quantity=l_quantity,
+        l_extendedprice=l_extendedprice,
+        l_discount=l_discount,
+        l_tax=l_tax,
+        l_returnflag=l_returnflag,
+        l_linestatus=l_linestatus,
+        l_shipdate=l_shipdate.astype(np.int64),
+        l_commitdate=l_commitdate.astype(np.int64),
+        l_receiptdate=l_receiptdate.astype(np.int64),
+        l_shipmode=_pick(rng, SHIP_MODES, n_lines),
+        l_shipinstruct=_pick(rng, SHIP_INSTRUCTIONS, n_lines),
+    )
+
+    return TpchData(
+        scale_factor=scale_factor,
+        orders=orders,
+        lineitem=lineitem,
+        part=part,
+        customer=customer,
+    )
+
+
+def load_catalog(scale_factor: float = 0.01, seed: int = 2021) -> Catalog:
+    """Generate the dataset and register it in a fresh catalog."""
+    return generate(scale_factor, seed).register_all(Catalog())

@@ -1,0 +1,255 @@
+"""TPC-H queries 4, 12, 14, and 19 as logical plans (paper §4.4).
+
+The paper picks exactly these queries because they share one pattern — a
+single join of two previously filtered tables, a projection, and a
+post-aggregation — which the simplistic optimizer of
+:mod:`repro.relational.optimizer` lowers onto the Figure 3 plan shape.
+
+Each query is expressed through the dataframe DSL.  Join keys are
+projected to a common name on both sides (``okey``/``pkey``), which is what
+``JoinNode`` requires; CASE expressions become boolean-arithmetic
+(``flag * value``) exactly as a dictionary-encoding front end would emit.
+"""
+
+from __future__ import annotations
+
+from repro.relational.builder import Query, scan
+from repro.relational.expressions import col, days_from_date, lit
+
+__all__ = ["q1", "q3", "q4", "q6", "q12", "q14", "q19", "ALL_QUERIES", "EXTENSION_QUERIES"]
+
+
+def q4() -> Query:
+    """Order priority checking: EXISTS becomes a semi join on orders."""
+    committed_late = scan("lineitem").filter(
+        col("l_commitdate") < col("l_receiptdate")
+    ).project({"okey": col("l_orderkey")})
+    orders = scan("orders").filter(
+        (col("o_orderdate") >= days_from_date("1993-07-01"))
+        & (col("o_orderdate") < days_from_date("1993-10-01"))
+    ).project({"okey": col("o_orderkey"), "o_orderpriority": col("o_orderpriority")})
+    return (
+        committed_late.join(orders, on="okey", kind="semi")
+        .aggregate(
+            group_by=["o_orderpriority"],
+            aggs=[("count", lit(1), "order_count")],
+        )
+        .order_by("o_orderpriority")
+    )
+
+
+def q12() -> Query:
+    """Shipping modes and order priority: counts split by priority class."""
+    orders = scan("orders").project(
+        {"okey": col("o_orderkey"), "o_orderpriority": col("o_orderpriority")}
+    )
+    lineitem = scan("lineitem").filter(
+        col("l_shipmode").isin(["MAIL", "SHIP"])
+        & (col("l_commitdate") < col("l_receiptdate"))
+        & (col("l_shipdate") < col("l_commitdate"))
+        & (col("l_receiptdate") >= days_from_date("1994-01-01"))
+        & (col("l_receiptdate") < days_from_date("1995-01-01"))
+    ).project({"okey": col("l_orderkey"), "l_shipmode": col("l_shipmode")})
+    is_high = col("o_orderpriority").isin(["1-URGENT", "2-HIGH"])
+    return orders.join(lineitem, on="okey", kind="inner").aggregate(
+        group_by=["l_shipmode"],
+        aggs=[
+            ("sum", is_high * 1, "high_line_count"),
+            ("sum", (~is_high) * 1, "low_line_count"),
+        ],
+    )
+
+
+def q14() -> Query:
+    """Promotion effect: revenue share of PROMO parts in one month."""
+    part = scan("part").project(
+        {"pkey": col("p_partkey"), "p_type": col("p_type")}
+    )
+    lineitem = scan("lineitem").filter(
+        (col("l_shipdate") >= days_from_date("1995-09-01"))
+        & (col("l_shipdate") < days_from_date("1995-10-01"))
+    ).project(
+        {
+            "pkey": col("l_partkey"),
+            "l_extendedprice": col("l_extendedprice"),
+            "l_discount": col("l_discount"),
+        }
+    )
+    revenue = col("l_extendedprice") * (1 - col("l_discount"))
+    promo = col("p_type").startswith("PROMO") * 1
+    return (
+        part.join(lineitem, on="pkey", kind="inner")
+        .aggregate(
+            group_by=[],
+            aggs=[
+                ("sum", promo * revenue, "promo_sum"),
+                ("sum", revenue, "total_sum"),
+            ],
+        )
+        .project(
+            {"promo_revenue": 100.0 * col("promo_sum") / col("total_sum")}
+        )
+    )
+
+
+def q19() -> Query:
+    """Discounted revenue: disjunction of three brand/container/quantity
+    condition groups, evaluated as side pre-filters plus a residual
+    post-join filter."""
+    groups = (
+        ("Brand#12", ("SM CASE", "SM BOX", "SM PACK", "SM PKG"), 1, 11, 1, 5),
+        ("Brand#23", ("MED BAG", "MED BOX", "MED PKG", "MED PACK"), 10, 20, 1, 10),
+        ("Brand#34", ("LG CASE", "LG BOX", "LG PACK", "LG PKG"), 20, 30, 1, 15),
+    )
+
+    def part_group(brand: str, containers: tuple, smin: int, smax: int):
+        return (
+            (col("p_brand") == brand)
+            & col("p_container").isin(containers)
+            & col("p_size").between(smin, smax)
+        )
+
+    part_filter = None
+    residual = None
+    for brand, containers, qmin, qmax, smin, smax in groups:
+        side = part_group(brand, containers, smin, smax)
+        part_filter = side if part_filter is None else (part_filter | side)
+        full = side & col("l_quantity").between(qmin, qmax)
+        residual = full if residual is None else (residual | full)
+
+    part = scan("part").filter(part_filter).project(
+        {
+            "pkey": col("p_partkey"),
+            "p_brand": col("p_brand"),
+            "p_container": col("p_container"),
+            "p_size": col("p_size"),
+        }
+    )
+    lineitem = scan("lineitem").filter(
+        col("l_shipmode").isin(["AIR", "AIR REG"])
+        & (col("l_shipinstruct") == "DELIVER IN PERSON")
+        & col("l_quantity").between(1, 30)
+    ).project(
+        {
+            "pkey": col("l_partkey"),
+            "l_quantity": col("l_quantity"),
+            "l_extendedprice": col("l_extendedprice"),
+            "l_discount": col("l_discount"),
+        }
+    )
+    revenue = col("l_extendedprice") * (1 - col("l_discount"))
+    return (
+        part.join(lineitem, on="pkey", kind="inner")
+        .filter(residual)
+        .aggregate(group_by=[], aggs=[("sum", revenue, "revenue")])
+    )
+
+
+def q1() -> Query:
+    """Pricing summary report (extension, not part of Figure 9).
+
+    The classic single-table scan-filter-aggregate: no join, grouped by
+    (returnflag, linestatus), with the AVG columns decomposed into
+    sum/count partials and restored in a final projection — the standard
+    rewrite for distributed aggregation.
+    """
+    revenue = col("l_extendedprice") * (1 - col("l_discount"))
+    charge = revenue * (1 + col("l_tax"))
+    return (
+        scan("lineitem")
+        .filter(col("l_shipdate") <= days_from_date("1998-12-01") - 90)
+        .aggregate(
+            group_by=["l_returnflag", "l_linestatus"],
+            aggs=[
+                ("sum", col("l_quantity"), "sum_qty"),
+                ("sum", col("l_extendedprice"), "sum_base_price"),
+                ("sum", revenue, "sum_disc_price"),
+                ("sum", charge, "sum_charge"),
+                ("sum", col("l_discount"), "sum_disc"),
+                ("count", lit(1), "count_order"),
+            ],
+        )
+        .project(
+            {
+                "l_returnflag": col("l_returnflag"),
+                "l_linestatus": col("l_linestatus"),
+                "sum_qty": col("sum_qty"),
+                "sum_base_price": col("sum_base_price"),
+                "sum_disc_price": col("sum_disc_price"),
+                "sum_charge": col("sum_charge"),
+                "avg_qty": col("sum_qty") / col("count_order"),
+                "avg_price": col("sum_base_price") / col("count_order"),
+                "avg_disc": col("sum_disc") / col("count_order"),
+                "count_order": col("count_order"),
+            }
+        )
+        .order_by("l_returnflag", "l_linestatus")
+    )
+
+
+def q3() -> Query:
+    """Shipping priority (extension, not part of Figure 9).
+
+    A two-join chain on *different* keys — customer ⋈ orders on custkey,
+    then ⋈ lineitem on orderkey — exercising the multi-stage exchange-join
+    lowering, plus the spec's mixed-direction ORDER BY and LIMIT 10.
+    """
+    cutoff = days_from_date("1995-03-15")
+    customer = scan("customer").filter(
+        col("c_mktsegment") == "BUILDING"
+    ).project({"ckey": col("c_custkey")})
+    orders = scan("orders").filter(col("o_orderdate") < cutoff).project(
+        {
+            "ckey": col("o_custkey"),
+            "okey": col("o_orderkey"),
+            "o_orderdate": col("o_orderdate"),
+            "o_shippriority": col("o_shippriority"),
+        }
+    )
+    lineitem = scan("lineitem").filter(col("l_shipdate") > cutoff).project(
+        {
+            "okey": col("l_orderkey"),
+            "l_extendedprice": col("l_extendedprice"),
+            "l_discount": col("l_discount"),
+        }
+    )
+    revenue = col("l_extendedprice") * (1 - col("l_discount"))
+    return (
+        customer.join(orders, on="ckey", kind="semi")
+        .join(lineitem, on="okey", kind="inner")
+        .aggregate(
+            group_by=["okey", "o_orderdate", "o_shippriority"],
+            aggs=[("sum", revenue, "revenue")],
+        )
+        .order_by("revenue", "o_orderdate", descending=(True, False))
+        .limit(10)
+    )
+
+
+def q6() -> Query:
+    """Forecasting revenue change (extension, not part of Figure 9).
+
+    The smallest TPC-H query: one scan, three range predicates, one scalar
+    sum — a pure test of the single-table lowering and predicate
+    evaluation.
+    """
+    return (
+        scan("lineitem")
+        .filter(
+            (col("l_shipdate") >= days_from_date("1994-01-01"))
+            & (col("l_shipdate") < days_from_date("1995-01-01"))
+            & col("l_discount").between(0.05, 0.07)
+            & (col("l_quantity") < 24)
+        )
+        .aggregate(
+            group_by=[],
+            aggs=[("sum", col("l_extendedprice") * col("l_discount"), "revenue")],
+        )
+    )
+
+
+#: Query number -> builder, in the order Figure 9 reports them.
+ALL_QUERIES = {4: q4, 12: q12, 14: q14, 19: q19}
+
+#: Extension queries beyond the paper's evaluation set.
+EXTENSION_QUERIES = {1: q1, 3: q3, 6: q6}

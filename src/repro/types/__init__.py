@@ -1,0 +1,47 @@
+"""The Modularis recursive type system.
+
+Tuples are ordered, named mappings from field names to *items*; an item is
+either an :class:`~repro.types.atoms.AtomType` or a
+:class:`~repro.types.collections.CollectionType` of tuples.  See paper
+Section 3.2.
+"""
+
+from repro.types.atoms import (
+    BOOL,
+    DATE,
+    FLOAT64,
+    INT32,
+    INT64,
+    STRING,
+    AtomType,
+    atom_from_numpy_dtype,
+)
+from repro.types.collections import (
+    ChunkedRowVector,
+    CollectionType,
+    RowVector,
+    RowVectorBuilder,
+    chunked_type,
+    row_vector_type,
+)
+from repro.types.tuples import Field, TupleType, concat_tuple_types
+
+__all__ = [
+    "AtomType",
+    "BOOL",
+    "DATE",
+    "FLOAT64",
+    "INT32",
+    "INT64",
+    "STRING",
+    "atom_from_numpy_dtype",
+    "CollectionType",
+    "RowVector",
+    "RowVectorBuilder",
+    "row_vector_type",
+    "ChunkedRowVector",
+    "chunked_type",
+    "Field",
+    "TupleType",
+    "concat_tuple_types",
+]

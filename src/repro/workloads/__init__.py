@@ -1,0 +1,17 @@
+"""Synthetic workload generators matching the paper's evaluation setup."""
+
+from repro.workloads.groupby_data import KV_TYPE, GroupByWorkload, make_groupby_table
+from repro.workloads.join_data import (
+    JoinWorkload,
+    make_cascade_relations,
+    make_join_relations,
+)
+
+__all__ = [
+    "KV_TYPE",
+    "GroupByWorkload",
+    "make_groupby_table",
+    "JoinWorkload",
+    "make_cascade_relations",
+    "make_join_relations",
+]

@@ -1,0 +1,76 @@
+"""Synthetic GROUP BY workloads (paper §5.1.3).
+
+Figure 7 uses 16-byte ⟨key, value⟩ tuples: a fixed total of 2048 million
+tuples where, on the left plot, every key occurs once, and on the right
+plot the *cardinality* of each key (duplicates per key) grows while the
+total tuple count stays fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModularisError
+from repro.types.atoms import INT64
+from repro.types.collections import RowVector
+from repro.types.tuples import TupleType
+
+__all__ = ["GroupByWorkload", "make_groupby_table"]
+
+KV_TYPE = TupleType.of(key=INT64, value=INT64)
+
+
+@dataclass(frozen=True)
+class GroupByWorkload:
+    """A ⟨key, value⟩ table plus the exact expected aggregation."""
+
+    table: RowVector
+    key_bits: int
+    n_groups: int
+    duplicates_per_key: int
+
+    def expected_sums(self) -> dict[int, int]:
+        """Reference result: per-key sum of values."""
+        keys = self.table.column("key")
+        values = self.table.column("value")
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        bounds = np.flatnonzero(
+            np.concatenate(([True], sorted_keys[1:] != sorted_keys[:-1]))
+        )
+        sums = np.add.reduceat(values[order], bounds)
+        return dict(zip(sorted_keys[bounds].tolist(), sums.tolist()))
+
+
+def make_groupby_table(
+    n_tuples: int, duplicates_per_key: int = 1, seed: int = 2021
+) -> GroupByWorkload:
+    """Fixed total size, variable key cardinality (Figure 7's two knobs).
+
+    Args:
+        n_tuples: Total tuples in the table (the paper's fixed 2048 M).
+        duplicates_per_key: Occurrences of each key; the number of groups is
+            ``n_tuples // duplicates_per_key``.
+        seed: RNG seed.
+    """
+    if n_tuples < 1 or duplicates_per_key < 1:
+        raise ModularisError("n_tuples and duplicates_per_key must be positive")
+    if n_tuples % duplicates_per_key:
+        raise ModularisError(
+            f"{duplicates_per_key} duplicates per key must divide the total "
+            f"of {n_tuples} tuples"
+        )
+    n_groups = n_tuples // duplicates_per_key
+    rng = np.random.default_rng(seed)
+    keys = np.repeat(np.arange(n_groups, dtype=np.int64), duplicates_per_key)
+    rng.shuffle(keys)
+    values = rng.integers(0, n_groups or 1, size=n_tuples, dtype=np.int64)
+    key_bits = max(int(max(n_groups, 2)).bit_length(), 4)
+    return GroupByWorkload(
+        table=RowVector(KV_TYPE, [keys, values]),
+        key_bits=key_bits,
+        n_groups=n_groups,
+        duplicates_per_key=duplicates_per_key,
+    )

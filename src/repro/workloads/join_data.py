@@ -1,0 +1,116 @@
+"""Synthetic join workloads matching the paper's evaluation setup.
+
+The paper's join experiments (§5.1.2, §5.2.1) use relations of 16-byte
+tuples — an 8-byte key and an 8-byte payload — with keys from a dense
+domain and a 1-on-1 correspondence between the keys of the inner and outer
+relation.  These generators reproduce that workload at configurable scale,
+plus the duplicated-key variant used to grow the first join's output in
+Figure 8b/8c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModularisError
+from repro.types.atoms import INT64
+from repro.types.collections import RowVector
+from repro.types.tuples import TupleType
+
+__all__ = ["JoinWorkload", "make_join_relations", "make_cascade_relations"]
+
+
+def _relation(
+    rng: np.random.Generator, n_tuples: int, payload_name: str, copies: int = 1
+) -> RowVector:
+    """A shuffled dense-key relation; each key appears ``copies`` times."""
+    keys = np.repeat(np.arange(n_tuples, dtype=np.int64), copies)
+    rng.shuffle(keys)
+    payloads = keys + 1  # payloads are dense too (dictionary-encoded domain)
+    schema = TupleType.of(key=INT64, **{payload_name: INT64})
+    return RowVector(schema, [keys, payloads])
+
+
+@dataclass(frozen=True)
+class JoinWorkload:
+    """A two-relation join workload plus its compression parameters."""
+
+    left: RowVector
+    right: RowVector
+    #: Dense-domain width covering every key and payload value.
+    key_bits: int
+    #: Exact number of result tuples the join must produce.
+    expected_matches: int
+
+
+def make_join_relations(
+    n_tuples: int, seed: int = 2021, right_copies: int = 1
+) -> JoinWorkload:
+    """The paper's scale-out workload: |R| = |S| = ``n_tuples`` dense keys.
+
+    Args:
+        n_tuples: Distinct keys per relation (the paper uses 2048 million;
+            benchmarks here default to 2**19).
+        seed: RNG seed; workloads are fully deterministic.
+        right_copies: Duplicates of each key in the outer relation; 1 keeps
+            the paper's default 1-on-1 correspondence, larger values grow
+            the join output (Figure 8b/8c).
+    """
+    if n_tuples < 1:
+        raise ModularisError(f"need at least one tuple, got {n_tuples}")
+    rng = np.random.default_rng(seed)
+    left = _relation(rng, n_tuples, "lpay")
+    right = _relation(rng, n_tuples, "rpay", copies=right_copies)
+    key_bits = max(int(n_tuples + 1).bit_length(), 4)
+    return JoinWorkload(
+        left=left,
+        right=right,
+        key_bits=key_bits,
+        expected_matches=n_tuples * right_copies,
+    )
+
+
+def make_cascade_relations(
+    n_relations: int,
+    n_tuples: int,
+    seed: int = 2021,
+    match_multiplier: int = 1,
+) -> tuple[list[RowVector], int]:
+    """Relations ``R0 … R(n-1)`` for an (n−1)-join cascade on ``key``.
+
+    Args:
+        n_relations: Number of relations (≥ 3 for a sequence of ≥ 2 joins).
+        n_tuples: Tuples per relation (all relations stay this size).
+        seed: RNG seed.
+        match_multiplier: ``m`` > 1 shrinks the key domain of the first two
+            relations to ``n_tuples / m`` keys repeated ``m`` times each, so
+            the *first join's output* grows to ``m × n_tuples`` while every
+            input relation keeps ``n_tuples`` rows — the knob of Figure
+            8b/8c (the paper grows the intermediate result, not the
+            inputs; the optimized variant's network time must stay flat).
+
+    Returns:
+        The relations and the expected final match count.
+    """
+    if n_relations < 3:
+        raise ModularisError("a cascade workload needs at least three relations")
+    if match_multiplier < 1 or n_tuples % match_multiplier:
+        raise ModularisError(
+            f"match multiplier {match_multiplier} must divide n_tuples={n_tuples}"
+        )
+    rng = np.random.default_rng(seed)
+    relations = []
+    for i in range(n_relations):
+        if i < 2 and match_multiplier > 1:
+            n_keys = n_tuples // match_multiplier
+            keys = np.repeat(np.arange(n_keys, dtype=np.int64), match_multiplier)
+            rng.shuffle(keys)
+            schema = TupleType.of(key=INT64, **{f"p{i}": INT64})
+            relations.append(RowVector(schema, [keys, keys + 1]))
+        else:
+            relations.append(_relation(rng, n_tuples, f"p{i}"))
+    # R0 ⋈ R1 yields m² combinations per key over n/m keys = m·n rows; every
+    # later relation holds each surviving key exactly once.
+    return relations, n_tuples * match_multiplier

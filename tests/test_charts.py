@@ -1,0 +1,62 @@
+"""Tests for the text chart renderers."""
+
+import pytest
+
+from repro.bench.charts import bar_chart, series_chart
+from repro.bench.harness import ResultTable
+
+
+@pytest.fixture
+def table():
+    t = ResultTable("Demo", ("cfg",), ("a", "b"))
+    t.add({"cfg": "one"}, {"a": 1.0, "b": 4.0})
+    t.add({"cfg": "two"}, {"a": 2.0, "b": 0.5})
+    return t
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self, table):
+        text = bar_chart(table, "a")
+        assert "one" in text and "two" in text
+        assert "1" in text and "2" in text
+
+    def test_longest_bar_is_max(self, table):
+        text = bar_chart(table, "a", width=10)
+        lines = text.splitlines()[1:]
+        bar_two = lines[1]
+        assert bar_two.count("█") == 10
+
+    def test_bars_scale_proportionally(self, table):
+        text = bar_chart(table, "a", width=10)
+        lines = text.splitlines()[1:]
+        assert lines[0].count("█") == 5  # 1.0 / 2.0 of width 10
+
+    def test_empty_table(self):
+        empty = ResultTable("Empty", ("x",), ("y",))
+        assert "no rows" in bar_chart(empty, "y")
+
+    def test_zero_values(self):
+        t = ResultTable("Zeros", ("x",), ("y",))
+        t.add({"x": "a"}, {"y": 0.0})
+        text = bar_chart(t, "y")
+        assert "a" in text
+
+
+class TestSeriesChart:
+    def test_all_metrics_rendered(self, table):
+        text = series_chart(table, ("a", "b"))
+        assert text.count(" a ") + text.count(" a  ") >= 1
+        assert "b" in text
+        # two rows x two metrics = 4 bar lines + title
+        assert len(text.splitlines()) == 5
+
+    def test_shared_scale(self, table):
+        text = series_chart(table, ("a", "b"), width=8)
+        lines = text.splitlines()
+        # b=4.0 is the global max: its bar fills the width.
+        b_line_one = lines[2]
+        assert b_line_one.count("█") == 8
+
+    def test_empty(self):
+        empty = ResultTable("Empty", ("x",), ("y",))
+        assert "no rows" in series_chart(empty, ("y",))

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bench_choices(self):
+        args = build_parser().parse_args(["bench", "fig7", "--n-tuples", "1024"])
+        assert args.experiment == "fig7"
+        assert args.n_tuples == 1024
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig99"])
+
+    def test_tpch_defaults(self):
+        args = build_parser().parse_args(["tpch", "--query", "12"])
+        assert args.sf == 0.02 and args.machines == 8
+        assert args.strategy == "exchange"
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tpch", "--query", "7"])
+
+
+class TestCommands:
+    def test_tpch_query_runs(self, capsys):
+        code = main(["tpch", "--query", "12", "--sf", "0.005", "--machines", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "l_shipmode" in out
+        assert "simulated=" in out
+
+    def test_tpch_broadcast_strategy(self, capsys):
+        code = main(
+            ["tpch", "--query", "14", "--sf", "0.005", "--machines", "2",
+             "--strategy", "broadcast"]
+        )
+        assert code == 0
+        assert "strategy=broadcast" in capsys.readouterr().out
+
+    def test_tpch_q1_extension(self, capsys):
+        code = main(["tpch", "--query", "1", "--sf", "0.005", "--machines", "2"])
+        assert code == 0
+        assert "l_returnflag" in capsys.readouterr().out
+
+    def test_join_command(self, capsys):
+        code = main(["join", "--log2-tuples", "10", "--machines", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out and "matches" in out
+
+    def test_join_sortmerge(self, capsys):
+        code = main(
+            ["join", "--log2-tuples", "10", "--machines", "2",
+             "--algorithm", "sortmerge", "--no-compression"]
+        )
+        assert code == 0
+
+    def test_explain_command(self, capsys):
+        code = main(["explain", "--query", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "logical plan" in out
+        assert "MpiExecutor" in out
+
+    def test_bench_micro(self, capsys):
+        code = main(["bench", "micro"])
+        assert code == 0
+        assert "raw_loop" in capsys.readouterr().out
+
+    def test_bench_table1(self, capsys):
+        code = main(["bench", "table1"])
+        assert code == 0
+        assert "MpiExchange" in capsys.readouterr().out

@@ -1,0 +1,58 @@
+"""Determinism pins: identical seeds must give bit-identical results *and*
+identical simulated timings (the property plan resumption, benchmarking,
+and EXPERIMENTS.md regeneration all rely on)."""
+
+from repro.core.plans import build_distributed_groupby, build_distributed_join
+from repro.mpi.cluster import SimCluster
+from repro.workloads import make_groupby_table, make_join_relations
+
+
+def _join_run(seed):
+    workload = make_join_relations(1 << 13, seed=3)
+    plan = build_distributed_join(
+        SimCluster(4, seed=seed),
+        workload.left.element_type,
+        workload.right.element_type,
+        key_bits=workload.key_bits,
+    )
+    result = plan.run(workload.left, workload.right)
+    cluster_result = result.cluster_results[0]
+    return (
+        sorted(plan.matches(result).iter_rows()),
+        cluster_result.clocks,
+        cluster_result.phase_breakdown(),
+    )
+
+
+class TestJoinDeterminism:
+    def test_same_seed_identical_everything(self):
+        rows_a, clocks_a, phases_a = _join_run(seed=11)
+        rows_b, clocks_b, phases_b = _join_run(seed=11)
+        assert rows_a == rows_b
+        assert clocks_a == clocks_b  # exact float equality, not approx
+        assert phases_a == phases_b
+
+    def test_different_seed_same_rows_different_times(self):
+        rows_a, clocks_a, _ = _join_run(seed=11)
+        rows_b, clocks_b, _ = _join_run(seed=12)
+        assert rows_a == rows_b  # jitter never changes data
+        assert clocks_a != clocks_b
+
+
+class TestGroupByDeterminism:
+    def test_repeatable(self):
+        workload = make_groupby_table(1 << 12, duplicates_per_key=4, seed=5)
+
+        def run():
+            plan = build_distributed_groupby(
+                SimCluster(4, seed=9),
+                workload.table.element_type,
+                key_bits=workload.key_bits,
+            )
+            result = plan.run(workload.table)
+            return (
+                sorted(plan.groups(result).iter_rows()),
+                result.cluster_results[0].makespan,
+            )
+
+        assert run() == run()

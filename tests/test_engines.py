@@ -1,0 +1,131 @@
+"""Tests for the Presto/MemSQL engine models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    MEMSQL_PROFILE,
+    PRESTO_PROFILE,
+    EngineModel,
+    EngineProfile,
+    MemSqlModel,
+    PrestoModel,
+)
+from repro.relational import run_logical_plan
+from repro.relational.builder import scan
+from repro.relational.expressions import col, lit
+from repro.relational.optimizer import optimize
+from repro.storage import Catalog, Table
+from repro.tpch import load_catalog, q12
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    rng = np.random.default_rng(2)
+    cat.register(
+        Table.from_arrays(
+            "a",
+            k=np.arange(200, dtype=np.int64),
+            x=rng.integers(0, 10, 200).astype(np.int64),
+        )
+    )
+    cat.register(
+        Table.from_arrays(
+            "b",
+            k=rng.integers(0, 200, 500).astype(np.int64),
+            y=rng.integers(0, 10, 500).astype(np.int64),
+        )
+    )
+    return cat
+
+
+def example(catalog):
+    return (
+        scan("a")
+        .join(scan("b"), on="k")
+        .aggregate(group_by=["x"], aggs=[("sum", col("y"), "total"), ("count", lit(1), "n")])
+    )
+
+
+class TestResultsAreReal:
+    @pytest.mark.parametrize("model_cls", [PrestoModel, MemSqlModel])
+    def test_engine_matches_reference(self, catalog, model_cls):
+        query = example(catalog)
+        reference = run_logical_plan(query.plan, catalog)
+        run = model_cls().run_query(query.plan, catalog)
+        assert sorted(zip(run.frame.columns["x"], run.frame.columns["total"])) == sorted(
+            zip(reference.columns["x"], reference.columns["total"])
+        )
+
+    def test_engine_matches_reference_on_tpch(self):
+        catalog = load_catalog(scale_factor=0.005)
+        query = q12()
+        reference = run_logical_plan(query.plan, catalog)
+        run = PrestoModel().run_query(optimize(query.plan, catalog), catalog)
+        got = dict(zip(run.frame.columns["l_shipmode"], run.frame.columns["high_line_count"]))
+        expected = dict(
+            zip(reference.columns["l_shipmode"], reference.columns["high_line_count"])
+        )
+        assert got == expected
+
+
+class TestCostStructure:
+    def test_breakdown_phases_present(self, catalog):
+        run = PrestoModel().run_query(example(catalog).plan, catalog)
+        for phase in ("fixed", "scan", "exchange", "join", "aggregate"):
+            assert run.breakdown.get(phase, 0.0) > 0.0, phase
+        assert run.seconds == pytest.approx(sum(run.breakdown.values()))
+
+    def test_presto_slower_than_memsql(self, catalog):
+        query = example(catalog).plan
+        presto = PrestoModel().run_query(query, catalog)
+        memsql = MemSqlModel().run_query(query, catalog)
+        assert presto.seconds > memsql.seconds * 3
+
+    def test_more_workers_scan_faster(self, catalog):
+        slow = EngineModel(PRESTO_PROFILE)
+        fast = EngineModel(
+            EngineProfile(
+                **{**PRESTO_PROFILE.__dict__, "n_workers": PRESTO_PROFILE.n_workers * 4}
+            )
+        )
+        query = example(catalog).plan
+        assert fast.run_query(query, catalog).seconds < slow.run_query(query, catalog).seconds
+
+    def test_fixed_overhead_floor(self, catalog):
+        empty = (
+            scan("a")
+            .filter(col("k") < 0)
+            .join(scan("b"), on="k")
+            .aggregate(group_by=[], aggs=[("sum", col("y"), "t")])
+        )
+        run = MemSqlModel().run_query(empty.plan, catalog)
+        assert run.seconds >= MEMSQL_PROFILE.query_overhead
+
+    def test_profiles_have_distinct_structure(self):
+        # Presto reads files, MemSQL reads memory.
+        assert PRESTO_PROFILE.scan_row_decode > 0
+        assert MEMSQL_PROFILE.scan_row_decode == 0
+        assert PRESTO_PROFILE.cpu_row > 5 * MEMSQL_PROFILE.cpu_row
+
+
+class TestEnginesOnExtensionQueries:
+    @pytest.mark.parametrize("qnum", [1, 3, 6])
+    def test_engines_match_reference(self, qnum):
+        from repro.tpch import EXTENSION_QUERIES
+
+        catalog = load_catalog(scale_factor=0.005)
+        query = EXTENSION_QUERIES[qnum]()
+        reference = run_logical_plan(query.plan, catalog)
+        optimized = optimize(query.plan, catalog)
+        for model_cls in (PrestoModel, MemSqlModel):
+            run = model_cls().run_query(optimized, catalog)
+            assert set(run.frame.columns) == set(reference.columns)
+            assert run.frame.n_rows == reference.n_rows
+            for name in reference.columns:
+                expected, got = reference.columns[name], run.frame.columns[name]
+                if expected.dtype.kind == "f":
+                    assert np.allclose(expected, got)
+                else:
+                    assert expected.tolist() == got.tolist()

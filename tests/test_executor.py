@@ -1,0 +1,75 @@
+"""Unit tests for the driver-side executor."""
+
+import pytest
+
+from repro.core.executor import execute
+from repro.core.functions import field_sum
+from repro.core.operators import (
+    MaterializeRowVector,
+    ParameterLookup,
+    ParameterSlot,
+    Reduce,
+    RowScan,
+)
+from repro.errors import ExecutionError
+from repro.types import INT64, TupleType, row_vector_type
+
+from tests.conftest import make_kv_table
+
+KV = TupleType.of(key=INT64, value=INT64)
+
+
+def simple_plan():
+    slot = ParameterSlot(TupleType.of(t=row_vector_type(KV)))
+    scan = RowScan(ParameterLookup(slot), field="t")
+    total = Reduce(scan, field_sum("key", "value"))
+    return MaterializeRowVector(total, field="result"), slot
+
+
+class TestExecute:
+    def test_returns_rows_and_type(self):
+        root, slot = simple_plan()
+        table = make_kv_table(16)
+        result = execute(root, params={slot: (table,)})
+        assert len(result) == 1
+        assert result.output_type == root.output_type
+        (row,) = result.rows
+        assert row[0].row(0) == (
+            int(table.column("key").sum()),
+            int(table.column("value").sum()),
+        )
+
+    def test_seconds_accumulate(self):
+        root, slot = simple_plan()
+        result = execute(root, params={slot: (make_kv_table(1 << 12),)})
+        assert result.seconds > 0
+
+    def test_interpreted_mode_costs_more_sim_time(self):
+        root, slot = simple_plan()
+        table = make_kv_table(1 << 10)
+        fused = execute(root, params={slot: (table,)}, mode="fused")
+        interp = execute(root, params={slot: (table,)}, mode="interpreted")
+        assert interp.seconds > fused.seconds
+
+    def test_parameters_unbound_after_execution(self):
+        root, slot = simple_plan()
+        table = make_kv_table(4)
+        execute(root, params={slot: (table,)})
+        # A second execution must re-bind cleanly (no stale state).
+        result = execute(root, params={slot: (table,)})
+        assert len(result.rows) == 1
+
+    def test_missing_parameter_fails(self):
+        root, _slot = simple_plan()
+        with pytest.raises(ExecutionError, match="outside its NestedMap"):
+            execute(root)
+
+    def test_no_cluster_results_for_local_plans(self):
+        root, slot = simple_plan()
+        result = execute(root, params={slot: (make_kv_table(4),)})
+        assert result.cluster_results == []
+
+    def test_phase_breakdown_empty_without_cluster(self):
+        root, slot = simple_plan()
+        result = execute(root, params={slot: (make_kv_table(4),)})
+        assert result.phase_breakdown() == {}

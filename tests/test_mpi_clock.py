@@ -1,0 +1,71 @@
+"""Unit tests for the simulated clock and phase attribution."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mpi.clock import DEFAULT_PHASE, PhaseTimings, SimClock
+
+
+class TestPhaseTimings:
+    def test_accumulates(self):
+        t = PhaseTimings()
+        t.add("a", 1.0)
+        t.add("a", 0.5)
+        t.add("b", 2.0)
+        assert t.get("a") == 1.5
+        assert t.total() == 3.5
+        assert set(t.phases()) == {"a", "b"}
+
+    def test_missing_phase_is_zero(self):
+        assert PhaseTimings().get("ghost") == 0.0
+
+    def test_as_dict_is_copy(self):
+        t = PhaseTimings()
+        t.add("a", 1.0)
+        d = t.as_dict()
+        d["a"] = 99.0
+        assert t.get("a") == 1.0
+
+
+class TestSimClock:
+    def test_advance_moves_time(self):
+        clock = SimClock()
+        clock.advance(0.25)
+        clock.advance(0.25)
+        assert clock.now == 0.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance(-1.0)
+
+    def test_advance_attributes_to_current_phase(self):
+        clock = SimClock()
+        clock.advance(1.0)
+        clock.phase = "build"
+        clock.advance(2.0)
+        assert clock.timings.get(DEFAULT_PHASE) == 1.0
+        assert clock.timings.get("build") == 2.0
+
+    def test_jitter_scales_cpu_work_only(self):
+        clock = SimClock(jitter_factor=1.5)
+        clock.advance(1.0, jitter=True)
+        clock.advance(1.0, jitter=False)
+        assert clock.now == pytest.approx(2.5)
+
+    def test_advance_to_returns_stall(self):
+        clock = SimClock()
+        clock.advance(1.0)
+        assert clock.advance_to(3.0) == pytest.approx(2.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        assert clock.advance_to(1.0) == 0.0
+        assert clock.now == 5.0
+
+    def test_stall_is_attributed(self):
+        clock = SimClock()
+        clock.phase = "global_histogram"
+        clock.advance_to(1.0)
+        assert clock.timings.get("global_histogram") == pytest.approx(1.0)

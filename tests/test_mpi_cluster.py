@@ -1,0 +1,99 @@
+"""Unit tests for SimCluster dispatch, results, and timing harvest."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.mpi.cluster import ClusterResult, SimCluster
+
+
+class TestRun:
+    def test_results_in_rank_order(self, cluster4):
+        result = cluster4.run(lambda ctx: ctx.rank * 2)
+        assert result.per_rank == [0, 2, 4, 6]
+
+    def test_context_fields(self, cluster4):
+        def prog(ctx):
+            return (ctx.rank, ctx.n_ranks, ctx.is_root)
+
+        result = cluster4.run(prog)
+        assert result.per_rank[0] == (0, 4, True)
+        assert result.per_rank[3] == (3, 4, False)
+
+    def test_single_rank_cluster(self):
+        result = SimCluster(1).run(lambda ctx: ctx.comm.allreduce(np.array([5]))[0])
+        assert result.per_rank == [5]
+
+    def test_invalid_size(self):
+        with pytest.raises(SimulationError):
+            SimCluster(0)
+
+    def test_exception_propagates(self, cluster2):
+        def prog(ctx):
+            raise RuntimeError(f"boom on {ctx.rank}")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            cluster2.run(prog)
+
+    def test_reusable_across_runs(self, cluster2):
+        first = cluster2.run(lambda ctx: ctx.rank)
+        second = cluster2.run(lambda ctx: ctx.rank + 10)
+        assert first.per_rank == [0, 1]
+        assert second.per_rank == [10, 11]
+
+
+class TestDeterminism:
+    def test_same_seed_same_clocks(self):
+        def prog(ctx):
+            ctx.clock.advance(0.001, jitter=True)
+            ctx.comm.barrier()
+            return None
+
+        a = SimCluster(4, seed=7).run(prog)
+        b = SimCluster(4, seed=7).run(prog)
+        assert a.clocks == b.clocks
+
+    def test_different_seed_different_jitter(self):
+        def prog(ctx):
+            ctx.clock.advance(0.001, jitter=True)
+            return ctx.clock.now
+
+        a = SimCluster(4, seed=1).run(prog)
+        b = SimCluster(4, seed=2).run(prog)
+        assert a.per_rank != b.per_rank
+
+    def test_rank_rngs_are_independent(self):
+        result = SimCluster(4, seed=3).run(lambda ctx: ctx.rng.integers(1 << 30))
+        assert len(set(result.per_rank)) == 4
+
+
+class TestTimings:
+    def test_makespan_is_slowest_rank(self, cluster4):
+        def prog(ctx):
+            ctx.clock.advance(0.01 * (ctx.rank + 1))
+
+        result = cluster4.run(prog)
+        assert result.makespan == max(result.clocks)
+        assert result.makespan >= 0.04
+
+    def test_phase_breakdown_takes_max_per_phase(self, cluster2):
+        def prog(ctx):
+            ctx.clock.phase = "work"
+            ctx.clock.advance(0.1 * (ctx.rank + 1))
+
+        result = cluster2.run(prog)
+        assert result.phase_breakdown()["work"] == pytest.approx(0.2)
+
+    def test_empty_result(self):
+        assert ClusterResult(per_rank=[], clocks=[], timings=[]).makespan == 0.0
+
+
+class TestPartitionRows:
+    def test_covers_all_rows(self):
+        cluster = SimCluster(3)
+        spans = [cluster.partition_rows(10, r) for r in range(3)]
+        assert spans == [(0, 4), (4, 7), (7, 10)]
+
+    def test_empty_input(self):
+        cluster = SimCluster(4)
+        assert cluster.partition_rows(0, 0) == (0, 0)

@@ -1,0 +1,88 @@
+"""Unit tests for the calibrated cost model."""
+
+import math
+
+import pytest
+
+from repro.mpi.costmodel import DEFAULT_COST_MODEL, CostModel, PAPER_MACHINE
+
+
+class TestMachineSpec:
+    def test_paper_machine_matches_table2(self):
+        assert PAPER_MACHINE.cores == 8
+        assert PAPER_MACHINE.cpu_ghz == 2.4
+        assert PAPER_MACHINE.ram_gb == 128
+
+
+class TestCpuCost:
+    @pytest.mark.parametrize(
+        "kind", ["scan", "histogram", "partition", "build", "probe", "reduce", "map"]
+    )
+    def test_all_kinds_defined(self, kind):
+        assert DEFAULT_COST_MODEL.cpu_cost(kind, 1000) > 0
+
+    def test_linear_in_tuples(self):
+        one = DEFAULT_COST_MODEL.cpu_cost("scan", 1)
+        many = DEFAULT_COST_MODEL.cpu_cost("scan", 1000)
+        assert math.isclose(many, 1000 * one)
+
+    def test_overhead_multiplies(self):
+        base = DEFAULT_COST_MODEL.cpu_cost("probe", 100)
+        assert math.isclose(DEFAULT_COST_MODEL.cpu_cost("probe", 100, 1.25), base * 1.25)
+
+    def test_build_costs_more_than_scan(self):
+        assert DEFAULT_COST_MODEL.cpu_build_tuple > DEFAULT_COST_MODEL.cpu_scan_tuple
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_COST_MODEL.cpu_cost("teleport", 1)
+
+
+class TestMemoryAndNetwork:
+    def test_materialize_includes_realloc_amplification(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.materialize_cost(1 << 20) > cm.copy_cost(1 << 20)
+
+    def test_transfer_has_latency_floor(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.transfer_cost(0) == cm.net_latency
+        assert cm.transfer_cost(0, messages=3) == 3 * cm.net_latency
+
+    def test_window_registration_is_expensive_fixed_cost(self):
+        # The paper (via Frey & Alonso) identifies registration as an RDMA
+        # bottleneck: even an empty window costs hundreds of microseconds.
+        assert DEFAULT_COST_MODEL.window_registration_cost(0) >= 100e-6
+
+    def test_registration_grows_with_size(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.window_registration_cost(1 << 30) > cm.window_registration_cost(0)
+
+
+class TestCollectiveCost:
+    def test_single_rank_still_costs(self):
+        assert DEFAULT_COST_MODEL.collective_cost(1) > 0
+
+    def test_logarithmic_steps(self):
+        cm = DEFAULT_COST_MODEL
+        assert math.isclose(cm.collective_cost(8), 3 * cm.collective_step)
+        assert math.isclose(cm.collective_cost(2), cm.collective_step)
+
+    def test_payload_adds_bandwidth_term(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.collective_cost(8, 1 << 20) > cm.collective_cost(8)
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new_model(self):
+        quiet = DEFAULT_COST_MODEL.with_overrides(jitter_fraction=0.0)
+        assert quiet.jitter_fraction == 0.0
+        assert DEFAULT_COST_MODEL.jitter_fraction > 0.0
+        assert isinstance(quiet, CostModel)
+
+    def test_fused_overhead_matches_paper_microbenchmark(self):
+        # §5.1.2: RowScan 1.0 s vs raw loop 0.8 s => 1.25x.
+        assert DEFAULT_COST_MODEL.fused_overhead == pytest.approx(1.25)
+
+    def test_small_pipelines_beat_handwritten(self):
+        # §5.1: isolated small pipelines inline to slightly faster code.
+        assert DEFAULT_COST_MODEL.small_pipeline_overhead < 1.0

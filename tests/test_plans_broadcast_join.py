@@ -1,0 +1,158 @@
+"""Tests for the broadcast join plan and the optimizer's strategy rule."""
+
+import numpy as np
+import pytest
+
+from repro.core.plans.broadcast_join import build_broadcast_join
+from repro.core.plans.join import build_distributed_join
+from repro.errors import PlanError, TypeCheckError
+from repro.mpi.cluster import SimCluster
+from repro.relational import lower_to_modularis, run_logical_plan
+from repro.relational.builder import scan
+from repro.relational.expressions import col
+from repro.storage import Catalog, Table
+from repro.types import INT64, RowVector, TupleType
+
+S = TupleType.of(key=INT64, sval=INT64)
+B = TupleType.of(key=INT64, bval=INT64)
+
+
+def relations(n_small, n_big, seed=0):
+    rng = np.random.default_rng(seed)
+    sk = np.arange(n_small, dtype=np.int64)
+    bk = rng.integers(0, max(2 * n_small, 2), size=n_big).astype(np.int64)
+    return RowVector(S, [sk, sk * 7]), RowVector(B, [bk, bk * 3])
+
+
+def reference(small, big):
+    keys = dict(zip(small.column("key").tolist(), small.column("sval").tolist()))
+    return sorted(
+        (k, keys[k], v) for k, v in big.iter_rows() if k in keys
+    )
+
+
+class TestBroadcastJoinPlan:
+    @pytest.mark.parametrize("machines", [1, 2, 4])
+    def test_matches_reference(self, machines):
+        small, big = relations(40, 400)
+        plan = build_broadcast_join(SimCluster(machines), S, B)
+        out = plan.matches(plan.run(small, big))
+        assert sorted(out.iter_rows()) == reference(small, big)
+
+    def test_agrees_with_exchange_join(self):
+        small, big = relations(64, 512, seed=1)
+        broadcast = build_broadcast_join(SimCluster(4), S, B)
+        exchange = build_distributed_join(
+            SimCluster(4), S, B, key_bits=12, compression=False
+        )
+        b_out = sorted(broadcast.matches(broadcast.run(small, big)).iter_rows())
+        e_out = sorted(exchange.matches(exchange.run(small, big)).iter_rows())
+        assert b_out == e_out
+
+    def test_semi_join_variant(self):
+        small, big = relations(16, 128, seed=2)
+        plan = build_broadcast_join(SimCluster(2), S, B, join_type="semi")
+        out = plan.matches(plan.run(small, big))
+        keys = set(small.column("key").tolist())
+        expected = sorted((k, v) for k, v in big.iter_rows() if k in keys)
+        assert sorted(out.iter_rows()) == expected
+
+    def test_moves_no_big_side_bytes(self):
+        # The broadcast join must not shuffle the probe relation: its
+        # network volume is independent of |R|.
+        small, _ = relations(32, 8)
+        nets = []
+        for n_big in (1 << 10, 1 << 14):
+            _, big = relations(32, n_big)[0], relations(32, n_big)[1]
+            plan = build_broadcast_join(SimCluster(4), S, B)
+            result = plan.run(small, big)
+            nets.append(
+                result.cluster_results[0].phase_breakdown()["network_partition"]
+            )
+        assert nets[1] <= nets[0] * 1.05
+
+    def test_key_required(self):
+        with pytest.raises(TypeCheckError, match="join key"):
+            build_broadcast_join(SimCluster(2), TupleType.of(x=INT64), B)
+
+    def test_field_clash_rejected(self):
+        clash = TupleType.of(key=INT64, sval=INT64)
+        with pytest.raises(TypeCheckError, match="distinct names"):
+            build_broadcast_join(SimCluster(2), S, clash)
+
+
+class TestStrategyRule:
+    @pytest.fixture
+    def catalog(self):
+        cat = Catalog()
+        rng = np.random.default_rng(3)
+        cat.register(
+            Table.from_arrays(
+                "tiny",
+                k=np.arange(20, dtype=np.int64),
+                label=np.arange(20, dtype=np.int64) % 3,
+            )
+        )
+        cat.register(
+            Table.from_arrays(
+                "huge",
+                k=rng.integers(0, 40, 5000).astype(np.int64),
+                v=rng.integers(0, 9, 5000).astype(np.int64),
+            )
+        )
+        return cat
+
+    def _query(self):
+        return (
+            scan("tiny")
+            .join(scan("huge"), on="k")
+            .aggregate(group_by=["label"], aggs=[("sum", col("v"), "total")])
+        )
+
+    def test_auto_broadcasts_tiny_build_side(self, catalog):
+        lowered = lower_to_modularis(
+            self._query().plan, catalog, SimCluster(8), join_strategy="auto"
+        )
+        assert lowered.strategy == "broadcast"
+
+    def test_auto_exchanges_comparable_sides(self, catalog):
+        catalog.register(
+            Table.from_arrays(
+                "alsohuge",
+                k=np.arange(5000, dtype=np.int64),
+                label=np.arange(5000, dtype=np.int64) % 3,
+            ),
+        )
+        query = (
+            scan("alsohuge")
+            .join(scan("huge"), on="k")
+            .aggregate(group_by=["label"], aggs=[("sum", col("v"), "total")])
+        )
+        lowered = lower_to_modularis(
+            query.plan, catalog, SimCluster(8), join_strategy="auto"
+        )
+        assert lowered.strategy == "exchange"
+
+    @pytest.mark.parametrize("strategy", ["exchange", "broadcast", "auto"])
+    def test_all_strategies_match_reference(self, catalog, strategy):
+        query = self._query()
+        reference_frame = run_logical_plan(query.plan, catalog)
+        lowered = lower_to_modularis(
+            query.plan, catalog, SimCluster(4), join_strategy=strategy
+        )
+        frame = lowered.result_frame(lowered.run(catalog))
+        assert sorted(
+            zip(frame.columns["label"], frame.columns["total"])
+        ) == sorted(
+            zip(reference_frame.columns["label"], reference_frame.columns["total"])
+        )
+
+    def test_unknown_strategy_rejected(self, catalog):
+        with pytest.raises(PlanError, match="unknown join strategy"):
+            lower_to_modularis(
+                self._query().plan, catalog, SimCluster(2), join_strategy="teleport"
+            )
+
+    def test_default_is_paper_faithful_exchange(self, catalog):
+        lowered = lower_to_modularis(self._query().plan, catalog, SimCluster(4))
+        assert lowered.strategy == "exchange"

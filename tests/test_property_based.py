@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Each property pins one of the guarantees the paper's design depends on:
+compression is lossless within its dense domain, partitioning preserves
+multisets and never mixes partitions, the distributed join equals the
+nested-loop reference for arbitrary inputs, exchange offsets are disjoint
+by construction, and the two execution modes are observationally
+equivalent.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compression import RadixCompression
+from repro.core.context import ExecutionContext
+from repro.core.functions import HashPartition, RadixPartition, field_sum
+from repro.core.operators import (
+    BuildProbe,
+    LocalHistogram,
+    LocalPartitioning,
+    ReduceByKey,
+    RowScan,
+)
+from repro.core.plans.join import build_distributed_join
+from repro.core.plans.groupby import build_distributed_groupby
+from repro.mpi.cluster import SimCluster
+from repro.types import INT64, RowVector, TupleType
+
+from tests.conftest import table_source
+
+KV = TupleType.of(key=INT64, value=INT64)
+L = TupleType.of(key=INT64, lpay=INT64)
+R = TupleType.of(key=INT64, rpay=INT64)
+
+# Key/value domain kept inside 2**10 so every compression test fits P=10.
+kv_rows = st.lists(
+    st.tuples(st.integers(0, 1023), st.integers(0, 1023)), min_size=0, max_size=200
+)
+
+
+def vector_of(rows, schema=KV):
+    return RowVector.from_rows(schema, rows)
+
+
+def scan_of(table, ctx):
+    return RowScan(table_source(table, ctx), field="t")
+
+
+class TestCompressionProperties:
+    @given(
+        rows=kv_rows,
+        fanout_bits=st.integers(0, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pack_unpack_roundtrip(self, rows, fanout_bits):
+        comp = RadixCompression(key_bits=10, fanout_bits=fanout_bits)
+        fanout = 1 << fanout_bits
+        for key, payload in rows:
+            packed = comp.pack(key, payload)
+            assert comp.unpack(packed, key % fanout) == (key, payload)
+
+    @given(rows=kv_rows)
+    @settings(max_examples=30, deadline=None)
+    def test_batch_pack_matches_scalar(self, rows):
+        comp = RadixCompression(key_bits=10, fanout_bits=2)
+        batch = vector_of(rows)
+        packed = comp.pack_batch(batch)
+        assert packed.column("packed").tolist() == [
+            comp.pack(k, v) for k, v in rows
+        ]
+
+
+class TestPartitioningProperties:
+    @given(rows=kv_rows, fanout_exp=st.integers(0, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_multiset_and_placement(self, rows, fanout_exp):
+        fanout = 1 << fanout_exp
+        ctx = ExecutionContext()
+        table = vector_of(rows)
+        fn = RadixPartition("key", fanout)
+        hist = LocalHistogram(scan_of(table, ctx), RadixPartition("key", fanout))
+        parts = list(LocalPartitioning(scan_of(table, ctx), hist, fn).stream(ctx))
+        assert [pid for pid, _ in parts] == list(range(fanout))
+        everything = []
+        for pid, data in parts:
+            assert ((data.column("key") & (fanout - 1)) == pid).all() or len(data) == 0
+            everything.extend(data.iter_rows())
+        assert sorted(everything) == sorted(rows)
+
+    @given(rows=kv_rows, n_parts=st.integers(1, 9), salt=st.integers(0, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_histogram_counts_every_tuple_once(self, rows, n_parts, salt):
+        ctx = ExecutionContext()
+        fn = HashPartition("key", n_parts, salt=salt)
+        hist = LocalHistogram(scan_of(vector_of(rows), ctx), fn)
+        counts = dict(hist.stream(ctx))
+        assert sum(counts.values()) == len(rows)
+        assert set(counts) == set(range(n_parts))
+
+
+class TestOperatorAlgebra:
+    @given(rows=kv_rows)
+    @settings(max_examples=30, deadline=None)
+    def test_reduce_by_key_equals_dict_fold(self, rows):
+        ctx = ExecutionContext()
+        table = vector_of(rows)
+        got = dict(
+            ReduceByKey(scan_of(table, ctx), "key", field_sum("value")).stream(ctx)
+        )
+        expected = collections.Counter()
+        for k, v in rows:
+            expected[k] += v
+        assert got == dict(expected)
+
+    @given(
+        left_rows=st.lists(
+            st.tuples(st.integers(0, 31), st.integers(0, 100)), max_size=80
+        ),
+        right_rows=st.lists(
+            st.tuples(st.integers(0, 31), st.integers(0, 100)), max_size=80
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_build_probe_equals_nested_loop(self, left_rows, right_rows):
+        ctx = ExecutionContext()
+        bp = BuildProbe(
+            scan_of(vector_of(left_rows, L), ctx),
+            scan_of(vector_of(right_rows, R), ctx),
+            keys="key",
+        )
+        got = sorted(bp.stream(ctx))
+        expected = sorted(
+            (rk, lv, rv)
+            for rk, rv in right_rows
+            for lk, lv in left_rows
+            if lk == rk
+        )
+        assert got == expected
+
+    @given(rows=kv_rows)
+    @settings(max_examples=20, deadline=None)
+    def test_modes_observationally_equal(self, rows):
+        results = []
+        for mode in ("fused", "interpreted"):
+            ctx = ExecutionContext(mode=mode)
+            agg = ReduceByKey(
+                scan_of(vector_of(rows), ctx), "key", field_sum("value")
+            )
+            results.append(sorted(agg.stream(ctx)))
+        assert results[0] == results[1]
+
+
+class TestDistributedProperties:
+    @given(
+        keys=st.lists(st.integers(0, 255), min_size=1, max_size=120),
+        machines=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_distributed_join_equals_reference(self, keys, machines):
+        left = vector_of([(k, k * 2) for k in sorted(set(keys))], L)
+        right = vector_of([(k, k * 3) for k in keys], R)
+        plan = build_distributed_join(
+            SimCluster(machines), L, R, key_bits=10
+        )
+        out = plan.matches(plan.run(left, right))
+        expected = sorted((k, k * 2, k * 3) for k in keys)
+        assert sorted(out.iter_rows()) == expected
+
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 63), st.integers(0, 63)),
+            min_size=1,
+            max_size=150,
+        ),
+        machines=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_distributed_groupby_equals_reference(self, pairs, machines):
+        table = vector_of(pairs)
+        plan = build_distributed_groupby(
+            SimCluster(machines), KV, key_bits=10
+        )
+        groups = plan.groups(plan.run(table))
+        expected = collections.Counter()
+        for k, v in pairs:
+            expected[k] += v
+        got = dict(zip(groups.column("key").tolist(), groups.column("value").tolist()))
+        assert got == dict(expected)

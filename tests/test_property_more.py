@@ -1,0 +1,166 @@
+"""Additional property-based tests: type algebra, windows, sorting,
+expressions, and a cluster stress property."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context import ExecutionContext
+from repro.core.operators import Limit, LocalSort, RowScan
+from repro.mpi.cluster import SimCluster
+from repro.mpi.window import Window
+from repro.relational.expressions import col, lit
+from repro.types import INT64, Field, RowVector, TupleType
+
+from tests.conftest import table_source
+
+KV = TupleType.of(key=INT64, value=INT64)
+
+field_names = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+    min_size=1,
+    max_size=6,
+    unique=True,
+)
+
+
+class TestTupleTypeAlgebra:
+    @given(names=field_names)
+    @settings(max_examples=50, deadline=None)
+    def test_project_all_is_identity(self, names):
+        t = TupleType(Field(n, INT64) for n in names)
+        assert t.project(t.field_names) == t
+
+    @given(names=field_names, data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_drop_then_lookup_fails(self, names, data):
+        t = TupleType(Field(n, INT64) for n in names)
+        victim = data.draw(st.sampled_from(names))
+        dropped = t.drop([victim])
+        assert victim not in dropped
+        assert len(dropped) == len(t) - 1
+
+    @given(names=field_names)
+    @settings(max_examples=50, deadline=None)
+    def test_rename_roundtrip(self, names):
+        t = TupleType(Field(n, INT64) for n in names)
+        forward = {n: n + "_x" for n in names}
+        backward = {v: k for k, v in forward.items()}
+        assert t.rename(forward).rename(backward) == t
+
+    @given(names=field_names)
+    @settings(max_examples=50, deadline=None)
+    def test_positions_are_consistent(self, names):
+        t = TupleType(Field(n, INT64) for n in names)
+        for i, name in enumerate(t.field_names):
+            assert t.position(name) == i
+
+
+class TestWindowProperties:
+    @given(
+        regions=st.lists(st.integers(1, 8), min_size=1, max_size=6),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_disjoint_writes_roundtrip(self, regions, data):
+        capacity = sum(regions)
+        window = Window(0, KV, capacity)
+        cursor = 0
+        expected = []
+        for src, size in enumerate(regions):
+            rows = [
+                (data.draw(st.integers(0, 99)), data.draw(st.integers(0, 99)))
+                for _ in range(size)
+            ]
+            window.write(cursor, RowVector.from_rows(KV, rows), source_rank=src)
+            expected.extend(rows)
+            cursor += size
+        assert list(window.read(0, capacity).iter_rows()) == expected
+
+
+class TestSortAndLimitProperties:
+    rows = st.lists(
+        st.tuples(st.integers(-50, 50), st.integers(0, 9)), max_size=100
+    )
+
+    @given(rows=rows)
+    @settings(max_examples=40, deadline=None)
+    def test_sort_is_a_sorted_permutation(self, rows):
+        ctx = ExecutionContext()
+        table = RowVector.from_rows(KV, rows)
+        out = list(
+            LocalSort(RowScan(table_source(table, ctx), field="t"), "key").stream(ctx)
+        )
+        assert sorted(out) == sorted(rows)
+        keys = [r[0] for r in out]
+        assert keys == sorted(keys)
+
+    @given(rows=rows, n=st.integers(0, 120))
+    @settings(max_examples=40, deadline=None)
+    def test_limit_prefix(self, rows, n):
+        ctx = ExecutionContext()
+        table = RowVector.from_rows(KV, rows)
+        out = list(Limit(RowScan(table_source(table, ctx), field="t"), n).stream(ctx))
+        assert out == rows[:n]
+
+
+class _ExprTree:
+    """Random integer expression trees for scalar-vs-vector agreement."""
+
+    @staticmethod
+    def strategy():
+        leaf = st.one_of(
+            st.sampled_from([col("a"), col("b")]),
+            st.integers(-5, 5).map(lit),
+        )
+
+        def compose(children):
+            op = st.sampled_from(["+", "-", "*"])
+            return st.tuples(op, children, children).map(
+                lambda t: {"+": lambda l, r: l + r,
+                           "-": lambda l, r: l - r,
+                           "*": lambda l, r: l * r}[t[0]](t[1], t[2])
+            )
+
+        return st.recursive(leaf, compose, max_leaves=8)
+
+
+class TestExpressionProperties:
+    @given(
+        expr=_ExprTree.strategy(),
+        a=st.lists(st.integers(-100, 100), min_size=1, max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_matches_scalar(self, expr, a):
+        b = [x * 2 + 1 for x in a]
+        columns = {
+            "a": np.array(a, dtype=np.int64),
+            "b": np.array(b, dtype=np.int64),
+        }
+        vector_out = np.asarray(expr.evaluate(columns))
+        for i in range(len(a)):
+            scalar_out = expr.evaluate({"a": a[i], "b": b[i]})
+            expected = vector_out[i] if vector_out.ndim else vector_out
+            assert int(expected) == int(scalar_out)
+
+
+class TestClusterStress:
+    @given(n_ranks=st.sampled_from([3, 5, 8]), rows_per_rank=st.integers(1, 32))
+    @settings(max_examples=10, deadline=None)
+    def test_all_to_all_puts_are_race_free(self, n_ranks, rows_per_rank):
+        def prog(ctx):
+            ws = ctx.comm.win_create(KV, capacity=n_ranks * rows_per_rank)
+            payload = RowVector.from_rows(
+                KV, [(ctx.rank, i) for i in range(rows_per_rank)]
+            )
+            for target in range(n_ranks):
+                ws.put(target, ctx.rank * rows_per_rank, payload)
+            ws.fence()
+            data = ws.local.read(0, n_ranks * rows_per_rank)
+            return sorted(set(data.column("key").tolist()))
+
+        result = SimCluster(n_ranks).run(prog)
+        for ranks_seen in result.per_rank:
+            assert ranks_seen == list(range(n_ranks))

@@ -1,0 +1,160 @@
+"""Tests for the logical algebra, the DSL, and the reference interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.relational.builder import scan
+from repro.relational.expressions import col, lit
+from repro.relational.interpreter import (
+    Frame,
+    aggregate_frame,
+    join_frames,
+    run_logical_plan,
+)
+from repro.relational.logical import AggregateSpec, ScanNode
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.register(
+        Table.from_arrays(
+            "users",
+            uid=np.array([1, 2, 3, 4], dtype=np.int64),
+            age=np.array([20, 30, 40, 50], dtype=np.int64),
+        )
+    )
+    cat.register(
+        Table.from_arrays(
+            "orders",
+            uid=np.array([1, 1, 2, 9], dtype=np.int64),
+            amount=np.array([5.0, 7.0, 11.0, 100.0]),
+        )
+    )
+    return cat
+
+
+class TestDsl:
+    def test_scan_filter_project(self, catalog):
+        q = scan("users").filter(col("age") > 25).project({"uid": col("uid")})
+        frame = run_logical_plan(q.plan, catalog)
+        assert frame.columns["uid"].tolist() == [2, 3, 4]
+
+    def test_explain_mentions_nodes(self):
+        q = scan("users").filter(col("age") > 25)
+        text = q.explain()
+        assert "Scan users" in text and "Filter" in text
+
+    def test_empty_projection_rejected(self):
+        with pytest.raises(PlanError):
+            scan("users").project({})
+
+    def test_aggregate_requires_aggs(self):
+        with pytest.raises(PlanError):
+            scan("users").aggregate(group_by=["uid"], aggs=[])
+
+    def test_bad_join_kind(self):
+        with pytest.raises(PlanError, match="unknown join kind"):
+            scan("users").join(scan("orders"), on="uid", kind="cross")
+
+    def test_bad_agg_func(self):
+        with pytest.raises(PlanError, match="unknown aggregate"):
+            scan("users").aggregate(group_by=[], aggs=[("median", col("age"), "m")])
+
+
+class TestInterpreter:
+    def test_scan_column_pruning(self, catalog):
+        frame = run_logical_plan(ScanNode("users", ("age",)), catalog)
+        assert list(frame.columns) == ["age"]
+
+    def test_inner_join(self, catalog):
+        q = scan("users").join(scan("orders"), on="uid")
+        frame = run_logical_plan(q.plan, catalog)
+        rows = sorted(zip(frame.columns["uid"], frame.columns["amount"]))
+        assert rows == [(1, 5.0), (1, 7.0), (2, 11.0)]
+
+    def test_semi_join(self, catalog):
+        q = scan("users").join(scan("orders"), on="uid", kind="semi")
+        frame = run_logical_plan(q.plan, catalog)
+        assert sorted(frame.columns["uid"].tolist()) == [1, 1, 2]
+
+    def test_anti_join(self, catalog):
+        q = scan("users").join(scan("orders"), on="uid", kind="anti")
+        frame = run_logical_plan(q.plan, catalog)
+        assert frame.columns["uid"].tolist() == [9]
+
+    def test_grouped_aggregation(self, catalog):
+        q = scan("orders").aggregate(
+            group_by=["uid"],
+            aggs=[("sum", col("amount"), "total"), ("count", lit(1), "n")],
+        )
+        frame = run_logical_plan(q.plan, catalog)
+        got = dict(zip(frame.columns["uid"], zip(frame.columns["total"], frame.columns["n"])))
+        assert got == {1: (12.0, 2), 2: (11.0, 1), 9: (100.0, 1)}
+
+    def test_scalar_aggregation(self, catalog):
+        q = scan("orders").aggregate(
+            group_by=[], aggs=[("sum", col("amount"), "total")]
+        )
+        frame = run_logical_plan(q.plan, catalog)
+        assert frame.columns["total"].tolist() == [123.0]
+
+    def test_min_max(self, catalog):
+        q = scan("users").aggregate(
+            group_by=[],
+            aggs=[("min", col("age"), "youngest"), ("max", col("age"), "oldest")],
+        )
+        frame = run_logical_plan(q.plan, catalog)
+        assert frame.columns["youngest"][0] == 20
+        assert frame.columns["oldest"][0] == 50
+
+    def test_empty_group_aggregation(self, catalog):
+        q = (
+            scan("orders")
+            .filter(col("amount") > 1000)
+            .aggregate(group_by=["uid"], aggs=[("sum", col("amount"), "t")])
+        )
+        frame = run_logical_plan(q.plan, catalog)
+        assert frame.n_rows == 0
+
+    def test_bool_aggregation_counts(self, catalog):
+        q = scan("users").aggregate(
+            group_by=[], aggs=[("sum", col("age") > 25, "older")]
+        )
+        frame = run_logical_plan(q.plan, catalog)
+        assert frame.columns["older"][0] == 3
+
+
+class TestFrames:
+    def test_ragged_frame_rejected(self):
+        with pytest.raises(PlanError, match="ragged"):
+            Frame({"a": np.arange(2), "b": np.arange(3)})
+
+    def test_join_frames_shared_payload_rejected(self):
+        a = Frame({"k": np.array([1]), "x": np.array([1])})
+        b = Frame({"k": np.array([1]), "x": np.array([2])})
+        with pytest.raises(PlanError, match="share non-key column"):
+            join_frames(a, b, "k")
+
+    def test_join_frames_missing_key(self):
+        a = Frame({"k": np.array([1])})
+        b = Frame({"z": np.array([1])})
+        with pytest.raises(PlanError, match="lacks key column"):
+            join_frames(a, b, "k")
+
+    def test_aggregate_frame_multi_key(self):
+        frame = Frame(
+            {
+                "a": np.array([1, 1, 2]),
+                "b": np.array([1, 1, 1]),
+                "v": np.array([10, 20, 30]),
+            }
+        )
+        out = aggregate_frame(
+            frame, ("a", "b"), (AggregateSpec("sum", col("v"), "t"),)
+        )
+        got = dict(zip(zip(out.columns["a"], out.columns["b"]), out.columns["t"]))
+        assert got == {(1, 1): 30, (2, 1): 30}

@@ -1,0 +1,77 @@
+"""Tests for table/catalog persistence (.npz round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError
+from repro.storage import (
+    Catalog,
+    Table,
+    load_catalog_dir,
+    load_table,
+    save_catalog,
+    save_table,
+)
+
+
+@pytest.fixture
+def table():
+    return Table.from_arrays(
+        "things",
+        k=np.arange(10, dtype=np.int64),
+        price=np.arange(10) * 1.5,
+        label=np.array([f"x{i}" for i in range(10)], dtype="U8"),
+    )
+
+
+class TestTableRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path, table):
+        path = save_table(table, tmp_path / "things.npz")
+        loaded = load_table(path)
+        assert loaded.name == "things"
+        assert loaded.schema == table.schema
+        assert loaded.data == table.data
+
+    def test_stats_recomputed(self, tmp_path, table):
+        path = save_table(table, tmp_path / "t.npz")
+        loaded = load_table(path)
+        assert loaded.stats.row_count == 10
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CatalogError, match="no table file"):
+            load_table(tmp_path / "ghost.npz")
+
+    def test_non_table_npz_rejected(self, tmp_path):
+        np.savez(tmp_path / "junk.npz", a=np.arange(3))
+        with pytest.raises(CatalogError, match="missing name"):
+            load_table(tmp_path / "junk.npz")
+
+
+class TestCatalogRoundTrip:
+    def test_roundtrip(self, tmp_path, table):
+        catalog = Catalog()
+        catalog.register(table)
+        catalog.register(Table.from_arrays("other", v=np.arange(4, dtype=np.int64)))
+        paths = save_catalog(catalog, tmp_path / "cat")
+        assert len(paths) == 2
+        loaded = load_catalog_dir(tmp_path / "cat")
+        assert {t.name for t in loaded} == {"things", "other"}
+        assert loaded.get("things").data == table.data
+
+    def test_empty_directory_rejected(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(CatalogError, match="no .npz tables"):
+            load_catalog_dir(tmp_path / "empty")
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(CatalogError, match="no catalog directory"):
+            load_catalog_dir(tmp_path / "nope")
+
+    def test_tpch_catalog_roundtrip(self, tmp_path):
+        from repro.tpch import load_catalog
+
+        catalog = load_catalog(scale_factor=0.002)
+        save_catalog(catalog, tmp_path / "tpch")
+        loaded = load_catalog_dir(tmp_path / "tpch")
+        assert len(loaded.get("lineitem")) == len(catalog.get("lineitem"))
+        assert loaded.get("part").schema == catalog.get("part").schema

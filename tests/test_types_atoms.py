@@ -1,0 +1,64 @@
+"""Unit tests for the atom types."""
+
+import numpy as np
+import pytest
+
+from repro.types import BOOL, DATE, FLOAT64, INT32, INT64, STRING
+from repro.types.atoms import atom_from_numpy_dtype
+
+
+class TestAtomIdentity:
+    def test_atoms_are_distinct(self):
+        atoms = [INT64, INT32, FLOAT64, BOOL, STRING, DATE]
+        assert len({a.name for a in atoms}) == 6
+
+    def test_date_and_int64_share_storage_but_differ(self):
+        assert DATE.numpy_dtype == INT64.numpy_dtype
+        assert DATE != INT64
+
+    def test_sizes_match_paper_workload(self):
+        # The paper's 16-byte tuple: 8-byte key + 8-byte payload.
+        assert INT64.size_bytes == 8
+        assert INT64.size_bytes + INT64.size_bytes == 16
+
+    def test_equality_is_structural(self):
+        from repro.types.atoms import AtomType
+
+        assert AtomType("INT64", "int64", 8) == INT64
+
+
+class TestValidate:
+    @pytest.mark.parametrize(
+        "atom,value,ok",
+        [
+            (INT64, 5, True),
+            (INT64, np.int64(5), True),
+            (INT64, True, False),
+            (INT64, 5.0, False),
+            (FLOAT64, 5.0, True),
+            (FLOAT64, 5, True),
+            (BOOL, True, True),
+            (BOOL, 1, False),
+            (STRING, "x", True),
+            (STRING, 7, False),
+            (DATE, 10_000, True),
+        ],
+    )
+    def test_domain_membership(self, atom, value, ok):
+        assert atom.validate(value) is ok
+
+
+class TestFromNumpyDtype:
+    @pytest.mark.parametrize(
+        "dtype,expected",
+        [("int64", INT64), ("int32", INT32), ("float64", FLOAT64), ("bool", BOOL)],
+    )
+    def test_known_dtypes(self, dtype, expected):
+        assert atom_from_numpy_dtype(np.dtype(dtype)) == expected
+
+    def test_unicode_maps_to_string(self):
+        assert atom_from_numpy_dtype(np.dtype("U10")) == STRING
+
+    def test_unknown_dtype_raises(self):
+        with pytest.raises(ValueError, match="no AtomType"):
+            atom_from_numpy_dtype(np.dtype("complex128"))

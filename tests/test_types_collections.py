@@ -1,0 +1,131 @@
+"""Unit tests for RowVector, the C-array-of-structs materialization format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.types import (
+    INT64,
+    STRING,
+    CollectionType,
+    RowVector,
+    RowVectorBuilder,
+    TupleType,
+    row_vector_type,
+)
+
+KV = TupleType.of(key=INT64, value=INT64)
+
+
+class TestCollectionType:
+    def test_equality(self):
+        assert row_vector_type(KV) == CollectionType("RowVector", KV)
+        assert row_vector_type(KV) != CollectionType("ColumnChunk", KV)
+
+    def test_element_must_be_tuple_type(self):
+        with pytest.raises(TypeCheckError):
+            CollectionType("RowVector", INT64)
+
+    def test_hashable(self):
+        assert len({row_vector_type(KV), row_vector_type(KV)}) == 1
+
+
+class TestConstruction:
+    def test_from_rows_roundtrip(self):
+        rows = [(1, 10), (2, 20), (3, 30)]
+        vector = RowVector.from_rows(KV, rows)
+        assert list(vector.iter_rows()) == rows
+
+    def test_empty(self):
+        vector = RowVector.empty(KV)
+        assert len(vector) == 0
+        assert list(vector.iter_rows()) == []
+
+    def test_column_count_checked(self):
+        with pytest.raises(TypeCheckError, match="needs 2 columns"):
+            RowVector(KV, [np.arange(3)])
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(TypeCheckError, match="ragged"):
+            RowVector(KV, [np.arange(3), np.arange(4)])
+
+    def test_string_columns(self):
+        t = TupleType.of(name=STRING)
+        vector = RowVector.from_rows(t, [("alpha",), ("beta",)])
+        assert vector.row(1) == ("beta",)
+
+
+class TestAccess:
+    @pytest.fixture
+    def vector(self):
+        return RowVector(KV, [np.array([5, 6, 7]), np.array([50, 60, 70])])
+
+    def test_len_and_row(self, vector):
+        assert len(vector) == 3
+        assert vector.row(0) == (5, 50)
+
+    def test_rows_are_python_scalars(self, vector):
+        key, value = vector.row(2)
+        assert type(key) is int and type(value) is int
+
+    def test_column_by_name(self, vector):
+        assert vector.column("value").tolist() == [50, 60, 70]
+
+    def test_take(self, vector):
+        taken = vector.take(np.array([2, 0]))
+        assert list(taken.iter_rows()) == [(7, 70), (5, 50)]
+
+    def test_slice_is_view(self, vector):
+        sliced = vector.slice(1, 3)
+        assert len(sliced) == 2
+        assert sliced.columns[0].base is not None  # zero-copy
+
+    def test_size_bytes(self, vector):
+        assert vector.size_bytes() == 3 * 16
+
+    def test_equality(self, vector):
+        same = RowVector(KV, [np.array([5, 6, 7]), np.array([50, 60, 70])])
+        assert vector == same
+        assert vector != vector.slice(0, 2)
+
+    def test_unhashable(self, vector):
+        with pytest.raises(TypeError):
+            hash(vector)
+
+
+class TestNested:
+    def test_nested_rowvector_field(self):
+        inner = RowVector.from_rows(KV, [(1, 2)])
+        outer_type = TupleType.of(pid=INT64, data=row_vector_type(KV))
+        outer = RowVector.from_rows(outer_type, [(0, inner)])
+        pid, data = outer.row(0)
+        assert pid == 0
+        assert list(data.iter_rows()) == [(1, 2)]
+
+    def test_nested_not_flattened_by_numpy(self):
+        # Regression guard: numpy must treat RowVector as an opaque object.
+        inner_a = RowVector.from_rows(KV, [(1, 2), (3, 4)])
+        inner_b = RowVector.from_rows(KV, [(5, 6)])
+        outer_type = TupleType.of(data=row_vector_type(KV))
+        outer = RowVector.from_rows(outer_type, [(inner_a,), (inner_b,)])
+        assert len(outer) == 2
+        assert len(outer.row(0)[0]) == 2
+        assert len(outer.row(1)[0]) == 1
+
+
+class TestBuilder:
+    def test_builder_counts(self):
+        builder = RowVectorBuilder(KV)
+        assert len(builder) == 0
+        builder.append((1, 2))
+        builder.extend([(3, 4), (5, 6)])
+        assert len(builder) == 3
+        assert list(builder.finish().iter_rows()) == [(1, 2), (3, 4), (5, 6)]
+
+    def test_builder_arity_checked(self):
+        builder = RowVectorBuilder(KV)
+        with pytest.raises(TypeCheckError, match="arity"):
+            builder.append((1,))
+
+    def test_empty_finish(self):
+        assert len(RowVectorBuilder(KV).finish()) == 0

@@ -1,0 +1,108 @@
+"""Unit tests for TupleType: the recursive record types of §3.2."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.types import (
+    FLOAT64,
+    INT64,
+    STRING,
+    Field,
+    TupleType,
+    concat_tuple_types,
+    row_vector_type,
+)
+
+
+@pytest.fixture
+def kv():
+    return TupleType.of(key=INT64, value=INT64)
+
+
+class TestConstruction:
+    def test_of_preserves_order(self):
+        t = TupleType.of(b=INT64, a=FLOAT64, c=STRING)
+        assert t.field_names == ("b", "a", "c")
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(TypeCheckError, match="duplicate field"):
+            TupleType([Field("x", INT64), Field("x", INT64)])
+
+    def test_empty_tuple_type_is_legal(self):
+        assert len(TupleType(())) == 0
+
+    def test_field_requires_valid_item_type(self):
+        with pytest.raises(TypeCheckError, match="not an atom or collection"):
+            Field("x", "INT64")
+
+    def test_field_requires_name(self):
+        with pytest.raises(TypeCheckError, match="non-empty"):
+            Field("", INT64)
+
+    def test_nested_collection_field(self, kv):
+        nested = TupleType.of(pid=INT64, data=row_vector_type(kv))
+        assert nested["data"].element_type == kv
+
+
+class TestAccess:
+    def test_position_and_getitem(self, kv):
+        assert kv.position("value") == 1
+        assert kv["key"] == INT64
+
+    def test_unknown_field_message_lists_fields(self, kv):
+        with pytest.raises(TypeCheckError, match="fields are"):
+            kv.position("nope")
+        with pytest.raises(TypeCheckError):
+            kv["nope"]
+
+    def test_contains_and_iter(self, kv):
+        assert "key" in kv and "zzz" not in kv
+        assert [f.name for f in kv] == ["key", "value"]
+
+
+class TestDerivation:
+    def test_project_reorders(self, kv):
+        assert kv.project(["value", "key"]).field_names == ("value", "key")
+
+    def test_drop(self, kv):
+        assert kv.drop(["key"]).field_names == ("value",)
+
+    def test_drop_unknown_raises(self, kv):
+        with pytest.raises(TypeCheckError, match="unknown fields"):
+            kv.drop(["ghost"])
+
+    def test_rename(self, kv):
+        renamed = kv.rename({"key": "k"})
+        assert renamed.field_names == ("k", "value")
+        assert renamed["k"] == INT64
+
+    def test_row_size_counts_atoms(self, kv):
+        assert kv.row_size_bytes() == 16  # the paper's workload tuple
+
+    def test_row_size_counts_collections_as_handles(self, kv):
+        nested = TupleType.of(pid=INT64, data=row_vector_type(kv))
+        assert nested.row_size_bytes() == 16
+
+
+class TestEquality:
+    def test_structural_equality_and_hash(self, kv):
+        again = TupleType.of(key=INT64, value=INT64)
+        assert kv == again
+        assert hash(kv) == hash(again)
+
+    def test_order_matters(self, kv):
+        assert kv != TupleType.of(value=INT64, key=INT64)
+
+    def test_type_matters(self, kv):
+        assert kv != TupleType.of(key=INT64, value=FLOAT64)
+
+
+class TestConcat:
+    def test_concat_appends_fields(self, kv):
+        other = TupleType.of(extra=STRING)
+        combined = concat_tuple_types(kv, other)
+        assert combined.field_names == ("key", "value", "extra")
+
+    def test_concat_rejects_shared_names(self, kv):
+        with pytest.raises(TypeCheckError, match="shared field names"):
+            concat_tuple_types(kv, TupleType.of(key=INT64))
