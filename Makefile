@@ -1,0 +1,20 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint bench examples
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Static-analysis gate: the shipped plans and examples must lint clean,
+# and the analyzer's own tests must pass.
+lint:
+	$(PYTHON) -m repro lint all examples/
+	$(PYTHON) -m pytest -q tests/test_analysis_typeflow.py \
+		tests/test_analysis_commsafety.py tests/test_analysis_lint_cli.py
+
+bench:
+	$(PYTHON) -m repro bench all
+
+examples:
+	for f in examples/*.py; do $(PYTHON) $$f || exit 1; done

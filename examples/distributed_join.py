@@ -29,6 +29,17 @@ PHASES = (
 )
 
 
+def lint_plans():
+    """Expose this example's plan to ``repro lint`` (no data, no run)."""
+    from repro.types import INT64, TupleType
+
+    yield "distributed_join", build_distributed_join(
+        SimCluster(4),
+        TupleType.of(key=INT64, lpay=INT64),
+        TupleType.of(key=INT64, rpay=INT64),
+    )
+
+
 def main(log2_tuples: int = 17) -> None:
     workload = make_join_relations(1 << log2_tuples)
     print(f"relations: 2 × {len(workload.left)} tuples, dense "

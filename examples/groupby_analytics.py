@@ -17,6 +17,15 @@ from repro.workloads import make_groupby_table
 N_TUPLES = 1 << 16
 
 
+def lint_plans():
+    """Expose this example's plan to ``repro lint`` (no data, no run)."""
+    from repro.types import INT64, TupleType
+
+    yield "groupby", build_distributed_groupby(
+        SimCluster(4), TupleType.of(key=INT64, value=INT64)
+    )
+
+
 def main() -> None:
     print(f"{'machines':>9} {'dups/key':>9} {'groups':>8} {'seconds':>10}")
     for machines in (2, 4, 8):

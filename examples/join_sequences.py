@@ -38,6 +38,19 @@ def run(variant: str, n_joins: int, multiplier: int = 1):
     )
 
 
+def lint_plans():
+    """Expose this example's plans to ``repro lint`` (no data, no run)."""
+    from repro.types import INT64, TupleType
+
+    types = [
+        TupleType.of(key=INT64, a=INT64),
+        TupleType.of(key=INT64, b=INT64),
+        TupleType.of(key=INT64, c=INT64),
+    ]
+    for variant in ("naive", "optimized"):
+        yield variant, build_join_sequence(SimCluster(8), types, variant=variant)
+
+
 def main() -> None:
     print("== number of joins (Fig. 8a/8d) ==")
     print(f"{'joins':>6} {'naive_s':>10} {'optimized_s':>12} {'speedup':>8}")

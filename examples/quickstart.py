@@ -29,6 +29,31 @@ from repro.core.operators import MpiExecutor
 from repro.types import INT64, RowVector, TupleType, row_vector_type
 
 
+def lint_plans():
+    """Expose this example's plans to ``repro lint`` (no data, no run)."""
+    element = TupleType.of(key=INT64, value=INT64)
+    slot = ParameterSlot(TupleType.of(table=row_vector_type(element)))
+    scan = RowScan(ParameterLookup(slot), field="table")
+    evens = Filter(scan, Predicate(lambda row: row[0] % 2 == 0,
+                                   vectorized=lambda cols: cols[0] % 2 == 0))
+    grouped = ReduceByKey(evens, "key", field_sum("value"))
+    yield "local_groupby", MaterializeRowVector(grouped, field="sums")
+
+    dslot = ParameterSlot(TupleType.of(table=row_vector_type(element)))
+
+    def build_worker(worker_slot: ParameterSlot):
+        wscan = RowScan(
+            ParameterLookup(worker_slot), field="table", shard_by_rank=True
+        )
+        hist = LocalHistogram(wscan, RadixPartition("key", 8))
+        return MaterializeRowVector(hist, field="histogram")
+
+    executor = MpiExecutor(ParameterLookup(dslot), build_worker, SimCluster(4))
+    yield "distributed_histogram", MaterializeRowVector(
+        RowScan(executor, field="histogram"), field="all"
+    )
+
+
 def main() -> None:
     # A little ⟨key, value⟩ table: 64 keys, 4 rows each.
     element = TupleType.of(key=INT64, value=INT64)

@@ -11,12 +11,58 @@ Run:  python examples/trace_inspection.py
 
 from __future__ import annotations
 
+from repro.analysis import analyze
+from repro.core.functions import RadixPartition
+from repro.core.operators import (
+    LocalHistogram,
+    MaterializeRowVector,
+    MpiExchange,
+    MpiExecutor,
+    MpiHistogram,
+    ParameterLookup,
+    ParameterSlot,
+    RowScan,
+)
 from repro.core.plans import build_distributed_join
 from repro.mpi import SimCluster
-from repro.workloads import make_join_relations
+from repro.types import INT64, TupleType, row_vector_type
+
+LEFT_TYPE = TupleType.of(key=INT64, lpay=INT64)
+RIGHT_TYPE = TupleType.of(key=INT64, rpay=INT64)
+
+
+def lint_plans():
+    """Expose this example's plan to ``repro lint`` (no data, no run)."""
+    yield "traced_join", build_distributed_join(
+        SimCluster(4), LEFT_TYPE, RIGHT_TYPE
+    )
+
+
+def broken_exchange_plan():
+    """An exchange whose histograms bucket by the wrong radix bits.
+
+    The ladder pre-computes window offsets from ``shift=2`` buckets while
+    the exchange routes tuples by the low bits — ranks would write
+    overlapping RMA window regions.  At runtime this dies mid-epoch; the
+    static analyzer rejects it before a single tuple moves.
+    """
+    def build_worker(slot: ParameterSlot):
+        scan = RowScan(ParameterLookup(slot), field="table", shard_by_rank=True)
+        local = LocalHistogram(scan, RadixPartition("key", 4, shift=2))
+        global_ = MpiHistogram(local, 4)
+        exchange = MpiExchange(scan, local, global_, RadixPartition("key", 4))
+        return MaterializeRowVector(RowScan(exchange, field="data"))
+
+    driver = ParameterLookup(
+        ParameterSlot(TupleType.of(table=row_vector_type(LEFT_TYPE)))
+    )
+    executor = MpiExecutor(driver, build_worker, SimCluster(4))
+    return MaterializeRowVector(RowScan(executor))
 
 
 def traced_join(compression: bool):
+    from repro.workloads import make_join_relations
+
     workload = make_join_relations(1 << 15)
     cluster = SimCluster(4, trace=True)
     plan = build_distributed_join(
@@ -32,6 +78,16 @@ def traced_join(compression: bool):
 
 
 def main() -> None:
+    # ---- 0. lint before you run: static analysis catches distributed
+    # bugs (here: overlapping RMA window writes) without executing.
+    print("=== lint before you run ===")
+    broken = broken_exchange_plan()
+    for diagnostic in analyze(broken):
+        print(f"  {diagnostic.format()}")
+    good = build_distributed_join(SimCluster(4), LEFT_TYPE, RIGHT_TYPE)
+    errors = [d for d in analyze(good) if d.is_error]
+    print(f"  shipped join plan: {len(errors)} error(s) — safe to execute\n")
+
     trace = traced_join(compression=True)
     print("=== traced join (compression on) ===")
     print(trace.summary())

@@ -1,0 +1,31 @@
+"""Static plan analysis: verify operator DAGs before running them.
+
+The sub-operator design gives every Modularis plan a statically known
+shape (paper §3.2, §3.4); this package exploits that to find bad plans
+*before* execution — type-flow breaks, unsafe MPI communication patterns,
+and wasted pipeline work — through a registry of stable ``MOD0xx`` rules
+(catalog: ``docs/static_analysis.md``).
+
+Typical use::
+
+    from repro import analysis
+
+    findings = analysis.analyze(plan)          # list[Diagnostic]
+    analysis.verify(plan)                      # raises on errors
+
+or from the shell::
+
+    python -m repro lint join groupby examples/ --format json
+"""
+
+from repro.analysis.diagnostics import RULES, Diagnostic, Rule, Severity
+from repro.analysis.lint import analyze, verify
+
+__all__ = [
+    "analyze",
+    "verify",
+    "Diagnostic",
+    "Rule",
+    "RULES",
+    "Severity",
+]

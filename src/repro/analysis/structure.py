@@ -1,0 +1,248 @@
+"""Plan traversal and structural equivalence for the static analyzer.
+
+Two concerns shared by every analysis pass live here:
+
+* **Scopes.**  A plan is a tree of *scopes*: the driver plan, plus one
+  nested scope per ``NestedMap``/``MpiExecutor`` nested plan.  Each scope
+  carries the facts the passes reason about — whether it executes inside an
+  MPI worker, whether it sits under a per-tuple ``NestedMap`` loop, and
+  which parameter slots are visible to it.
+
+* **Structural equivalence.**  The plan compiler
+  (:func:`repro.core.plan.prepare`) rewrites multi-consumer edges: shared
+  operators get wrapped in ``SharedScan`` and base-table scan chains are
+  *cloned* per consumer.  Analyses must give the same verdict before and
+  after that rewrite, so "the same data stream" cannot mean object
+  identity — :func:`equivalent_streams` compares signatures that see
+  through ``SharedScan`` and match clones of the same chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.operator import Operator
+from repro.core.operators.build_probe import BuildProbe
+from repro.core.operators.chunk_ops import ChunkScan, MaterializeChunks
+from repro.core.operators.filter_op import Filter
+from repro.core.operators.limit_op import Limit
+from repro.core.operators.local_histogram import LocalHistogram
+from repro.core.operators.local_partitioning import LocalPartitioning
+from repro.core.operators.map_ops import Map, ParametrizedMap
+from repro.core.operators.materialize import MaterializeRowVector
+from repro.core.operators.mpi_exchange import MpiExchange
+from repro.core.operators.mpi_executor import MpiExecutor
+from repro.core.operators.mpi_histogram import MpiHistogram
+from repro.core.operators.nested_map import NestedMap
+from repro.core.operators.parameter_lookup import ParameterLookup
+from repro.core.operators.projection import Projection
+from repro.core.operators.reduce_ops import Reduce, ReduceByKey
+from repro.core.operators.row_scan import RowScan
+from repro.core.operators.sort_ops import LocalSort, MergeJoin
+from repro.core.plan import SharedScan, walk
+from repro.analysis.diagnostics import unwrap
+
+__all__ = [
+    "ScopeInfo",
+    "iter_scopes",
+    "scope_paths",
+    "plan_signature",
+    "partition_fn_signature",
+    "same_partition_fn",
+    "equivalent_streams",
+]
+
+
+@dataclass(frozen=True)
+class ScopeInfo:
+    """One scope of a plan: the driver plan or one nested plan."""
+
+    root: Operator
+    #: The NestedMap/MpiExecutor owning this nested plan; None at the top.
+    owner: Operator | None
+    #: Plan-node path of the scope root (diagnostic prefix).
+    path: str
+    #: True inside an MpiExecutor's nested plan (runs on MPI workers).
+    in_cluster: bool
+    #: True inside a per-tuple NestedMap loop (invocation count is
+    #: data-dependent).
+    in_nested_map: bool
+    #: Slot ids introduced since entering the innermost MpiExecutor scope —
+    #: the only bindings a worker's fresh context can see.
+    cluster_slots: frozenset[int]
+
+
+def iter_scopes(root: Operator, path: str = "plan") -> Iterator[ScopeInfo]:
+    """Yield every scope of the plan, outermost first (pre-order)."""
+    pending = [ScopeInfo(root, None, path, False, False, frozenset())]
+    while pending:
+        scope = pending.pop(0)
+        yield scope
+        paths = scope_paths(scope)
+        for op in walk(scope.root):
+            for inner in op.nested_roots():
+                inner_path = f"{paths[id(op)]}@inner"
+                if isinstance(op, MpiExecutor):
+                    pending.append(
+                        ScopeInfo(
+                            inner, op, inner_path,
+                            in_cluster=True,
+                            in_nested_map=False,
+                            cluster_slots=frozenset({op.slot.id}),
+                        )
+                    )
+                elif isinstance(op, NestedMap):
+                    slots = (
+                        scope.cluster_slots | {op.slot.id}
+                        if scope.in_cluster
+                        else frozenset()
+                    )
+                    pending.append(
+                        ScopeInfo(
+                            inner, op, inner_path,
+                            in_cluster=scope.in_cluster,
+                            in_nested_map=True,
+                            cluster_slots=slots,
+                        )
+                    )
+                else:  # pragma: no cover - no other operator nests plans
+                    pending.append(
+                        ScopeInfo(
+                            inner, op, inner_path,
+                            scope.in_cluster, scope.in_nested_map,
+                            scope.cluster_slots,
+                        )
+                    )
+
+
+def scope_paths(scope: ScopeInfo) -> dict[int, str]:
+    """Path of every operator in one scope, keyed by ``id(op)``.
+
+    ``SharedScan`` wrappers are skipped so paths are stable across
+    ``prepare``; a node shared by several consumers keeps its first path.
+    """
+    paths: dict[int, str] = {}
+
+    def visit(op: Operator, path: str) -> None:
+        if isinstance(op, SharedScan):
+            # Transparent: the wrapped operator takes the wrapper's place.
+            paths.setdefault(id(op), path)
+            visit(op.upstreams[0], path)
+            return
+        segment = f"{path}/{type(op).__name__}"
+        if id(op) in paths:
+            return
+        paths[id(op)] = segment
+        for pos, up in enumerate(op.upstreams):
+            visit(up, f"{segment}.{pos}")
+
+    visit(scope.root, scope.path)
+    return paths
+
+
+# -- structural signatures ------------------------------------------------------
+
+#: Per-class attributes that define an operator beyond its upstream shape.
+#: Function objects are compared by identity: two separately constructed
+#: UDFs are never assumed equal (conservative).
+def _own_attrs(op: Operator) -> tuple:
+    if isinstance(op, RowScan):
+        return (op.field, op.shard_by_rank)
+    if isinstance(op, ChunkScan):
+        return (op.field,)
+    if isinstance(op, Projection):
+        return (op.fields,)
+    if isinstance(op, ParameterLookup):
+        return (op.slot.id,)
+    if isinstance(op, LocalHistogram):
+        return (partition_fn_signature(op.bucket_fn),)
+    if isinstance(op, LocalPartitioning):
+        return (
+            partition_fn_signature(op.partition_fn), op.id_field, op.data_field
+        )
+    if isinstance(op, MpiExchange):
+        return (
+            partition_fn_signature(op.partition_fn),
+            op.id_field,
+            op.data_field,
+            op.compression,
+        )
+    if isinstance(op, MpiHistogram):
+        return (op.n_buckets,)
+    if isinstance(op, (Map, ParametrizedMap)):
+        return (id(op.fn),)
+    if isinstance(op, Filter):
+        return (id(op.predicate),)
+    if isinstance(op, Reduce):
+        return (id(op.fn),)
+    if isinstance(op, ReduceByKey):
+        return (op.key_fields, id(op.fn))
+    if isinstance(op, BuildProbe):
+        return (op.keys, op.join_type)
+    if isinstance(op, MergeJoin):
+        return (op.key, op.join_type)
+    if isinstance(op, LocalSort):
+        return (op.keys, op.descending)
+    if isinstance(op, Limit):
+        return (op.n,)
+    if isinstance(op, MaterializeRowVector):
+        return (op.field,)
+    if isinstance(op, MaterializeChunks):
+        return (op.field, op.chunk_rows)
+    if isinstance(op, (NestedMap, MpiExecutor)):
+        # Nested slots get globally unique ids, so two separately built
+        # nested plans never compare equal — conservative by construction.
+        return (op.slot.id,)
+    if type(op).__name__ in ("Zip", "CartesianProduct", "MpiBroadcast"):
+        return ()
+    # Unknown operator class: only identical objects are equivalent.
+    return (id(op),)
+
+
+def plan_signature(op: Operator) -> tuple:
+    """A hashable structural fingerprint of the subtree rooted at ``op``.
+
+    Equal signatures mean the subtrees provably compute the same stream
+    (same operator classes, same static parameters, same slot references);
+    ``SharedScan`` wrappers are transparent.
+    """
+    op = unwrap(op)
+    return (
+        type(op).__name__,
+        _own_attrs(op),
+        tuple(plan_signature(up) for up in op.upstreams),
+    )
+
+
+def partition_fn_signature(fn: object) -> tuple:
+    """Equivalence key of a partition function.
+
+    Two functions are interchangeable iff they provably map every tuple to
+    the same bucket: same class and same static parameters.  Arbitrary
+    callables are compared by identity.
+    """
+    from repro.core.functions import (
+        CallablePartition,
+        HashPartition,
+        RadixPartition,
+    )
+
+    if isinstance(fn, RadixPartition):
+        return ("radix", fn.key_field, fn.n_partitions, fn.shift)
+    if isinstance(fn, HashPartition):
+        return ("hash", fn.key_field, fn.n_partitions, fn.salt)
+    if isinstance(fn, CallablePartition):
+        return ("callable", id(fn.fn), fn.n_partitions)
+    n = getattr(fn, "n_partitions", None)
+    return ("opaque", id(fn), n)
+
+
+def same_partition_fn(a: object, b: object) -> bool:
+    return a is b or partition_fn_signature(a) == partition_fn_signature(b)
+
+
+def equivalent_streams(a: Operator, b: Operator) -> bool:
+    """True if ``a`` and ``b`` provably produce the same tuple stream."""
+    a, b = unwrap(a), unwrap(b)
+    return a is b or plan_signature(a) == plan_signature(b)

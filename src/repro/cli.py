@@ -8,6 +8,7 @@ Usage (also available as ``python -m repro``)::
     python -m repro tpch --query 14 --strategy broadcast
     python -m repro join --log2-tuples 16 --machines 4
     python -m repro explain --query 4
+    python -m repro lint all examples/ --format json
 
 Every command prints the same text tables the benchmark suite asserts on.
 """
@@ -62,6 +63,26 @@ def build_parser() -> argparse.ArgumentParser:
     explain = commands.add_parser("explain", help="show a query's plans")
     explain.add_argument("--query", type=int, required=True, choices=(1, 3, 4, 6, 12, 14, 19))
     explain.add_argument("--sf", type=float, default=0.005)
+
+    lint = commands.add_parser(
+        "lint", help="statically analyze plans without executing them"
+    )
+    lint.add_argument(
+        "targets",
+        nargs="+",
+        help="builtin plan names (join, groupby, broadcast_join, "
+        "join_sequence, all), Python files exposing lint_plans(), or "
+        "directories of such files",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--machines", type=int, default=2,
+        help="cluster size used to build the builtin plans",
+    )
+    lint.add_argument(
+        "--suppress", action="append", default=[], metavar="RULE",
+        help="silence a rule id (e.g. MOD023); may be repeated",
+    )
 
     return parser
 
@@ -208,6 +229,12 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import run_cli
+
+    return run_cli(args)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -215,6 +242,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "tpch": _cmd_tpch,
         "join": _cmd_join,
         "explain": _cmd_explain,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

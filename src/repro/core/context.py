@@ -36,6 +36,10 @@ class ExecutionContext:
     clock: SimClock = field(default_factory=SimClock)
     mode: ExecutionMode = "fused"
     rank_ctx: RankContext | None = None
+    #: Run the static analyzer (``repro.analysis``) over every plan handed
+    #: to ``execute`` with this context, rejecting plans with
+    #: error-severity diagnostics before any data flows.
+    verify_plans: bool = False
     #: Parameter bindings of active NestedMap invocations, keyed by slot id.
     _params: dict[int, tuple] = field(default_factory=dict)
     #: Bumped on every NestedMap invocation; invalidates pipeline caches.

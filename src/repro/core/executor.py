@@ -20,7 +20,13 @@ from repro.mpi.cluster import ClusterResult
 from repro.mpi.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.types.tuples import TupleType
 
-__all__ = ["ExecutionResult", "execute"]
+__all__ = ["ExecutionResult", "execute", "VERIFY_PLANS"]
+
+#: Process-wide default for pre-execution static verification.  The test
+#: suite flips this to True (``tests/conftest.py``) so every executed plan
+#: doubles as an analyzer soak test; per-call ``verify_plans=`` and
+#: per-context ``ExecutionContext(verify_plans=True)`` override it.
+VERIFY_PLANS = False
 
 
 @dataclass
@@ -52,6 +58,8 @@ def execute(
     params: dict[ParameterSlot, tuple] | None = None,
     mode: ExecutionMode = "fused",
     cost_model: CostModel = DEFAULT_COST_MODEL,
+    ctx: ExecutionContext | None = None,
+    verify_plans: bool | None = None,
 ) -> ExecutionResult:
     """Run a plan on the driver and return its result.
 
@@ -62,9 +70,27 @@ def execute(
         mode: ``fused`` (JiT-compiled pipelines) or ``interpreted``.
         cost_model: Timing calibration for the driver's clock; workers use
             the cost model of their cluster.
+        ctx: Pre-built driver context to run under; when given, ``mode``
+            and ``cost_model`` are ignored in its favor.
+        verify_plans: Run the static analyzer (:func:`repro.analysis.verify`)
+            before executing, raising
+            :class:`~repro.errors.PlanVerificationError` on error-severity
+            findings.  ``None`` defers to ``ctx.verify_plans`` and the
+            module-level :data:`VERIFY_PLANS` default.
     """
+    if ctx is None:
+        ctx = ExecutionContext(cost=cost_model, mode=mode)
+    if verify_plans is None:
+        verify_plans = ctx.verify_plans or VERIFY_PLANS
+    if verify_plans and not getattr(root, "_lint_verified", False):
+        from repro.analysis import verify
+
+        verify(root)
+        # Plans are immutable once built; remember the clean verdict so
+        # re-executions (benchmark loops, nested invocations) skip the
+        # analyzer.  Failures always re-raise: we never get here for them.
+        root._lint_verified = True
     prepare(root)
-    ctx = ExecutionContext(cost=cost_model, mode=mode)
     bound: list[int] = []
     for slot, value in (params or {}).items():
         ctx.push_parameter(slot.id, value)

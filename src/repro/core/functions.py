@@ -142,6 +142,9 @@ class PartitionFunction:
     def __call__(self, row: tuple) -> int:
         raise NotImplementedError
 
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.n_partitions})"
+
     def map_batch(self, batch: RowVector) -> np.ndarray:
         """Vectorized bucket ids for a whole batch."""
         return np.fromiter(
@@ -177,6 +180,12 @@ class RadixPartition(PartitionFunction):
     def fanout_bits(self) -> int:
         return self.n_partitions.bit_length() - 1
 
+    def __repr__(self) -> str:
+        return (
+            f"RadixPartition({self.key_field!r}, {self.n_partitions}, "
+            f"shift={self.shift})"
+        )
+
     def __call__(self, row: tuple) -> int:
         if self._key_pos is None:
             raise TypeCheckError("RadixPartition used before bind()")
@@ -207,6 +216,12 @@ class HashPartition(PartitionFunction):
     def bind(self, input_type: TupleType) -> "HashPartition":
         self._key_pos = input_type.position(self.key_field)
         return self
+
+    def __repr__(self) -> str:
+        return (
+            f"HashPartition({self.key_field!r}, {self.n_partitions}, "
+            f"salt={self.salt})"
+        )
 
     def _hash(self, keys: np.ndarray) -> np.ndarray:
         mixed = (keys.astype(np.uint64) * np.uint64(self._multiplier)) >> np.uint64(33)

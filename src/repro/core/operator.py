@@ -54,6 +54,11 @@ class Operator:
     #: propagates these into ``assigned_phase``.
     phase_name: str | None = None
 
+    #: Analyzer rule ids silenced at this plan node (see
+    #: :mod:`repro.analysis`); class-level default so that reading it never
+    #: allocates on nodes without suppressions.
+    lint_suppressions: frozenset[str] = frozenset()
+
     def __init__(self, upstreams: Sequence["Operator"]) -> None:
         for up in upstreams:
             if not isinstance(up, Operator):
@@ -131,6 +136,17 @@ class Operator:
     def label(self) -> str:
         """Human-readable node label for plan explanations."""
         return type(self).__name__
+
+    def suppress(self, *rule_ids: str) -> "Operator":
+        """Silence analyzer rules at this node; returns ``self`` for chaining.
+
+        Plans use this to record *intentional* deviations from the rule
+        catalog (``docs/static_analysis.md``), e.g.
+        ``exchange.suppress("MOD023")`` for a deliberately uncompressed
+        network exchange.
+        """
+        self.lint_suppressions = self.lint_suppressions | frozenset(rule_ids)
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({', '.join(u.label() for u in self.upstreams)})"

@@ -20,7 +20,7 @@ from typing import Callable, Iterator
 from repro.core.context import ExecutionContext
 from repro.core.operator import Operator
 from repro.core.operators.parameter_lookup import ParameterSlot
-from repro.errors import ExecutionError, PlanError
+from repro.errors import ExecutionError, TypeCheckError
 from repro.mpi.cluster import ClusterResult, RankContext, SimCluster
 
 __all__ = ["MpiExecutor"]
@@ -53,8 +53,10 @@ class MpiExecutor(Operator):
         self.slot = ParameterSlot(upstream.output_type)
         inner = build_inner(self.slot)
         if not isinstance(inner, Operator):
-            raise PlanError(
-                f"build_inner must return an Operator, got {type(inner).__name__}"
+            raise TypeCheckError(
+                f"MpiExecutor: build_inner must return an Operator for the "
+                f"parameter type {self.slot.param_type!r}, got "
+                f"{type(inner).__name__}"
             )
         self.inner = inner
         self._output_type = inner.output_type

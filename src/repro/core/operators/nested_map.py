@@ -13,7 +13,7 @@ from typing import Callable, Iterator
 from repro.core.context import ExecutionContext
 from repro.core.operator import Operator
 from repro.core.operators.parameter_lookup import ParameterSlot
-from repro.errors import ExecutionError, PlanError
+from repro.errors import ExecutionError, TypeCheckError
 
 __all__ = ["NestedMap"]
 
@@ -45,8 +45,10 @@ class NestedMap(Operator):
         self.slot = ParameterSlot(upstream.output_type)
         inner = build_inner(self.slot)
         if not isinstance(inner, Operator):
-            raise PlanError(
-                f"build_inner must return an Operator, got {type(inner).__name__}"
+            raise TypeCheckError(
+                f"NestedMap: build_inner must return an Operator for the "
+                f"parameter type {self.slot.param_type!r}, got "
+                f"{type(inner).__name__}"
             )
         self.inner = inner
         self._output_type = inner.output_type

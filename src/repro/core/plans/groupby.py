@@ -122,8 +122,13 @@ def build_distributed_groupby(
     slot = ParameterSlot(TupleType.of(table=row_vector_type(input_type)))
 
     def build_worker(worker_slot: ParameterSlot) -> Operator:
+        # The single-field projection is an identity (MOD022), but removing
+        # it would shift the cost model's per-phase charging that the
+        # benchmarks assert on; keep it and record the deviation.
         scan: Operator = RowScan(
-            Projection(ParameterLookup(worker_slot), ["table"]),
+            Projection(ParameterLookup(worker_slot), ["table"]).suppress(
+                "MOD022"
+            ),
             field="table",
             shard_by_rank=True,
         )

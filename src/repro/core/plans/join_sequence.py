@@ -166,10 +166,12 @@ def _exchange(
     net_fn = RadixPartition(key, n_net)
     local_hist = LocalHistogram(stream, net_fn)
     global_hist = MpiHistogram(local_hist, n_net)
+    # Deliberately uncompressed (MOD023): both Figure 4 variants must use
+    # the same wire format — see the build_join_sequence docstring.
     return MpiExchange(
         stream, local_hist, global_hist, net_fn,
         id_field=pid_field, data_field=data_field,
-    )
+    ).suppress("MOD023")
 
 
 def _optimized_cascade(

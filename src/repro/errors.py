@@ -27,6 +27,19 @@ class PlanError(ModularisError):
     """A plan is structurally malformed (cycles, missing upstreams, ...)."""
 
 
+class PlanVerificationError(PlanError):
+    """The static analyzer found error-severity diagnostics in a plan.
+
+    Raised by :func:`repro.analysis.verify` (and by the executor when
+    ``verify_plans`` is enabled) *before* any data flows.  The offending
+    findings are kept on :attr:`diagnostics`.
+    """
+
+    def __init__(self, message: str, diagnostics: list) -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics
+
+
 class ExecutionError(ModularisError):
     """A plan failed while executing.
 

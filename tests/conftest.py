@@ -5,10 +5,16 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+import repro.core.executor
 from repro.core.context import ExecutionContext
 from repro.core.operators import ParameterLookup, ParameterSlot
 from repro.mpi.cluster import SimCluster
 from repro.types import INT64, RowVector, TupleType, row_vector_type
+
+# Statically verify every plan the suite executes (analyzer soak test):
+# any plan reaching `execute` with error-severity diagnostics fails its
+# test with a PlanVerificationError instead of running.
+repro.core.executor.VERIFY_PLANS = True
 
 KV = TupleType.of(key=INT64, value=INT64)
 

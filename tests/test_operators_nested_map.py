@@ -11,7 +11,7 @@ from repro.core.operators import (
     Reduce,
     RowScan,
 )
-from repro.errors import ExecutionError, PlanError
+from repro.errors import ExecutionError, TypeCheckError
 from repro.types import INT64, RowVector, TupleType, row_vector_type
 
 from tests.conftest import make_kv_table, table_source
@@ -85,7 +85,7 @@ class TestNestedMap:
             list(nested.stream(ctx))
 
     def test_builder_must_return_operator(self, ctx):
-        with pytest.raises(PlanError, match="must return an Operator"):
+        with pytest.raises(TypeCheckError, match="must return an Operator"):
             NestedMap(partitions_source(ctx, [1]), lambda slot: "not a plan")
 
     def test_nested_nesting(self, ctx):
