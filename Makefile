@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench examples
+.PHONY: test lint bench bench-smoke examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -15,6 +15,11 @@ lint:
 
 bench:
 	$(PYTHON) -m repro bench all
+
+# Wall-clock (not simulated) fused-vs-interpreted check; writes
+# BENCH_fused.json and fails if fused is slower on the micro pipeline.
+bench-smoke:
+	$(PYTHON) -m repro.bench.smoke --out BENCH_fused.json
 
 examples:
 	for f in examples/*.py; do $(PYTHON) $$f || exit 1; done

@@ -158,6 +158,12 @@ MOD023 = _rule(
     "an MpiExchange ships ⟨key, payload⟩ INT64 tuples without radix "
     "compression; packing would halve the network volume (paper §4.1.1)",
 )
+MOD024 = _rule(
+    "MOD024", "degraded-fused-edge", Severity.INFO,
+    "a batch-capable operator is consumed row-by-row across a fused "
+    "pipeline edge; the consumer's default batches() degrades the "
+    "upstream's vectorized kernel to scalar iteration",
+)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,146 @@
+"""Wall-clock smoke benchmark of the fused execution path.
+
+Everything else in ``repro.bench`` measures *simulated* seconds — the
+calibrated cost model the paper's figures are drawn from.  This module is
+the one place that measures *real* wall-clock time, answering a question
+the simulation cannot: does the fused path actually run faster than the
+interpreted one in this Python implementation?
+
+Two probes, both fused vs interpreted:
+
+* ``micro`` — the §5.1.2 scan-and-sum pipeline (the Table/M1 micro).
+  Fused runs one numpy reduction per morsel; interpreted folds row
+  tuples in Python.  This is the gate: fused slower than interpreted
+  here means batch streaming is broken, and the run fails.
+* ``fig7_groupby`` — the distributed GROUP BY of Figure 7 on a simulated
+  cluster, end-to-end through partitioning, exchange, and aggregation.
+
+Results land in ``BENCH_fused.json`` (see ``make bench-smoke``) so a
+checkout records the speedups its tree actually achieves.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.core.plans.groupby import build_distributed_groupby
+from repro.mpi.cluster import SimCluster
+from repro.types.atoms import INT64
+from repro.types.collections import RowVector
+from repro.types.tuples import TupleType
+
+__all__ = ["run_smoke", "main"]
+
+
+def _time_modes(run, repeats: int) -> dict[str, float]:
+    """Best-of-``repeats`` wall-clock seconds for each execution mode."""
+    seconds = {}
+    for mode in ("fused", "interpreted"):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run(mode)
+            best = min(best, time.perf_counter() - start)
+        seconds[mode] = best
+    return seconds
+
+
+def _micro(n_integers: int, repeats: int) -> dict[str, float]:
+    from repro.bench.experiments.micro import _scan_sum_plan
+    from repro.core.executor import execute
+
+    plan, slot, table, expected = _scan_sum_plan(n_integers, seed=2021)
+
+    def run(mode: str) -> None:
+        result = execute(plan, params={slot: (table,)}, mode=mode)
+        assert result.rows == [(expected,)]
+
+    return _time_modes(run, repeats)
+
+
+def _fig7_groupby(n_tuples: int, machines: int, repeats: int) -> dict[str, float]:
+    kv = TupleType.of(key=INT64, value=INT64)
+    rng = np.random.default_rng(7)
+    table = RowVector(
+        kv,
+        [
+            rng.integers(0, 1 << 10, size=n_tuples, dtype=np.int64),
+            rng.integers(0, 1 << 10, size=n_tuples, dtype=np.int64),
+        ],
+    )
+    plan = build_distributed_groupby(SimCluster(machines), kv, key_bits=10)
+
+    def run(mode: str) -> None:
+        plan.groups(plan.run(table, mode=mode))
+
+    return _time_modes(run, repeats)
+
+
+def run_smoke(
+    micro_integers: int = 1 << 20,
+    groupby_tuples: int = 1 << 17,
+    machines: int = 2,
+    repeats: int = 2,
+) -> dict:
+    """Run both probes and return the report dictionary."""
+    report: dict = {"benchmarks": {}}
+    for name, seconds in (
+        ("micro", _micro(micro_integers, repeats)),
+        ("fig7_groupby", _fig7_groupby(groupby_tuples, machines, repeats)),
+    ):
+        report["benchmarks"][name] = {
+            "fused_seconds": seconds["fused"],
+            "interpreted_seconds": seconds["interpreted"],
+            "speedup": seconds["interpreted"] / seconds["fused"],
+        }
+    report["benchmarks"]["micro"]["n_integers"] = micro_integers
+    report["benchmarks"]["fig7_groupby"]["n_tuples"] = groupby_tuples
+    report["benchmarks"]["fig7_groupby"]["machines"] = machines
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_fused.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--micro-integers", type=int, default=1 << 20)
+    parser.add_argument("--groupby-tuples", type=int, default=1 << 17)
+    parser.add_argument("--machines", type=int, default=2)
+    parser.add_argument("--repeats", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    report = run_smoke(
+        micro_integers=args.micro_integers,
+        groupby_tuples=args.groupby_tuples,
+        machines=args.machines,
+        repeats=args.repeats,
+    )
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    for name, entry in report["benchmarks"].items():
+        print(
+            f"{name}: fused {entry['fused_seconds']:.3f}s, "
+            f"interpreted {entry['interpreted_seconds']:.3f}s "
+            f"-> {entry['speedup']:.1f}x"
+        )
+    micro_speedup = report["benchmarks"]["micro"]["speedup"]
+    if micro_speedup < 1.0:
+        print(
+            f"FAIL: fused is {1 / micro_speedup:.1f}x SLOWER than "
+            "interpreted on the micro pipeline",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,11 @@ class ExecutionContext:
     #: to ``execute`` with this context, rejecting plans with
     #: error-severity diagnostics before any data flows.
     verify_plans: bool = False
+    #: Target rows per :class:`~repro.types.collections.RowVector` morsel on
+    #: the batch data path.  Bounds the memory footprint of operators whose
+    #: ``batches()`` falls back to buffering ``rows()``; scans and kernels
+    #: use it as their output granularity.
+    morsel_rows: int = 1 << 16
     #: Parameter bindings of active NestedMap invocations, keyed by slot id.
     _params: dict[int, tuple] = field(default_factory=dict)
     #: Bumped on every NestedMap invocation; invalidates pipeline caches.
@@ -51,6 +56,10 @@ class ExecutionContext:
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
             raise ExecutionError(f"unknown execution mode {self.mode!r}")
+        if self.morsel_rows < 1:
+            raise ExecutionError(
+                f"morsel size must be at least one row, got {self.morsel_rows}"
+            )
 
     # -- distributed facets -------------------------------------------------
 
@@ -72,10 +81,19 @@ class ExecutionContext:
         return self.rank_ctx.n_ranks if self.rank_ctx is not None else 1
 
     @classmethod
-    def for_rank(cls, rank_ctx: RankContext, mode: ExecutionMode = "fused") -> "ExecutionContext":
+    def for_rank(
+        cls,
+        rank_ctx: RankContext,
+        mode: ExecutionMode = "fused",
+        morsel_rows: int = 1 << 16,
+    ) -> "ExecutionContext":
         """The context a worker uses to execute a nested plan on its rank."""
         return cls(
-            cost=rank_ctx.cost, clock=rank_ctx.clock, mode=mode, rank_ctx=rank_ctx
+            cost=rank_ctx.cost,
+            clock=rank_ctx.clock,
+            mode=mode,
+            rank_ctx=rank_ctx,
+            morsel_rows=morsel_rows,
         )
 
     # -- cost charging --------------------------------------------------------

@@ -96,7 +96,16 @@ def execute(
         ctx.push_parameter(slot.id, value)
         bound.append(slot.id)
     try:
-        rows = list(root.stream(ctx))
+        if ctx.mode == "fused":
+            # Pull whole morsels from the root so the top pipeline stays
+            # fused instead of degrading to rows at the driver boundary.
+            rows = [
+                row
+                for batch in root.stream_batches(ctx)
+                for row in batch.iter_rows()
+            ]
+        else:
+            rows = list(root.rows(ctx))
     finally:
         for slot_id in bound:
             ctx.pop_parameter(slot_id)

@@ -230,8 +230,12 @@ class HashPartition(PartitionFunction):
     def __call__(self, row: tuple) -> int:
         if self._key_pos is None:
             raise TypeCheckError("HashPartition used before bind()")
-        key = np.uint64(row[self._key_pos] & 0xFFFFFFFFFFFFFFFF)
-        return int(self._hash(np.array([key]))[0])
+        # Pure-int replica of _hash (wrapping uint64 multiply): the scalar
+        # path must agree bit-for-bit with the vectorized one without
+        # paying a one-element-array allocation per row.
+        key = row[self._key_pos] & 0xFFFFFFFFFFFFFFFF
+        mixed = (key * self._multiplier) & 0xFFFFFFFFFFFFFFFF
+        return (mixed >> 33) % self.n_partitions
 
     def map_batch(self, batch: RowVector) -> np.ndarray:
         return self._hash(batch.column(self.key_field))

@@ -1,0 +1,25 @@
+"""Vectorized batch kernels backing the fused execution path.
+
+Sub-operators (`repro.core.operators`) define *what* each step computes
+and what it costs; the kernels here define *how* the fused path computes
+it over whole :class:`~repro.types.collections.RowVector` morsels at
+once.  Kernels are pure numpy functions — they never touch the
+execution context, charge costs, or pull from upstreams — so the same
+kernel is reusable from any operator (and testable in isolation).
+"""
+
+from repro.core.kernels.hash_join import (
+    HashJoinBuild,
+    HashJoinSpec,
+    mix_hash,
+    outer_tail,
+    probe_morsel,
+)
+
+__all__ = [
+    "HashJoinBuild",
+    "HashJoinSpec",
+    "mix_hash",
+    "outer_tail",
+    "probe_morsel",
+]

@@ -95,13 +95,25 @@ class Operator:
     def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
         """Yield output tuples as RowVector morsels (the fused data path).
 
-        The default materializes :meth:`rows` into a single batch, which is
-        correct but gains nothing; operators on hot paths override this.
+        The default buffers :meth:`rows` into ``ctx.morsel_rows``-sized
+        morsels (at least one batch, possibly empty, is always yielded),
+        which is correct but gains nothing; operators on hot paths override
+        this with a vectorized kernel.
         """
+        yield from self._rows_as_morsels(ctx)
+
+    def _rows_as_morsels(self, ctx: ExecutionContext) -> Iterator[RowVector]:
+        """Repackage the row iterator into bounded RowVector morsels."""
         builder = RowVectorBuilder(self.output_type)
+        emitted = False
         for row in self.rows(ctx):
             builder.append(row)
-        yield builder.finish()
+            if len(builder) >= ctx.morsel_rows:
+                yield builder.finish()
+                builder = RowVectorBuilder(self.output_type)
+                emitted = True
+        if len(builder) or not emitted:
+            yield builder.finish()
 
     def stream(self, ctx: ExecutionContext) -> Iterator[tuple]:
         """The mode-dispatching row iterator consumers should use."""
@@ -111,6 +123,23 @@ class Operator:
         else:
             yield from self.rows(ctx)
 
+    def stream_batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
+        """The mode-dispatching *batch* iterator consumers should use.
+
+        Batch-shaped consumers (joins, aggregations, partitioners, the
+        network exchange) pull morsels through this method instead of
+        degrading their upstream to ``stream()``/``rows()``: in fused mode
+        the upstream's vectorized ``batches()`` kernel runs end-to-end; in
+        interpreted mode the upstream's ``rows()`` path runs (so the cost
+        model charges interpreted rates) and is repackaged into morsels
+        purely as a container, keeping the consumer's code batch-shaped in
+        both modes.
+        """
+        if ctx.mode == "fused":
+            yield from self.batches(ctx)
+        else:
+            yield from self._rows_as_morsels(ctx)
+
     def drain(self, ctx: ExecutionContext) -> RowVector:
         """Execute fully and materialize the result (no cost charged).
 
@@ -118,13 +147,7 @@ class Operator:
         once; cost-bearing materialization is ``MaterializeRowVector``'s job.
         """
         if ctx.mode == "fused":
-            parts = list(self.batches(ctx))
-            if len(parts) == 1:
-                return parts[0]
-            builder = RowVectorBuilder(self.output_type)
-            for part in parts:
-                builder.extend(part.iter_rows())
-            return builder.finish()
+            return RowVector.concat(self.output_type, list(self.batches(ctx)))
         return RowVector.from_rows(self.output_type, self.rows(ctx))
 
     # -- plan structure ------------------------------------------------------------

@@ -1,20 +1,31 @@
 """BuildProbe: in-memory hash join of two upstreams (§3.3.2).
 
 Builds a hash table from the *left* upstream on the join attributes, then
-streams the *right* upstream probing it.  This single, 100-line operator is
-where join-variant semantics live; supporting semi/anti/outer joins means
+streams the *right* upstream probing it.  This single operator is where
+join-variant semantics live; supporting semi/anti/outer joins means
 changing only the small probe policy below — the extensibility argument of
 paper Section 5.1.1 ("to support other join types we only need to modify
 the HashProbe operator that consists of 103 lines").
+
+The fused data path delegates to the vectorized hash-join kernel
+(:mod:`repro.core.kernels.hash_join`): a single stable sort of the build
+side by hash value, then per-morsel ``searchsorted`` probes — the
+operator never materializes the probe side.  The operator owns the join's
+plan-level contract (types, policies, cost charging); the kernel owns the
+numpy machinery.
 """
 
 from __future__ import annotations
 
 from typing import Iterator
 
-import numpy as np
-
 from repro.core.context import ExecutionContext
+from repro.core.kernels.hash_join import (
+    HashJoinBuild,
+    HashJoinSpec,
+    outer_tail,
+    probe_morsel,
+)
 from repro.core.operator import Operator, require_fields
 from repro.errors import TypeCheckError
 from repro.types.atoms import INT64
@@ -93,85 +104,91 @@ class BuildProbe(Operator):
 
     def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
         table: dict[tuple, list[tuple]] = {}
+        build_order: list[tuple[tuple, tuple]] = []
         built = 0
         for row in self.upstreams[0].rows(ctx):
             built += 1
             key = tuple(row[p] for p in self._left_key_pos)
             rest = tuple(row[p] for p in self._left_rest_pos)
             table.setdefault(key, []).append(rest)
+            build_order.append((key, rest))
         ctx.charge_cpu(self, "build", built)
 
         matched_keys: set[tuple] = set()
         probed = 0
         emitted = 0
-        for row in self.upstreams[1].rows(ctx):
-            probed += 1
-            key = tuple(row[p] for p in self._right_key_pos)
-            right_rest = tuple(row[p] for p in self._right_rest_pos)
-            hits = table.get(key)
-            if self.join_type == "semi":
-                if hits:
-                    emitted += 1
-                    yield key + right_rest
-            elif self.join_type == "anti":
-                if not hits:
-                    emitted += 1
-                    yield key + right_rest
-            else:
-                if hits:
-                    matched_keys.add(key)
-                    for left_rest in hits:
+        try:
+            for row in self.upstreams[1].rows(ctx):
+                probed += 1
+                key = tuple(row[p] for p in self._right_key_pos)
+                right_rest = tuple(row[p] for p in self._right_rest_pos)
+                hits = table.get(key)
+                if self.join_type == "semi":
+                    if hits:
                         emitted += 1
-                        yield key + left_rest + right_rest
-        ctx.charge_cpu(self, "probe", probed + emitted)
+                        yield key + right_rest
+                elif self.join_type == "anti":
+                    if not hits:
+                        emitted += 1
+                        yield key + right_rest
+                else:
+                    if hits:
+                        matched_keys.add(key)
+                        for left_rest in hits:
+                            emitted += 1
+                            yield key + left_rest + right_rest
+        finally:
+            ctx.charge_cpu(self, "probe", probed + emitted)
 
         if self.join_type == "left_outer":
             fill = (self.outer_fill,) * len(self._right_rest_pos)
-            for key, hits in table.items():
+            # Unmatched build rows are emitted in build-insertion order,
+            # matching the sorted-by-hash kernel (stable sort, key runs).
+            for key, left_rest in build_order:
                 if key not in matched_keys:
-                    for left_rest in hits:
-                        yield key + left_rest + fill
+                    yield key + left_rest + fill
 
     # -- fused implementation -------------------------------------------------------
 
     def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
         vectorizable = (
-            self.join_type == "inner"
-            and len(self.keys) == 1
+            len(self.keys) == 1
             and self.upstreams[0].output_type[self.keys[0]] == INT64
         )
         if not vectorizable:
-            yield from Operator.batches(self, ctx)
+            yield from self._rows_as_morsels(ctx)
             return
-        left = self.upstreams[0].drain(ctx)
-        right = self.upstreams[1].drain(ctx)
+
+        spec = HashJoinSpec(
+            join_type=self.join_type,
+            output_type=self.output_type,
+            key=self.keys[0],
+            left_rest_pos=self._left_rest_pos,
+            right_rest_pos=self._right_rest_pos,
+            right_type=self.upstreams[1].output_type,
+            outer_fill=self.outer_fill,
+        )
+        left = RowVector.concat(
+            self.upstreams[0].output_type,
+            list(self.upstreams[0].stream_batches(ctx)),
+        )
         ctx.charge_cpu(self, "build", len(left))
-        yield self._vector_inner_join(ctx, left, right)
+        build = HashJoinBuild.from_rows(left, spec.key)
 
-    def _vector_inner_join(
-        self, ctx: ExecutionContext, left: RowVector, right: RowVector
-    ) -> RowVector:
-        """Sort-based equi-join on a single INT64 key, duplicates included."""
-        key = self.keys[0]
-        if len(left) == 0 or len(right) == 0:
-            ctx.charge_cpu(self, "probe", len(right))
-            return RowVector.empty(self.output_type)
-        left_keys = left.column(key)
-        order = np.argsort(left_keys, kind="stable")
-        sorted_keys = left_keys[order]
-        right_keys = right.column(key)
-        lo = np.searchsorted(sorted_keys, right_keys, side="left")
-        hi = np.searchsorted(sorted_keys, right_keys, side="right")
-        match_counts = hi - lo
-        emitted = int(match_counts.sum())
-        ctx.charge_cpu(self, "probe", len(right) + emitted)
+        yielded = False
+        for batch in self.upstreams[1].stream_batches(ctx):
+            out = probe_morsel(build, batch, spec)
+            # Every policy charges one unit per probe tuple plus one per
+            # emitted tuple — identical to the scalar path's accounting.
+            ctx.charge_cpu(self, "probe", len(batch) + len(out))
+            if len(out):
+                yielded = True
+                yield out
 
-        right_idx = np.repeat(np.arange(len(right)), match_counts)
-        # For each probe row, the run of matching build positions.
-        offsets = np.repeat(hi - np.cumsum(match_counts), match_counts)
-        left_idx = order[np.arange(emitted) + offsets]
-
-        columns: list[np.ndarray] = [right_keys[right_idx]]
-        columns += [left.columns[p][left_idx] for p in self._left_rest_pos]
-        columns += [right.columns[p][right_idx] for p in self._right_rest_pos]
-        return RowVector(self.output_type, columns)
+        if self.join_type == "left_outer":
+            tail = outer_tail(build, spec)
+            if len(tail):
+                yielded = True
+                yield tail
+        if not yielded:
+            yield RowVector.empty(self.output_type)

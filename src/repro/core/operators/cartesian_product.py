@@ -32,10 +32,12 @@ class CartesianProduct(Operator):
     def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
         left_rows = list(self.upstreams[0].stream(ctx))
         count = 0
-        for right_row in self.upstreams[1].stream(ctx):
-            for left_row in left_rows:
-                count += 1
-                yield left_row + right_row
-        ctx.charge_cpu(self, "map", count)
+        try:
+            for right_row in self.upstreams[1].stream(ctx):
+                for left_row in left_rows:
+                    count += 1
+                    yield left_row + right_row
+        finally:
+            ctx.charge_cpu(self, "map", count)
 
     batches = Operator.batches

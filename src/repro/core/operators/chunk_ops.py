@@ -118,16 +118,10 @@ class MaterializeChunks(Operator):
         from repro.types.collections import RowVectorBuilder
 
         element_type = self.upstreams[0].output_type
-        chunks: list[RowVector] = []
-        pending = RowVectorBuilder(element_type)
-        for row in self.upstreams[0].stream(ctx):
-            pending.append(row)
-            if len(pending) == self.chunk_rows:
-                chunks.append(pending.finish())
-                pending = RowVectorBuilder(element_type)
-        if len(pending):
-            chunks.append(pending.finish())
-        collection = ChunkedRowVector(element_type, chunks)
+        data = RowVector.concat(
+            element_type, list(self.upstreams[0].stream_batches(ctx))
+        )
+        collection = ChunkedRowVector.from_row_vector(data, self.chunk_rows)
         ctx.set_phase(self.assigned_phase)
         ctx.clock.advance(
             ctx.cost.copy_cost(collection.size_bytes()), jitter=True

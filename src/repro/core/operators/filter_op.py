@@ -27,14 +27,18 @@ class Filter(Operator):
     def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
         predicate = self.predicate
         count = 0
-        for row in self.upstreams[0].rows(ctx):
-            count += 1
-            if predicate(row):
-                yield row
-        ctx.charge_cpu(self, "map", count)
+        # Charge in a finally so early generator close (e.g. a downstream
+        # Limit) still bills the tuples that were actually inspected.
+        try:
+            for row in self.upstreams[0].rows(ctx):
+                count += 1
+                if predicate(row):
+                    yield row
+        finally:
+            ctx.charge_cpu(self, "map", count)
 
     def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
-        for batch in self.upstreams[0].batches(ctx):
+        for batch in self.upstreams[0].stream_batches(ctx):
             ctx.charge_cpu(self, "map", len(batch))
             mask = self.predicate.mask(batch)
             if mask.all():

@@ -44,7 +44,7 @@ class Limit(Operator):
         if self.n == 0:
             return
         remaining = self.n
-        for batch in self.upstreams[0].batches(ctx):
+        for batch in self.upstreams[0].stream_batches(ctx):
             if len(batch) >= remaining:
                 yield batch.slice(0, remaining)
                 return

@@ -60,7 +60,7 @@ class LocalHistogram(Operator):
     def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
         counts = np.zeros(self.n_buckets, dtype=np.int64)
         total = 0
-        for batch in self.upstreams[0].batches(ctx):
+        for batch in self.upstreams[0].stream_batches(ctx):
             if len(batch) == 0:
                 continue
             total += len(batch)

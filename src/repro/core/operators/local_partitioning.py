@@ -74,12 +74,17 @@ class LocalPartitioning(Operator):
 
     def _read_histogram(self, ctx: ExecutionContext) -> np.ndarray:
         counts = np.zeros(self.n_partitions, dtype=np.int64)
-        for bucket, count in self.upstreams[1].stream(ctx):
-            if not 0 <= bucket < self.n_partitions:
+        for batch in self.upstreams[1].stream_batches(ctx):
+            if len(batch) == 0:
+                continue
+            buckets = batch.column("bucket")
+            if len(buckets) and not (
+                0 <= int(buckets.min()) and int(buckets.max()) < self.n_partitions
+            ):
                 raise ExecutionError(
-                    f"histogram bucket {bucket} outside [0, {self.n_partitions})"
+                    f"histogram bucket outside [0, {self.n_partitions})"
                 )
-            counts[bucket] += count
+            np.add.at(counts, buckets, batch.column("count"))
         return counts
 
     def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
@@ -105,15 +110,9 @@ class LocalPartitioning(Operator):
     def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
         counts = self._read_histogram(ctx)
         element_type = self.upstreams[0].output_type
-        parts = [b for b in self.upstreams[0].batches(ctx) if len(b)]
-        if parts:
-            columns = [
-                np.concatenate([p.columns[i] for p in parts])
-                for i in range(len(element_type))
-            ]
-            data = RowVector(element_type, columns)
-        else:
-            data = RowVector.empty(element_type)
+        data = RowVector.concat(
+            element_type, list(self.upstreams[0].stream_batches(ctx))
+        )
         ctx.charge_cpu(self, "partition", len(data))
 
         buckets = (

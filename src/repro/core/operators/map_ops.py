@@ -31,13 +31,15 @@ class Map(Operator):
     def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
         fn = self.fn
         count = 0
-        for row in self.upstreams[0].rows(ctx):
-            count += 1
-            yield fn(row)
-        ctx.charge_cpu(self, "map", count)
+        try:
+            for row in self.upstreams[0].rows(ctx):
+                count += 1
+                yield fn(row)
+        finally:
+            ctx.charge_cpu(self, "map", count)
 
     def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
-        for batch in self.upstreams[0].batches(ctx):
+        for batch in self.upstreams[0].stream_batches(ctx):
             ctx.charge_cpu(self, "map", len(batch))
             yield self.fn.apply_batch(batch, self.output_type)
 
@@ -71,13 +73,15 @@ class ParametrizedMap(Operator):
         param = self._read_param(ctx)
         fn = self.fn
         count = 0
-        for row in self.upstreams[0].rows(ctx):
-            count += 1
-            yield fn(param, row)
-        ctx.charge_cpu(self, "map", count)
+        try:
+            for row in self.upstreams[0].rows(ctx):
+                count += 1
+                yield fn(param, row)
+        finally:
+            ctx.charge_cpu(self, "map", count)
 
     def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
         param = self._read_param(ctx)
-        for batch in self.upstreams[0].batches(ctx):
+        for batch in self.upstreams[0].stream_batches(ctx):
             ctx.charge_cpu(self, "map", len(batch))
             yield self.fn.apply_batch(param, batch, self.output_type)

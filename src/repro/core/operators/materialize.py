@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from typing import Iterator
 
-import numpy as np
-
 from repro.core.context import ExecutionContext
 from repro.core.operator import Operator
 from repro.types.collections import RowVector, RowVectorBuilder, row_vector_type
@@ -47,18 +45,10 @@ class MaterializeRowVector(Operator):
         yield (vector,)
 
     def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
-        parts = [b for b in self.upstreams[0].batches(ctx) if len(b)]
         element_type = self.upstreams[0].output_type
-        if not parts:
-            vector = RowVector.empty(element_type)
-        elif len(parts) == 1:
-            vector = parts[0]
-        else:
-            columns = [
-                np.concatenate([p.columns[i] for p in parts])
-                for i in range(len(element_type))
-            ]
-            vector = RowVector(element_type, columns)
+        vector = RowVector.concat(
+            element_type, list(self.upstreams[0].stream_batches(ctx))
+        )
         ctx.charge_materialize(self, vector.size_bytes())
         out = RowVectorBuilder(self.output_type)
         out.append((vector,))

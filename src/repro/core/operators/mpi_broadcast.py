@@ -50,8 +50,9 @@ class MpiBroadcast(Operator):
 
     def _read_total(self, ctx: ExecutionContext, upstream: Operator) -> int:
         total = 0
-        for _bucket, count in upstream.stream(ctx):
-            total += count
+        for batch in upstream.stream_batches(ctx):
+            if len(batch):
+                total += int(batch.column("count").sum())
         return total
 
     def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
@@ -72,7 +73,7 @@ class MpiBroadcast(Operator):
 
         windows = comm.win_create(self.output_type, global_total)
         sent = 0
-        for batch in self.upstreams[0].batches(ctx):
+        for batch in self.upstreams[0].stream_batches(ctx):
             if len(batch) == 0:
                 continue
             ctx.charge_cpu(self, "partition", len(batch))

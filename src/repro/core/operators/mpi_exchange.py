@@ -106,28 +106,34 @@ class MpiExchange(Operator):
 
     def _read_histogram(self, ctx: ExecutionContext, upstream: Operator) -> np.ndarray:
         counts = np.zeros(self.n_partitions, dtype=np.int64)
-        for bucket, count in upstream.stream(ctx):
-            if not 0 <= bucket < self.n_partitions:
+        for batch in upstream.stream_batches(ctx):
+            if len(batch) == 0:
+                continue
+            buckets = batch.column("bucket")
+            if not (0 <= int(buckets.min()) and int(buckets.max()) < self.n_partitions):
                 raise ExecutionError(
-                    f"histogram bucket {bucket} outside [0, {self.n_partitions})"
+                    f"histogram bucket outside [0, {self.n_partitions})"
                 )
-            counts[bucket] += count
+            np.add.at(counts, buckets, batch.column("count"))
         return counts
 
     def _owned_partitions(self, rank: int, n_ranks: int) -> range:
         return range(rank, self.n_partitions, n_ranks)
 
-    def _window_layout(
-        self, matrix: np.ndarray, rank: int, n_ranks: int
-    ) -> tuple[int, dict[int, int]]:
-        """Capacity of ``rank``'s window and base offset of each owned pid."""
-        bases: dict[int, int] = {}
-        cursor = 0
-        global_counts = matrix.sum(axis=0)
-        for pid in self._owned_partitions(rank, n_ranks):
-            bases[pid] = cursor
-            cursor += int(global_counts[pid])
-        return cursor, bases
+    def _layout_table(self, global_counts: np.ndarray, n_ranks: int) -> np.ndarray:
+        """Base offset of every partition inside its owner's window.
+
+        Computed once per exchange, right after the allgather: partition
+        ``p`` lives in rank ``p mod n_ranks``'s window, after all the lower
+        partitions that rank owns.  Every rank derives the same table
+        locally — no synchronization.
+        """
+        bases = np.zeros(self.n_partitions, dtype=np.int64)
+        for rank in range(n_ranks):
+            owned = np.arange(rank, self.n_partitions, n_ranks)
+            sizes = global_counts[owned]
+            bases[owned] = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        return bases
 
     def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
         ctx.set_phase(self.assigned_phase)
@@ -145,8 +151,12 @@ class MpiExchange(Operator):
                 "the histogram upstreams were not computed over the same input"
             )
 
-        # Every rank derives the same layout locally — no synchronization.
-        capacity, _ = self._window_layout(matrix, comm.rank, n_ranks)
+        # One-shot layout: base offset of every partition in its owner's
+        # window, shared by all sends instead of being rebuilt per put.
+        partition_base = self._layout_table(global_counts, n_ranks)
+        capacity = int(
+            global_counts[np.arange(comm.rank, self.n_partitions, n_ranks)].sum()
+        )
         windows = comm.win_create(self._wire_type, capacity)
 
         # Exclusive write offset of this rank inside every partition region.
@@ -154,7 +164,7 @@ class MpiExchange(Operator):
 
         total = 0
         pending: dict[int, int] = {}  # pid -> rows already sent by this rank
-        for batch in self.upstreams[0].batches(ctx):
+        for batch in self.upstreams[0].stream_batches(ctx):
             if len(batch) == 0:
                 continue
             total += len(batch)
@@ -166,7 +176,9 @@ class MpiExchange(Operator):
             for pid in np.flatnonzero(counts):
                 pid = int(pid)
                 rows = batch.take(order[offsets[pid] : offsets[pid + 1]])
-                self._send_partition(ctx, windows, matrix, my_prefix, pending, pid, rows)
+                self._send_partition(
+                    ctx, windows, partition_base, my_prefix, pending, pid, rows
+                )
         if total != int(local_counts.sum()):
             raise ExecutionError(
                 f"data upstream produced {total} tuples but the local histogram "
@@ -177,9 +189,9 @@ class MpiExchange(Operator):
         windows.fence()
 
         out = RowVectorBuilder(self.output_type)
-        _, bases = self._window_layout(matrix, comm.rank, n_ranks)
         for pid in self._owned_partitions(comm.rank, n_ranks):
-            data = windows.local.read(bases[pid], bases[pid] + int(global_counts[pid]))
+            base = int(partition_base[pid])
+            data = windows.local.read(base, base + int(global_counts[pid]))
             out.append((pid, data))
         yield out.finish()
 
@@ -187,7 +199,7 @@ class MpiExchange(Operator):
         self,
         ctx: ExecutionContext,
         windows,
-        matrix: np.ndarray,
+        partition_base: np.ndarray,
         my_prefix: np.ndarray,
         pending: dict[int, int],
         pid: int,
@@ -199,9 +211,8 @@ class MpiExchange(Operator):
         if self.compression is not None:
             ctx.charge_cpu(self, "map", len(rows))
             rows = self.compression.pack_batch(rows)
-        _, target_bases = self._window_layout(matrix, target, comm.n_ranks)
         sent = pending.get(pid, 0)
-        base = target_bases[pid] + int(my_prefix[pid]) + sent
+        base = int(partition_base[pid]) + int(my_prefix[pid]) + sent
         ctx.set_phase(self.assigned_phase)
         for start in range(0, len(rows), BUFFER_ROWS):
             chunk = rows.slice(start, min(start + BUFFER_ROWS, len(rows)))

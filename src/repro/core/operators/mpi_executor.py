@@ -79,6 +79,7 @@ class MpiExecutor(Operator):
         if ctx.rank_ctx is not None:
             raise ExecutionError("MpiExecutor cannot run inside another MPI job")
         mode = ctx.mode
+        morsel_rows = ctx.morsel_rows
 
         # More inputs than ranks run as successive waves of one job each —
         # the guarantee the paper states is only that instances *within* a
@@ -87,7 +88,9 @@ class MpiExecutor(Operator):
             wave = inputs[wave_start : wave_start + n_ranks]
 
             def worker(rank_ctx: RankContext) -> list[tuple]:
-                worker_ctx = ExecutionContext.for_rank(rank_ctx, mode=mode)
+                worker_ctx = ExecutionContext.for_rank(
+                    rank_ctx, mode=mode, morsel_rows=morsel_rows
+                )
                 worker_ctx.push_parameter(self.slot.id, wave[rank_ctx.rank])
                 try:
                     return list(self.inner.stream(worker_ctx))

@@ -41,12 +41,15 @@ class MpiHistogram(Operator):
 
     def _global_counts(self, ctx: ExecutionContext) -> np.ndarray:
         local = np.zeros(self.n_buckets, dtype=np.int64)
-        for bucket, count in self.upstreams[0].stream(ctx):
-            if not 0 <= bucket < self.n_buckets:
+        for batch in self.upstreams[0].stream_batches(ctx):
+            if len(batch) == 0:
+                continue
+            buckets = batch.column("bucket")
+            if not (0 <= int(buckets.min()) and int(buckets.max()) < self.n_buckets):
                 raise ExecutionError(
-                    f"histogram bucket {bucket} outside [0, {self.n_buckets})"
+                    f"histogram bucket outside [0, {self.n_buckets})"
                 )
-            local[bucket] += count
+            np.add.at(local, buckets, batch.column("count"))
         ctx.set_phase(self.assigned_phase)
         return ctx.comm.allreduce(local, op="sum")
 

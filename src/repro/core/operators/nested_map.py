@@ -14,6 +14,7 @@ from repro.core.context import ExecutionContext
 from repro.core.operator import Operator
 from repro.core.operators.parameter_lookup import ParameterSlot
 from repro.errors import ExecutionError, TypeCheckError
+from repro.types.collections import RowVector, RowVectorBuilder
 
 __all__ = ["NestedMap"]
 
@@ -60,6 +61,22 @@ class NestedMap(Operator):
         for row in self.upstreams[0].stream(ctx):
             yield self._run_inner(ctx, row)
 
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
+        # The per-invocation control flow is inherently tuple-at-a-time, but
+        # pulling whole morsels keeps the *upstream* pipeline fused and
+        # repackages the nested results into morsels for the consumer.
+        builder = RowVectorBuilder(self.output_type)
+        emitted = False
+        for batch in self.upstreams[0].stream_batches(ctx):
+            for row in batch.iter_rows():
+                builder.append(self._run_inner(ctx, row))
+                if len(builder) >= ctx.morsel_rows:
+                    yield builder.finish()
+                    builder = RowVectorBuilder(self.output_type)
+                    emitted = True
+        if len(builder) or not emitted:
+            yield builder.finish()
+
     def _run_inner(self, ctx: ExecutionContext, row: tuple) -> tuple:
         ctx.push_parameter(self.slot.id, row)
         try:
@@ -76,5 +93,3 @@ class NestedMap(Operator):
             return result
         finally:
             ctx.pop_parameter(self.slot.id)
-
-    batches = Operator.batches

@@ -78,7 +78,7 @@ class NicPartialAggregate(Operator):
         """
         upstream = self.upstreams[0]
         if batched:
-            parts = [b for b in upstream.batches(ctx) if len(b)]
+            parts = [b for b in upstream.stream_batches(ctx) if len(b)]
             input_count = sum(len(b) for b in parts)
             source = _Replay(upstream.output_type, parts)
         else:

@@ -30,13 +30,15 @@ class Projection(Operator):
     def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
         positions = self._positions
         count = 0
-        for row in self.upstreams[0].rows(ctx):
-            count += 1
-            yield tuple(row[p] for p in positions)
-        ctx.charge_cpu(self, "map", count)
+        try:
+            for row in self.upstreams[0].rows(ctx):
+                count += 1
+                yield tuple(row[p] for p in positions)
+        finally:
+            ctx.charge_cpu(self, "map", count)
 
     def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
-        for batch in self.upstreams[0].batches(ctx):
+        for batch in self.upstreams[0].stream_batches(ctx):
             ctx.charge_cpu(self, "map", len(batch))
             yield RowVector(
                 self.output_type, [batch.columns[p] for p in self._positions]

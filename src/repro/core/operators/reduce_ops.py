@@ -44,10 +44,10 @@ class Reduce(Operator):
     def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
         sum_fields = self.fn.vectorized_sum_fields
         if sum_fields is None or set(sum_fields) != set(self.output_type.field_names):
-            yield from Operator.batches(self, ctx)
+            yield from self._rows_as_morsels(ctx)
             return
         totals: list | None = None
-        for batch in self.upstreams[0].batches(ctx):
+        for batch in self.upstreams[0].stream_batches(ctx):
             ctx.charge_cpu(self, "reduce", len(batch))
             if len(batch) == 0:
                 continue
@@ -64,7 +64,8 @@ class ReduceByKey(Operator):
 
     The key field is stripped from the tuples handed to ``fn`` and re-added
     to the aggregated result, so the output tuple type equals the input's.
-    Output groups are emitted in first-seen key order (deterministic).
+    Both data paths are deterministic: the scalar fold emits groups in
+    first-seen key order, the vectorized sum kernel in ascending key order.
     """
 
     abbreviation = "RK"
@@ -125,7 +126,7 @@ class ReduceByKey(Operator):
             and len(self._key_positions) == 1
         )
         if not vectorizable:
-            yield from Operator.batches(self, ctx)
+            yield from self._rows_as_morsels(ctx)
             return
         yield from self._sum_by_single_key(ctx)
 
@@ -135,7 +136,7 @@ class ReduceByKey(Operator):
         key_chunks: list[np.ndarray] = []
         value_chunks: list[list[np.ndarray]] = [[] for _ in self._value_positions]
         total = 0
-        for batch in self.upstreams[0].batches(ctx):
+        for batch in self.upstreams[0].stream_batches(ctx):
             if len(batch) == 0:
                 continue
             total += len(batch)

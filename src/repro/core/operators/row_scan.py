@@ -18,9 +18,6 @@ from repro.types.collections import RowVector
 
 __all__ = ["RowScan"]
 
-#: Morsel size of the fused scan path (rows per batch).
-MORSEL_ROWS = 1 << 16
-
 
 class RowScan(Operator):
     """Yield the element tuples of each collection arriving from upstream.
@@ -79,10 +76,13 @@ class RowScan(Operator):
             yield from collection.iter_rows()
 
     def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
+        morsel_rows = ctx.morsel_rows
         for collection in self._collections(ctx):
             ctx.charge_cpu(self, "scan", len(collection) * self._scan_weight)
-            if len(collection) <= MORSEL_ROWS:
+            if len(collection) <= morsel_rows:
                 yield collection
             else:
-                for start in range(0, len(collection), MORSEL_ROWS):
-                    yield collection.slice(start, min(start + MORSEL_ROWS, len(collection)))
+                for start in range(0, len(collection), morsel_rows):
+                    yield collection.slice(
+                        start, min(start + morsel_rows, len(collection))
+                    )

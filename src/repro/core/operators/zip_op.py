@@ -41,19 +41,21 @@ class Zip(Operator):
     def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
         iterators = [u.stream(ctx) for u in self.upstreams]
         count = 0
-        while True:
-            parts = [next(it, _DONE) for it in iterators]
-            finished = sum(1 for p in parts if p is _DONE)
-            if finished == len(parts):
-                break
-            if finished:
-                raise ExecutionError(
-                    f"Zip upstreams returned different numbers of tuples "
-                    f"(mismatch after {count} tuples)"
-                )
-            count += 1
-            yield tuple(v for part in parts for v in part)
-        ctx.charge_cpu(self, "map", count)
+        try:
+            while True:
+                parts = [next(it, _DONE) for it in iterators]
+                finished = sum(1 for p in parts if p is _DONE)
+                if finished == len(parts):
+                    break
+                if finished:
+                    raise ExecutionError(
+                        f"Zip upstreams returned different numbers of tuples "
+                        f"(mismatch after {count} tuples)"
+                    )
+                count += 1
+                yield tuple(v for part in parts for v in part)
+        finally:
+            ctx.charge_cpu(self, "map", count)
 
     # Zip is plumbing between materialization points in every plan of the
     # paper; the row path is also the fused path.

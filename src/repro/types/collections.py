@@ -128,6 +128,25 @@ class RowVector:
     def from_columns(cls, element_type: TupleType, columns: Sequence[np.ndarray]) -> "RowVector":
         return cls(element_type, columns)
 
+    @classmethod
+    def concat(cls, element_type: TupleType, parts: Sequence["RowVector"]) -> "RowVector":
+        """Column-wise concatenation of morsels into one vector.
+
+        The bulk counterpart of feeding every part through a
+        :class:`RowVectorBuilder`; blocking operators use it to assemble
+        their input from a batch stream without a per-row Python loop.
+        """
+        parts = [part for part in parts if len(part)]
+        if not parts:
+            return cls.empty(element_type)
+        if len(parts) == 1:
+            return parts[0]
+        columns = [
+            np.concatenate([part._columns[i] for part in parts])
+            for i in range(len(element_type))
+        ]
+        return cls(element_type, columns)
+
     # -- accessors -------------------------------------------------------
 
     def __len__(self) -> int:

@@ -10,7 +10,6 @@ from repro.core.operators import (
     Reduce,
     RowScan,
 )
-from repro.core.operators import row_scan as row_scan_module
 from repro.core.operators import mpi_exchange as mpi_exchange_module
 from repro.core.plan import prepare
 from repro.mpi.cluster import SimCluster
@@ -22,8 +21,8 @@ KV = TupleType.of(key=INT64, value=INT64)
 
 
 class TestMorsels:
-    def test_large_collections_stream_in_morsels(self, ctx, monkeypatch):
-        monkeypatch.setattr(row_scan_module, "MORSEL_ROWS", 16)
+    def test_large_collections_stream_in_morsels(self, ctx):
+        ctx.morsel_rows = 16
         table = make_kv_table(100, seed=1)
         scan = RowScan(table_source(table, ctx), field="t")
         batches = list(scan.batches(ctx))
@@ -32,8 +31,8 @@ class TestMorsels:
         flat = [r for b in batches for r in b.iter_rows()]
         assert flat == list(table.iter_rows())
 
-    def test_morsels_are_views(self, ctx, monkeypatch):
-        monkeypatch.setattr(row_scan_module, "MORSEL_ROWS", 8)
+    def test_morsels_are_views(self, ctx):
+        ctx.morsel_rows = 8
         table = make_kv_table(32)
         scan = RowScan(table_source(table, ctx), field="t")
         for batch in scan.batches(ctx):
@@ -50,8 +49,8 @@ class TestDrain:
             drained.append(list(scan.drain(ctx).iter_rows()))
         assert drained[0] == drained[1] == list(table.iter_rows())
 
-    def test_drain_of_multi_batch_stream(self, ctx, monkeypatch):
-        monkeypatch.setattr(row_scan_module, "MORSEL_ROWS", 8)
+    def test_drain_of_multi_batch_stream(self, ctx):
+        ctx.morsel_rows = 8
         table = make_kv_table(50, seed=4)
         scan = RowScan(table_source(table, ctx), field="t")
         vector = scan.drain(ctx)
@@ -91,8 +90,8 @@ class TestExchangeChunking:
 
 
 class TestReduceAfterHeavyPipeline:
-    def test_reduce_over_morsel_stream(self, ctx, monkeypatch):
-        monkeypatch.setattr(row_scan_module, "MORSEL_ROWS", 16)
+    def test_reduce_over_morsel_stream(self, ctx):
+        ctx.morsel_rows = 16
         table = make_kv_table(100, seed=6)
         scan = RowScan(table_source(table, ctx), field="t")
         (total,) = list(Reduce(scan, field_sum("key", "value")).stream(ctx))

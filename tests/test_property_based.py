@@ -18,7 +18,12 @@ from hypothesis import strategies as st
 
 from repro.core.compression import RadixCompression
 from repro.core.context import ExecutionContext
-from repro.core.functions import HashPartition, RadixPartition, field_sum
+from repro.core.functions import (
+    HashPartition,
+    RadixPartition,
+    ReduceFunction,
+    field_sum,
+)
 from repro.core.operators import (
     BuildProbe,
     LocalHistogram,
@@ -26,6 +31,7 @@ from repro.core.operators import (
     ReduceByKey,
     RowScan,
 )
+from repro.core.operators.build_probe import JOIN_TYPES
 from repro.core.plans.join import build_distributed_join
 from repro.core.plans.groupby import build_distributed_groupby
 from repro.mpi.cluster import SimCluster
@@ -191,3 +197,86 @@ class TestDistributedProperties:
             expected[k] += v
         got = dict(zip(groups.column("key").tolist(), groups.column("value").tolist()))
         assert got == dict(expected)
+
+
+class TestFusedScalarEquivalence:
+    """The vectorized kernels are *replicas* of the scalar paths.
+
+    BuildProbe's sorted-by-hash probe is engineered to reproduce the
+    scalar hash table's emission order exactly (stable sort, build-order
+    key runs), so fused and interpreted runs are compared as ordered
+    lists — not just multisets.
+    """
+
+    join_rows = st.lists(
+        st.tuples(st.integers(-8, 8), st.integers(-1000, 1000)), max_size=60
+    )
+
+    def _join_outputs(self, left_rows, right_rows, join_type, morsel_rows):
+        outs = []
+        for mode in ("fused", "interpreted"):
+            ctx = ExecutionContext(mode=mode, morsel_rows=morsel_rows)
+            bp = BuildProbe(
+                scan_of(vector_of(left_rows, L), ctx),
+                scan_of(vector_of(right_rows, R), ctx),
+                keys="key",
+                join_type=join_type,
+            )
+            outs.append(list(bp.stream(ctx)))
+        return outs
+
+    @given(
+        left_rows=join_rows,
+        right_rows=join_rows,
+        join_type=st.sampled_from(JOIN_TYPES),
+        morsel_rows=st.sampled_from([1, 7, 1 << 16]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_probe_policies_bit_identical(
+        self, left_rows, right_rows, join_type, morsel_rows
+    ):
+        fused, interpreted = self._join_outputs(
+            left_rows, right_rows, join_type, morsel_rows
+        )
+        assert fused == interpreted
+
+    @given(
+        join_type=st.sampled_from(JOIN_TYPES),
+        key=st.integers(-(2**62), 2**62),
+        n_left=st.integers(0, 5),
+        n_right=st.integers(0, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_degenerate_morsels(self, join_type, key, n_left, n_right):
+        # Empty, single-row, and all-duplicate-key inputs in one sweep:
+        # every build row shares one key, morsels of one row each.
+        left_rows = [(key, i) for i in range(n_left)]
+        right_rows = [(key, -i) for i in range(n_right)]
+        fused, interpreted = self._join_outputs(
+            left_rows, right_rows, join_type, morsel_rows=1
+        )
+        assert fused == interpreted
+
+    @given(
+        rows=kv_rows,
+        morsel_rows=st.sampled_from([1, 3, 1 << 16]),
+        vectorized=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reduce_by_key_modes_agree(self, rows, morsel_rows, vectorized):
+        # With vectorized_sum_fields the fused kernel groups by sorting
+        # (ascending key order) while the scalar fold emits first-seen
+        # order — values must agree as multisets.  Without it the fused
+        # path falls back to morselized rows: identical order too.
+        if vectorized:
+            fn = field_sum("value")
+        else:
+            fn = ReduceFunction(lambda acc, row: (acc[0] + row[0],))
+        outs = []
+        for mode in ("fused", "interpreted"):
+            ctx = ExecutionContext(mode=mode, morsel_rows=morsel_rows)
+            agg = ReduceByKey(scan_of(vector_of(rows), ctx), "key", fn)
+            outs.append(list(agg.stream(ctx)))
+        assert sorted(outs[0]) == sorted(outs[1])
+        if not vectorized:
+            assert outs[0] == outs[1]
