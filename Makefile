@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke examples
+.PHONY: test lint bench bench-smoke profile examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,9 +17,16 @@ bench:
 	$(PYTHON) -m repro bench all
 
 # Wall-clock (not simulated) fused-vs-interpreted check; writes
-# BENCH_fused.json and fails if fused is slower on the micro pipeline.
+# BENCH_fused.json and fails if fused is slower on the micro pipeline or
+# if the disabled-profiler overhead exceeds its 5% budget.
 bench-smoke:
 	$(PYTHON) -m repro.bench.smoke --out BENCH_fused.json
+
+# EXPLAIN ANALYZE a TPC-H query and export the merged operator+substrate
+# Chrome trace (open profile_trace.json in chrome://tracing or Perfetto).
+profile:
+	$(PYTHON) -m repro profile tpch --query 12 --machines 4 \
+		--chrome-out profile_trace.json
 
 examples:
 	for f in examples/*.py; do $(PYTHON) $$f || exit 1; done

@@ -78,7 +78,7 @@ def main() -> None:
     (row,) = result.rows
     sums = row[0]
     print(f"\n{len(sums)} groups, first row: {sums.row(0)}")
-    print(f"simulated driver time: {result.seconds * 1e6:.1f} µs")
+    print(f"simulated driver time: {result.simulated_time * 1e6:.1f} µs")
 
     # ---- 2. the same aggregation data-parallel on 4 simulated machines.
     cluster = SimCluster(4)

@@ -4,7 +4,10 @@ Runs the Figure 3 join with tracing enabled and answers the questions a
 systems developer asks when debugging a distributed plan: how many
 collective epochs did it take, who stalled waiting for whom, how many
 bytes crossed the network between which ranks — and how much of that the
-radix compression saved.
+radix compression saved.  The same run is profiled at the operator level
+(see docs/observability.md), and the two event streams — operator spans
+and substrate events — are merged into one Chrome trace you can open in
+chrome://tracing or https://ui.perfetto.dev.
 
 Run:  python examples/trace_inspection.py
 """
@@ -60,7 +63,7 @@ def broken_exchange_plan():
     return MaterializeRowVector(RowScan(executor))
 
 
-def traced_join(compression: bool):
+def traced_join(compression: bool, profile: bool = False):
     from repro.workloads import make_join_relations
 
     workload = make_join_relations(1 << 15)
@@ -72,9 +75,9 @@ def traced_join(compression: bool):
         key_bits=workload.key_bits,
         compression=compression,
     )
-    result = plan.run(workload.left, workload.right)
-    assert len(plan.matches(result)) == workload.expected_matches
-    return result.cluster_results[0].trace
+    report = plan.run(workload.left, workload.right, profile=profile)
+    assert len(plan.matches(report)) == workload.expected_matches
+    return report
 
 
 def main() -> None:
@@ -88,7 +91,8 @@ def main() -> None:
     errors = [d for d in analyze(good) if d.is_error]
     print(f"  shipped join plan: {len(errors)} error(s) — safe to execute\n")
 
-    trace = traced_join(compression=True)
+    report = traced_join(compression=True, profile=True)
+    trace = report.trace
     print("=== traced join (compression on) ===")
     print(trace.summary())
 
@@ -96,13 +100,45 @@ def main() -> None:
     for src, row in enumerate(trace.bytes_matrix()):
         print(f"  rank {src}: {row}")
 
+    # Events carry typed payloads: collective events expose .stall, puts
+    # expose .target/.rows/.bytes — no dict keys to remember.
     print("\ncollective epochs, in order (rank 0's view):")
     for event in trace.events(rank=0, kind="collective"):
-        print(
-            f"  {event.label:<24} stall={event.detail['stall'] * 1e6:8.2f} µs"
-        )
+        print(f"  {event.label:<24} stall={event.detail.stall * 1e6:8.2f} µs")
 
-    raw = traced_join(compression=False)
+    heaviest = max(
+        trace.events(kind="put"), key=lambda e: e.detail.bytes
+    )
+    print(
+        f"\nheaviest put: rank {heaviest.rank} -> rank {heaviest.detail.target} "
+        f"({heaviest.detail.rows} rows, {heaviest.detail.bytes} bytes)"
+    )
+    busiest = max(
+        (trace.rank_summary(r) for r in range(trace.n_ranks)),
+        key=lambda s: s.bytes_sent,
+    )
+    print(f"busiest sender: rank {busiest.rank} ({busiest.bytes_sent} bytes)")
+
+    # ---- operator-level profile of the same run (EXPLAIN ANALYZE tree).
+    print("\n=== operator profile (first lines) ===")
+    for line in report.profile.render().splitlines()[:8]:
+        print(line)
+
+    # ---- merge operator spans with the substrate events into one Chrome
+    # trace: every rank becomes a process, operators get their own tracks.
+    import os
+    import tempfile
+
+    from repro.observability import write_chrome_trace
+
+    chrome_path = os.path.join(tempfile.gettempdir(), "modularis_trace.json")
+    n_events = write_chrome_trace(
+        chrome_path, profile=report.profile, traces=report.traces
+    )
+    print(f"\nchrome trace: {chrome_path} ({n_events} events)")
+    print("open in chrome://tracing or https://ui.perfetto.dev")
+
+    raw = traced_join(compression=False).trace
     saved = raw.network_bytes() - trace.network_bytes()
     print(
         f"\ncompression saved {saved} network bytes "

@@ -45,6 +45,18 @@ class ResultTable:
     def column(self, name: str) -> list:
         return [row.get(name) for row in self.rows]
 
+    def to_dict(self) -> dict:
+        """JSON-friendly form: title, column order, and row dicts."""
+        return {
+            "title": self.title,
+            "label_names": list(self.label_names),
+            "metric_names": list(self.metric_names),
+            "rows": [
+                {"labels": dict(row.labels), "metrics": dict(row.metrics)}
+                for row in self.rows
+            ],
+        }
+
     def render(self, metric_format: str = "{:.4g}") -> str:
         """Text table; metrics formatted compactly."""
         headers = list(self.label_names) + list(self.metric_names)

@@ -15,6 +15,11 @@ Two probes, both fused vs interpreted:
 * ``fig7_groupby`` — the distributed GROUP BY of Figure 7 on a simulated
   cluster, end-to-end through partitioning, exchange, and aggregation.
 
+A third probe measures the observability tax: the micro pipeline with the
+profiler wrappers stripped vs installed-but-off vs recording.  The run
+fails if the disabled-profiler overhead exceeds 5% — the subsystem's
+"costs nothing when off" contract, enforced in CI.
+
 Results land in ``BENCH_fused.json`` (see ``make bench-smoke``) so a
 checkout records the speedups its tree actually achieves.
 """
@@ -81,6 +86,53 @@ def _fig7_groupby(n_tuples: int, machines: int, repeats: int) -> dict[str, float
     return _time_modes(run, repeats)
 
 
+def _profiler_overhead(n_integers: int, repeats: int) -> dict[str, float]:
+    """Wall-clock tax of the observability layer on the micro pipeline.
+
+    Times the same fused plan under three configurations:
+
+    * ``baseline`` — instrumentation wrappers stripped entirely
+      (:func:`~repro.observability.profile.uninstrumented`),
+    * ``disabled`` — wrappers installed but no profiler attached: the
+      shipping default, whose cost must stay within noise of baseline,
+    * ``profiled`` — the profiler recording spans.
+
+    Rounds are interleaved (baseline, disabled, profiled, repeat) so a
+    machine-load burst hits every configuration equally; best-of wins.
+    """
+    from repro.bench.experiments.micro import _scan_sum_plan
+    from repro.core.executor import execute
+    from repro.observability import uninstrumented
+
+    plan, slot, table, expected = _scan_sum_plan(n_integers, seed=2021)
+
+    def run(profile: bool) -> float:
+        start = time.perf_counter()
+        result = execute(plan, params={slot: (table,)}, mode="fused", profile=profile)
+        elapsed = time.perf_counter() - start
+        assert result.rows == [(expected,)]
+        return elapsed
+
+    best = {"baseline": float("inf"), "disabled": float("inf"),
+            "profiled": float("inf")}
+    for _ in range(max(repeats, 3)):
+        with uninstrumented():
+            best["baseline"] = min(best["baseline"], run(False))
+        best["disabled"] = min(best["disabled"], run(False))
+        best["profiled"] = min(best["profiled"], run(True))
+    return {
+        "baseline_seconds": best["baseline"],
+        "disabled_seconds": best["disabled"],
+        "profiled_seconds": best["profiled"],
+        "disabled_overhead": best["disabled"] / best["baseline"] - 1.0,
+        "profiled_overhead": best["profiled"] / best["baseline"] - 1.0,
+    }
+
+
+#: make bench-smoke fails when the disabled-profiler tax exceeds this.
+MAX_DISABLED_OVERHEAD = 0.05
+
+
 def run_smoke(
     micro_integers: int = 1 << 20,
     groupby_tuples: int = 1 << 17,
@@ -101,6 +153,9 @@ def run_smoke(
     report["benchmarks"]["micro"]["n_integers"] = micro_integers
     report["benchmarks"]["fig7_groupby"]["n_tuples"] = groupby_tuples
     report["benchmarks"]["fig7_groupby"]["machines"] = machines
+    profiler = _profiler_overhead(micro_integers, repeats)
+    profiler["n_integers"] = micro_integers
+    report["profiler"] = profiler
     return report
 
 
@@ -130,11 +185,28 @@ def main(argv: list[str] | None = None) -> int:
             f"interpreted {entry['interpreted_seconds']:.3f}s "
             f"-> {entry['speedup']:.1f}x"
         )
+    profiler = report["profiler"]
+    print(
+        f"profiler: baseline {profiler['baseline_seconds']:.3f}s, "
+        f"disabled {profiler['disabled_seconds']:.3f}s "
+        f"({profiler['disabled_overhead']:+.1%}), "
+        f"profiled {profiler['profiled_seconds']:.3f}s "
+        f"({profiler['profiled_overhead']:+.1%})"
+    )
     micro_speedup = report["benchmarks"]["micro"]["speedup"]
     if micro_speedup < 1.0:
         print(
             f"FAIL: fused is {1 / micro_speedup:.1f}x SLOWER than "
             "interpreted on the micro pipeline",
+            file=sys.stderr,
+        )
+        return 1
+    if profiler["disabled_overhead"] > MAX_DISABLED_OVERHEAD:
+        print(
+            f"FAIL: disabled-profiler overhead "
+            f"{profiler['disabled_overhead']:.1%} exceeds the "
+            f"{MAX_DISABLED_OVERHEAD:.0%} budget — instrumentation is "
+            "no longer free when off",
             file=sys.stderr,
         )
         return 1

@@ -8,18 +8,37 @@ Usage (also available as ``python -m repro``)::
     python -m repro tpch --query 14 --strategy broadcast
     python -m repro join --log2-tuples 16 --machines 4
     python -m repro explain --query 4
+    python -m repro explain --query 12 --analyze
+    python -m repro profile tpch --query 12 --chrome-out trace.json
     python -m repro lint all examples/ --format json
 
-Every command prints the same text tables the benchmark suite asserts on.
+Every subcommand accepts ``--format {text,json}``: text output mirrors the
+tables the benchmark suite asserts on; JSON carries the same data for
+scripting.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
 __all__ = ["main", "build_parser"]
+
+_QUERIES = (1, 3, 4, 6, 12, 14, 19)
+
+
+def _format_parent() -> argparse.ArgumentParser:
+    """The ``--format`` option every subcommand shares (argparse parent)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -27,10 +46,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Modularis reproduction: experiments, TPC-H, and joins.",
     )
+    fmt = _format_parent()
     commands = parser.add_subparsers(dest="command", required=True)
 
     bench = commands.add_parser(
-        "bench", help="regenerate one (or all) of the paper's tables/figures"
+        "bench",
+        parents=[fmt],
+        help="regenerate one (or all) of the paper's tables/figures",
     )
     bench.add_argument(
         "experiment",
@@ -43,8 +65,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workload tuples for fig6/fig7/fig8/broadcast")
     bench.add_argument("--sf", type=float, default=0.05, help="TPC-H scale factor")
 
-    tpch = commands.add_parser("tpch", help="run one TPC-H query distributed")
-    tpch.add_argument("--query", type=int, required=True, choices=(1, 3, 4, 6, 12, 14, 19))
+    tpch = commands.add_parser(
+        "tpch", parents=[fmt], help="run one TPC-H query distributed"
+    )
+    tpch.add_argument("--query", type=int, required=True, choices=_QUERIES)
     tpch.add_argument("--sf", type=float, default=0.02)
     tpch.add_argument("--machines", type=int, default=8)
     tpch.add_argument(
@@ -53,19 +77,54 @@ def build_parser() -> argparse.ArgumentParser:
     tpch.add_argument("--mode", choices=("fused", "interpreted"), default="fused")
 
     join = commands.add_parser(
-        "join", help="run the Fig. 3 join vs the monolithic baseline"
+        "join", parents=[fmt],
+        help="run the Fig. 3 join vs the monolithic baseline",
     )
     join.add_argument("--log2-tuples", type=int, default=16)
     join.add_argument("--machines", type=int, default=8)
     join.add_argument("--no-compression", action="store_true")
     join.add_argument("--algorithm", choices=("hash", "sortmerge"), default="hash")
 
-    explain = commands.add_parser("explain", help="show a query's plans")
-    explain.add_argument("--query", type=int, required=True, choices=(1, 3, 4, 6, 12, 14, 19))
+    explain = commands.add_parser(
+        "explain", parents=[fmt], help="show a query's plans"
+    )
+    explain.add_argument("--query", type=int, required=True, choices=_QUERIES)
     explain.add_argument("--sf", type=float, default=0.005)
+    explain.add_argument(
+        "--analyze", action="store_true",
+        help="execute the query with the profiler on and append the "
+        "EXPLAIN ANALYZE tree (measured rows/time per sub-operator)",
+    )
+    explain.add_argument("--machines", type=int, default=2)
+    explain.add_argument("--mode", choices=("fused", "interpreted"), default="fused")
+    explain.add_argument(
+        "--strategy", choices=("exchange", "broadcast", "auto"), default="exchange"
+    )
+
+    profile = commands.add_parser(
+        "profile", parents=[fmt],
+        help="run a workload with the per-operator profiler and report spans",
+    )
+    profile.add_argument("workload", choices=("tpch", "join", "groupby"))
+    profile.add_argument("--query", type=int, default=12, choices=_QUERIES,
+                         help="TPC-H query (tpch workload only)")
+    profile.add_argument("--sf", type=float, default=0.005)
+    profile.add_argument("--machines", type=int, default=4)
+    profile.add_argument("--log2-tuples", type=int, default=14,
+                         help="input size for join/groupby workloads")
+    profile.add_argument("--mode", choices=("fused", "interpreted"), default="fused")
+    profile.add_argument(
+        "--strategy", choices=("exchange", "broadcast", "auto"), default="exchange"
+    )
+    profile.add_argument(
+        "--chrome-out", metavar="PATH", default=None,
+        help="write a chrome://tracing JSON merging operator spans with "
+        "the substrate's collective/put events",
+    )
 
     lint = commands.add_parser(
-        "lint", help="statically analyze plans without executing them"
+        "lint", parents=[fmt],
+        help="statically analyze plans without executing them",
     )
     lint.add_argument(
         "targets",
@@ -74,7 +133,6 @@ def build_parser() -> argparse.ArgumentParser:
         "join_sequence, all), Python files exposing lint_plans(), or "
         "directories of such files",
     )
-    lint.add_argument("--format", choices=("text", "json"), default="text")
     lint.add_argument(
         "--machines", type=int, default=2,
         help="cluster size used to build the builtin plans",
@@ -93,13 +151,17 @@ def _all_queries():
     return {**ALL_QUERIES, **EXTENSION_QUERIES}
 
 
+def _print_json(payload: object) -> None:
+    print(json.dumps(payload, indent=2, ensure_ascii=False))
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import experiments as exp
 
-    def show(*tables):
-        for table in tables:
-            print(table.render("{:.5g}"))
-            print()
+    tables = []
+
+    def show(*new_tables):
+        tables.extend(new_tables)
 
     wanted = (
         (
@@ -140,6 +202,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 **({"n_tuples": args.n_tuples} if args.n_tuples else {})
             )
             show(exp.run_skew(config))
+
+    if args.format == "json":
+        _print_json([table.to_dict() for table in tables])
+    else:
+        for table in tables:
+            print(table.render("{:.5g}"))
+            print()
     return 0
 
 
@@ -162,16 +231,38 @@ def _cmd_tpch(args: argparse.Namespace) -> int:
         return 1
 
     names = list(frame.columns)
+    if args.format == "json":
+        _print_json(
+            {
+                "query": args.query,
+                "strategy": lowered.strategy,
+                "machines": args.machines,
+                "mode": args.mode,
+                "simulated_time": result.simulated_time,
+                "columns": names,
+                "rows": [
+                    [_json_scalar(frame.columns[n][i]) for n in names]
+                    for i in range(frame.n_rows)
+                ],
+                "phases": dict(sorted(result.phase_breakdown().items())),
+            }
+        )
+        return 0
     print("  ".join(names))
     for i in range(frame.n_rows):
         print("  ".join(str(frame.columns[n][i]) for n in names))
     print(
         f"\nstrategy={lowered.strategy} machines={args.machines} "
-        f"simulated={result.seconds * 1e3:.3f} ms"
+        f"simulated={result.simulated_time * 1e3:.3f} ms"
     )
     for phase, seconds in sorted(result.phase_breakdown().items()):
         print(f"  {phase:<20}{seconds * 1e6:>12.1f} µs")
     return 0
+
+
+def _json_scalar(value):
+    item = getattr(value, "item", None)
+    return item() if callable(item) else value
 
 
 def _cmd_join(args: argparse.Namespace) -> int:
@@ -200,6 +291,19 @@ def _cmd_join(args: argparse.Namespace) -> int:
     )
     assert len(matches) == len(mono.matches) == workload.expected_matches
     modularis_seconds = result.cluster_results[0].makespan
+    if args.format == "json":
+        _print_json(
+            {
+                "tuples_per_relation": len(workload.left),
+                "matches": len(matches),
+                "machines": args.machines,
+                "algorithm": args.algorithm,
+                "modularis_seconds": modularis_seconds,
+                "monolithic_seconds": mono.seconds,
+                "slowdown": modularis_seconds / mono.seconds,
+            }
+        )
+        return 0
     print(f"tuples per relation : {len(workload.left)}")
     print(f"matches             : {len(matches)}")
     print(f"modularis           : {modularis_seconds * 1e3:.4f} ms")
@@ -210,22 +314,121 @@ def _cmd_join(args: argparse.Namespace) -> int:
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.core.plan import explain as explain_physical
+    from repro.core.plan import prepare
     from repro.mpi.cluster import SimCluster
     from repro.relational.optimizer import lower_to_modularis, optimize
     from repro.tpch import load_catalog
 
     catalog = load_catalog(scale_factor=args.sf)
     query = _all_queries()[args.query]()
-    print("=== logical plan ===")
-    print(query.plan.explain())
-    print("\n=== optimized logical plan ===")
-    print(optimize(query.plan, catalog).explain())
-    lowered = lower_to_modularis(query.plan, catalog, SimCluster(2))
-    from repro.core.plan import prepare
-
+    lowered = lower_to_modularis(
+        query.plan, catalog, SimCluster(args.machines),
+        join_strategy=args.strategy,
+    )
     prepare(lowered.root)
+    logical = query.plan.explain()
+    optimized = optimize(query.plan, catalog).explain()
+    physical = explain_physical(lowered.root)
+    analyzed = None
+    if args.analyze:
+        report = lowered.run(catalog, mode=args.mode, profile=True)
+        analyzed = report.profile
+
+    if args.format == "json":
+        payload = {
+            "query": args.query,
+            "strategy": lowered.strategy,
+            "logical": logical,
+            "optimized": optimized,
+            "physical": physical,
+        }
+        if analyzed is not None:
+            payload["analyze"] = analyzed.to_dict()
+        _print_json(payload)
+        return 0
+    print("=== logical plan ===")
+    print(logical)
+    print("\n=== optimized logical plan ===")
+    print(optimized)
     print(f"\n=== physical driver plan (strategy={lowered.strategy}) ===")
-    print(explain_physical(lowered.root))
+    print(physical)
+    if analyzed is not None:
+        print("\n=== EXPLAIN ANALYZE ===")
+        print(analyzed.render())
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.mpi.cluster import SimCluster
+    from repro.observability import write_chrome_trace
+
+    cluster = SimCluster(args.machines, trace=True)
+    if args.workload == "tpch":
+        from repro.relational import lower_to_modularis
+        from repro.tpch import load_catalog
+
+        catalog = load_catalog(scale_factor=args.sf)
+        query = _all_queries()[args.query]()
+        lowered = lower_to_modularis(
+            query.plan, catalog, cluster, join_strategy=args.strategy
+        )
+        report = lowered.run(catalog, mode=args.mode, profile=True)
+        label = f"tpch q{args.query} sf={args.sf}"
+    elif args.workload == "join":
+        from repro.core.plans import build_distributed_join
+        from repro.workloads import make_join_relations
+
+        workload = make_join_relations(1 << args.log2_tuples)
+        plan = build_distributed_join(
+            cluster,
+            workload.left.element_type,
+            workload.right.element_type,
+            key_bits=workload.key_bits,
+        )
+        report = plan.run(workload.left, workload.right, mode=args.mode, profile=True)
+        label = f"join 2^{args.log2_tuples}"
+    else:
+        from repro.core.plans import build_distributed_groupby
+        from repro.workloads import make_groupby_table
+
+        workload = make_groupby_table(1 << args.log2_tuples)
+        plan = build_distributed_groupby(
+            cluster, workload.table.element_type, key_bits=workload.key_bits
+        )
+        report = plan.run(workload.table, mode=args.mode, profile=True)
+        label = f"groupby 2^{args.log2_tuples}"
+
+    chrome_events = None
+    if args.chrome_out:
+        chrome_events = write_chrome_trace(
+            args.chrome_out, profile=report.profile, traces=report.traces
+        )
+
+    if args.format == "json":
+        payload = {
+            "workload": label,
+            "machines": args.machines,
+            "mode": args.mode,
+            "simulated_time": report.simulated_time,
+            "output_rows": len(report.rows),
+            "profile": report.profile.to_dict(),
+        }
+        if args.chrome_out:
+            payload["chrome_trace"] = {
+                "path": args.chrome_out,
+                "events": chrome_events,
+            }
+        _print_json(payload)
+        return 0
+    print(f"profile: {label} (machines={args.machines}, mode={args.mode})")
+    print()
+    print(report.profile.render())
+    for trace in report.traces:
+        print()
+        print(trace.summary())
+    print(f"\nsimulated total: {report.simulated_time * 1e3:.3f} ms")
+    if args.chrome_out:
+        print(f"chrome trace: {args.chrome_out} ({chrome_events} events)")
     return 0
 
 
@@ -242,6 +445,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "tpch": _cmd_tpch,
         "join": _cmd_join,
         "explain": _cmd_explain,
+        "profile": _cmd_profile,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

@@ -2,7 +2,7 @@
 
 from repro.core.compression import COMPRESSED_TYPE, RadixCompression
 from repro.core.context import ExecutionContext
-from repro.core.executor import ExecutionResult, execute
+from repro.core.executor import ExecutionReport, ExecutionResult, execute
 from repro.core.functions import (
     CallablePartition,
     HashPartition,
@@ -21,6 +21,7 @@ __all__ = [
     "COMPRESSED_TYPE",
     "RadixCompression",
     "ExecutionContext",
+    "ExecutionReport",
     "ExecutionResult",
     "execute",
     "CallablePartition",

@@ -11,12 +11,16 @@ operators of their nested plans.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import ExecutionError
 from repro.mpi.clock import SimClock
 from repro.mpi.cluster import RankContext
 from repro.mpi.comm import SimComm
 from repro.mpi.costmodel import DEFAULT_COST_MODEL, CostModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.profile import Profiler
 
 __all__ = ["ExecutionContext", "ExecutionMode"]
 
@@ -45,6 +49,10 @@ class ExecutionContext:
     #: ``batches()`` falls back to buffering ``rows()``; scans and kernels
     #: use it as their output granularity.
     morsel_rows: int = 1 << 16
+    #: Per-operator profiler (:mod:`repro.observability`).  ``None`` — the
+    #: default — disables all span recording; the data path then pays one
+    #: attribute read per operator activation and allocates nothing.
+    profiler: "Profiler | None" = None
     #: Parameter bindings of active NestedMap invocations, keyed by slot id.
     _params: dict[int, tuple] = field(default_factory=dict)
     #: Bumped on every NestedMap invocation; invalidates pipeline caches.
@@ -86,6 +94,7 @@ class ExecutionContext:
         rank_ctx: RankContext,
         mode: ExecutionMode = "fused",
         morsel_rows: int = 1 << 16,
+        profiler: "Profiler | None" = None,
     ) -> "ExecutionContext":
         """The context a worker uses to execute a nested plan on its rank."""
         return cls(
@@ -94,6 +103,7 @@ class ExecutionContext:
             mode=mode,
             rank_ctx=rank_ctx,
             morsel_rows=morsel_rows,
+            profiler=profiler,
         )
 
     # -- cost charging --------------------------------------------------------

@@ -3,13 +3,17 @@
 The top-level plan runs on the *driver* (the user's workstation in the
 paper's architecture).  ``execute`` prepares the plan (pipeline cutting),
 binds plan inputs to their parameter slots, drives the root operator, and
-collects both the result tuples and the timing evidence (driver simulated
-time plus the per-rank phase breakdowns of every MPI job the plan ran).
+collects everything the run produced into one :class:`ExecutionReport`:
+the result tuples, the driver's simulated time, the per-rank phase
+breakdowns of every MPI job the plan ran, and — with ``profile=True`` —
+the per-operator :class:`~repro.observability.profile.PlanProfile`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.context import ExecutionContext, ExecutionMode
 from repro.core.operator import Operator
@@ -20,7 +24,11 @@ from repro.mpi.cluster import ClusterResult
 from repro.mpi.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.types.tuples import TupleType
 
-__all__ = ["ExecutionResult", "execute", "VERIFY_PLANS"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpi.trace import ClusterTrace
+    from repro.observability.profile import PlanProfile
+
+__all__ = ["ExecutionReport", "ExecutionResult", "execute", "VERIFY_PLANS"]
 
 #: Process-wide default for pre-execution static verification.  The test
 #: suite flips this to True (``tests/conftest.py``) so every executed plan
@@ -30,16 +38,46 @@ VERIFY_PLANS = False
 
 
 @dataclass
-class ExecutionResult:
-    """Everything one plan execution produced."""
+class ExecutionReport:
+    """Everything one plan execution produced — the one result surface.
+
+    This unifies what used to be three separate APIs: the executed rows,
+    the timing evidence (``simulated_time`` plus ``phase_breakdown()``
+    over the MPI jobs' per-rank clocks), and the observability artifacts
+    (``profile`` when profiling was on, ``trace``/``traces`` when the
+    cluster recorded substrate events).
+    """
 
     rows: list[tuple]
     output_type: TupleType
     #: Total simulated seconds on the driver, including waiting for every
     #: data-parallel job it dispatched.
-    seconds: float
+    simulated_time: float
     #: One entry per MpiExecutor execution, in completion order.
     cluster_results: list[ClusterResult] = field(default_factory=list)
+    #: Per-operator measurements; ``None`` unless the run was profiled.
+    profile: "PlanProfile | None" = None
+
+    @property
+    def traces(self) -> list["ClusterTrace"]:
+        """Substrate event traces of every traced MPI job the plan ran."""
+        return [r.trace for r in self.cluster_results if r.trace is not None]
+
+    @property
+    def trace(self) -> "ClusterTrace | None":
+        """The first MPI job's substrate trace (the common single-job case)."""
+        traces = self.traces
+        return traces[0] if traces else None
+
+    @property
+    def seconds(self) -> float:
+        """Deprecated pre-observability name for :attr:`simulated_time`."""
+        warnings.warn(
+            "ExecutionReport.seconds is deprecated; use .simulated_time",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.simulated_time
 
     def phase_breakdown(self) -> dict[str, float]:
         """Max-over-ranks seconds per phase, summed over all MPI jobs."""
@@ -53,6 +91,35 @@ class ExecutionResult:
         return len(self.rows)
 
 
+class ExecutionResult(ExecutionReport):
+    """Deprecated name and shape of :class:`ExecutionReport`.
+
+    Kept as a thin constructor shim for code written against the old
+    ``ExecutionResult(rows, output_type, seconds, cluster_results)``
+    surface; ``execute`` itself now returns :class:`ExecutionReport`.
+    """
+
+    def __init__(
+        self,
+        rows: list[tuple],
+        output_type: TupleType,
+        seconds: float,
+        cluster_results: list[ClusterResult] | None = None,
+    ) -> None:
+        warnings.warn(
+            "ExecutionResult is deprecated; use ExecutionReport "
+            "(seconds is now simulated_time)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(
+            rows=rows,
+            output_type=output_type,
+            simulated_time=seconds,
+            cluster_results=list(cluster_results or []),
+        )
+
+
 def execute(
     root: Operator,
     params: dict[ParameterSlot, tuple] | None = None,
@@ -60,8 +127,9 @@ def execute(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     ctx: ExecutionContext | None = None,
     verify_plans: bool | None = None,
-) -> ExecutionResult:
-    """Run a plan on the driver and return its result.
+    profile: bool = False,
+) -> ExecutionReport:
+    """Run a plan on the driver and return its report.
 
     Args:
         root: Root operator of the plan DAG.
@@ -77,9 +145,18 @@ def execute(
             :class:`~repro.errors.PlanVerificationError` on error-severity
             findings.  ``None`` defers to ``ctx.verify_plans`` and the
             module-level :data:`VERIFY_PLANS` default.
+        profile: Record per-operator spans and attach the resulting
+            :class:`~repro.observability.profile.PlanProfile` to the
+            report.  A profiler already installed on ``ctx`` is honored
+            either way (its measurements then span every execution that
+            used that context).
     """
     if ctx is None:
         ctx = ExecutionContext(cost=cost_model, mode=mode)
+    if profile and ctx.profiler is None:
+        from repro.observability.profile import Profiler
+
+        ctx.profiler = Profiler(ctx.clock)
     if verify_plans is None:
         verify_plans = ctx.verify_plans or VERIFY_PLANS
     if verify_plans and not getattr(root, "_lint_verified", False):
@@ -115,9 +192,17 @@ def execute(
         for op in walk(root, into_nested=True)
         if isinstance(op, MpiExecutor) and op.last_result is not None
     ]
-    return ExecutionResult(
+    plan_profile = None
+    if ctx.profiler is not None:
+        from repro.observability.profile import PlanProfile
+
+        plan_profile = PlanProfile.from_plan(
+            root, ctx.profiler, total_seconds=ctx.clock.now, mode=ctx.mode
+        )
+    return ExecutionReport(
         rows=rows,
         output_type=root.output_type,
-        seconds=ctx.clock.now,
+        simulated_time=ctx.clock.now,
         cluster_results=cluster_results,
+        profile=plan_profile,
     )

@@ -21,6 +21,7 @@ Design-principle mapping (paper Section 3.1):
 
 from __future__ import annotations
 
+import functools
 from typing import Iterator, Sequence
 
 from repro.core.context import ExecutionContext
@@ -29,6 +30,28 @@ from repro.types.collections import RowVector, RowVectorBuilder
 from repro.types.tuples import TupleType
 
 __all__ = ["Operator", "require_fields", "require_collection_field"]
+
+
+def _observe_data_path(fn, batched: bool):
+    """Wrap a concrete ``rows``/``batches`` override with the profiler hook.
+
+    With no profiler on the context (the default) this is one attribute
+    check per generator *creation* and the original method runs untouched —
+    no per-row work, no allocations.  With a profiler attached, the
+    activation is routed through
+    :meth:`repro.observability.profile.Profiler.observe`, which counts
+    rows/batches and attributes simulated + wall self time to this node.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self, ctx: ExecutionContext):
+        profiler = ctx.profiler
+        if profiler is None:
+            return fn(self, ctx)
+        return profiler.observe(self, fn, ctx, batched)
+
+    wrapper._observes_data_path = True
+    return wrapper
 
 
 class Operator:
@@ -58,6 +81,25 @@ class Operator:
     #: :mod:`repro.analysis`); class-level default so that reading it never
     #: allocates on nodes without suppressions.
     lint_suppressions: frozenset[str] = frozenset()
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Instrument every concrete data-path override for the profiler.
+
+        This is the one hook that gives all operators — including ones
+        defined outside this package — per-operator observability without
+        touching their code: any ``rows``/``batches`` defined by a subclass
+        is wrapped by :func:`_observe_data_path`.  The base-class defaults
+        stay unwrapped (they delegate to the sibling method, which is
+        wrapped, so the work is still counted exactly once).
+        """
+        super().__init_subclass__(**kwargs)
+        for name, batched in (("rows", False), ("batches", True)):
+            fn = cls.__dict__.get(name)
+            if fn is None or not callable(fn):
+                continue
+            if getattr(fn, "_observes_data_path", False):
+                continue
+            setattr(cls, name, _observe_data_path(fn, batched))
 
     def __init__(self, upstreams: Sequence["Operator"]) -> None:
         for up in upstreams:

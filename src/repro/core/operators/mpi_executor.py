@@ -80,16 +80,25 @@ class MpiExecutor(Operator):
             raise ExecutionError("MpiExecutor cannot run inside another MPI job")
         mode = ctx.mode
         morsel_rows = ctx.morsel_rows
+        profiler = ctx.profiler
 
         # More inputs than ranks run as successive waves of one job each —
         # the guarantee the paper states is only that instances *within* a
         # dispatch run concurrently on different ranks.
         for wave_start in range(0, len(inputs), n_ranks):
             wave = inputs[wave_start : wave_start + n_ranks]
+            # One child profiler per rank (each bound to the rank's own
+            # clock and thread); merged into the driver's profiler below.
+            rank_profilers: list = [None] * n_ranks
 
             def worker(rank_ctx: RankContext) -> list[tuple]:
+                rank_profiler = None
+                if profiler is not None:
+                    rank_profiler = profiler.child(rank_ctx.clock, rank_ctx.rank)
+                    rank_profilers[rank_ctx.rank] = rank_profiler
                 worker_ctx = ExecutionContext.for_rank(
-                    rank_ctx, mode=mode, morsel_rows=morsel_rows
+                    rank_ctx, mode=mode, morsel_rows=morsel_rows,
+                    profiler=rank_profiler,
                 )
                 worker_ctx.push_parameter(self.slot.id, wave[rank_ctx.rank])
                 try:
@@ -99,6 +108,9 @@ class MpiExecutor(Operator):
 
             result = self.cluster.run(worker)
             self.last_result = result
+            if profiler is not None:
+                for rank_profiler in rank_profilers:
+                    profiler.absorb(rank_profiler)
             # The driver waits for each data-parallel wave.
             ctx.set_phase(self.assigned_phase)
             ctx.clock.advance(result.makespan)

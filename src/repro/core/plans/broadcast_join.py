@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.executor import ExecutionResult, execute
+from repro.core.executor import ExecutionReport, execute
 from repro.core.functions import RadixPartition
 from repro.core.operator import Operator
 from repro.core.operators import (
@@ -53,13 +53,15 @@ class BroadcastJoinPlan:
     cluster: SimCluster
 
     def run(
-        self, small: RowVector, big: RowVector, mode: str = "fused"
-    ) -> ExecutionResult:
+        self, small: RowVector, big: RowVector, mode: str = "fused", profile: bool = False
+    ) -> ExecutionReport:
         """Join ``small ⋈ big``; the small relation is replicated."""
-        return execute(self.root, params={self.slot: (small, big)}, mode=mode)
+        return execute(
+            self.root, params={self.slot: (small, big)}, mode=mode, profile=profile
+        )
 
     @staticmethod
-    def matches(result: ExecutionResult) -> RowVector:
+    def matches(result: ExecutionReport) -> RowVector:
         (row,) = result.rows
         return row[0]
 

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.compression import RadixCompression
-from repro.core.executor import ExecutionResult, execute
+from repro.core.executor import ExecutionReport, execute
 from repro.core.functions import (
     ParamTupleFunction,
     RadixPartition,
@@ -60,11 +60,15 @@ class DistributedGroupByPlan:
     output_type: TupleType
     cluster: SimCluster
 
-    def run(self, table: RowVector, mode: str = "fused") -> ExecutionResult:
-        return execute(self.root, params={self.slot: (table,)}, mode=mode)
+    def run(
+        self, table: RowVector, mode: str = "fused", profile: bool = False
+    ) -> ExecutionReport:
+        return execute(
+            self.root, params={self.slot: (table,)}, mode=mode, profile=profile
+        )
 
     @staticmethod
-    def groups(result: ExecutionResult) -> RowVector:
+    def groups(result: ExecutionReport) -> RowVector:
         """Extract the materialized ⟨key, aggregate⟩ output."""
         (row,) = result.rows
         return row[0]

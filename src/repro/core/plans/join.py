@@ -21,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.compression import RadixCompression
-from repro.core.executor import ExecutionResult, execute
+from repro.core.executor import ExecutionReport, execute
 from repro.core.functions import ParamTupleFunction, RadixPartition, TupleFunction
 from repro.core.operator import Operator
 from repro.core.operators import (
@@ -77,13 +77,15 @@ class DistributedJoinPlan:
     cluster: SimCluster
 
     def run(
-        self, left: RowVector, right: RowVector, mode: str = "fused"
-    ) -> ExecutionResult:
+        self, left: RowVector, right: RowVector, mode: str = "fused", profile: bool = False
+    ) -> ExecutionReport:
         """Execute the join on two driver-resident relations."""
-        return execute(self.root, params={self.slot: (left, right)}, mode=mode)
+        return execute(
+            self.root, params={self.slot: (left, right)}, mode=mode, profile=profile
+        )
 
     @staticmethod
-    def matches(result: ExecutionResult) -> RowVector:
+    def matches(result: ExecutionReport) -> RowVector:
         """Extract the materialized join output from an execution result."""
         (row,) = result.rows
         return row[0]

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.executor import ExecutionResult, execute
+from repro.core.executor import ExecutionReport, execute
 from repro.core.functions import RadixPartition
 from repro.core.operator import Operator
 from repro.core.operators import (
@@ -64,16 +64,23 @@ class JoinSequencePlan:
     variant: str
     n_joins: int
 
-    def run(self, relations: Sequence[RowVector], mode: str = "fused") -> ExecutionResult:
+    def run(
+        self,
+        relations: Sequence[RowVector],
+        mode: str = "fused",
+        profile: bool = False,
+    ) -> ExecutionReport:
         if len(relations) != self.n_joins + 1:
             raise TypeCheckError(
                 f"{self.n_joins}-join cascade needs {self.n_joins + 1} relations, "
                 f"got {len(relations)}"
             )
-        return execute(self.root, params={self.slot: tuple(relations)}, mode=mode)
+        return execute(
+            self.root, params={self.slot: tuple(relations)}, mode=mode, profile=profile
+        )
 
     @staticmethod
-    def matches(result: ExecutionResult) -> RowVector:
+    def matches(result: ExecutionReport) -> RowVector:
         (row,) = result.rows
         return row[0]
 

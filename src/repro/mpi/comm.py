@@ -29,6 +29,7 @@ from repro.errors import SimulationError
 from repro.mpi.clock import SimClock
 from repro.mpi.costmodel import CostModel
 from repro.mpi.trace import ClusterTrace, TraceEvent
+from repro.observability.events import CollectiveDetail, PutDetail, WindowDetail
 from repro.mpi.window import Window
 from repro.types.collections import RowVector
 from repro.types.tuples import TupleType
@@ -189,7 +190,7 @@ class WindowSet:
                     label=f"put->{target_rank}",
                     start=start,
                     end=self._comm.clock.now,
-                    detail={"target": target_rank, "rows": len(data), "bytes": payload},
+                    detail=PutDetail(target=target_rank, rows=len(data), bytes=payload),
                 )
             )
 
@@ -259,7 +260,9 @@ class SimComm:
                     label=tag,
                     start=arrival,
                     end=result_time,
-                    detail={"stall": max(0.0, result_time - op_cost - arrival)},
+                    detail=CollectiveDetail(
+                        stall=max(0.0, result_time - op_cost - arrival)
+                    ),
                 )
             )
         return result
@@ -321,7 +324,7 @@ class SimComm:
                     label=repr(element_type),
                     start=start,
                     end=self.clock.now,
-                    detail={"bytes": window.size_bytes(), "rows": capacity},
+                    detail=WindowDetail(bytes=window.size_bytes(), rows=capacity),
                 )
             )
 

@@ -8,6 +8,12 @@ bytes), and every window registration.  The resulting
 with: who stalls where, who sends how much to whom, how many collective
 epochs a plan really has.
 
+Events are :class:`~repro.observability.events.SimEvent` subclasses with
+*typed* per-kind payloads (:class:`~repro.observability.events.PutDetail`
+and friends), so they merge with operator spans in the Chrome-trace
+exporter (:mod:`repro.observability.chrome_trace`) and query code gets
+attributes instead of ad-hoc dict keys.
+
 Tracing is off by default; it costs a little memory per event and nothing
 else (simulated time is unaffected).
 """
@@ -16,12 +22,21 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import Any
 
-__all__ = ["TraceEvent", "ClusterTrace"]
+from repro.observability.events import (
+    CollectiveDetail,
+    EventDetail,
+    GenericDetail,
+    SimEvent,
+    detail_for,
+)
+
+__all__ = ["TraceEvent", "ClusterTrace", "RankCommStats"]
 
 
 @dataclass(frozen=True)
-class TraceEvent:
+class TraceEvent(SimEvent):
     """One recorded substrate event on one rank.
 
     Attributes:
@@ -30,19 +45,33 @@ class TraceEvent:
         label: Collective tag, or ``put->k`` / window element type.
         start: Simulated time the rank entered the event.
         end: Simulated time the event completed for this rank.
-        detail: Kind-specific numbers (stall, bytes, rows, target, ...).
+        detail: Typed kind-specific payload —
+            :class:`~repro.observability.events.PutDetail`,
+            :class:`~repro.observability.events.CollectiveDetail`, or
+            :class:`~repro.observability.events.WindowDetail`.  A plain
+            mapping passed here is converted to the typed form.
     """
 
-    rank: int
-    kind: str
-    label: str
-    start: float
-    end: float
-    detail: dict = field(default_factory=dict)
+    detail: EventDetail = field(default_factory=GenericDetail)
 
-    @property
-    def duration(self) -> float:
-        return self.end - self.start
+    def __post_init__(self) -> None:
+        if not isinstance(self.detail, EventDetail):
+            object.__setattr__(self, "detail", detail_for(self.kind, self.detail))
+
+    def chrome_args(self) -> dict[str, Any]:
+        return self.detail.as_dict()
+
+
+@dataclass(frozen=True)
+class RankCommStats:
+    """One rank's communication behaviour over a traced run."""
+
+    rank: int
+    stall_seconds: float
+    bytes_sent: int
+    bytes_received: int
+    window_registrations: int
+    collectives: int
 
 
 class ClusterTrace:
@@ -80,24 +109,42 @@ class ClusterTrace:
     def stall_seconds(self, rank: int) -> float:
         """Total time ``rank`` waited inside collectives for its peers."""
         return sum(
-            e.detail.get("stall", 0.0)
+            e.detail.stall
             for e in self._events[rank]
-            if e.kind == "collective"
+            if isinstance(e.detail, CollectiveDetail)
         )
 
     def bytes_matrix(self) -> list[list[int]]:
         """``matrix[src][dst]``: one-sided bytes moved between rank pairs."""
         matrix = [[0] * self.n_ranks for _ in range(self.n_ranks)]
         for event in self.events(kind="put"):
-            matrix[event.rank][event.detail["target"]] += event.detail["bytes"]
+            matrix[event.rank][event.detail.target] += event.detail.bytes
         return matrix
 
     def network_bytes(self) -> int:
         """Total bytes that crossed the network (self-puts excluded)."""
         return sum(
-            e.detail["bytes"]
+            e.detail.bytes
             for e in self.events(kind="put")
-            if e.detail["target"] != e.rank
+            if e.detail.target != e.rank
+        )
+
+    def rank_summary(self, rank: int) -> RankCommStats:
+        """Typed per-rank totals (the rows of :meth:`summary`)."""
+        matrix = self.bytes_matrix()
+        return RankCommStats(
+            rank=rank,
+            stall_seconds=self.stall_seconds(rank),
+            bytes_sent=sum(matrix[rank][d] for d in range(self.n_ranks) if d != rank),
+            bytes_received=sum(
+                matrix[s][rank] for s in range(self.n_ranks) if s != rank
+            ),
+            window_registrations=len(
+                [e for e in self._events[rank] if e.kind == "win_create"]
+            ),
+            collectives=len(
+                [e for e in self._events[rank] if e.kind == "collective"]
+            ),
         )
 
     # -- rendering ------------------------------------------------------------
@@ -109,15 +156,11 @@ class ClusterTrace:
             f"{self.collective_count()} collective epochs, "
             f"{self.network_bytes()} network bytes"
         ]
-        matrix = self.bytes_matrix()
         for rank in range(self.n_ranks):
-            sent = sum(matrix[rank][d] for d in range(self.n_ranks) if d != rank)
-            received = sum(matrix[s][rank] for s in range(self.n_ranks) if s != rank)
-            registrations = len(
-                [e for e in self._events[rank] if e.kind == "win_create"]
-            )
+            stats = self.rank_summary(rank)
             lines.append(
-                f"  rank {rank}: stall={self.stall_seconds(rank) * 1e6:9.1f} µs  "
-                f"sent={sent:>10}  received={received:>10}  windows={registrations}"
+                f"  rank {rank}: stall={stats.stall_seconds * 1e6:9.1f} µs  "
+                f"sent={stats.bytes_sent:>10}  received={stats.bytes_received:>10}  "
+                f"windows={stats.window_registrations}"
             )
         return "\n".join(lines)

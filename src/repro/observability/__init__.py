@@ -1,0 +1,61 @@
+"""Per-operator profiling, typed trace events, and trace export.
+
+The paper's evaluation (§6) reasons in per-phase breakdowns — histogram,
+partition, build-probe, network vs. compute.  This package closes the gap
+between that style of analysis and the repository's execution layer by
+giving every :class:`~repro.core.operator.Operator` a measured identity:
+
+* :mod:`repro.observability.events` — one shared event base
+  (:class:`SimEvent`) for substrate trace events and operator spans, plus
+  typed per-kind detail payloads;
+* :mod:`repro.observability.profile` — the :class:`Profiler` runtime
+  recorder (off by default, free when disabled), the
+  :class:`PlanProfile` tree returned by ``execute(..., profile=True)``,
+  and its EXPLAIN-ANALYZE-style rendering;
+* :mod:`repro.observability.chrome_trace` — a ``chrome://tracing`` /
+  Perfetto JSON exporter that merges operator spans with
+  :class:`~repro.mpi.trace.ClusterTrace` collective/put events on one
+  simulated-time axis.
+
+Profiling is enabled per execution (``execute(plan, profile=True)``,
+``Query.explain(analyze=True)``, ``repro profile``/``repro explain
+--analyze`` on the command line); when disabled the data path pays one
+attribute check per operator activation and allocates nothing.
+"""
+
+from repro.observability.chrome_trace import chrome_trace_events, write_chrome_trace
+from repro.observability.events import (
+    CollectiveDetail,
+    EventDetail,
+    GenericDetail,
+    OperatorSpan,
+    PutDetail,
+    SimEvent,
+    WindowDetail,
+    detail_for,
+)
+from repro.observability.profile import (
+    OperatorStats,
+    PlanProfile,
+    ProfileNode,
+    Profiler,
+    uninstrumented,
+)
+
+__all__ = [
+    "SimEvent",
+    "EventDetail",
+    "GenericDetail",
+    "PutDetail",
+    "CollectiveDetail",
+    "WindowDetail",
+    "OperatorSpan",
+    "detail_for",
+    "Profiler",
+    "OperatorStats",
+    "PlanProfile",
+    "ProfileNode",
+    "uninstrumented",
+    "chrome_trace_events",
+    "write_chrome_trace",
+]

@@ -1,0 +1,125 @@
+"""Export operator spans and substrate trace events as a Chrome trace.
+
+The JSON produced here loads in ``chrome://tracing`` or
+https://ui.perfetto.dev and shows one *process* per participant — the
+driver plus every simulated rank — with the substrate events (collectives,
+one-sided puts, window registrations) on track 0 and one track per
+operator, all on the shared simulated-time axis (microseconds).
+
+Both inputs share the :class:`~repro.observability.events.SimEvent` base,
+so the exporter is a single loop over heterogeneous events::
+
+    report = execute(plan, profile=True)
+    write_chrome_trace("trace.json", profile=report.profile,
+                       traces=report.traces)
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.observability.events import DRIVER_RANK, SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpi.trace import ClusterTrace
+    from repro.observability.profile import PlanProfile
+
+__all__ = ["chrome_trace_events", "write_chrome_trace"]
+
+#: Track id of the substrate (communication) events within each process.
+_SUBSTRATE_TID = 0
+
+
+def _pid(rank: int) -> int:
+    """Chrome process id for a rank (driver first, then rank order)."""
+    return 1 if rank == DRIVER_RANK else rank + 2
+
+
+def _process_name(rank: int) -> str:
+    return "driver" if rank == DRIVER_RANK else f"rank {rank}"
+
+
+def chrome_trace_events(
+    profile: "PlanProfile | None" = None,
+    traces: Sequence["ClusterTrace"] = (),
+    time_scale: float = 1e6,
+) -> list[dict]:
+    """Build the ``traceEvents`` list from a profile and/or cluster traces.
+
+    Args:
+        profile: Operator spans from a profiled execution (optional).
+        traces: Any number of :class:`ClusterTrace` instances whose
+            collective/put/window events join the same timeline.
+        time_scale: Simulated seconds → trace timestamp units (µs).
+    """
+    events: list[SimEvent] = []
+    if profile is not None:
+        events.extend(profile.spans)
+    for trace in traces:
+        events.extend(trace.events())
+
+    metadata: list[dict] = []
+    #: Processes already described with process_name/substrate metadata.
+    known_pids: set[int] = set()
+    #: Operator node id -> track id (1.. in first-seen order, shared
+    #: across processes so the same operator aligns on every rank).
+    op_tids: dict[int, int] = {}
+    #: (pid, tid) operator tracks already named.
+    named_tracks: set[tuple[int, int]] = set()
+
+    def describe_process(rank: int) -> int:
+        pid = _pid(rank)
+        if pid not in known_pids:
+            known_pids.add(pid)
+            metadata.append({"ph": "M", "name": "process_name", "pid": pid,
+                             "args": {"name": _process_name(rank)}})
+            metadata.append({"ph": "M", "name": "process_sort_index", "pid": pid,
+                             "args": {"sort_index": pid}})
+            metadata.append({"ph": "M", "name": "thread_name", "pid": pid,
+                             "tid": _SUBSTRATE_TID, "args": {"name": "substrate"}})
+        return pid
+
+    spans: list[dict] = []
+    for event in events:
+        pid = describe_process(event.rank)
+        if event.kind == "operator":
+            tid = op_tids.setdefault(getattr(event, "node_id", 0), len(op_tids) + 1)
+            if (pid, tid) not in named_tracks:
+                named_tracks.add((pid, tid))
+                metadata.append(
+                    {"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                     "args": {"name": getattr(event, "op_type", event.label)}}
+                )
+            name = event.label
+            cat = "operator"
+        else:
+            tid = _SUBSTRATE_TID
+            name = f"{event.kind}:{event.label}"
+            cat = "substrate"
+        spans.append(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "X",
+                "ts": event.start * time_scale,
+                "dur": max(0.0, event.duration) * time_scale,
+                "pid": pid,
+                "tid": tid,
+                "args": event.chrome_args(),
+            }
+        )
+    return metadata + spans
+
+
+def write_chrome_trace(
+    path: str,
+    profile: "PlanProfile | None" = None,
+    traces: Iterable["ClusterTrace"] = (),
+) -> int:
+    """Write the merged trace JSON to ``path``; returns the event count."""
+    events = chrome_trace_events(profile=profile, traces=list(traces))
+    with open(path, "w") as handle:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, handle)
+        handle.write("\n")
+    return len(events)

@@ -1,0 +1,173 @@
+"""The shared event model of the observability layer.
+
+Everything time-stamped that the system records — substrate trace events
+(collectives, one-sided puts, window registrations) and operator spans —
+derives from one base, :class:`SimEvent`: a ``(rank, kind, label, start,
+end)`` interval on the simulated-time axis.  The Chrome-trace exporter
+consumes any mix of them uniformly.
+
+Event payloads are *typed*: each event kind carries a small frozen
+dataclass (:class:`PutDetail`, :class:`CollectiveDetail`,
+:class:`WindowDetail`) instead of an ad-hoc dict.  For compatibility with
+older call sites the :class:`EventDetail` base still supports dict-style
+``detail["bytes"]`` / ``detail.get("stall", 0.0)`` access, and
+:func:`detail_for` converts a plain mapping into the typed form.
+
+This module has no dependencies inside the package, so both the MPI
+substrate (:mod:`repro.mpi.trace`) and the execution layer can build on it
+without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Mapping
+
+__all__ = [
+    "SimEvent",
+    "EventDetail",
+    "PutDetail",
+    "CollectiveDetail",
+    "WindowDetail",
+    "GenericDetail",
+    "OperatorSpan",
+    "detail_for",
+    "DRIVER_RANK",
+]
+
+#: Rank id used for events recorded on the driver (outside any MPI job).
+DRIVER_RANK = -1
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One time-stamped interval on a rank's simulated clock.
+
+    Attributes:
+        rank: The rank the event happened on (:data:`DRIVER_RANK` for the
+            driver; for puts, the sender).
+        kind: Event family — ``collective`` | ``put`` | ``win_create`` for
+            substrate events, ``operator`` for operator spans.
+        label: Human-readable identity within the kind (collective tag,
+            ``put->k``, operator label).
+        start: Simulated time the rank entered the event.
+        end: Simulated time the event completed for this rank.
+    """
+
+    rank: int
+    kind: str
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def chrome_args(self) -> dict[str, Any]:
+        """Kind-specific numbers for the Chrome-trace ``args`` field."""
+        return {}
+
+
+class EventDetail:
+    """Base of the typed per-kind payloads.
+
+    Subclasses are frozen dataclasses; dict-style access is kept so code
+    written against the old ``detail`` dicts keeps working.
+    """
+
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return getattr(self, key)
+        except AttributeError:
+            raise KeyError(key) from None
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return getattr(self, key, default)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class PutDetail(EventDetail):
+    """One-sided RMA write: who received how much."""
+
+    target: int
+    rows: int
+    bytes: int
+
+
+@dataclass(frozen=True)
+class CollectiveDetail(EventDetail):
+    """A collective epoch: how long this rank stalled for its peers."""
+
+    stall: float
+
+
+@dataclass(frozen=True)
+class WindowDetail(EventDetail):
+    """An RMA window registration: pinned capacity."""
+
+    bytes: int
+    rows: int
+
+
+@dataclass(frozen=True)
+class GenericDetail(EventDetail):
+    """Fallback payload for event kinds without a dedicated detail type."""
+
+    values: tuple[tuple[str, Any], ...] = ()
+
+    def __getitem__(self, key: str) -> Any:
+        for name, value in self.values:
+            if name == key:
+                return value
+        raise KeyError(key)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for name, value in self.values:
+            if name == key:
+                return value
+        return default
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self.values)
+
+
+_DETAIL_TYPES: dict[str, type] = {
+    "put": PutDetail,
+    "collective": CollectiveDetail,
+    "win_create": WindowDetail,
+}
+
+
+def detail_for(kind: str, payload: Mapping[str, Any] | EventDetail) -> EventDetail:
+    """The typed detail for ``kind``, converting a plain mapping if needed."""
+    if isinstance(payload, EventDetail):
+        return payload
+    detail_type = _DETAIL_TYPES.get(kind)
+    if detail_type is None:
+        return GenericDetail(tuple(payload.items()))
+    return detail_type(**payload)
+
+
+@dataclass(frozen=True)
+class OperatorSpan(SimEvent):
+    """One operator activation: a generator's life from first pull to close.
+
+    Recorded by the :class:`~repro.observability.profile.Profiler` on the
+    rank's simulated clock, so spans land on the same time axis as the
+    substrate's :class:`~repro.mpi.trace.TraceEvent` records.
+    """
+
+    op_type: str = ""
+    #: Identity of the plan node (stable for one plan object); the Chrome
+    #: exporter uses it to give every operator its own track.
+    node_id: int = 0
+    rows: int = 0
+    batches: int = 0
+    mode: str = "fused"
+
+    def chrome_args(self) -> dict[str, Any]:
+        return {"rows": self.rows, "batches": self.batches, "mode": self.mode}

@@ -1,0 +1,491 @@
+"""The operator-level profiler and the :class:`PlanProfile` it produces.
+
+Every concrete :class:`~repro.core.operator.Operator` subclass has its
+``rows``/``batches`` data paths wrapped by a base-class hook (see
+``Operator.__init_subclass__``).  The wrapper costs one attribute check per
+generator *creation* when profiling is off; when a :class:`Profiler` is
+attached to the :class:`~repro.core.context.ExecutionContext`, each
+activation is observed:
+
+* **counts** — rows and batches yielded, activations (``calls``);
+* **self time** — simulated and wall-clock seconds attributed to *this*
+  operator's frames only, via a frame stack: while an operator pulls from
+  its upstream, the elapsed time is charged to the upstream, exactly like
+  a tracing CPU profiler separates self from inclusive time;
+* **mode attribution** — the same node's fused vs. interpreted totals are
+  kept apart, so a plan run in both modes shows where fusion pays;
+* **spans** — one :class:`~repro.observability.events.OperatorSpan` per
+  activation (first pull to close) on the rank's simulated clock, feeding
+  the Chrome-trace exporter.
+
+``MpiExecutor`` gives each simulated rank a child profiler and merges the
+per-rank measurements back into the driver's profiler (sums, plus the
+max-over-ranks self time — a phase lasts as long as its slowest rank).
+
+:class:`PlanProfile` snapshots the measurements into a tree mirroring the
+plan (nested plans included) and renders the EXPLAIN-ANALYZE-style report
+of ``Query.explain(analyze=True)`` / ``repro explain --analyze``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import TYPE_CHECKING, Iterator
+
+from repro.observability.events import DRIVER_RANK, OperatorSpan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.operator import Operator
+
+__all__ = [
+    "OperatorStats",
+    "Profiler",
+    "PlanProfile",
+    "ProfileNode",
+    "uninstrumented",
+]
+
+
+class OperatorStats:
+    """Measured totals for one plan node across one profiled execution."""
+
+    __slots__ = (
+        "calls",
+        "rows_out",
+        "batches_out",
+        "sim_seconds",
+        "wall_seconds",
+        "max_rank_sim_seconds",
+        "sim_by_mode",
+        "rows_by_mode",
+        "depth",
+    )
+
+    def __init__(self) -> None:
+        #: Generator activations (a nested plan activates once per
+        #: invocation; on a cluster, once per rank per invocation).
+        self.calls = 0
+        self.rows_out = 0
+        self.batches_out = 0
+        #: Simulated self seconds: time the simulated clock advanced while
+        #: this node's frame was on top of the profiler stack.
+        self.sim_seconds = 0.0
+        #: Real (wall-clock) self seconds, same attribution.
+        self.wall_seconds = 0.0
+        #: After merging ranks: the largest per-rank simulated self time —
+        #: the node's contribution to the makespan.
+        self.max_rank_sim_seconds = 0.0
+        self.sim_by_mode: dict[str, float] = {}
+        self.rows_by_mode: dict[str, int] = {}
+        #: Live activation nesting (reentrancy guard); not part of results.
+        self.depth = 0
+
+    @property
+    def executed(self) -> bool:
+        return self.calls > 0
+
+    def merge(self, other: "OperatorStats") -> None:
+        """Fold another profiler's measurements of the same node in."""
+        self.calls += other.calls
+        self.rows_out += other.rows_out
+        self.batches_out += other.batches_out
+        self.sim_seconds += other.sim_seconds
+        self.wall_seconds += other.wall_seconds
+        self.max_rank_sim_seconds = max(
+            self.max_rank_sim_seconds,
+            other.max_rank_sim_seconds or other.sim_seconds,
+        )
+        for mode, seconds in other.sim_by_mode.items():
+            self.sim_by_mode[mode] = self.sim_by_mode.get(mode, 0.0) + seconds
+        for mode, rows in other.rows_by_mode.items():
+            self.rows_by_mode[mode] = self.rows_by_mode.get(mode, 0) + rows
+
+    def as_dict(self) -> dict:
+        return {
+            "calls": self.calls,
+            "rows_out": self.rows_out,
+            "batches_out": self.batches_out,
+            "sim_seconds": self.sim_seconds,
+            "wall_seconds": self.wall_seconds,
+            "max_rank_sim_seconds": self.max_rank_sim_seconds,
+            "sim_by_mode": dict(self.sim_by_mode),
+            "rows_by_mode": dict(self.rows_by_mode),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OperatorStats(calls={self.calls}, rows={self.rows_out}, "
+            f"sim={self.sim_seconds:.6f}s)"
+        )
+
+
+class Profiler:
+    """Runtime recorder for one execution context (one clock, one thread).
+
+    The driver's profiler observes driver-side operators; ``MpiExecutor``
+    creates one :meth:`child` per rank (bound to the rank's clock) and
+    :meth:`absorb`\\ s them after each job, so a single profiler ends up
+    holding the whole plan's measurements.
+    """
+
+    #: Span-recording backstop: a plan with pathologically many nested-plan
+    #: invocations keeps its stats exact but stops recording new spans here
+    #: (``dropped_spans`` says how many were cut).
+    MAX_SPANS = 200_000
+
+    __slots__ = ("clock", "rank", "stats", "ops", "spans", "dropped_spans", "_stack")
+
+    def __init__(self, clock, rank: int = DRIVER_RANK) -> None:
+        self.clock = clock
+        self.rank = rank
+        self.stats: dict[int, OperatorStats] = {}
+        self.ops: dict[int, "Operator"] = {}
+        self.spans: list[OperatorSpan] = []
+        self.dropped_spans = 0
+        #: Active frames: ``[stats, sim_mark, wall_mark]`` lists.
+        self._stack: list[list] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def record_for(self, op: "Operator") -> OperatorStats:
+        rec = self.stats.get(id(op))
+        if rec is None:
+            rec = OperatorStats()
+            self.stats[id(op)] = rec
+            self.ops[id(op)] = op
+        return rec
+
+    def observe(self, op: "Operator", fn, ctx, batched: bool) -> Iterator:
+        """Wrap one ``rows``/``batches`` activation of ``op``.
+
+        Called lazily (this is a generator function), so the reentrancy
+        check runs at first pull: when the same node is already being
+        observed on this context — e.g. the default ``rows`` deriving from
+        the node's own ``batches`` — the inner activation passes through
+        uncounted, keeping row counts and self time single-counted.
+        """
+        rec = self.record_for(op)
+        inner = fn(op, ctx)
+        if rec.depth:
+            yield from inner
+            return
+        rec.depth += 1
+        rec.calls += 1
+        mode = ctx.mode
+        clock = self.clock
+        rows = 0
+        batches = 0
+        start_sim = clock.now
+        sim_before = rec.sim_seconds
+        try:
+            while True:
+                self._push(rec)
+                try:
+                    item = next(inner)
+                except StopIteration:
+                    break
+                finally:
+                    self._pop()
+                if batched:
+                    batches += 1
+                    rows += len(item)
+                else:
+                    rows += 1
+                yield item
+        finally:
+            rec.depth -= 1
+            rec.rows_out += rows
+            rec.batches_out += batches
+            rec.rows_by_mode[mode] = rec.rows_by_mode.get(mode, 0) + rows
+            rec.sim_by_mode[mode] = (
+                rec.sim_by_mode.get(mode, 0.0) + rec.sim_seconds - sim_before
+            )
+            self._record_span(op, start_sim, clock.now, rows, batches, mode)
+
+    def _push(self, rec: OperatorStats) -> None:
+        sim_now = self.clock.now
+        wall_now = perf_counter()
+        stack = self._stack
+        if stack:
+            top = stack[-1]
+            top[0].sim_seconds += sim_now - top[1]
+            top[0].wall_seconds += wall_now - top[2]
+        stack.append([rec, sim_now, wall_now])
+
+    def _pop(self) -> None:
+        sim_now = self.clock.now
+        wall_now = perf_counter()
+        stack = self._stack
+        rec, sim_mark, wall_mark = stack.pop()
+        rec.sim_seconds += sim_now - sim_mark
+        rec.wall_seconds += wall_now - wall_mark
+        if stack:
+            top = stack[-1]
+            top[1] = sim_now
+            top[2] = wall_now
+
+    def _record_span(
+        self, op: "Operator", start: float, end: float, rows: int, batches: int, mode: str
+    ) -> None:
+        if len(self.spans) >= self.MAX_SPANS:
+            self.dropped_spans += 1
+            return
+        self.spans.append(
+            OperatorSpan(
+                rank=self.rank,
+                kind="operator",
+                label=op.label(),
+                start=start,
+                end=end,
+                op_type=type(op).__name__,
+                node_id=id(op),
+                rows=rows,
+                batches=batches,
+                mode=mode,
+            )
+        )
+
+    # -- distribution ------------------------------------------------------
+
+    def child(self, clock, rank: int) -> "Profiler":
+        """A fresh profiler for one rank of an MPI job (own clock/thread)."""
+        return Profiler(clock, rank=rank)
+
+    def absorb(self, other: "Profiler | None") -> None:
+        """Merge a rank profiler's measurements into this one."""
+        if other is None:
+            return
+        for node_id, rec in other.stats.items():
+            self.record_for(other.ops[node_id]).merge(rec)
+        room = self.MAX_SPANS - len(self.spans)
+        self.spans.extend(other.spans[:room])
+        self.dropped_spans += other.dropped_spans + max(0, len(other.spans) - room)
+
+
+# -- the profile tree ----------------------------------------------------------
+
+
+@dataclass
+class ProfileNode:
+    """Per-operator measurements at one position of the plan tree."""
+
+    op_type: str
+    abbreviation: str
+    label: str
+    phase: str
+    stats: OperatorStats
+    children: list["ProfileNode"] = field(default_factory=list)
+    #: Roots of nested plans owned by this operator (NestedMap/MpiExecutor).
+    nested: list["ProfileNode"] = field(default_factory=list)
+
+    def walk(self) -> Iterator["ProfileNode"]:
+        """Yield each distinct node once (the tree may share DAG nodes)."""
+        seen: set[int] = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            yield node
+            stack.extend(node.children)
+            stack.extend(node.nested)
+
+    def to_dict(self) -> dict:
+        seen: set[int] = set()
+
+        def build(node: "ProfileNode") -> dict:
+            entry = {
+                "op": node.op_type,
+                "label": node.label,
+                "phase": node.phase,
+                **node.stats.as_dict(),
+            }
+            if id(node) in seen:
+                entry["shared"] = True
+                return entry
+            seen.add(id(node))
+            if node.children:
+                entry["children"] = [build(c) for c in node.children]
+            if node.nested:
+                entry["nested"] = [build(n) for n in node.nested]
+            return entry
+
+        return build(self)
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f}ms"
+    return f"{seconds * 1e6:.1f}µs"
+
+
+@dataclass
+class PlanProfile:
+    """Everything one profiled execution measured, shaped like the plan."""
+
+    root: ProfileNode
+    mode: str
+    #: Driver simulated seconds for the whole execution.
+    total_seconds: float
+    spans: list[OperatorSpan] = field(default_factory=list)
+    dropped_spans: int = 0
+
+    @classmethod
+    def from_plan(
+        cls,
+        root_op: "Operator",
+        profiler: Profiler,
+        total_seconds: float,
+        mode: str,
+    ) -> "PlanProfile":
+        """Snapshot ``profiler``'s measurements onto the plan tree."""
+        nodes: dict[int, ProfileNode] = {}
+
+        def build(op: "Operator") -> ProfileNode:
+            node = nodes.get(id(op))
+            if node is not None:
+                return node
+            node = ProfileNode(
+                op_type=type(op).__name__,
+                abbreviation=op.abbreviation,
+                label=op.label(),
+                phase=op.assigned_phase,
+                stats=profiler.stats.get(id(op)) or OperatorStats(),
+            )
+            nodes[id(op)] = node
+            node.children = [build(up) for up in op.upstreams]
+            node.nested = [build(n) for n in op.nested_roots()]
+            return node
+
+        return cls(
+            root=build(root_op),
+            mode=mode,
+            total_seconds=total_seconds,
+            spans=list(profiler.spans),
+            dropped_spans=profiler.dropped_spans,
+        )
+
+    def nodes(self) -> Iterator[ProfileNode]:
+        return self.root.walk()
+
+    def find(self, op_type: str) -> list[ProfileNode]:
+        """All nodes of one operator type (e.g. ``"BuildProbe"``)."""
+        return [n for n in self.nodes() if n.op_type == op_type]
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self) -> str:
+        """The EXPLAIN ANALYZE plan tree with measured annotations.
+
+        Percentages are of the *scope* the node executed in: driver-side
+        nodes against the sum of driver-side self times, each nested plan
+        against the summed per-rank self time of its own operators.
+        """
+        lines = [
+            f"EXPLAIN ANALYZE (mode={self.mode}, "
+            f"simulated total {_format_seconds(self.total_seconds)})"
+        ]
+
+        def scope_total(roots: list[ProfileNode]) -> float:
+            total = 0.0
+            for start in roots:
+                seen: set[int] = set()
+                stack = [start]
+                while stack:
+                    node = stack.pop()
+                    if id(node) in seen:
+                        continue
+                    seen.add(id(node))
+                    total += node.stats.sim_seconds
+                    stack.extend(node.children)  # nested scopes excluded
+            return total
+
+        rendered: set[int] = set()
+
+        def emit(node: ProfileNode, depth: int, total: float) -> None:
+            pad = "  " * depth
+            stats = node.stats
+            if id(node) in rendered:
+                lines.append(f"{pad}{node.abbreviation} {node.op_type} (shared, above)")
+                return
+            rendered.add(id(node))
+            if not stats.executed:
+                annot = "never executed"
+            else:
+                pct = 100.0 * stats.sim_seconds / total if total > 0 else 0.0
+                parts = [f"rows={stats.rows_out}"]
+                if stats.batches_out:
+                    parts.append(f"batches={stats.batches_out}")
+                if stats.calls != 1:
+                    parts.append(f"calls={stats.calls}")
+                parts.append(
+                    f"self={_format_seconds(stats.sim_seconds)} ({pct:.1f}%)"
+                )
+                if stats.max_rank_sim_seconds:
+                    parts.append(
+                        f"max-rank={_format_seconds(stats.max_rank_sim_seconds)}"
+                    )
+                if len(stats.sim_by_mode) > 1:
+                    parts.append(
+                        "modes="
+                        + ",".join(
+                            f"{m}:{_format_seconds(s)}"
+                            for m, s in sorted(stats.sim_by_mode.items())
+                        )
+                    )
+                annot = " ".join(parts)
+            lines.append(
+                f"{pad}{node.abbreviation} {node.op_type} [phase={node.phase}] {annot}"
+            )
+            for child in node.children:
+                emit(child, depth + 1, total)
+            for nested in node.nested:
+                nested_total = scope_total([nested])
+                lines.append(f"{pad}  (nested plan)")
+                emit(nested, depth + 2, nested_total)
+
+        emit(self.root, 0, scope_total([self.root]))
+        if self.dropped_spans:
+            lines.append(f"({self.dropped_spans} spans dropped beyond the cap)")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "total_seconds": self.total_seconds,
+            "spans": len(self.spans),
+            "dropped_spans": self.dropped_spans,
+            "plan": self.root.to_dict(),
+        }
+
+
+@contextmanager
+def uninstrumented():
+    """Temporarily strip the observability wrappers off every operator.
+
+    Benchmarks use this to measure the true cost of the disabled-profiler
+    hook (``make bench-smoke`` gates it at 5%); it is not meant for
+    production code.  Not thread-safe with concurrent plan execution.
+    """
+    from repro.core.operator import Operator
+
+    patched: list[tuple[type, str, object]] = []
+    stack = [Operator]
+    while stack:
+        cls = stack.pop()
+        stack.extend(cls.__subclasses__())
+        for name in ("rows", "batches"):
+            fn = cls.__dict__.get(name)
+            if fn is not None and getattr(fn, "_observes_data_path", False):
+                patched.append((cls, name, fn))
+                setattr(cls, name, fn.__wrapped__)
+    try:
+        yield
+    finally:
+        for cls, name, fn in patched:
+            setattr(cls, name, fn)

@@ -80,8 +80,39 @@ class Query:
         """Keep the first ``n`` result rows (driver-side)."""
         return Query(LimitNode(self.plan, n))
 
-    def explain(self) -> str:
-        return self.plan.explain()
+    def explain(
+        self,
+        analyze: bool = False,
+        catalog=None,
+        cluster=None,
+        machines: int = 2,
+        mode: str = "fused",
+        join_strategy: str = "exchange",
+    ) -> str:
+        """The logical plan as text; with ``analyze=True``, run it too.
+
+        ``EXPLAIN ANALYZE``: lowers the query onto ``cluster`` (or a fresh
+        ``machines``-rank simulated cluster), executes it with the
+        per-operator profiler on, and appends the annotated physical plan
+        tree — measured rows, batches, self-time, and max-over-ranks time
+        per sub-operator.  Requires ``catalog``; the plain logical explain
+        does not.
+        """
+        text = self.plan.explain()
+        if not analyze:
+            return text
+        if catalog is None:
+            raise PlanError("explain(analyze=True) needs a catalog to run against")
+        from repro.mpi.cluster import SimCluster
+        from repro.relational.optimizer.planner import lower_to_modularis
+
+        if cluster is None:
+            cluster = SimCluster(machines)
+        lowered = lower_to_modularis(
+            self.plan, catalog, cluster, join_strategy=join_strategy
+        )
+        report = lowered.run(catalog, mode=mode, profile=True)
+        return "\n".join((text, "", report.profile.render()))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Query(\n{self.plan.explain()}\n)"

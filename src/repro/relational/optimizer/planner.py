@@ -28,7 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.executor import ExecutionResult, execute
+from repro.core.executor import ExecutionReport, execute
 from repro.core.functions import (
     HashPartition,
     Predicate,
@@ -348,8 +348,14 @@ class ModularisQuery:
     #: Join strategy the lowering chose: "exchange" or "broadcast".
     strategy: str = "exchange"
 
-    def run(self, catalog: Catalog, mode: str = "fused") -> ExecutionResult:
-        """Execute against the catalog's current table contents."""
+    def run(
+        self, catalog: Catalog, mode: str = "fused", profile: bool = False
+    ) -> ExecutionReport:
+        """Execute against the catalog's current table contents.
+
+        With ``profile=True`` the report carries a
+        :class:`~repro.observability.profile.PlanProfile` of the run.
+        """
         tables = []
         sides = [self.shape.left]
         if self.shape.right is not None:
@@ -363,9 +369,11 @@ class ModularisQuery:
             tables.append(
                 RowVector(pruned, [data.column(c) for c in side.columns])
             )
-        return execute(self.root, params={self.slot: tuple(tables)}, mode=mode)
+        return execute(
+            self.root, params={self.slot: tuple(tables)}, mode=mode, profile=profile
+        )
 
-    def result_frame(self, result: ExecutionResult) -> Frame:
+    def result_frame(self, result: ExecutionReport) -> Frame:
         """The final output as a columnar frame.
 
         A scalar aggregation over zero qualifying rows yields one all-zero

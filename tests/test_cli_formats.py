@@ -1,0 +1,131 @@
+"""Tests for the shared --format option and the profile/analyze commands."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestSharedFormatOption:
+    @pytest.mark.parametrize(
+        "argv",
+        (
+            ["bench", "micro", "--format", "json"],
+            ["tpch", "--query", "12", "--format", "json"],
+            ["join", "--format", "json"],
+            ["explain", "--query", "4", "--format", "json"],
+            ["profile", "tpch", "--format", "json"],
+            ["lint", "all", "--format", "json"],
+        ),
+    )
+    def test_every_subcommand_accepts_format(self, argv):
+        assert build_parser().parse_args(argv).format == "json"
+
+    def test_format_defaults_to_text(self):
+        assert build_parser().parse_args(["tpch", "--query", "4"]).format == "text"
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tpch", "--query", "4", "--format", "xml"])
+
+
+class TestJsonOutputs:
+    def test_tpch_json(self, capsys):
+        code = main(
+            ["tpch", "--query", "12", "--sf", "0.005", "--machines", "2",
+             "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["query"] == 12
+        assert payload["columns"][0] == "l_shipmode"
+        assert len(payload["rows"]) == 2
+        assert payload["simulated_time"] > 0
+        assert payload["phases"]
+
+    def test_join_json(self, capsys):
+        code = main(
+            ["join", "--log2-tuples", "10", "--machines", "2", "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["matches"] == 1 << 10
+        assert payload["slowdown"] > 0
+
+    def test_bench_json(self, capsys):
+        code = main(["bench", "micro", "--format", "json"])
+        assert code == 0
+        (table,) = json.loads(capsys.readouterr().out)
+        assert "microbenchmark" in table["title"]
+        assert table["rows"]
+
+    def test_explain_json_with_analyze(self, capsys):
+        code = main(
+            ["explain", "--query", "12", "--sf", "0.005", "--analyze",
+             "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "Join" in payload["logical"]
+        assert "MpiExecutor" in payload["physical"]
+        assert payload["analyze"]["plan"]["rows_out"] == 1
+
+
+class TestExplainAnalyze:
+    def test_text_tree_annotated(self, capsys):
+        code = main(["explain", "--query", "12", "--sf", "0.005", "--analyze"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "=== EXPLAIN ANALYZE ===" in out
+        assert "MpiExchange" in out
+        assert "rows=" in out and "self=" in out
+
+    def test_without_analyze_does_not_execute(self, capsys):
+        code = main(["explain", "--query", "12", "--sf", "0.005"])
+        assert code == 0
+        assert "EXPLAIN ANALYZE" not in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_profile_join_text(self, capsys):
+        code = main(
+            ["profile", "join", "--log2-tuples", "10", "--machines", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE" in out
+        assert "cluster trace: 2 ranks" in out
+        assert "simulated total:" in out
+
+    def test_profile_groupby_json(self, capsys):
+        code = main(
+            ["profile", "groupby", "--log2-tuples", "10", "--machines", "2",
+             "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "groupby 2^10"
+        assert payload["profile"]["spans"] > 0
+
+    def test_profile_chrome_out(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        code = main(
+            ["profile", "join", "--log2-tuples", "10", "--machines", "2",
+             "--chrome-out", str(out_file)]
+        )
+        assert code == 0
+        assert f"chrome trace: {out_file}" in capsys.readouterr().out
+        payload = json.loads(out_file.read_text())
+        cats = {e.get("cat") for e in payload["traceEvents"] if e.get("ph") == "X"}
+        assert cats == {"operator", "substrate"}
+
+    def test_profile_tpch_json(self, capsys):
+        code = main(
+            ["profile", "tpch", "--query", "4", "--sf", "0.005",
+             "--machines", "2", "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"].startswith("tpch q4")
+        assert payload["output_rows"] == 1

@@ -42,14 +42,14 @@ class TestExecute:
     def test_seconds_accumulate(self):
         root, slot = simple_plan()
         result = execute(root, params={slot: (make_kv_table(1 << 12),)})
-        assert result.seconds > 0
+        assert result.simulated_time > 0
 
     def test_interpreted_mode_costs_more_sim_time(self):
         root, slot = simple_plan()
         table = make_kv_table(1 << 10)
         fused = execute(root, params={slot: (table,)}, mode="fused")
         interp = execute(root, params={slot: (table,)}, mode="interpreted")
-        assert interp.seconds > fused.seconds
+        assert interp.simulated_time > fused.simulated_time
 
     def test_parameters_unbound_after_execution(self):
         root, slot = simple_plan()

@@ -1,0 +1,216 @@
+"""Tests for the operator-level profiler and EXPLAIN ANALYZE output."""
+
+import warnings
+
+import pytest
+
+from repro.core.executor import ExecutionReport, ExecutionResult, execute
+from repro.core.functions import field_sum
+from repro.core.operators import (
+    MaterializeRowVector,
+    ParameterLookup,
+    ParameterSlot,
+    Reduce,
+    RowScan,
+)
+from repro.core.plans import build_distributed_join
+from repro.mpi.cluster import SimCluster
+from repro.observability import Profiler, uninstrumented
+from repro.types import INT64, TupleType, row_vector_type
+from repro.workloads import make_join_relations
+
+from tests.conftest import make_kv_table
+
+KV = TupleType.of(key=INT64, value=INT64)
+
+
+def simple_plan():
+    slot = ParameterSlot(TupleType.of(t=row_vector_type(KV)))
+    scan = RowScan(ParameterLookup(slot), field="t")
+    total = Reduce(scan, field_sum("key", "value"))
+    return MaterializeRowVector(total, field="result"), slot
+
+
+class TestDisabledCostsNothing:
+    def test_no_profile_by_default(self):
+        root, slot = simple_plan()
+        result = execute(root, params={slot: (make_kv_table(64),)})
+        assert result.profile is None
+
+    def test_observe_never_called_when_disabled(self, monkeypatch):
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("Profiler.observe called without profile=True")
+
+        monkeypatch.setattr(Profiler, "observe", boom)
+        root, slot = simple_plan()
+        result = execute(root, params={slot: (make_kv_table(64),)})
+        assert len(result.rows) == 1
+
+    def test_profiled_run_bit_identical(self):
+        """Profiling must not perturb results or the simulated clock."""
+        table = make_kv_table(1 << 10)
+        root_a, slot_a = simple_plan()
+        root_b, slot_b = simple_plan()
+        plain = execute(root_a, params={slot_a: (table,)})
+        profiled = execute(root_b, params={slot_b: (table,)}, profile=True)
+        assert plain.rows[0][0].row(0) == profiled.rows[0][0].row(0)
+        assert plain.simulated_time == profiled.simulated_time
+
+    def test_uninstrumented_strips_and_restores(self):
+        from repro.core.operator import Operator
+
+        assert getattr(RowScan.__dict__["rows"], "_observes_data_path", False)
+        with uninstrumented():
+            stack = [Operator]
+            while stack:
+                cls = stack.pop()
+                stack.extend(cls.__subclasses__())
+                for name in ("rows", "batches"):
+                    fn = cls.__dict__.get(name)
+                    assert not getattr(fn, "_observes_data_path", False)
+        assert getattr(RowScan.__dict__["rows"], "_observes_data_path", False)
+
+
+class TestProfileContents:
+    def test_root_row_count_matches_output(self):
+        root, slot = simple_plan()
+        result = execute(root, params={slot: (make_kv_table(256),)}, profile=True)
+        profile = result.profile
+        assert profile is not None
+        assert profile.root.stats.rows_out == len(result.rows)
+
+    def test_spans_recorded(self):
+        root, slot = simple_plan()
+        result = execute(root, params={slot: (make_kv_table(64),)}, profile=True)
+        assert result.profile.spans
+        assert result.profile.dropped_spans == 0
+        span = result.profile.spans[-1]
+        assert span.kind == "operator"
+        assert span.end >= span.start
+
+    def test_render_annotations(self):
+        root, slot = simple_plan()
+        result = execute(root, params={slot: (make_kv_table(64),)}, profile=True)
+        text = result.profile.render()
+        assert text.startswith("EXPLAIN ANALYZE")
+        assert "MaterializeRowVector" in text
+        assert "RowScan" in text
+        assert "rows=" in text
+        assert "self=" in text
+
+    def test_to_dict_round_trips_counts(self):
+        root, slot = simple_plan()
+        result = execute(root, params={slot: (make_kv_table(64),)}, profile=True)
+        payload = result.profile.to_dict()
+        assert payload["plan"]["op"] == "MaterializeRowVector"
+        assert payload["plan"]["rows_out"] == 1
+        assert payload["spans"] == len(result.profile.spans)
+
+    def test_cold_plan_renders_never_executed(self):
+        from repro.observability import PlanProfile
+
+        root, _slot = simple_plan()
+        profile = PlanProfile.from_plan(
+            root, Profiler(clock=None), total_seconds=0.0, mode="fused"
+        )
+        assert "never executed" in profile.render()
+
+
+class TestDistributedMerge:
+    def test_rank_stats_merged_into_driver(self):
+        workload = make_join_relations(1 << 10)
+        plan = build_distributed_join(
+            SimCluster(2),
+            workload.left.element_type,
+            workload.right.element_type,
+            key_bits=workload.key_bits,
+        )
+        report = plan.run(workload.left, workload.right, profile=True)
+        profile = report.profile
+        assert profile is not None
+        # Nested-plan nodes executed once per rank.
+        exchanges = profile.find("MpiExchange")
+        assert exchanges and all(n.stats.calls == 2 for n in exchanges)
+        # Max-over-ranks self time is bounded by the summed self time.
+        for node in profile.nodes():
+            assert (
+                node.stats.max_rank_sim_seconds
+                <= node.stats.sim_seconds + 1e-12
+            )
+        # Spans carry real rank ids from the worker threads.
+        ranks = {s.rank for s in profile.spans}
+        assert {0, 1} <= ranks
+
+    def test_modes_attributed_separately(self):
+        root, slot = simple_plan()
+        table = make_kv_table(128)
+        from repro.core.context import ExecutionContext
+        from repro.mpi.costmodel import DEFAULT_COST_MODEL
+
+        ctx = ExecutionContext(cost=DEFAULT_COST_MODEL, mode="fused")
+        ctx.profiler = Profiler(ctx.clock)
+        execute(root, params={slot: (table,)}, ctx=ctx)
+        ctx.mode = "interpreted"
+        report = execute(root, params={slot: (table,)}, ctx=ctx)
+        modes = set(report.profile.root.stats.rows_by_mode)
+        assert modes == {"fused", "interpreted"}
+
+
+QUERY_IDS = (4, 12, 14, 19)
+
+
+class TestTpchRowCounts:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        from repro.tpch import load_catalog
+
+        return load_catalog(scale_factor=0.005)
+
+    @pytest.mark.parametrize("qnum", QUERY_IDS)
+    @pytest.mark.parametrize("mode", ("fused", "interpreted"))
+    def test_profile_counts_match_materialized_output(self, catalog, qnum, mode):
+        from repro.relational import lower_to_modularis
+        from repro.tpch import ALL_QUERIES
+
+        lowered = lower_to_modularis(
+            ALL_QUERIES[qnum]().plan, catalog, SimCluster(2)
+        )
+        report = lowered.run(catalog, mode=mode, profile=True)
+        materialized = report.rows[0][0]
+        profile = report.profile
+        # The root materializes the whole result as one vector-bearing row.
+        assert profile.root.stats.rows_out == len(report.rows) == 1
+        # Its input stream carries exactly the materialized result rows.
+        (feeder,) = profile.root.children
+        assert feeder.stats.rows_out == len(materialized)
+        assert feeder.stats.rows_by_mode == {mode: len(materialized)}
+        # The presented frame matches too (modulo the SQL convention of one
+        # all-zero row for a scalar aggregate over zero qualifying rows).
+        frame = lowered.result_frame(report)
+        assert frame.n_rows == max(len(materialized), 1)
+
+
+class TestExecutionReportCompat:
+    def test_seconds_property_warns(self):
+        report = ExecutionReport(rows=[], output_type=KV, simulated_time=1.5)
+        with pytest.warns(DeprecationWarning, match="simulated_time"):
+            assert report.seconds == 1.5
+
+    def test_execution_result_shim_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="ExecutionResult"):
+            result = ExecutionResult([(1,)], KV, 2.5)
+        assert isinstance(result, ExecutionReport)
+        assert result.simulated_time == 2.5
+        assert result.rows == [(1,)]
+        assert result.cluster_results == []
+
+    def test_trace_properties(self):
+        report = ExecutionReport(rows=[], output_type=KV, simulated_time=0.0)
+        assert report.traces == []
+        assert report.trace is None
+
+    def test_no_warning_on_simulated_time(self):
+        report = ExecutionReport(rows=[], output_type=KV, simulated_time=1.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert report.simulated_time == 1.0

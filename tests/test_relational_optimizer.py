@@ -278,7 +278,7 @@ class TestCascadeRule:
         query = self._chain()
         cascade = lower_to_modularis(query.plan, chain_catalog, SimCluster(4))
         assert cascade.strategy == "cascade"
-        cascade_seconds = cascade.run(chain_catalog).seconds
+        cascade_seconds = cascade.run(chain_catalog).simulated_time
 
         rc_aliased = scan("rc").project({"k2": col("k"), "pc": col("pc")})
         multi = (
