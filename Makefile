@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke profile examples
+.PHONY: test lint bench bench-smoke chaos-soak profile examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +21,18 @@ bench:
 # if the disabled-profiler overhead exceeds its 5% budget.
 bench-smoke:
 	$(PYTHON) -m repro.bench.smoke --out BENCH_fused.json
+
+# Seeded fault-injection soak: every builtin plan and TPC-H query must
+# stay bit-identical to its fault-free run under transient comm faults,
+# a transient mid-stage rank crash, a permanent crash (degraded n-1
+# rerun), and planner-level memory pressure.  Exit 1 on any divergence.
+chaos-soak:
+	$(PYTHON) -m repro chaos all --seeds 3 --mode both
+	$(PYTHON) -m repro chaos all --seeds 1 --crash-rank 2 --crash-after 6
+	$(PYTHON) -m repro chaos all --seeds 1 --crash-rank 1 --crash-after 4 \
+		--permanent
+	$(PYTHON) -m repro chaos q14 --seeds 1 --strategy broadcast \
+		--memory-pressure
 
 # EXPLAIN ANALYZE a TPC-H query and export the merged operator+substrate
 # Chrome trace (open profile_trace.json in chrome://tracing or Perfetto).

@@ -165,6 +165,27 @@ MOD024 = _rule(
     "upstream's vectorized kernel to scalar iteration",
 )
 
+# -- recovery soundness (MOD030–MOD039) ----------------------------------------
+
+MOD030 = _rule(
+    "MOD030", "unprotected-nondeterministic-exchange", Severity.WARNING,
+    "a non-deterministic operator feeds an MPI exchange/broadcast with no "
+    "materialization point between; a fault-recovery re-execution would "
+    "ship different data than the attempt it replaces",
+)
+MOD031 = _rule(
+    "MOD031", "nondeterministic-in-worker", Severity.WARNING,
+    "a non-deterministic operator runs inside an MpiExecutor worker scope; "
+    "pipeline-stage re-execution after an injected fault cannot reproduce "
+    "the lost attempt's results",
+)
+MOD032 = _rule(
+    "MOD032", "uncheckpointable-stage-output", Severity.INFO,
+    "an MpiExecutor nested plan does not end in a materializing operator, "
+    "so pipeline-level recovery cannot checkpoint the stage output at a "
+    "materialization point",
+)
+
 
 @dataclass(frozen=True)
 class Diagnostic:

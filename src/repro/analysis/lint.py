@@ -23,7 +23,7 @@ import sys
 from pathlib import Path
 from typing import Iterable, Iterator
 
-from repro.analysis import commsafety, pipelines, typeflow
+from repro.analysis import commsafety, pipelines, recovery, typeflow
 from repro.analysis.diagnostics import Diagnostic, Reporter, Severity
 from repro.analysis.structure import iter_scopes
 from repro.core.operator import Operator
@@ -31,7 +31,7 @@ from repro.errors import PlanError, PlanVerificationError
 
 __all__ = ["analyze", "verify", "run_cli"]
 
-_PASSES = (typeflow.run, commsafety.run, pipelines.run)
+_PASSES = (typeflow.run, commsafety.run, pipelines.run, recovery.run)
 
 
 def _as_root(plan: object) -> Operator:

@@ -1,0 +1,113 @@
+"""Recovery-soundness lint pass (rules MOD030–MOD032).
+
+Pipeline-level fault recovery (:mod:`repro.faults`) re-executes a failed
+MPI stage and serves completed materialization points from checkpoints.
+That is only sound when re-running a pipeline reproduces the lost
+attempt's data bit-for-bit — the property
+:attr:`repro.core.operator.Operator.deterministic` declares.  This pass
+flags the plan shapes that break it:
+
+* **MOD030** — a non-deterministic operator feeds an ``MpiExchange`` /
+  ``MpiBroadcast`` with no materialization point on the path.  A retried
+  stage would exchange *different* tuples than the aborted attempt, so
+  survivors of a partial epoch could observe a mixture of two
+  generations of data; a materialization point between (which recovery
+  checkpoints) pins the stream.
+* **MOD031** — any other non-deterministic operator inside an
+  ``MpiExecutor`` worker scope: the stage re-execution completes but does
+  not reproduce the original results, silently breaking the
+  bit-identical-under-chaos guarantee.
+* **MOD032** — an ``MpiExecutor`` nested plan whose root is not a
+  materializing operator: the stage *output* never reaches a
+  materialization point, so recovery has nothing to checkpoint and every
+  retry recomputes the full stage.
+
+Everything here is advisory (warnings/info): fault injection is opt-in,
+and plans that never run under a fault policy lose nothing.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Reporter, unwrap
+from repro.analysis.structure import ScopeInfo, scope_paths
+from repro.core.operator import Operator
+from repro.core.operators.chunk_ops import MaterializeChunks
+from repro.core.operators.materialize import MaterializeRowVector
+from repro.core.operators.mpi_broadcast import MpiBroadcast
+from repro.core.operators.mpi_exchange import MpiExchange
+from repro.core.operators.mpi_executor import MpiExecutor
+from repro.core.plan import SharedScan, walk
+
+__all__ = ["run"]
+
+#: Operators that pin their upstream stream at a materialization point —
+#: exactly the nodes pipeline-level recovery checkpoints.
+_MATERIALIZERS = (MaterializeRowVector, MaterializeChunks)
+
+
+def _unprotected_nondeterministic(op: Operator) -> list[Operator]:
+    """Non-deterministic ops reachable upstream without crossing a
+    materialization point."""
+    found: list[Operator] = []
+    seen: set[int] = set()
+    pending = [unwrap(up) for up in op.upstreams]
+    while pending:
+        node = pending.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if not node.deterministic:
+            found.append(node)
+        if isinstance(node, _MATERIALIZERS):
+            continue
+        pending.extend(unwrap(up) for up in node.upstreams)
+    return found
+
+
+def run(scope: ScopeInfo, reporter: Reporter) -> None:
+    paths = scope_paths(scope)
+
+    # MOD032 — the stage output of an MpiExecutor worker plan is not a
+    # materialization point (checked at the scope that *is* that plan).
+    if isinstance(scope.owner, MpiExecutor):
+        root = unwrap(scope.root)
+        if not isinstance(root, _MATERIALIZERS):
+            reporter.emit(
+                "MOD032", scope.root, paths[id(scope.root)],
+                f"this MpiExecutor stage ends in {type(root).__name__}, not "
+                "a materializing operator; pipeline-level recovery cannot "
+                "checkpoint the stage output and every retry recomputes the "
+                "full stage",
+            )
+
+    # MOD030 — non-deterministic streams entering an exchange unprotected.
+    flagged: set[int] = set()
+    for op in walk(scope.root):
+        target = unwrap(op)
+        if not isinstance(target, (MpiExchange, MpiBroadcast)):
+            continue
+        for source in _unprotected_nondeterministic(target):
+            flagged.add(id(source))
+            reporter.emit(
+                "MOD030", source, paths[id(source)],
+                f"non-deterministic {type(source).__name__} reaches the "
+                f"{type(target).__name__} at {paths[id(target)]} with no "
+                "materialization point between; a recovery re-execution "
+                "would exchange different data — materialize the stream "
+                "before the network boundary",
+            )
+
+    # MOD031 — remaining non-determinism inside an MPI worker scope.
+    if not scope.in_cluster:
+        return
+    for op in walk(scope.root):
+        if isinstance(op, SharedScan):
+            continue
+        if op.deterministic or id(op) in flagged:
+            continue
+        reporter.emit(
+            "MOD031", op, paths[id(op)],
+            f"{type(op).__name__} declares deterministic=False inside an "
+            "MpiExecutor worker scope; a pipeline-stage re-execution after "
+            "an injected fault cannot reproduce the lost attempt's results",
+        )

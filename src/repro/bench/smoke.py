@@ -20,6 +20,11 @@ profiler wrappers stripped vs installed-but-off vs recording.  The run
 fails if the disabled-profiler overhead exceeds 5% — the subsystem's
 "costs nothing when off" contract, enforced in CI.
 
+A fourth probe measures the fault-injection tax the same way: the Figure 7
+GROUP BY with ``faults=None`` vs a zero-rate armed policy.  The run fails
+if the armed-but-idle overhead exceeds 5%, and the two runs must stay
+bit-identical.
+
 Results land in ``BENCH_fused.json`` (see ``make bench-smoke``) so a
 checkout records the speedups its tree actually achieves.
 """
@@ -132,6 +137,63 @@ def _profiler_overhead(n_integers: int, repeats: int) -> dict[str, float]:
 #: make bench-smoke fails when the disabled-profiler tax exceeds this.
 MAX_DISABLED_OVERHEAD = 0.05
 
+#: make bench-smoke fails when the fault-free fault-injection tax exceeds this.
+MAX_FAULT_OVERHEAD = 0.05
+
+
+def _fault_overhead(n_tuples: int, machines: int, repeats: int) -> dict[str, float]:
+    """Wall-clock tax of the fault-injection substrate when it injects nothing.
+
+    Times the Figure 7 GROUP BY fused under two configurations:
+
+    * ``disabled`` — ``faults=None``: the shipping default, no injector
+      anywhere near the hot path,
+    * ``armed`` — a zero-rate :class:`~repro.faults.FaultPolicy`: the
+      injector is constructed and consulted, but every draw passes.
+
+    Rounds are interleaved so load bursts hit both configurations
+    equally; best-of wins.  Both runs must stay bit-identical — the
+    armed run may only differ in wall-clock, never in results.
+    """
+    from repro.faults import FaultPolicy
+
+    kv = TupleType.of(key=INT64, value=INT64)
+    rng = np.random.default_rng(7)
+    table = RowVector(
+        kv,
+        [
+            rng.integers(0, 1 << 10, size=n_tuples, dtype=np.int64),
+            rng.integers(0, 1 << 10, size=n_tuples, dtype=np.int64),
+        ],
+    )
+    plan = build_distributed_groupby(SimCluster(machines), kv, key_bits=10)
+    armed_policy = FaultPolicy(
+        seed=2021, put_drop_rate=0.0, collective_drop_rate=0.0
+    )
+
+    def run(faults) -> tuple[float, RowVector]:
+        start = time.perf_counter()
+        result = plan.run(table, mode="fused", faults=faults)
+        elapsed = time.perf_counter() - start
+        return elapsed, plan.groups(result)
+
+    best = {"disabled": float("inf"), "armed": float("inf")}
+    for _ in range(max(repeats, 3)):
+        disabled_s, disabled_out = run(None)
+        armed_s, armed_out = run(armed_policy)
+        best["disabled"] = min(best["disabled"], disabled_s)
+        best["armed"] = min(best["armed"], armed_s)
+        for name in disabled_out.element_type.field_names:
+            assert np.array_equal(
+                np.asarray(disabled_out.column(name)),
+                np.asarray(armed_out.column(name)),
+            ), "zero-rate fault policy changed the GROUP BY result"
+    return {
+        "disabled_seconds": best["disabled"],
+        "armed_seconds": best["armed"],
+        "armed_overhead": best["armed"] / best["disabled"] - 1.0,
+    }
+
 
 def run_smoke(
     micro_integers: int = 1 << 20,
@@ -156,6 +218,10 @@ def run_smoke(
     profiler = _profiler_overhead(micro_integers, repeats)
     profiler["n_integers"] = micro_integers
     report["profiler"] = profiler
+    faults = _fault_overhead(groupby_tuples, machines, repeats)
+    faults["n_tuples"] = groupby_tuples
+    faults["machines"] = machines
+    report["faults"] = faults
     return report
 
 
@@ -207,6 +273,21 @@ def main(argv: list[str] | None = None) -> int:
             f"{profiler['disabled_overhead']:.1%} exceeds the "
             f"{MAX_DISABLED_OVERHEAD:.0%} budget — instrumentation is "
             "no longer free when off",
+            file=sys.stderr,
+        )
+        return 1
+    faults = report["faults"]
+    print(
+        f"faults: disabled {faults['disabled_seconds']:.3f}s, "
+        f"armed {faults['armed_seconds']:.3f}s "
+        f"({faults['armed_overhead']:+.1%})"
+    )
+    if faults["armed_overhead"] > MAX_FAULT_OVERHEAD:
+        print(
+            f"FAIL: fault-free fault-injection overhead "
+            f"{faults['armed_overhead']:.1%} exceeds the "
+            f"{MAX_FAULT_OVERHEAD:.0%} budget — the injector is no longer "
+            "cheap when it injects nothing",
             file=sys.stderr,
         )
         return 1

@@ -142,6 +142,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="silence a rule id (e.g. MOD023); may be repeated",
     )
 
+    chaos = commands.add_parser(
+        "chaos", parents=[fmt],
+        help="run seeded fault-injection soaks and verify bit-identical "
+        "results against fault-free runs",
+    )
+    chaos.add_argument(
+        "targets", nargs="+",
+        help="builtin plans (join, groupby, broadcast_join, join_sequence), "
+        "TPC-H queries (q4, q12, q14, q19), or 'all'",
+    )
+    chaos.add_argument("--seed", type=int, default=2021,
+                       help="first fault-policy seed (default: 2021)")
+    chaos.add_argument("--seeds", type=int, default=3,
+                       help="number of consecutive seeds to soak (default: 3)")
+    chaos.add_argument("--machines", type=int, default=4)
+    chaos.add_argument("--sf", type=float, default=0.01,
+                       help="TPC-H scale factor for q* targets")
+    chaos.add_argument("--log2-tuples", type=int, default=12,
+                       help="input size for builtin plan targets")
+    chaos.add_argument(
+        "--mode", choices=("fused", "interpreted", "both"), default="fused"
+    )
+    chaos.add_argument(
+        "--strategy", choices=("exchange", "broadcast", "auto"),
+        default="exchange", help="join strategy for q* targets",
+    )
+    chaos.add_argument("--drop-rate", type=float, default=0.1,
+                       help="transient put failure probability (default: 0.1)")
+    chaos.add_argument("--collective-drop-rate", type=float, default=0.05,
+                       help="transient collective failure probability")
+    chaos.add_argument("--crash-rank", type=int, default=None,
+                       help="inject a rank crash on this rank")
+    chaos.add_argument("--crash-after", type=int, default=8,
+                       help="crash after this many comm ops (default: 8)")
+    chaos.add_argument(
+        "--permanent", action="store_true",
+        help="make the crash permanent: recovery degrades to n-1 ranks",
+    )
+    chaos.add_argument(
+        "--straggler", action="append", default=[], metavar="RANK:FACTOR",
+        help="slow one rank down by FACTOR (may be repeated)",
+    )
+    chaos.add_argument(
+        "--memory-pressure", action="store_true",
+        help="plan under injected memory pressure (broadcast joins fall "
+        "back to exchange joins)",
+    )
+
     return parser
 
 
@@ -401,7 +449,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     chrome_events = None
     if args.chrome_out:
         chrome_events = write_chrome_trace(
-            args.chrome_out, profile=report.profile, traces=report.traces
+            args.chrome_out, profile=report.profile, traces=report.traces,
+            extra_events=report.recovery_events,
         )
 
     if args.format == "json":
@@ -438,6 +487,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_cli(args)
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import run_cli
+
+    return run_cli(args)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -447,6 +502,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "explain": _cmd_explain,
         "profile": _cmd_profile,
         "lint": _cmd_lint,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

@@ -20,6 +20,9 @@ from repro.mpi.comm import SimComm
 from repro.mpi.costmodel import DEFAULT_COST_MODEL, CostModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.checkpoint import CheckpointStore
+    from repro.faults.injector import FaultInjector
+    from repro.faults.policy import FaultPolicy
     from repro.observability.profile import Profiler
 
 __all__ = ["ExecutionContext", "ExecutionMode"]
@@ -53,6 +56,17 @@ class ExecutionContext:
     #: default — disables all span recording; the data path then pays one
     #: attribute read per operator activation and allocates nothing.
     profiler: "Profiler | None" = None
+    #: Fault-injection policy for this execution (:mod:`repro.faults`).
+    #: ``None`` — the default — keeps the fault paths entirely cold.
+    faults: "FaultPolicy | None" = None
+    #: The per-execution injector realizing :attr:`faults`; created lazily
+    #: by ``execute`` so its crash ledger and job counter span every MPI
+    #: job (and recovery attempt) of one plan run.
+    fault_injector: "FaultInjector | None" = None
+    #: Worker-side checkpoint store of the enclosing MPI stage; deposits
+    #: and lookups happen at materialization points
+    #: (:class:`~repro.core.operators.materialize.MaterializeRowVector`).
+    checkpoints: "CheckpointStore | None" = None
     #: Parameter bindings of active NestedMap invocations, keyed by slot id.
     _params: dict[int, tuple] = field(default_factory=dict)
     #: Bumped on every NestedMap invocation; invalidates pipeline caches.
@@ -95,6 +109,7 @@ class ExecutionContext:
         mode: ExecutionMode = "fused",
         morsel_rows: int = 1 << 16,
         profiler: "Profiler | None" = None,
+        checkpoints: "CheckpointStore | None" = None,
     ) -> "ExecutionContext":
         """The context a worker uses to execute a nested plan on its rank."""
         return cls(
@@ -104,6 +119,7 @@ class ExecutionContext:
             rank_ctx=rank_ctx,
             morsel_rows=morsel_rows,
             profiler=profiler,
+            checkpoints=checkpoints,
         )
 
     # -- cost charging --------------------------------------------------------
@@ -166,6 +182,17 @@ class ExecutionContext:
         ]
         for key in stale:
             del self.shared_cache[key]
+
+    def single_binding_slot(self) -> int | None:
+        """Slot id of the only active parameter binding, else ``None``.
+
+        Checkpointing uses this to recognize the worker's *top scope*:
+        exactly the MPI executor's own input binding active, no nested
+        ``NestedMap`` invocation on the stack.
+        """
+        if len(self._params) != 1:
+            return None
+        return next(iter(self._params))
 
     def parameter_binding_key(self) -> tuple:
         """Identity of the current nested-plan bindings, for result caching."""

@@ -25,7 +25,8 @@ from repro.mpi.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.types.tuples import TupleType
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.mpi.trace import ClusterTrace
+    from repro.faults.policy import FaultPolicy
+    from repro.mpi.trace import ClusterTrace, TraceEvent
     from repro.observability.profile import PlanProfile
 
 __all__ = ["ExecutionReport", "ExecutionResult", "execute", "VERIFY_PLANS"]
@@ -57,6 +58,10 @@ class ExecutionReport:
     cluster_results: list[ClusterResult] = field(default_factory=list)
     #: Per-operator measurements; ``None`` unless the run was profiled.
     profile: "PlanProfile | None" = None
+    #: Fault-injection evidence that outlived its MPI job: fault/retry
+    #: events harvested from aborted attempts plus the driver's
+    #: ``recovery`` actions (stage retries, cluster degradations).
+    recovery_events: list["TraceEvent"] = field(default_factory=list)
 
     @property
     def traces(self) -> list["ClusterTrace"]:
@@ -86,6 +91,29 @@ class ExecutionReport:
             for phase, seconds in result.phase_breakdown().items():
                 merged[phase] = merged.get(phase, 0.0) + seconds
         return merged
+
+    def fault_events(self) -> list["TraceEvent"]:
+        """Every injected fault, retry, and recovery event of this run.
+
+        Combines the fault/retry/checkpoint events of the surviving MPI
+        jobs' traces (present when the cluster traces) with
+        :attr:`recovery_events` — the evidence harvested from aborted
+        attempts and the driver's recovery actions.
+        """
+        events: list[TraceEvent] = []
+        for trace in self.traces:
+            for kind in ("fault", "retry", "recovery"):
+                events.extend(trace.events(kind=kind))
+        events.extend(self.recovery_events)
+        return events
+
+    def fault_summary(self) -> dict[str, int]:
+        """Event counts keyed ``kind:label`` (e.g. ``fault:put_drop``)."""
+        counts: dict[str, int] = {}
+        for event in self.fault_events():
+            key = f"{event.kind}:{event.label}"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -128,6 +156,7 @@ def execute(
     ctx: ExecutionContext | None = None,
     verify_plans: bool | None = None,
     profile: bool = False,
+    faults: "FaultPolicy | None" = None,
 ) -> ExecutionReport:
     """Run a plan on the driver and return its report.
 
@@ -150,6 +179,11 @@ def execute(
             report.  A profiler already installed on ``ctx`` is honored
             either way (its measurements then span every execution that
             used that context).
+        faults: Fault-injection policy (:class:`repro.faults.FaultPolicy`)
+            to run under; overrides ``ctx.faults`` when given.  The
+            per-execution :class:`~repro.faults.FaultInjector` is created
+            here so its crash ledger and job counter span every MPI job —
+            and every recovery attempt — of this run.
     """
     if ctx is None:
         ctx = ExecutionContext(cost=cost_model, mode=mode)
@@ -157,6 +191,13 @@ def execute(
         from repro.observability.profile import Profiler
 
         ctx.profiler = Profiler(ctx.clock)
+    if faults is not None:
+        ctx.faults = faults
+        ctx.fault_injector = None
+    if ctx.faults is not None and ctx.fault_injector is None:
+        from repro.faults.injector import FaultInjector
+
+        ctx.fault_injector = FaultInjector(ctx.faults)
     if verify_plans is None:
         verify_plans = ctx.verify_plans or VERIFY_PLANS
     if verify_plans and not getattr(root, "_lint_verified", False):
@@ -187,11 +228,13 @@ def execute(
         for slot_id in bound:
             ctx.pop_parameter(slot_id)
 
-    cluster_results = [
-        op.last_result
-        for op in walk(root, into_nested=True)
-        if isinstance(op, MpiExecutor) and op.last_result is not None
-    ]
+    cluster_results = []
+    recovery_events = []
+    for op in walk(root, into_nested=True):
+        if isinstance(op, MpiExecutor):
+            if op.last_result is not None:
+                cluster_results.append(op.last_result)
+            recovery_events.extend(op.recovery_log)
     plan_profile = None
     if ctx.profiler is not None:
         from repro.observability.profile import PlanProfile
@@ -205,4 +248,5 @@ def execute(
         simulated_time=ctx.clock.now,
         cluster_results=cluster_results,
         profile=plan_profile,
+        recovery_events=recovery_events,
     )

@@ -77,6 +77,13 @@ class Operator:
     #: propagates these into ``assigned_phase``.
     phase_name: str | None = None
 
+    #: Whether re-executing this operator over the same inputs yields
+    #: bit-identical output.  Operators wrapping non-deterministic sources
+    #: (random sampling, wall clocks, external feeds) set this False; the
+    #: recovery lints (MOD03x) use it to flag plans whose fault recovery —
+    #: which re-executes pipeline stages — would not be reproducible.
+    deterministic: bool = True
+
     #: Analyzer rule ids silenced at this plan node (see
     #: :mod:`repro.analysis`); class-level default so that reading it never
     #: allocates on nodes without suppressions.

@@ -5,6 +5,13 @@ plan: it consumes the whole upstream, builds a ``RowVector``, and returns a
 *single* tuple whose one field holds that collection.  It charges the
 memory-bandwidth cost of the copy (with the realloc growth amplification
 the paper observes in §5.1.2).
+
+Materialization points are also the engine's recovery boundaries: when a
+worker runs under pipeline-level recovery (:mod:`repro.faults`), each
+finished collection is deposited into the stage's
+:class:`~repro.faults.checkpoint.CheckpointStore`, and a stage
+re-execution serves sealed checkpoints instead of recomputing the
+upstream pipeline — paying only the copy cost of re-reading them.
 """
 
 from __future__ import annotations
@@ -36,20 +43,75 @@ class MaterializeRowVector(Operator):
         collection = row_vector_type(upstream.output_type)
         self._output_type = TupleType.of(**{field: collection})
 
+    # -- checkpointing (pipeline-level recovery) ------------------------------
+
+    def _checkpoint_store(self, ctx: ExecutionContext):
+        """The stage's checkpoint store, or None outside the worker top scope.
+
+        Eligibility requires exactly the enclosing MPI executor's own input
+        binding to be active: nested ``NestedMap`` invocations run once per
+        input tuple and have no stable cross-attempt identity to key on.
+        """
+        store = ctx.checkpoints
+        if store is None or store.slot_id != ctx.single_binding_slot():
+            return None
+        return store
+
+    def _serve_checkpoint(
+        self, ctx: ExecutionContext, vector: RowVector
+    ) -> RowVector:
+        """Charge the re-read of a sealed checkpoint and trace the hit."""
+        start = ctx.clock.now
+        ctx.charge_materialize(self, vector.size_bytes())
+        rank_ctx = ctx.rank_ctx
+        trace = rank_ctx.comm.world.trace if rank_ctx is not None else None
+        if trace is not None:
+            from repro.mpi.trace import TraceEvent
+            from repro.observability.events import RecoveryDetail
+
+            trace.record(
+                TraceEvent(
+                    rank=ctx.rank,
+                    kind="recovery",
+                    label="checkpoint_hit",
+                    start=start,
+                    end=ctx.clock.now,
+                    detail=RecoveryDetail(action="checkpoint_hit", stage=self.label()),
+                )
+            )
+        return vector
+
+    # -- data path -------------------------------------------------------------
+
     def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        store = self._checkpoint_store(ctx)
+        if store is not None:
+            cached = store.lookup(id(self), ctx.rank)
+            if cached is not None:
+                yield (self._serve_checkpoint(ctx, cached),)
+                return
         builder = RowVectorBuilder(self.upstreams[0].output_type)
         for row in self.upstreams[0].rows(ctx):
             builder.append(row)
         vector = builder.finish()
         ctx.charge_materialize(self, vector.size_bytes())
+        if store is not None:
+            store.deposit(id(self), ctx.rank, vector)
         yield (vector,)
 
     def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
-        element_type = self.upstreams[0].output_type
-        vector = RowVector.concat(
-            element_type, list(self.upstreams[0].stream_batches(ctx))
-        )
-        ctx.charge_materialize(self, vector.size_bytes())
+        store = self._checkpoint_store(ctx)
+        vector = store.lookup(id(self), ctx.rank) if store is not None else None
+        if vector is not None:
+            self._serve_checkpoint(ctx, vector)
+        else:
+            element_type = self.upstreams[0].output_type
+            vector = RowVector.concat(
+                element_type, list(self.upstreams[0].stream_batches(ctx))
+            )
+            ctx.charge_materialize(self, vector.size_bytes())
+            if store is not None:
+                store.deposit(id(self), ctx.rank, vector)
         out = RowVectorBuilder(self.output_type)
         out.append((vector,))
         yield out.finish()

@@ -11,6 +11,12 @@ one thread per rank, each executing the same nested plan on its input
 tuple; results are collected in rank order.  The driver's clock advances by
 the job's makespan (the slowest rank), and the per-rank phase breakdowns
 are kept for the benchmark harness.
+
+This operator is also the seat of *pipeline-level recovery* under fault
+injection: a dispatch wave is the recovery unit, re-executed from its
+checkpoints when a crash or an exhausted retry budget aborts it.  The
+escalation ladder itself lives in :mod:`repro.faults.stage_recovery`;
+this operator only provides the seam (``recovery_log``, the wave loop).
 """
 
 from __future__ import annotations
@@ -21,7 +27,8 @@ from repro.core.context import ExecutionContext
 from repro.core.operator import Operator
 from repro.core.operators.parameter_lookup import ParameterSlot
 from repro.errors import ExecutionError, TypeCheckError
-from repro.mpi.cluster import ClusterResult, RankContext, SimCluster
+from repro.mpi.cluster import ClusterResult, SimCluster
+from repro.mpi.trace import TraceEvent
 
 __all__ = ["MpiExecutor"]
 
@@ -62,6 +69,10 @@ class MpiExecutor(Operator):
         self._output_type = inner.output_type
         #: ClusterResult of the most recent execution (for benchmarking).
         self.last_result: ClusterResult | None = None
+        #: Fault/retry evidence of aborted attempts plus driver ``recovery``
+        #: events, from the most recent execution; harvested into
+        #: ``ExecutionReport.recovery_events``.
+        self.recovery_log: list[TraceEvent] = []
 
     def nested_roots(self) -> tuple[Operator, ...]:
         return (self.inner,)
@@ -69,7 +80,8 @@ class MpiExecutor(Operator):
     def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
         inputs = list(self.upstreams[0].stream(ctx))
         n_ranks = self.cluster.n_ranks
-        if len(inputs) == 1:
+        replicated = len(inputs) == 1
+        if replicated:
             inputs = inputs * n_ranks
         if len(inputs) % n_ranks:
             raise ExecutionError(
@@ -78,43 +90,27 @@ class MpiExecutor(Operator):
             )
         if ctx.rank_ctx is not None:
             raise ExecutionError("MpiExecutor cannot run inside another MPI job")
-        mode = ctx.mode
-        morsel_rows = ctx.morsel_rows
-        profiler = ctx.profiler
+        self.recovery_log = []
 
         # More inputs than ranks run as successive waves of one job each —
         # the guarantee the paper states is only that instances *within* a
         # dispatch run concurrently on different ranks.
         for wave_start in range(0, len(inputs), n_ranks):
             wave = inputs[wave_start : wave_start + n_ranks]
-            # One child profiler per rank (each bound to the rank's own
-            # clock and thread); merged into the driver's profiler below.
-            rank_profilers: list = [None] * n_ranks
-
-            def worker(rank_ctx: RankContext) -> list[tuple]:
-                rank_profiler = None
-                if profiler is not None:
-                    rank_profiler = profiler.child(rank_ctx.clock, rank_ctx.rank)
-                    rank_profilers[rank_ctx.rank] = rank_profiler
-                worker_ctx = ExecutionContext.for_rank(
-                    rank_ctx, mode=mode, morsel_rows=morsel_rows,
-                    profiler=rank_profiler,
-                )
-                worker_ctx.push_parameter(self.slot.id, wave[rank_ctx.rank])
-                try:
-                    return list(self.inner.stream(worker_ctx))
-                finally:
-                    worker_ctx.pop_parameter(self.slot.id)
-
-            result = self.cluster.run(worker)
+            result = self._run_wave(ctx, wave, replicated)
             self.last_result = result
-            if profiler is not None:
-                for rank_profiler in rank_profilers:
-                    profiler.absorb(rank_profiler)
             # The driver waits for each data-parallel wave.
             ctx.set_phase(self.assigned_phase)
             ctx.clock.advance(result.makespan)
             for rank_output in result.per_rank:
                 yield from rank_output
+
+    def _run_wave(
+        self, ctx: ExecutionContext, wave: list[tuple], replicated: bool
+    ) -> ClusterResult:
+        # Lazy: keeps repro.core free of an import-time repro.faults edge.
+        from repro.faults.stage_recovery import run_wave
+
+        return run_wave(self, ctx, wave, replicated)
 
     batches = Operator.batches

@@ -53,11 +53,17 @@ class BroadcastJoinPlan:
     cluster: SimCluster
 
     def run(
-        self, small: RowVector, big: RowVector, mode: str = "fused", profile: bool = False
+        self,
+        small: RowVector,
+        big: RowVector,
+        mode: str = "fused",
+        profile: bool = False,
+        faults=None,
     ) -> ExecutionReport:
         """Join ``small ⋈ big``; the small relation is replicated."""
         return execute(
-            self.root, params={self.slot: (small, big)}, mode=mode, profile=profile
+            self.root, params={self.slot: (small, big)}, mode=mode, profile=profile,
+            faults=faults,
         )
 
     @staticmethod

@@ -61,10 +61,15 @@ class DistributedGroupByPlan:
     cluster: SimCluster
 
     def run(
-        self, table: RowVector, mode: str = "fused", profile: bool = False
+        self,
+        table: RowVector,
+        mode: str = "fused",
+        profile: bool = False,
+        faults=None,
     ) -> ExecutionReport:
         return execute(
-            self.root, params={self.slot: (table,)}, mode=mode, profile=profile
+            self.root, params={self.slot: (table,)}, mode=mode, profile=profile,
+            faults=faults,
         )
 
     @staticmethod

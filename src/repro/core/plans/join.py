@@ -77,11 +77,17 @@ class DistributedJoinPlan:
     cluster: SimCluster
 
     def run(
-        self, left: RowVector, right: RowVector, mode: str = "fused", profile: bool = False
+        self,
+        left: RowVector,
+        right: RowVector,
+        mode: str = "fused",
+        profile: bool = False,
+        faults=None,
     ) -> ExecutionReport:
         """Execute the join on two driver-resident relations."""
         return execute(
-            self.root, params={self.slot: (left, right)}, mode=mode, profile=profile
+            self.root, params={self.slot: (left, right)}, mode=mode, profile=profile,
+            faults=faults,
         )
 
     @staticmethod

@@ -69,6 +69,7 @@ class JoinSequencePlan:
         relations: Sequence[RowVector],
         mode: str = "fused",
         profile: bool = False,
+        faults=None,
     ) -> ExecutionReport:
         if len(relations) != self.n_joins + 1:
             raise TypeCheckError(
@@ -76,7 +77,8 @@ class JoinSequencePlan:
                 f"got {len(relations)}"
             )
         return execute(
-            self.root, params={self.slot: tuple(relations)}, mode=mode, profile=profile
+            self.root, params={self.slot: tuple(relations)}, mode=mode, profile=profile,
+            faults=faults,
         )
 
     @staticmethod

@@ -58,5 +58,54 @@ class SimulationError(ModularisError):
     """
 
 
+class FaultInjectionError(SimulationError):
+    """Base class of failures *injected* by :mod:`repro.faults`.
+
+    Distinguishes deliberate chaos (which the recovery machinery may
+    tolerate) from genuine substrate violations, which always abort.
+    """
+
+
+class RetryBudgetExceeded(FaultInjectionError):
+    """A transient comm fault persisted past the retry budget.
+
+    The failed operation was retried with exponential backoff up to
+    ``RetryPolicy.max_attempts`` times and never went through; the stage
+    aborts, and pipeline-level recovery (if enabled) re-executes it.
+
+    Attributes:
+        sim_time: Simulated time on the raising rank when the budget ran
+            out (the driver charges this as wasted work on recovery).
+    """
+
+    def __init__(self, message: str, sim_time: float = 0.0) -> None:
+        super().__init__(message)
+        self.sim_time = sim_time
+
+
+class RankCrashError(FaultInjectionError):
+    """An injected hard crash of one rank.
+
+    Aborts the whole MPI job (peers are woken from collectives);
+    ``MpiExecutor`` recovers by re-executing the failed pipeline stage
+    from its checkpoints, or — for ``permanent`` crashes — by re-sharding
+    the work onto the surviving ranks.
+
+    Attributes:
+        rank: The rank that crashed.
+        sim_time: Simulated time on that rank at the crash.
+        permanent: Whether the rank stays dead (recovery must degrade to
+            the survivors instead of retrying at full width).
+    """
+
+    def __init__(
+        self, message: str, rank: int, sim_time: float = 0.0, permanent: bool = False
+    ) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.sim_time = sim_time
+        self.permanent = permanent
+
+
 class CatalogError(ModularisError):
     """A storage/catalog operation referenced an unknown or duplicate table."""

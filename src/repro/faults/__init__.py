@@ -1,0 +1,33 @@
+"""Deterministic fault injection and recovery for the simulated cluster.
+
+The paper's pipelines-cut-at-materialization-points structure gives the
+engine natural recovery boundaries; this package supplies the chaos that
+exercises them and the bookkeeping recovery needs:
+
+* :class:`FaultPolicy` / :class:`RetryPolicy` / :class:`StragglerFault` /
+  :class:`CrashFault` — immutable descriptions of what to inject;
+* :class:`FaultInjector` — per-execution mutable state (RNG streams, the
+  crash ledger) turning a policy into concrete fault decisions;
+* :class:`CheckpointStore` — materialized intermediates at
+  materialization points, so a crashed stage re-executes from the last
+  checkpoint instead of from scratch.
+
+See ``docs/robustness.md`` for the full fault model and recovery tiers.
+"""
+
+from repro.errors import FaultInjectionError, RankCrashError, RetryBudgetExceeded
+from repro.faults.checkpoint import CheckpointStore
+from repro.faults.injector import FaultInjector
+from repro.faults.policy import CrashFault, FaultPolicy, RetryPolicy, StragglerFault
+
+__all__ = [
+    "CheckpointStore",
+    "CrashFault",
+    "FaultInjectionError",
+    "FaultInjector",
+    "FaultPolicy",
+    "RankCrashError",
+    "RetryBudgetExceeded",
+    "RetryPolicy",
+    "StragglerFault",
+]

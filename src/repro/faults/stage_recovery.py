@@ -1,0 +1,176 @@
+"""Pipeline-level stage recovery for :class:`MpiExecutor` dispatch waves.
+
+The paper's pipelines-cut-at-materialization-points structure makes an
+``MpiExecutor`` wave the natural recovery unit: the driver owns a
+:class:`~repro.faults.checkpoint.CheckpointStore` that worker
+materialization points deposit into, and when a rank crash or an
+exhausted retry budget aborts a wave, the driver charges the wasted
+simulated time, re-executes *only that wave* (sealed materializations
+are served from their checkpoints), and — for a permanent crash over a
+replicated input — degrades onto a survivor cluster one rank smaller.
+
+This module is the driver-side half of that story, kept out of the
+operator so ``MpiExecutor`` stays a launch mechanism (§3.3.3) and the
+escalation ladder lives with the rest of :mod:`repro.faults`:
+
+1. transient comm faults retry inside the substrate (``repro.mpi``);
+2. a crash / exhausted budget aborts the wave and re-executes it here,
+   up to ``FaultPolicy.max_stage_retries`` times;
+3. a *permanent* crash degrades to the survivors via
+   ``SimCluster.with_ranks`` when the input is replicated.
+
+Every recovery action is logged as a driver-side ``recovery`` event on
+the executor's ``recovery_log``, harvested into
+``ExecutionReport.recovery_events``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.context import ExecutionContext
+from repro.errors import RankCrashError, RetryBudgetExceeded
+from repro.faults.checkpoint import CheckpointStore
+from repro.mpi.trace import TraceEvent
+from repro.observability.events import DRIVER_RANK, RecoveryDetail
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.operators.mpi_executor import MpiExecutor
+    from repro.mpi.cluster import ClusterResult, RankContext, SimCluster
+
+__all__ = ["run_wave"]
+
+
+def run_wave(
+    executor: "MpiExecutor",
+    ctx: ExecutionContext,
+    wave: list[tuple],
+    replicated: bool,
+) -> "ClusterResult":
+    """One dispatch wave: run, and recover from injected stage failures."""
+    cluster = executor.cluster
+    injector = ctx.fault_injector
+    policy = injector.policy if injector is not None else None
+    recoverable = policy is not None and (
+        policy.crash is not None
+        or policy.put_drop_rate > 0
+        or policy.collective_drop_rate > 0
+    )
+    checkpoints = None
+    if recoverable:
+        checkpoints = CheckpointStore(cluster.n_ranks, executor.slot.id)
+
+    attempt = 0
+    while True:
+        attempt += 1
+        if checkpoints is not None:
+            checkpoints.seal()
+        # One child profiler per rank (each bound to the rank's own clock
+        # and thread); only the successful attempt's profilers are merged
+        # into the driver's, so spans tell the true story of what the
+        # surviving execution actually ran.
+        rank_profilers: list = [None] * cluster.n_ranks
+        worker = _make_worker(executor, ctx, wave, rank_profilers, checkpoints)
+        try:
+            result = cluster.run(worker, faults=injector)
+        except (RankCrashError, RetryBudgetExceeded) as exc:
+            if policy is None or attempt > policy.max_stage_retries:
+                raise
+            injector, cluster, wave = _recover(
+                executor, ctx, exc, attempt, injector, cluster, wave,
+                replicated, checkpoints,
+            )
+            continue
+        profiler = ctx.profiler
+        if profiler is not None:
+            for rank_profiler in rank_profilers:
+                profiler.absorb(rank_profiler)
+        return result
+
+
+def _make_worker(
+    executor: "MpiExecutor",
+    ctx: ExecutionContext,
+    wave: list[tuple],
+    rank_profilers: list,
+    checkpoints: CheckpointStore | None,
+) -> Callable[["RankContext"], list[tuple]]:
+    mode = ctx.mode
+    morsel_rows = ctx.morsel_rows
+    profiler = ctx.profiler
+    slot_id = executor.slot.id
+
+    def worker(rank_ctx: "RankContext") -> list[tuple]:
+        rank_profiler = None
+        if profiler is not None:
+            rank_profiler = profiler.child(rank_ctx.clock, rank_ctx.rank)
+            rank_profilers[rank_ctx.rank] = rank_profiler
+        worker_ctx = ExecutionContext.for_rank(
+            rank_ctx, mode=mode, morsel_rows=morsel_rows,
+            profiler=rank_profiler, checkpoints=checkpoints,
+        )
+        worker_ctx.push_parameter(slot_id, wave[rank_ctx.rank])
+        try:
+            return list(executor.inner.stream(worker_ctx))
+        finally:
+            worker_ctx.pop_parameter(slot_id)
+
+    return worker
+
+
+def _recover(
+    executor: "MpiExecutor",
+    ctx: ExecutionContext,
+    exc: Exception,
+    attempt: int,
+    injector,
+    cluster: "SimCluster",
+    wave: list[tuple],
+    replicated: bool,
+    checkpoints: CheckpointStore | None,
+):
+    """Account for one aborted attempt and prepare the next one."""
+    # Keep the aborted attempt's injected-fault evidence: its trace dies
+    # with the attempt, but the faults explain the recovery.
+    trace = getattr(exc, "cluster_trace", None)
+    if trace is not None:
+        executor.recovery_log.extend(trace.events(kind="fault"))
+        executor.recovery_log.extend(trace.events(kind="retry"))
+    # The failed attempt's work is wasted but not free: charge the
+    # simulated time the failing rank had accumulated to the driver.
+    start = ctx.clock.now
+    ctx.set_phase("recovery")
+    ctx.clock.advance(exc.sim_time)
+    permanent = isinstance(exc, RankCrashError) and exc.permanent
+    lost_rank = exc.rank if isinstance(exc, RankCrashError) else -1
+    if permanent:
+        if not replicated or cluster.n_ranks <= 1:
+            raise exc
+        # Graceful degradation: the dead rank stays dead; re-dispatch the
+        # (replicated) input onto one rank fewer, re-sharding the work
+        # onto the survivors.  Full-width checkpoints no longer apply,
+        # and the crash must not re-fire in the degraded world.
+        cluster = cluster.with_ranks(cluster.n_ranks - 1)
+        wave = wave[: cluster.n_ranks]
+        injector = injector.without_crash()
+        if checkpoints is not None:
+            checkpoints.resize(cluster.n_ranks)
+        action = "degrade_cluster"
+    else:
+        action = "stage_retry"
+    executor.recovery_log.append(
+        TraceEvent(
+            rank=DRIVER_RANK,
+            kind="recovery",
+            label=action,
+            start=start,
+            end=ctx.clock.now,
+            detail=RecoveryDetail(
+                action=action,
+                stage=executor.label(),
+                attempt=attempt,
+                lost_rank=lost_rank,
+            ),
+        )
+    )
+    return injector, cluster, wave

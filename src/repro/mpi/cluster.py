@@ -15,15 +15,19 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, TypeVar
+from typing import TYPE_CHECKING, Callable, TypeVar
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.mpi.clock import PhaseTimings, SimClock
-from repro.mpi.comm import CommWorld, SimComm
+from repro.mpi.comm import _WAIT_SLICE, CommWorld, SimComm
 from repro.mpi.costmodel import DEFAULT_COST_MODEL, CostModel
-from repro.mpi.trace import ClusterTrace
+from repro.mpi.trace import ClusterTrace, TraceEvent
+from repro.observability.events import FaultDetail
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["RankContext", "ClusterResult", "SimCluster"]
 
@@ -97,35 +101,92 @@ class SimCluster:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         seed: int = 2021,
         trace: bool = False,
+        join_timeout: float = _JOIN_TIMEOUT,
+        wait_slice: float = _WAIT_SLICE,
     ) -> None:
         if n_ranks < 1:
             raise SimulationError(f"cluster needs >= 1 rank, got {n_ranks}")
+        if join_timeout <= 0:
+            raise SimulationError(f"join_timeout must be > 0, got {join_timeout}")
         self.n_ranks = n_ranks
         self.cost_model = cost_model
         self.seed = seed
         self.trace = trace
+        #: Real-seconds deadlock safety net per rank thread; chaos soaks
+        #: with heavy stragglers may need a longer deadline.
+        self.join_timeout = join_timeout
+        #: Real seconds between abort checks while blocked in a collective.
+        self.wait_slice = wait_slice
 
-    def run(self, spmd_fn: Callable[[RankContext], T]) -> ClusterResult:
+    def with_ranks(self, n_ranks: int) -> "SimCluster":
+        """A cluster of different width with identical configuration.
+
+        Used by pipeline-level recovery to degrade onto the survivors
+        after a permanent rank crash.
+        """
+        return SimCluster(
+            n_ranks,
+            cost_model=self.cost_model,
+            seed=self.seed,
+            trace=self.trace,
+            join_timeout=self.join_timeout,
+            wait_slice=self.wait_slice,
+        )
+
+    def run(
+        self,
+        spmd_fn: Callable[[RankContext], T],
+        faults: "FaultInjector | None" = None,
+    ) -> ClusterResult:
         """Execute ``spmd_fn`` on every rank concurrently and harvest results.
 
         The function runs once per rank on its own thread; ranks interact
         only through ``ctx.comm``.  If any rank raises, the whole job is
         aborted (peers blocked in collectives are woken) and the original
-        exception is re-raised on the caller.
+        exception is re-raised on the caller — with every *other* genuine
+        rank failure attached as ``.secondary_errors`` (and as exception
+        notes), and the partial event trace as ``.cluster_trace`` when the
+        cluster traces.
+
+        ``faults`` arms deterministic fault injection for this job: each
+        call draws a fresh per-job fault state from the injector, so
+        re-running a failed stage retries under fresh (but reproducible)
+        transient faults.
         """
         cluster_trace = ClusterTrace(self.n_ranks) if self.trace else None
-        world = CommWorld(self.n_ranks, self.cost_model, trace=cluster_trace)
+        world = CommWorld(
+            self.n_ranks, self.cost_model, trace=cluster_trace, wait_slice=self.wait_slice
+        )
         jitter_rng = np.random.default_rng(self.seed)
         jitters = 1.0 + jitter_rng.uniform(
             0.0, self.cost_model.jitter_fraction, size=self.n_ranks
         )
+        job = faults.job(self.n_ranks) if faults is not None else None
 
         results: list = [None] * self.n_ranks
         errors: list[BaseException | None] = [None] * self.n_ranks
         contexts: list[RankContext] = []
         for rank in range(self.n_ranks):
-            clock = SimClock(jitter_factor=float(jitters[rank]))
+            jitter = float(jitters[rank])
+            if job is not None:
+                slowdown = job.slowdown(rank)
+                if slowdown != 1.0:
+                    jitter *= slowdown
+                    if cluster_trace is not None:
+                        cluster_trace.record(
+                            TraceEvent(
+                                rank=rank,
+                                kind="fault",
+                                label="straggler",
+                                start=0.0,
+                                end=0.0,
+                                detail=FaultDetail(fault="straggler", target=rank),
+                            )
+                        )
+            clock = SimClock(jitter_factor=jitter)
             comm = SimComm(world, rank, clock)
+            if job is not None:
+                comm.faults = job.rank_faults(rank)
             rng = np.random.default_rng((self.seed, rank))
             contexts.append(
                 RankContext(rank, self.n_ranks, comm, clock, self.cost_model, rng)
@@ -145,11 +206,11 @@ class SimCluster:
         for thread in threads:
             thread.start()
         for thread in threads:
-            thread.join(timeout=_JOIN_TIMEOUT)
+            thread.join(timeout=self.join_timeout)
             if thread.is_alive():
                 world.abort(SimulationError("rank did not finish within the timeout"))
                 raise SimulationError(
-                    f"{thread.name} did not finish within {_JOIN_TIMEOUT} s"
+                    f"{thread.name} did not finish within {self.join_timeout} s"
                 )
 
         failures = [e for e in errors if e is not None]
@@ -165,6 +226,21 @@ class SimCluster:
                 )
 
             primary = next((e for e in failures if not is_secondary(e)), failures[0])
+            # Several ranks can fail for independent reasons (e.g. two
+            # genuine window violations in one epoch); keep every root
+            # cause on the raised error instead of dropping them.
+            others = tuple(
+                e for e in failures if e is not primary and not is_secondary(e)
+            )
+            primary.secondary_errors = others
+            for other in others:
+                primary.add_note(
+                    f"secondary rank failure: {type(other).__name__}: {other}"
+                )
+            if cluster_trace is not None:
+                # The partial trace of the crashed attempt, so recovery can
+                # harvest the injected-fault events that led here.
+                primary.cluster_trace = cluster_trace
             raise primary
 
         return ClusterResult(

@@ -21,18 +21,27 @@ deadlocking):
 from __future__ import annotations
 
 import threading
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import RankCrashError, RetryBudgetExceeded, SimulationError
 from repro.mpi.clock import SimClock
 from repro.mpi.costmodel import CostModel
 from repro.mpi.trace import ClusterTrace, TraceEvent
-from repro.observability.events import CollectiveDetail, PutDetail, WindowDetail
+from repro.observability.events import (
+    CollectiveDetail,
+    FaultDetail,
+    PutDetail,
+    RetryDetail,
+    WindowDetail,
+)
 from repro.mpi.window import Window
 from repro.types.collections import RowVector
 from repro.types.tuples import TupleType
+
+if TYPE_CHECKING:
+    from repro.faults.injector import RankFaults
 
 __all__ = ["CommWorld", "SimComm", "WindowSet"]
 
@@ -62,12 +71,16 @@ class CommWorld:
         n_ranks: int,
         cost_model: CostModel,
         trace: ClusterTrace | None = None,
+        wait_slice: float = _WAIT_SLICE,
     ) -> None:
         if n_ranks < 1:
             raise SimulationError(f"need at least one rank, got {n_ranks}")
+        if wait_slice <= 0:
+            raise SimulationError(f"wait_slice must be > 0, got {wait_slice}")
         self.n_ranks = n_ranks
         self.cost = cost_model
         self.trace = trace
+        self.wait_slice = wait_slice
         self._cond = threading.Condition()
         self._slots: dict[int, _Slot] = {}
         self._abort: BaseException | None = None
@@ -135,7 +148,7 @@ class CommWorld:
             else:
                 while not slot.done:
                     self._check_abort()
-                    self._cond.wait(timeout=_WAIT_SLICE)
+                    self._cond.wait(timeout=self.wait_slice)
             result, result_time = slot.result, slot.result_time
             slot.retrieved += 1
             if slot.retrieved == self.n_ranks:
@@ -171,25 +184,52 @@ class WindowSet:
         The sender's clock is charged ``transfer_cost × (1 − overlap)``;
         the overlap discount models asynchronous RDMA writes hidden behind
         the partitioning loop (paper Section 4.1.1).
+
+        Under fault injection a network put may be dropped in transit: the
+        failed attempt charges the full transfer cost plus an exponential
+        backoff wait before re-sending, and an exhausted retry budget
+        raises :class:`~repro.errors.RetryBudgetExceeded`.  Self-puts are
+        local memcpys and never fail.
         """
-        self._windows[target_rank].write(offset, data, source_rank=self._comm.rank)
+        comm = self._comm
         payload = data.size_bytes()
-        cost = self._comm.cost.transfer_cost(payload)
-        if target_rank == self._comm.rank:
-            cost = self._comm.cost.copy_cost(payload)
+        cost = comm.cost.transfer_cost(payload)
+        if target_rank == comm.rank:
+            cost = comm.cost.copy_cost(payload)
         else:
-            cost *= 1.0 - self._comm.cost.network_overlap
-        start = self._comm.clock.now
-        self._comm.clock.advance(cost)
-        trace = self._comm.world.trace
+            cost *= 1.0 - comm.cost.network_overlap
+            faults = comm.faults
+            if faults is not None:
+                comm._check_crash()
+                attempt = 1
+                while faults.put_drops():
+                    comm._transient_fault(
+                        op=f"put->{target_rank}",
+                        fault="put_drop",
+                        attempt=attempt,
+                        lost_cost=cost,
+                        backoff=faults.backoff(attempt),
+                        target=target_rank,
+                    )
+                    if attempt >= faults.max_attempts:
+                        raise RetryBudgetExceeded(
+                            f"put to rank {target_rank} from rank {comm.rank} "
+                            f"dropped {attempt} times; retry budget exhausted",
+                            sim_time=comm.clock.now,
+                        )
+                    attempt += 1
+        self._windows[target_rank].write(offset, data, source_rank=comm.rank)
+        start = comm.clock.now
+        comm.clock.advance(cost)
+        trace = comm.world.trace
         if trace is not None:
             trace.record(
                 TraceEvent(
-                    rank=self._comm.rank,
+                    rank=comm.rank,
                     kind="put",
                     label=f"put->{target_rank}",
                     start=start,
-                    end=self._comm.clock.now,
+                    end=comm.clock.now,
                     detail=PutDetail(target=target_rank, rows=len(data), bytes=payload),
                 )
             )
@@ -228,6 +268,9 @@ class SimComm:
         self.world = world
         self.rank = rank
         self.clock = clock
+        #: Per-rank fault-decision handle, or None when no faults can fire
+        #: (the hot comm paths then pay a single ``is None`` check).
+        self.faults: "RankFaults | None" = None
         self._call_index = 0
 
     @property
@@ -238,6 +281,63 @@ class SimComm:
     def cost(self) -> CostModel:
         return self.world.cost
 
+    # -- fault injection hooks -------------------------------------------------
+
+    def _check_crash(self) -> None:
+        """Fire an injected rank crash if its trigger is met, tracing it."""
+        try:
+            self.faults.check_crash(self.clock.now)
+        except RankCrashError:
+            if self.world.trace is not None:
+                self.world.trace.record(
+                    TraceEvent(
+                        rank=self.rank,
+                        kind="fault",
+                        label="crash",
+                        start=self.clock.now,
+                        end=self.clock.now,
+                        detail=FaultDetail(fault="crash", target=self.rank),
+                    )
+                )
+            raise
+
+    def _transient_fault(
+        self,
+        op: str,
+        fault: str,
+        attempt: int,
+        lost_cost: float,
+        backoff: float,
+        target: int = -1,
+    ) -> None:
+        """Charge one dropped comm attempt + its backoff wait; trace both."""
+        fault_start = self.clock.now
+        self.clock.advance(lost_cost)
+        retry_start = self.clock.now
+        self.clock.advance(backoff)
+        trace = self.world.trace
+        if trace is not None:
+            trace.record(
+                TraceEvent(
+                    rank=self.rank,
+                    kind="fault",
+                    label=fault,
+                    start=fault_start,
+                    end=retry_start,
+                    detail=FaultDetail(fault=fault, attempt=attempt, target=target),
+                )
+            )
+            trace.record(
+                TraceEvent(
+                    rank=self.rank,
+                    kind="retry",
+                    label=op,
+                    start=retry_start,
+                    end=self.clock.now,
+                    detail=RetryDetail(op=op, attempt=attempt, backoff=backoff),
+                )
+            )
+
     def _collect(
         self,
         tag: str,
@@ -245,6 +345,29 @@ class SimComm:
         combine: Callable[[dict[int, object]], object],
         op_cost: float,
     ) -> object:
+        faults = self.faults
+        if faults is not None:
+            self._check_crash()
+            # Retry a lost *contribution* before the single rendezvous call,
+            # keeping the collective call-index protocol identical across
+            # ranks; the delayed arrival time stalls peers naturally.
+            attempt = 1
+            while faults.collective_drops():
+                self._transient_fault(
+                    op=tag,
+                    fault="collective_drop",
+                    attempt=attempt,
+                    lost_cost=self.cost.net_latency,
+                    backoff=faults.backoff(attempt),
+                )
+                if attempt >= faults.max_attempts:
+                    raise RetryBudgetExceeded(
+                        f"contribution of rank {self.rank} to collective "
+                        f"{tag!r} dropped {attempt} times; retry budget "
+                        "exhausted",
+                        sim_time=self.clock.now,
+                    )
+                attempt += 1
         index = self._call_index
         self._call_index += 1
         arrival = self.clock.now

@@ -44,6 +44,7 @@ def chrome_trace_events(
     profile: "PlanProfile | None" = None,
     traces: Sequence["ClusterTrace"] = (),
     time_scale: float = 1e6,
+    extra_events: Iterable[SimEvent] = (),
 ) -> list[dict]:
     """Build the ``traceEvents`` list from a profile and/or cluster traces.
 
@@ -52,12 +53,17 @@ def chrome_trace_events(
         traces: Any number of :class:`ClusterTrace` instances whose
             collective/put/window events join the same timeline.
         time_scale: Simulated seconds → trace timestamp units (µs).
+        extra_events: Loose events joining the same timeline — e.g. an
+            ``ExecutionReport``'s driver-side ``recovery_events``, which
+            carry the fault/retry story of aborted (hence untraced) stage
+            attempts.
     """
     events: list[SimEvent] = []
     if profile is not None:
         events.extend(profile.spans)
     for trace in traces:
         events.extend(trace.events())
+    events.extend(extra_events)
 
     metadata: list[dict] = []
     #: Processes already described with process_name/substrate metadata.
@@ -116,9 +122,12 @@ def write_chrome_trace(
     path: str,
     profile: "PlanProfile | None" = None,
     traces: Iterable["ClusterTrace"] = (),
+    extra_events: Iterable[SimEvent] = (),
 ) -> int:
     """Write the merged trace JSON to ``path``; returns the event count."""
-    events = chrome_trace_events(profile=profile, traces=list(traces))
+    events = chrome_trace_events(
+        profile=profile, traces=list(traces), extra_events=extra_events
+    )
     with open(path, "w") as handle:
         json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, handle)
         handle.write("\n")

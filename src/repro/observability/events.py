@@ -29,6 +29,9 @@ __all__ = [
     "PutDetail",
     "CollectiveDetail",
     "WindowDetail",
+    "FaultDetail",
+    "RetryDetail",
+    "RecoveryDetail",
     "GenericDetail",
     "OperatorSpan",
     "detail_for",
@@ -114,6 +117,42 @@ class WindowDetail(EventDetail):
 
 
 @dataclass(frozen=True)
+class FaultDetail(EventDetail):
+    """An injected fault fired: what kind, on which attempt, against whom.
+
+    ``fault`` is one of ``put_drop`` | ``collective_drop`` | ``crash`` |
+    ``straggler`` | ``memory_pressure``.
+    """
+
+    fault: str
+    attempt: int = 0
+    target: int = -1
+
+
+@dataclass(frozen=True)
+class RetryDetail(EventDetail):
+    """A transient comm fault being retried: the backoff wait interval."""
+
+    op: str
+    attempt: int
+    backoff: float
+
+
+@dataclass(frozen=True)
+class RecoveryDetail(EventDetail):
+    """A driver-side recovery action at a pipeline stage.
+
+    ``action`` is one of ``stage_retry`` | ``degrade_cluster`` |
+    ``checkpoint_hit`` | ``broadcast_fallback``.
+    """
+
+    action: str
+    stage: str = ""
+    attempt: int = 0
+    lost_rank: int = -1
+
+
+@dataclass(frozen=True)
 class GenericDetail(EventDetail):
     """Fallback payload for event kinds without a dedicated detail type."""
 
@@ -139,6 +178,9 @@ _DETAIL_TYPES: dict[str, type] = {
     "put": PutDetail,
     "collective": CollectiveDetail,
     "win_create": WindowDetail,
+    "fault": FaultDetail,
+    "retry": RetryDetail,
+    "recovery": RecoveryDetail,
 }
 
 

@@ -347,14 +347,24 @@ class ModularisQuery:
     output_columns: tuple[str, ...]
     #: Join strategy the lowering chose: "exchange" or "broadcast".
     strategy: str = "exchange"
+    #: Strategy the optimizer *wanted* before a fault policy degraded it
+    #: (e.g. ``"broadcast"`` refused under injected memory pressure).
+    degraded_from: str | None = None
 
     def run(
-        self, catalog: Catalog, mode: str = "fused", profile: bool = False
+        self,
+        catalog: Catalog,
+        mode: str = "fused",
+        profile: bool = False,
+        faults=None,
     ) -> ExecutionReport:
         """Execute against the catalog's current table contents.
 
         With ``profile=True`` the report carries a
         :class:`~repro.observability.profile.PlanProfile` of the run.
+        ``faults`` arms fault injection for the execution (the
+        memory-pressure *planning* degradation happens earlier, in
+        :func:`lower_to_modularis`).
         """
         tables = []
         sides = [self.shape.left]
@@ -369,9 +379,27 @@ class ModularisQuery:
             tables.append(
                 RowVector(pruned, [data.column(c) for c in side.columns])
             )
-        return execute(
-            self.root, params={self.slot: tuple(tables)}, mode=mode, profile=profile
+        report = execute(
+            self.root, params={self.slot: tuple(tables)}, mode=mode, profile=profile,
+            faults=faults,
         )
+        if self.degraded_from is not None:
+            from repro.mpi.trace import TraceEvent
+            from repro.observability.events import DRIVER_RANK, RecoveryDetail
+
+            report.recovery_events.append(
+                TraceEvent(
+                    rank=DRIVER_RANK,
+                    kind="recovery",
+                    label="broadcast_fallback",
+                    start=0.0,
+                    end=0.0,
+                    detail=RecoveryDetail(
+                        action="broadcast_fallback", stage=self.strategy
+                    ),
+                )
+            )
+        return report
 
     def result_frame(self, result: ExecutionReport) -> Frame:
         """The final output as a columnar frame.
@@ -444,6 +472,7 @@ def lower_to_modularis(
     local_fanout: int = 16,
     network_fanout: int | None = None,
     join_strategy: str = "exchange",
+    faults=None,
 ) -> ModularisQuery:
     """Optimize and lower a logical plan onto a simulated cluster.
 
@@ -452,6 +481,12 @@ def lower_to_modularis(
             paper's plan and the default), ``broadcast`` (replicate the
             build side via MpiBroadcast — an extension this library adds),
             or ``auto`` to let the stats rule decide.
+        faults: A :class:`repro.faults.FaultPolicy` known at planning
+            time.  Under its ``memory_pressure`` flag the lowering refuses
+            the broadcast-join strategy — replicating the build side is
+            exactly what a memory-pressured build rank cannot afford — and
+            degrades to the shuffle (exchange) join plan, recording the
+            original choice on ``ModularisQuery.degraded_from``.
     """
     if join_strategy not in JOIN_STRATEGIES:
         raise PlanError(
@@ -461,6 +496,13 @@ def lower_to_modularis(
     shape = _extract_shape(optimized, catalog)
     n_net = network_fanout or cluster.n_ranks
     strategy = _choose_strategy(join_strategy, shape, catalog, cluster.n_ranks)
+    degraded_from = None
+    if (
+        faults is not None
+        and getattr(faults, "memory_pressure", False)
+        and strategy == "broadcast"
+    ):
+        degraded_from, strategy = "broadcast", "exchange"
 
     left_schema = _pruned_schema(catalog, shape.left)
     if shape.right is None:
@@ -651,6 +693,7 @@ def lower_to_modularis(
         shape=shape,
         output_columns=root.output_type["result"].element_type.field_names,
         strategy=strategy,
+        degraded_from=degraded_from,
     )
 
 

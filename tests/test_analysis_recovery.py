@@ -1,0 +1,140 @@
+"""Recovery-soundness rules (MOD030–MOD032).
+
+Pipeline-level recovery re-executes failed MPI stages and serves sealed
+materialization points from checkpoints (``repro.faults``); that is only
+sound for deterministic streams.  These tests drive the advisory pass
+that flags the plan shapes breaking the bit-identical-under-chaos
+guarantee — all warnings/info, never errors, since fault injection is
+opt-in.
+"""
+
+from repro.analysis import Severity, analyze
+from repro.core.functions import RadixPartition
+from repro.core.operators import (
+    LocalHistogram,
+    MaterializeRowVector,
+    MpiExchange,
+    MpiExecutor,
+    MpiHistogram,
+    ParameterLookup,
+    ParameterSlot,
+    Projection,
+    RowScan,
+)
+from repro.core.plans import build_distributed_join
+from repro.mpi.cluster import SimCluster
+from repro.types import INT64, TupleType, row_vector_type
+
+from tests.conftest import KV
+
+T = TupleType.of(t=row_vector_type(KV))
+
+
+def cluster_plan(build_inner):
+    driver = ParameterLookup(ParameterSlot(T))
+    return MaterializeRowVector(
+        RowScan(MpiExecutor(driver, build_inner, SimCluster(2)))
+    )
+
+
+def recovery_findings(plan):
+    return [d for d in analyze(plan) if d.rule.id.startswith("MOD03")]
+
+
+def exchange_inner(slot, *, staged=False, nondet_scan=False):
+    """The canonical worker pipeline, optionally nondeterministic and/or
+    pinned by a mid-stage materialization point before the exchange."""
+    scan = RowScan(ParameterLookup(slot), field="t", shard_by_rank=True)
+    if nondet_scan:
+        scan.deterministic = False
+    stream = scan
+    if staged:
+        stream = RowScan(
+            MaterializeRowVector(scan, field="staged"), field="staged"
+        )
+    net = RadixPartition("key", 4)
+    local = LocalHistogram(stream, net)
+    global_ = MpiHistogram(local, 4)
+    exchange = MpiExchange(stream, local, global_, net)
+    return MaterializeRowVector(RowScan(exchange, field="data"))
+
+
+class TestMod030UnprotectedExchange:
+    def test_nondeterministic_stream_into_exchange_is_flagged(self):
+        plan = cluster_plan(
+            lambda slot: exchange_inner(slot, nondet_scan=True)
+        )
+        findings = recovery_findings(plan)
+        assert {d.rule.id for d in findings} == {"MOD030"}
+        (finding,) = findings
+        assert finding.severity == Severity.WARNING
+        assert not finding.is_error
+        assert "MpiExchange" in finding.message
+        assert "materialize" in finding.message
+        # MOD030 subsumes MOD031 for the same operator — one story, not two.
+
+    def test_materialization_point_downgrades_to_mod031(self):
+        # The staged materializer pins the stream at the network boundary,
+        # so the exchange is safe (no MOD030) — but a stage re-execution
+        # still cannot reproduce the source, which MOD031 keeps visible.
+        plan = cluster_plan(
+            lambda slot: exchange_inner(slot, staged=True, nondet_scan=True)
+        )
+        findings = recovery_findings(plan)
+        assert {d.rule.id for d in findings} == {"MOD031"}
+        assert findings[0].operator == "RowScan"
+
+
+class TestMod031NondeterministicWorker:
+    def test_nondeterminism_after_the_exchange_is_flagged(self):
+        def inner(slot):
+            root = exchange_inner(slot)
+            root.deterministic = False  # the worker-root materializer
+            return root
+
+        findings = recovery_findings(cluster_plan(inner))
+        assert {d.rule.id for d in findings} == {"MOD031"}
+        assert findings[0].severity == Severity.WARNING
+        assert "deterministic=False" in findings[0].message
+
+    def test_driver_side_nondeterminism_is_not_a_recovery_hazard(self):
+        # Recovery re-executes MPI stages only; a nondeterministic driver
+        # operator is outside every retry boundary.
+        scan = RowScan(ParameterLookup(ParameterSlot(T)), field="t")
+        scan.deterministic = False
+        assert recovery_findings(MaterializeRowVector(scan)) == []
+
+
+class TestMod032UncheckpointableStage:
+    def test_worker_plan_without_materialized_root_is_noted(self):
+        def inner(slot):
+            # The materialization is buried under a Projection, so the
+            # stage *output* is not a materialization point.
+            return Projection(exchange_inner(slot), ["data"])
+
+        findings = recovery_findings(cluster_plan(inner))
+        mod032 = [d for d in findings if d.rule.id == "MOD032"]
+        assert len(mod032) == 1
+        assert mod032[0].severity == Severity.INFO
+        assert "checkpoint" in mod032[0].message
+        assert mod032[0].operator == "Projection"
+
+
+class TestCleanPlans:
+    def test_canonical_join_raises_no_recovery_findings(self):
+        plan = build_distributed_join(
+            SimCluster(2),
+            TupleType.of(key=INT64, lpay=INT64),
+            TupleType.of(key=INT64, rpay=INT64),
+        )
+        assert recovery_findings(plan.root) == []
+
+    def test_suppression_silences_the_family(self):
+        plan = cluster_plan(
+            lambda slot: exchange_inner(slot, nondet_scan=True)
+        )
+        assert [
+            d
+            for d in analyze(plan, suppress={"MOD030", "MOD031", "MOD032"})
+            if d.rule.id.startswith("MOD03")
+        ] == []

@@ -1,0 +1,73 @@
+"""The ``repro chaos`` CLI: seeded fault soaks from the shell."""
+
+import json
+
+from repro.cli import main
+
+
+class TestChaosCommand:
+    def test_builtin_soak_reports_ok(self, capsys):
+        rc = main(
+            [
+                "chaos", "join",
+                "--seeds", "1",
+                "--log2-tuples", "9",
+                "--machines", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "OK" in out
+        assert "join" in out
+
+    def test_json_format_is_machine_readable(self, capsys):
+        rc = main(
+            [
+                "chaos", "groupby",
+                "--seeds", "1",
+                "--log2-tuples", "9",
+                "--machines", "2",
+                "--drop-rate", "0.5",
+                "--collective-drop-rate", "0.3",
+                "--format", "json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        payload = json.loads(out)
+        assert payload["failures"] == 0
+        (soak,) = payload["soaks"]
+        assert soak["target"] == "groupby"
+        assert soak["ok"] is True
+        assert any(k.startswith("fault:") for k in soak["faults"]), soak
+
+    def test_crash_soak_recovers_and_passes(self, capsys):
+        rc = main(
+            [
+                "chaos", "join",
+                "--seeds", "1",
+                "--log2-tuples", "9",
+                "--machines", "2",
+                "--drop-rate", "0",
+                "--collective-drop-rate", "0",
+                "--crash-rank", "1",
+                "--crash-after", "3",
+                "--format", "json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        (soak,) = json.loads(out)["soaks"]
+        assert soak["ok"] is True
+        assert soak["faults"].get("fault:crash") == 1
+        assert soak["faults"].get("recovery:stage_retry") == 1
+
+    def test_unknown_target_is_a_usage_error(self, capsys):
+        rc = main(["chaos", "nonsense"])
+        assert rc == 2
+        assert "nonsense" in capsys.readouterr().err
+
+    def test_malformed_straggler_spec_is_a_usage_error(self, capsys):
+        rc = main(["chaos", "join", "--straggler", "fast"])
+        assert rc == 2
+        assert "straggler" in capsys.readouterr().err.lower()
