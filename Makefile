@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke chaos-soak profile examples
+.PHONY: test lint bench bench-smoke bench-compare chaos-soak profile examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,10 +17,18 @@ bench:
 	$(PYTHON) -m repro bench all
 
 # Wall-clock (not simulated) fused-vs-interpreted check; writes
-# BENCH_fused.json and fails if fused is slower on the micro pipeline or
-# if the disabled-profiler overhead exceeds its 5% budget.
+# BENCH_fused.json (and appends a run record to BENCH_history.jsonl) and
+# fails if fused is slower on the micro pipeline or if the
+# disabled-profiler overhead exceeds its 5% budget.
 bench-smoke:
 	$(PYTHON) -m repro.bench.smoke --out BENCH_fused.json
+
+# Benchmark-regression gate: record the paper-figure suite into
+# BENCH_history.jsonl and diff it against the seed baseline with
+# noise-aware per-benchmark thresholds; exit 1 on regression.
+bench-compare:
+	$(PYTHON) -m repro bench record
+	$(PYTHON) -m repro bench compare --baseline seed
 
 # Seeded fault-injection soak: every builtin plan and TPC-H query must
 # stay bit-identical to its fault-free run under transient comm faults,

@@ -20,9 +20,11 @@ or from the shell::
 
 from repro.analysis.diagnostics import RULES, Diagnostic, Rule, Severity
 from repro.analysis.lint import analyze, verify
+from repro.analysis.runtime import analyze_runtime
 
 __all__ = [
     "analyze",
+    "analyze_runtime",
     "verify",
     "Diagnostic",
     "Rule",

@@ -186,6 +186,18 @@ MOD032 = _rule(
     "materialization point",
 )
 
+# -- runtime advisories (MOD040–MOD049) ----------------------------------------
+# Unlike the static rules above these need a measured execution: they run
+# over a MetricsSnapshot (repro.analysis.runtime), not over the plan DAG.
+
+MOD040 = _rule(
+    "MOD040", "shuffle-amplification", Severity.INFO,
+    "the recorded shuffle volume exceeds a configurable multiple of the "
+    "plan's input bytes; the exchange is re-shipping data the plan could "
+    "have reduced (pre-aggregation, projection pushdown, broadcast of the "
+    "small side) before the network partition",
+)
+
 
 @dataclass(frozen=True)
 class Diagnostic:

@@ -1,0 +1,484 @@
+"""Benchmark run records and the regression-comparison harness.
+
+One-off benchmark runs answer "how fast is this tree?"; catching a
+*regression* needs the previous answers.  This module gives the benchmark
+suite a durable history:
+
+* a **run record** — one JSON object per benchmark invocation carrying
+  the git SHA, a timestamp, the workload configuration, and a named set
+  of measurements (each with its raw samples and a noise tolerance);
+* ``BENCH_history.jsonl`` — an append-only JSON-Lines file of run
+  records (``repro bench record``, ``make bench-smoke``);
+* a **comparison** — ``repro bench compare --baseline seed`` diffs the
+  newest record against a named baseline with per-benchmark noise-aware
+  thresholds and exits non-zero on regression (``make bench-compare``).
+
+Two clocks, two tolerances.  Simulated-seconds benchmarks run on the
+deterministic cost model (the seeded jitter draws the same values every
+run), so their tolerance is tight (:data:`SIM_TOLERANCE`); wall-clock
+benchmarks inherit machine noise and take the median of several repeats
+against a generous tolerance (:data:`WALL_TOLERANCE`).
+
+The ``seed`` baseline resolves to the first record labelled ``seed`` in
+the history — or, before any exists, to a record converted from the
+repository's checked-in ``BENCH_fused.json`` smoke report, so the
+comparison works from the very first run.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SIM_TOLERANCE",
+    "WALL_TOLERANCE",
+    "DEFAULT_HISTORY",
+    "BenchmarkSample",
+    "git_sha",
+    "make_record",
+    "append_record",
+    "load_history",
+    "record_from_smoke_report",
+    "seed_baseline",
+    "find_baseline",
+    "collect_record",
+    "compare_records",
+    "gating_failures",
+    "render_comparison",
+]
+
+#: Version of the run-record JSON schema.
+SCHEMA_VERSION = 1
+
+#: Relative regression threshold for simulated-seconds benchmarks.  The
+#: cost model is deterministic (seeded jitter), so anything beyond float
+#: noise is a real plan/cost change.
+SIM_TOLERANCE = 0.05
+
+#: Relative regression threshold for wall-clock benchmarks; shared CI
+#: machines are noisy even under median-of-N.
+WALL_TOLERANCE = 0.5
+
+#: Default history file at the repository root (see ``make bench-compare``).
+DEFAULT_HISTORY = "BENCH_history.jsonl"
+
+
+@dataclass
+class BenchmarkSample:
+    """One named measurement inside a run record (lower is better)."""
+
+    value: float
+    unit: str = "seconds"
+    #: ``simulated`` (deterministic cost-model clock) or ``wall``.
+    clock: str = "simulated"
+    #: Raw repeat measurements behind :attr:`value` (their median).
+    samples: list[float] = field(default_factory=list)
+    #: Relative regression threshold for this benchmark.
+    tolerance: float = SIM_TOLERANCE
+    #: Workload parameters (sizes, machines, ...), for provenance.
+    meta: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "value": self.value,
+            "unit": self.unit,
+            "clock": self.clock,
+            "samples": self.samples,
+            "tolerance": self.tolerance,
+            "meta": self.meta,
+        }
+
+
+def git_sha(repo: str | Path | None = None) -> str:
+    """The current checkout's short commit SHA, or ``unknown`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(repo) if repo else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def make_record(
+    benchmarks: dict[str, BenchmarkSample],
+    label: str = "",
+    source: str = "bench-record",
+    config: dict | None = None,
+) -> dict:
+    """Assemble a schema-versioned run record around the measurements."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "label": label,
+        "git_sha": git_sha(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "source": source,
+        "config": dict(config or {}),
+        "benchmarks": {
+            name: sample.as_dict() for name, sample in benchmarks.items()
+        },
+    }
+
+
+def append_record(path: str | Path, record: dict) -> None:
+    """Append one run record to the JSON-Lines history file."""
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_history(path: str | Path) -> list[dict]:
+    """All run records in the history file, oldest first ([] if absent)."""
+    history_path = Path(path)
+    if not history_path.exists():
+        return []
+    records = []
+    with open(history_path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# -- the seed baseline --------------------------------------------------------------
+
+
+def record_from_smoke_report(report: dict, label: str = "") -> dict:
+    """Fold a ``BENCH_fused.json`` smoke report into a run record.
+
+    The smoke report's three sections map onto history benchmarks:
+    ``benchmarks`` → ``*_wall_fused``/``*_wall_interpreted`` wall-clock
+    samples, ``profiler`` → the observability overhead ratios, and
+    ``faults`` → the armed-injector overhead ratio.  Overheads are kept
+    as dimensionless values with an *absolute*-style slack folded into a
+    generous tolerance — they hover around 0 and a relative threshold
+    would be meaningless.
+    """
+    benchmarks: dict[str, BenchmarkSample] = {}
+    for name, entry in report.get("benchmarks", {}).items():
+        meta = {
+            k: v for k, v in entry.items()
+            if k not in ("fused_seconds", "interpreted_seconds", "speedup")
+        }
+        for mode in ("fused", "interpreted"):
+            key = f"{mode}_seconds"
+            if key in entry:
+                benchmarks[f"{name}_wall_{mode}"] = BenchmarkSample(
+                    value=entry[key],
+                    clock="wall",
+                    samples=[entry[key]],
+                    tolerance=WALL_TOLERANCE,
+                    meta=meta,
+                )
+    config: dict = {}
+    profiler = report.get("profiler")
+    if profiler is not None:
+        config["profiler"] = {
+            "disabled_overhead": profiler.get("disabled_overhead"),
+            "profiled_overhead": profiler.get("profiled_overhead"),
+        }
+    faults = report.get("faults")
+    if faults is not None:
+        config["faults"] = {"armed_overhead": faults.get("armed_overhead")}
+    return make_record(benchmarks, label=label, source="bench-smoke", config=config)
+
+
+def seed_baseline(
+    history: list[dict], smoke_path: str | Path = "BENCH_fused.json"
+) -> dict | None:
+    """Resolve the ``seed`` baseline: first labelled record, else the
+    oldest record, else a conversion of the checked-in smoke report."""
+    for record in history:
+        if record.get("label") == "seed":
+            return record
+    if history:
+        return history[0]
+    path = Path(smoke_path)
+    if path.exists():
+        with open(path) as handle:
+            return record_from_smoke_report(json.load(handle), label="seed")
+    return None
+
+
+def find_baseline(
+    history: list[dict],
+    name: str,
+    smoke_path: str | Path = "BENCH_fused.json",
+) -> dict | None:
+    """A baseline by name: ``seed``, ``latest``, a record label, or a SHA."""
+    if name == "seed":
+        return seed_baseline(history, smoke_path)
+    if name == "latest":
+        return history[-1] if history else None
+    for record in reversed(history):
+        if record.get("label") == name or record.get("git_sha") == name:
+            return record
+    return None
+
+
+# -- the recording suite ------------------------------------------------------------
+
+
+def _median_of(run, repeats: int) -> tuple[float, list[float]]:
+    samples = []
+    for _ in range(max(repeats, 1)):
+        samples.append(run())
+    return statistics.median(samples), samples
+
+
+def _wall(run, repeats: int) -> tuple[float, list[float]]:
+    def timed() -> float:
+        start = time.perf_counter()
+        run()
+        return time.perf_counter() - start
+
+    return _median_of(timed, repeats)
+
+
+def collect_record(
+    repeats: int = 5,
+    label: str = "",
+    log2_tuples: int = 13,
+    machines: int = 4,
+    scale_factor: float = 0.01,
+) -> dict:
+    """Run the paper-figure recording suite and return its run record.
+
+    Five benchmarks — one per paper figure the suite reproduces — sized
+    down so the whole sweep finishes in seconds: the §5.1.2 micro
+    scan-sum (wall clock, fused), the Figure 6 distributed join, the
+    Figure 7 GROUP BY, the Figure 8 three-relation join cascade, and
+    the Figure 9 TPC-H Q12 run (all simulated seconds on ``machines``
+    ranks).  Simulated benchmarks are deterministic; they still honor
+    ``repeats`` so the record's samples expose any nondeterminism bug.
+    """
+    import numpy as np
+
+    from repro.bench.experiments.micro import _scan_sum_plan
+    from repro.core.executor import execute
+    from repro.core.plans.groupby import build_distributed_groupby
+    from repro.core.plans.join import build_distributed_join
+    from repro.core.plans.join_sequence import build_join_sequence
+    from repro.mpi.cluster import SimCluster
+    from repro.relational.optimizer.planner import lower_to_modularis
+    from repro.tpch import load_catalog, q12
+    from repro.types.atoms import INT64
+    from repro.types.collections import RowVector
+    from repro.types.tuples import TupleType
+    from repro.workloads.join_data import (
+        make_cascade_relations,
+        make_join_relations,
+    )
+
+    n_tuples = 1 << log2_tuples
+    benchmarks: dict[str, BenchmarkSample] = {}
+
+    # §5.1.2 micro: the one wall-clock benchmark (matches bench-smoke's
+    # workload size so the seed baseline is directly comparable).
+    micro_n = 1 << 20
+    plan, slot, table, expected = _scan_sum_plan(micro_n, seed=2021)
+
+    def run_micro() -> None:
+        result = execute(plan, params={slot: (table,)}, mode="fused")
+        assert result.rows == [(expected,)]
+
+    value, samples = _wall(run_micro, max(repeats, 3))
+    benchmarks["micro_wall_fused"] = BenchmarkSample(
+        value=value, clock="wall", samples=samples,
+        tolerance=WALL_TOLERANCE, meta={"n_integers": micro_n},
+    )
+
+    # Figure 6: the distributed repartition join.
+    join_workload = make_join_relations(n_tuples, seed=2021)
+
+    def run_fig6() -> float:
+        cluster = SimCluster(machines)
+        join_plan = build_distributed_join(
+            cluster,
+            join_workload.left.element_type,
+            join_workload.right.element_type,
+            key_bits=join_workload.key_bits,
+        )
+        result = join_plan.run(join_workload.left, join_workload.right)
+        assert len(join_plan.matches(result)) == join_workload.expected_matches
+        return result.cluster_results[0].makespan
+
+    value, samples = _median_of(run_fig6, repeats)
+    benchmarks["fig6_join_sim"] = BenchmarkSample(
+        value=value, samples=samples, tolerance=SIM_TOLERANCE,
+        meta={"n_tuples": n_tuples, "machines": machines},
+    )
+
+    # Figure 7: the distributed GROUP BY.
+    kv = TupleType.of(key=INT64, value=INT64)
+    rng = np.random.default_rng(7)
+    groupby_table = RowVector(
+        kv,
+        [
+            rng.integers(0, 1 << 10, size=n_tuples, dtype=np.int64),
+            rng.integers(0, 1 << 10, size=n_tuples, dtype=np.int64),
+        ],
+    )
+
+    def run_fig7() -> float:
+        groupby_plan = build_distributed_groupby(
+            SimCluster(machines), kv, key_bits=10
+        )
+        result = groupby_plan.run(groupby_table)
+        groupby_plan.groups(result)
+        return result.simulated_time
+
+    value, samples = _median_of(run_fig7, repeats)
+    benchmarks["fig7_groupby_sim"] = BenchmarkSample(
+        value=value, samples=samples, tolerance=SIM_TOLERANCE,
+        meta={"n_tuples": n_tuples, "machines": machines},
+    )
+
+    # Figure 8: the three-relation join cascade.
+    relations, expected_matches = make_cascade_relations(
+        3, max(n_tuples // 2, 1 << 10), seed=2021
+    )
+
+    def run_fig8() -> float:
+        cascade = build_join_sequence(
+            SimCluster(machines), [r.element_type for r in relations]
+        )
+        result = cascade.run(relations)
+        assert len(cascade.matches(result)) == expected_matches
+        return result.cluster_results[0].makespan
+
+    value, samples = _median_of(run_fig8, repeats)
+    benchmarks["fig8_join_sequence_sim"] = BenchmarkSample(
+        value=value, samples=samples, tolerance=SIM_TOLERANCE,
+        meta={"n_tuples": max(n_tuples // 2, 1 << 10), "machines": machines,
+              "relations": 3},
+    )
+
+    # Figure 9: TPC-H Q12 end to end through the optimizer.
+    catalog = load_catalog(scale_factor=scale_factor)
+
+    def run_fig9() -> float:
+        lowered = lower_to_modularis(
+            q12().plan, catalog, SimCluster(machines)
+        )
+        result = lowered.run(catalog)
+        lowered.result_frame(result)
+        return result.simulated_time
+
+    value, samples = _median_of(run_fig9, repeats)
+    benchmarks["fig9_q12_sim"] = BenchmarkSample(
+        value=value, samples=samples, tolerance=SIM_TOLERANCE,
+        meta={"scale_factor": scale_factor, "machines": machines},
+    )
+
+    return make_record(
+        benchmarks,
+        label=label,
+        source="bench-record",
+        config={
+            "repeats": repeats,
+            "log2_tuples": log2_tuples,
+            "machines": machines,
+            "scale_factor": scale_factor,
+        },
+    )
+
+
+# -- comparison ---------------------------------------------------------------------
+
+
+def compare_records(candidate: dict, baseline: dict) -> list[dict]:
+    """Diff two run records benchmark by benchmark (lower is better).
+
+    Returns one row per benchmark present in either record, each with a
+    ``status``: ``ok`` (within the noise threshold), ``improved``
+    (faster by more than the threshold), ``regression`` (slower by more
+    than the threshold), ``new`` (no baseline entry), or ``missing``
+    (baseline entry with no candidate measurement).  Which statuses
+    fail the gate is :func:`gating_failures`'s call.
+    The threshold is the larger of the two records' per-benchmark
+    tolerances, so a baseline recorded with a loose tolerance is never
+    compared more strictly than it was measured.
+    """
+    base = baseline.get("benchmarks", {})
+    cand = candidate.get("benchmarks", {})
+    rows = []
+    for name in sorted(set(base) | set(cand)):
+        b, c = base.get(name), cand.get(name)
+        if b is None:
+            rows.append({
+                "benchmark": name, "baseline": None, "candidate": c["value"],
+                "ratio": None, "tolerance": c.get("tolerance", SIM_TOLERANCE),
+                "status": "new",
+            })
+            continue
+        if c is None:
+            rows.append({
+                "benchmark": name, "baseline": b["value"], "candidate": None,
+                "ratio": None, "tolerance": b.get("tolerance", SIM_TOLERANCE),
+                "status": "missing",
+            })
+            continue
+        tolerance = max(
+            b.get("tolerance", SIM_TOLERANCE), c.get("tolerance", SIM_TOLERANCE)
+        )
+        ratio = c["value"] / b["value"] if b["value"] > 0 else float("inf")
+        if ratio > 1.0 + tolerance:
+            status = "regression"
+        elif ratio < 1.0 - tolerance:
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append({
+            "benchmark": name, "baseline": b["value"], "candidate": c["value"],
+            "ratio": ratio, "tolerance": tolerance, "status": status,
+        })
+    return rows
+
+
+def gating_failures(
+    rows: list[dict], candidate: dict, baseline: dict
+) -> list[dict]:
+    """The comparison rows that should fail the regression gate.
+
+    A ``regression`` always fails.  A ``missing`` benchmark fails only
+    when candidate and baseline came from the *same* recording suite
+    (same ``source``): there it means a benchmark was silently dropped,
+    while across suites (the paper-figure record vs a smoke-derived
+    seed baseline) disjoint benchmark sets are expected and only the
+    shared ones gate.
+    """
+    same_source = candidate.get("source") == baseline.get("source")
+    return [
+        row for row in rows
+        if row["status"] == "regression"
+        or (row["status"] == "missing" and same_source)
+    ]
+
+
+def render_comparison(rows: list[dict], baseline_name: str) -> str:
+    """Human-readable comparison table, one line per benchmark."""
+    lines = [
+        f"{'benchmark':<28}{'baseline':>12}{'current':>12}"
+        f"{'ratio':>8}{'tol':>7}  status (vs {baseline_name})"
+    ]
+    for row in rows:
+        base = "-" if row["baseline"] is None else f"{row['baseline']:.6f}"
+        cand = "-" if row["candidate"] is None else f"{row['candidate']:.6f}"
+        ratio = "-" if row["ratio"] is None else f"{row['ratio']:.3f}"
+        lines.append(
+            f"{row['benchmark']:<28}{base:>12}{cand:>12}"
+            f"{ratio:>8}{row['tolerance']:>7.0%}  {row['status']}"
+        )
+    return "\n".join(lines)

@@ -98,12 +98,16 @@ def _profiler_overhead(n_integers: int, repeats: int) -> dict[str, float]:
 
     * ``baseline`` — instrumentation wrappers stripped entirely
       (:func:`~repro.observability.profile.uninstrumented`),
-    * ``disabled`` — wrappers installed but no profiler attached: the
-      shipping default, whose cost must stay within noise of baseline,
-    * ``profiled`` — the profiler recording spans.
+    * ``disabled`` — wrappers installed but neither profiler nor metrics
+      registry attached: the shipping default, whose cost must stay
+      within noise of baseline,
+    * ``profiled`` — the profiler recording spans,
+    * ``metered`` — the metrics registry recording work counts (no
+      profiler).
 
-    Rounds are interleaved (baseline, disabled, profiled, repeat) so a
-    machine-load burst hits every configuration equally; best-of wins.
+    Rounds are interleaved (baseline, disabled, profiled, metered,
+    repeat) so a machine-load burst hits every configuration equally;
+    best-of wins.
     """
     from repro.bench.experiments.micro import _scan_sum_plan
     from repro.core.executor import execute
@@ -111,26 +115,32 @@ def _profiler_overhead(n_integers: int, repeats: int) -> dict[str, float]:
 
     plan, slot, table, expected = _scan_sum_plan(n_integers, seed=2021)
 
-    def run(profile: bool) -> float:
+    def run(profile: bool = False, metrics: bool = False) -> float:
         start = time.perf_counter()
-        result = execute(plan, params={slot: (table,)}, mode="fused", profile=profile)
+        result = execute(
+            plan, params={slot: (table,)}, mode="fused", profile=profile,
+            metrics=metrics,
+        )
         elapsed = time.perf_counter() - start
         assert result.rows == [(expected,)]
         return elapsed
 
     best = {"baseline": float("inf"), "disabled": float("inf"),
-            "profiled": float("inf")}
+            "profiled": float("inf"), "metered": float("inf")}
     for _ in range(max(repeats, 3)):
         with uninstrumented():
-            best["baseline"] = min(best["baseline"], run(False))
-        best["disabled"] = min(best["disabled"], run(False))
-        best["profiled"] = min(best["profiled"], run(True))
+            best["baseline"] = min(best["baseline"], run())
+        best["disabled"] = min(best["disabled"], run())
+        best["profiled"] = min(best["profiled"], run(profile=True))
+        best["metered"] = min(best["metered"], run(metrics=True))
     return {
         "baseline_seconds": best["baseline"],
         "disabled_seconds": best["disabled"],
         "profiled_seconds": best["profiled"],
+        "metered_seconds": best["metered"],
         "disabled_overhead": best["disabled"] / best["baseline"] - 1.0,
         "profiled_overhead": best["profiled"] / best["baseline"] - 1.0,
+        "metered_overhead": best["metered"] / best["baseline"] - 1.0,
     }
 
 
@@ -229,6 +239,11 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_fused.json",
                         help="where to write the JSON report")
+    parser.add_argument(
+        "--history", default="BENCH_history.jsonl",
+        help="run-record JSONL file the report is also appended to "
+        "('' to skip)",
+    )
     parser.add_argument("--micro-integers", type=int, default=1 << 20)
     parser.add_argument("--groupby-tuples", type=int, default=1 << 17)
     parser.add_argument("--machines", type=int, default=2)
@@ -244,6 +259,13 @@ def main(argv: list[str] | None = None) -> int:
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
+    if args.history:
+        # The smoke probes double as history points for the regression
+        # harness (`repro bench compare`); the checked-in BENCH_fused.json
+        # stays the seed baseline.
+        from repro.bench.history import append_record, record_from_smoke_report
+
+        append_record(args.history, record_from_smoke_report(report))
 
     for name, entry in report["benchmarks"].items():
         print(
@@ -257,7 +279,9 @@ def main(argv: list[str] | None = None) -> int:
         f"disabled {profiler['disabled_seconds']:.3f}s "
         f"({profiler['disabled_overhead']:+.1%}), "
         f"profiled {profiler['profiled_seconds']:.3f}s "
-        f"({profiler['profiled_overhead']:+.1%})"
+        f"({profiler['profiled_overhead']:+.1%}), "
+        f"metered {profiler['metered_seconds']:.3f}s "
+        f"({profiler['metered_overhead']:+.1%})"
     )
     micro_speedup = report["benchmarks"]["micro"]["speedup"]
     if micro_speedup < 1.0:

@@ -10,6 +10,9 @@ Usage (also available as ``python -m repro``)::
     python -m repro explain --query 4
     python -m repro explain --query 12 --analyze
     python -m repro profile tpch --query 12 --chrome-out trace.json
+    python -m repro metrics tpch --query 12 --format json
+    python -m repro bench record --label nightly
+    python -m repro bench compare --baseline seed
     python -m repro lint all examples/ --format json
 
 Every subcommand accepts ``--format {text,json}``: text output mirrors the
@@ -58,12 +61,35 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=(
             "table1", "micro", "fig6", "fig7", "fig8", "fig9", "broadcast",
-            "scaleout", "skew", "all",
+            "scaleout", "skew", "all", "record", "compare",
         ),
     )
     bench.add_argument("--n-tuples", type=int, default=None,
                        help="workload tuples for fig6/fig7/fig8/broadcast")
     bench.add_argument("--sf", type=float, default=0.05, help="TPC-H scale factor")
+    bench.add_argument(
+        "--history", default="BENCH_history.jsonl", metavar="PATH",
+        help="run-record JSONL file for record/compare "
+        "(default: BENCH_history.jsonl)",
+    )
+    bench.add_argument(
+        "--baseline", default="seed", metavar="NAME",
+        help="compare baseline: 'seed', 'latest', a record label, or a git "
+        "SHA (default: seed)",
+    )
+    bench.add_argument("--label", default="",
+                       help="label to stamp on the recorded run")
+    bench.add_argument("--repeats", type=int, default=5,
+                       help="median-of-N repeats for record (default: 5)")
+    bench.add_argument(
+        "--advisory-below", type=int, default=0, metavar="N",
+        help="compare exits 0 despite regressions while the history holds "
+        "fewer than N records (CI warm-up)",
+    )
+    bench.add_argument("--log2-tuples", type=int, default=13,
+                       help="workload size for the record suite")
+    bench.add_argument("--machines", type=int, default=4,
+                       help="cluster size for the record suite")
 
     tpch = commands.add_parser(
         "tpch", parents=[fmt], help="run one TPC-H query distributed"
@@ -120,6 +146,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--chrome-out", metavar="PATH", default=None,
         help="write a chrome://tracing JSON merging operator spans with "
         "the substrate's collective/put events",
+    )
+
+    metrics = commands.add_parser(
+        "metrics", parents=[fmt],
+        help="run a workload with the metrics registry on and print the "
+        "Prometheus-style exposition (plus runtime advisories)",
+    )
+    metrics.add_argument("workload", choices=("tpch", "join", "groupby"))
+    metrics.add_argument("--query", type=int, default=12, choices=_QUERIES,
+                         help="TPC-H query (tpch workload only)")
+    metrics.add_argument("--sf", type=float, default=0.005)
+    metrics.add_argument("--machines", type=int, default=4)
+    metrics.add_argument("--log2-tuples", type=int, default=14,
+                         help="input size for join/groupby workloads")
+    metrics.add_argument("--mode", choices=("fused", "interpreted"),
+                         default="fused")
+    metrics.add_argument(
+        "--strategy", choices=("exchange", "broadcast", "auto"),
+        default="exchange",
+    )
+    metrics.add_argument(
+        "--shuffle-amplification-factor", type=float, default=None,
+        metavar="X",
+        help="MOD040 fires when shuffle bytes exceed X times the plan "
+        "input bytes (default: 2.0)",
     )
 
     lint = commands.add_parser(
@@ -203,7 +254,79 @@ def _print_json(payload: object) -> None:
     print(json.dumps(payload, indent=2, ensure_ascii=False))
 
 
+def _cmd_bench_record(args: argparse.Namespace) -> int:
+    from repro.bench import history
+
+    record = history.collect_record(
+        repeats=args.repeats,
+        label=args.label,
+        log2_tuples=args.log2_tuples,
+        machines=args.machines,
+    )
+    history.append_record(args.history, record)
+    if args.format == "json":
+        _print_json(record)
+        return 0
+    print(f"recorded {len(record['benchmarks'])} benchmarks "
+          f"(sha {record['git_sha']}, label {record['label'] or '-'}) "
+          f"-> {args.history}")
+    for name, entry in sorted(record["benchmarks"].items()):
+        print(f"  {name:<28}{entry['value']:.6f} {entry['unit']} "
+              f"({entry['clock']})")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench import history
+
+    records = history.load_history(args.history)
+    if not records:
+        print(f"ERROR: no run records in {args.history}; run "
+              "'repro bench record' first", file=sys.stderr)
+        return 1
+    candidate = records[-1]
+    if args.baseline == "latest":
+        # The newest record *before* the candidate (self-compare when the
+        # history holds only one).
+        baseline = records[-2] if len(records) > 1 else candidate
+    else:
+        baseline = history.find_baseline(records, args.baseline)
+    if baseline is None:
+        print(f"ERROR: baseline {args.baseline!r} not found", file=sys.stderr)
+        return 1
+    rows = history.compare_records(candidate, baseline)
+    failures = history.gating_failures(rows, candidate, baseline)
+    advisory = 0 < len(records) < args.advisory_below
+    if args.format == "json":
+        _print_json({
+            "baseline": args.baseline,
+            "baseline_sha": baseline.get("git_sha"),
+            "candidate_sha": candidate.get("git_sha"),
+            "history_records": len(records),
+            "advisory": advisory,
+            "comparison": rows,
+            "failures": [row["benchmark"] for row in failures],
+        })
+    else:
+        print(history.render_comparison(rows, args.baseline))
+        for row in failures:
+            print(f"FAIL: {row['benchmark']} {row['status']}", file=sys.stderr)
+    if failures and advisory:
+        print(
+            f"advisory: {len(failures)} regression(s) ignored — history has "
+            f"{len(records)} record(s), gate arms at {args.advisory_below}",
+            file=sys.stderr,
+        )
+        return 0
+    return 1 if failures else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.experiment == "record":
+        return _cmd_bench_record(args)
+    if args.experiment == "compare":
+        return _cmd_bench_compare(args)
+
     from repro.bench import experiments as exp
 
     tables = []
@@ -379,7 +502,9 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     physical = explain_physical(lowered.root)
     analyzed = None
     if args.analyze:
-        report = lowered.run(catalog, mode=args.mode, profile=True)
+        # Metrics ride along so the ANALYZE tree ends with the work
+        # accounting (rows per operator, shuffle volume, memory peaks).
+        report = lowered.run(catalog, mode=args.mode, profile=True, metrics=True)
         analyzed = report.profile
 
     if args.format == "json":
@@ -481,6 +606,79 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.analysis.runtime import (
+        SHUFFLE_AMPLIFICATION_FACTOR,
+        analyze_runtime,
+    )
+    from repro.mpi.cluster import SimCluster
+
+    cluster = SimCluster(args.machines)
+    if args.workload == "tpch":
+        from repro.relational import lower_to_modularis
+        from repro.tpch import load_catalog
+
+        catalog = load_catalog(scale_factor=args.sf)
+        query = _all_queries()[args.query]()
+        lowered = lower_to_modularis(
+            query.plan, catalog, cluster, join_strategy=args.strategy
+        )
+        report = lowered.run(catalog, mode=args.mode, metrics=True)
+        label = f"tpch q{args.query} sf={args.sf}"
+    elif args.workload == "join":
+        from repro.core.plans import build_distributed_join
+        from repro.workloads import make_join_relations
+
+        workload = make_join_relations(1 << args.log2_tuples)
+        plan = build_distributed_join(
+            cluster,
+            workload.left.element_type,
+            workload.right.element_type,
+            key_bits=workload.key_bits,
+        )
+        report = plan.run(workload.left, workload.right, mode=args.mode,
+                          metrics=True)
+        label = f"join 2^{args.log2_tuples}"
+    else:
+        from repro.core.plans import build_distributed_groupby
+        from repro.workloads import make_groupby_table
+
+        workload = make_groupby_table(1 << args.log2_tuples)
+        plan = build_distributed_groupby(
+            cluster, workload.table.element_type, key_bits=workload.key_bits
+        )
+        report = plan.run(workload.table, mode=args.mode, metrics=True)
+        label = f"groupby 2^{args.log2_tuples}"
+
+    factor = args.shuffle_amplification_factor
+    advisories = analyze_runtime(
+        report.metrics,
+        shuffle_amplification_factor=(
+            factor if factor is not None else SHUFFLE_AMPLIFICATION_FACTOR
+        ),
+    )
+    if args.format == "json":
+        _print_json({
+            "workload": label,
+            "machines": args.machines,
+            "mode": args.mode,
+            "simulated_time": report.simulated_time,
+            "output_rows": len(report.rows),
+            "metrics": report.metrics.as_dict(),
+            "advisories": [d.to_dict() for d in advisories],
+        })
+        return 0
+    print(f"metrics: {label} (machines={args.machines}, mode={args.mode})")
+    print()
+    print(report.metrics.render_prometheus())
+    if advisories:
+        print()
+        for diagnostic in advisories:
+            print(diagnostic.format())
+    print(f"\nsimulated total: {report.simulated_time * 1e3:.3f} ms")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lint import run_cli
 
@@ -501,6 +699,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "join": _cmd_join,
         "explain": _cmd_explain,
         "profile": _cmd_profile,
+        "metrics": _cmd_metrics,
         "lint": _cmd_lint,
         "chaos": _cmd_chaos,
     }

@@ -23,6 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.checkpoint import CheckpointStore
     from repro.faults.injector import FaultInjector
     from repro.faults.policy import FaultPolicy
+    from repro.observability.metrics import MetricsRegistry
     from repro.observability.profile import Profiler
 
 __all__ = ["ExecutionContext", "ExecutionMode"]
@@ -56,6 +57,10 @@ class ExecutionContext:
     #: default — disables all span recording; the data path then pays one
     #: attribute read per operator activation and allocates nothing.
     profiler: "Profiler | None" = None
+    #: Work-accounting metrics registry (:mod:`repro.observability.metrics`).
+    #: ``None`` — the default — disables all metric recording; the data
+    #: path then pays one attribute read per operator activation.
+    metrics: "MetricsRegistry | None" = None
     #: Fault-injection policy for this execution (:mod:`repro.faults`).
     #: ``None`` — the default — keeps the fault paths entirely cold.
     faults: "FaultPolicy | None" = None
@@ -109,6 +114,7 @@ class ExecutionContext:
         mode: ExecutionMode = "fused",
         morsel_rows: int = 1 << 16,
         profiler: "Profiler | None" = None,
+        metrics: "MetricsRegistry | None" = None,
         checkpoints: "CheckpointStore | None" = None,
     ) -> "ExecutionContext":
         """The context a worker uses to execute a nested plan on its rank."""
@@ -119,6 +125,7 @@ class ExecutionContext:
             rank_ctx=rank_ctx,
             morsel_rows=morsel_rows,
             profiler=profiler,
+            metrics=metrics,
             checkpoints=checkpoints,
         )
 
@@ -158,6 +165,21 @@ class ExecutionContext:
         if payload_bytes > 0:
             self.set_phase(op.assigned_phase)
             self.clock.advance(self.cost.materialize_cost(payload_bytes), jitter=True)
+
+    # -- memory accounting ----------------------------------------------------
+
+    def account_memory(self, payload_bytes: int) -> None:
+        """Record that a materialized collection of ``payload_bytes`` exists.
+
+        The storage layer calls this wherever a whole ``RowVector`` is
+        resident (materialization points, checkpoint re-reads); with
+        metrics enabled it feeds the ``materialized_bytes`` counter and
+        the ``rowvector_peak_bytes`` high-water gauge, otherwise it is a
+        single attribute read.
+        """
+        metrics = self.metrics
+        if metrics is not None and payload_bytes > 0:
+            metrics.account_memory(payload_bytes)
 
     # -- nested-plan parameters -----------------------------------------------
 

@@ -27,6 +27,7 @@ from repro.types.tuples import TupleType
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.policy import FaultPolicy
     from repro.mpi.trace import ClusterTrace, TraceEvent
+    from repro.observability.metrics import MetricsSnapshot
     from repro.observability.profile import PlanProfile
 
 __all__ = ["ExecutionReport", "ExecutionResult", "execute", "VERIFY_PLANS"]
@@ -58,6 +59,10 @@ class ExecutionReport:
     cluster_results: list[ClusterResult] = field(default_factory=list)
     #: Per-operator measurements; ``None`` unless the run was profiled.
     profile: "PlanProfile | None" = None
+    #: Work-accounting metrics (rows, bytes shuffled, memory high-water,
+    #: retries) with per-operator and per-rank breakdowns; ``None`` unless
+    #: the run recorded metrics (``execute(..., metrics=True)``).
+    metrics: "MetricsSnapshot | None" = None
     #: Fault-injection evidence that outlived its MPI job: fault/retry
     #: events harvested from aborted attempts plus the driver's
     #: ``recovery`` actions (stage retries, cluster degradations).
@@ -156,6 +161,7 @@ def execute(
     ctx: ExecutionContext | None = None,
     verify_plans: bool | None = None,
     profile: bool = False,
+    metrics: bool = False,
     faults: "FaultPolicy | None" = None,
 ) -> ExecutionReport:
     """Run a plan on the driver and return its report.
@@ -179,6 +185,11 @@ def execute(
             report.  A profiler already installed on ``ctx`` is honored
             either way (its measurements then span every execution that
             used that context).
+        metrics: Record work-accounting metrics (rows per operator, bytes
+            shuffled, memory high-water, retries) and attach the
+            :class:`~repro.observability.metrics.MetricsSnapshot` to the
+            report.  A registry already installed on ``ctx`` is honored
+            either way, mirroring ``profile``.
         faults: Fault-injection policy (:class:`repro.faults.FaultPolicy`)
             to run under; overrides ``ctx.faults`` when given.  The
             per-execution :class:`~repro.faults.FaultInjector` is created
@@ -191,6 +202,10 @@ def execute(
         from repro.observability.profile import Profiler
 
         ctx.profiler = Profiler(ctx.clock)
+    if metrics and ctx.metrics is None:
+        from repro.observability.metrics import MetricsRegistry
+
+        ctx.metrics = MetricsRegistry()
     if faults is not None:
         ctx.faults = faults
         ctx.fault_injector = None
@@ -213,6 +228,14 @@ def execute(
     for slot, value in (params or {}).items():
         ctx.push_parameter(slot.id, value)
         bound.append(slot.id)
+        if ctx.metrics is not None:
+            # Plan-input volume: bytes of every driver-bound collection.
+            # The shuffle-amplification advisory (MOD040) compares the
+            # recorded shuffle bytes against this.
+            for element in value:
+                size_bytes = getattr(element, "size_bytes", None)
+                if callable(size_bytes):
+                    ctx.metrics.counter("plan_input_bytes").add(size_bytes())
     try:
         if ctx.mode == "fused":
             # Pull whole morsels from the root so the top pipeline stays
@@ -235,12 +258,16 @@ def execute(
             if op.last_result is not None:
                 cluster_results.append(op.last_result)
             recovery_events.extend(op.recovery_log)
+    metrics_snapshot = None
+    if ctx.metrics is not None:
+        metrics_snapshot = ctx.metrics.snapshot()
     plan_profile = None
     if ctx.profiler is not None:
         from repro.observability.profile import PlanProfile
 
         plan_profile = PlanProfile.from_plan(
-            root, ctx.profiler, total_seconds=ctx.clock.now, mode=ctx.mode
+            root, ctx.profiler, total_seconds=ctx.clock.now, mode=ctx.mode,
+            metrics=metrics_snapshot,
         )
     return ExecutionReport(
         rows=rows,
@@ -248,5 +275,6 @@ def execute(
         simulated_time=ctx.clock.now,
         cluster_results=cluster_results,
         profile=plan_profile,
+        metrics=metrics_snapshot,
         recovery_events=recovery_events,
     )

@@ -33,22 +33,29 @@ __all__ = ["Operator", "require_fields", "require_collection_field"]
 
 
 def _observe_data_path(fn, batched: bool):
-    """Wrap a concrete ``rows``/``batches`` override with the profiler hook.
+    """Wrap a concrete ``rows``/``batches`` override with observability hooks.
 
-    With no profiler on the context (the default) this is one attribute
-    check per generator *creation* and the original method runs untouched —
-    no per-row work, no allocations.  With a profiler attached, the
-    activation is routed through
+    With neither a profiler nor a metrics registry on the context (the
+    default) this is an attribute check per generator *creation* and the
+    original method runs untouched — no per-row work, no allocations.
+    With a profiler attached, the activation is routed through
     :meth:`repro.observability.profile.Profiler.observe`, which counts
-    rows/batches and attributes simulated + wall self time to this node.
+    rows/batches, attributes simulated + wall self time to this node, and
+    feeds ``ctx.metrics`` from the same loop so the two reports agree
+    exactly.  With only metrics attached, the lighter
+    :meth:`repro.observability.metrics.MetricsRegistry.observe` counts
+    rows/batches without any timing machinery.
     """
 
     @functools.wraps(fn)
     def wrapper(self, ctx: ExecutionContext):
         profiler = ctx.profiler
-        if profiler is None:
-            return fn(self, ctx)
-        return profiler.observe(self, fn, ctx, batched)
+        if profiler is not None:
+            return profiler.observe(self, fn, ctx, batched)
+        metrics = ctx.metrics
+        if metrics is not None:
+            return metrics.observe(self, fn, ctx, batched)
+        return fn(self, ctx)
 
     wrapper._observes_data_path = True
     return wrapper
@@ -184,10 +191,17 @@ class Operator:
         purely as a container, keeping the consumer's code batch-shaped in
         both modes.
         """
-        if ctx.mode == "fused":
-            yield from self.batches(ctx)
-        else:
-            yield from self._rows_as_morsels(ctx)
+        source = (
+            self.batches(ctx) if ctx.mode == "fused" else self._rows_as_morsels(ctx)
+        )
+        metrics = ctx.metrics
+        if metrics is None:
+            yield from source
+            return
+        drained = metrics.counter("morsels_drained", op=type(self).__name__)
+        for batch in source:
+            drained.inc()
+            yield batch
 
     def drain(self, ctx: ExecutionContext) -> RowVector:
         """Execute fully and materialize the result (no cost charged).

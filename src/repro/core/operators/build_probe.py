@@ -113,6 +113,10 @@ class BuildProbe(Operator):
             table.setdefault(key, []).append(rest)
             build_order.append((key, rest))
         ctx.charge_cpu(self, "build", built)
+        metrics = ctx.metrics
+        if metrics is not None:
+            metrics.counter("join_dispatch", path="scalar").inc()
+            metrics.counter("join_build_rows", op=type(self).__name__).add(built)
 
         matched_keys: set[tuple] = set()
         probed = 0
@@ -173,6 +177,10 @@ class BuildProbe(Operator):
             list(self.upstreams[0].stream_batches(ctx)),
         )
         ctx.charge_cpu(self, "build", len(left))
+        metrics = ctx.metrics
+        if metrics is not None:
+            metrics.counter("join_dispatch", path="kernel").inc()
+            metrics.counter("join_build_rows", op=type(self).__name__).add(len(left))
         build = HashJoinBuild.from_rows(left, spec.key)
 
         yielded = False

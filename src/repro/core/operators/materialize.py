@@ -63,6 +63,10 @@ class MaterializeRowVector(Operator):
         """Charge the re-read of a sealed checkpoint and trace the hit."""
         start = ctx.clock.now
         ctx.charge_materialize(self, vector.size_bytes())
+        ctx.account_memory(vector.size_bytes())
+        metrics = ctx.metrics
+        if metrics is not None:
+            metrics.counter("checkpoint_hits").inc()
         rank_ctx = ctx.rank_ctx
         trace = rank_ctx.comm.world.trace if rank_ctx is not None else None
         if trace is not None:
@@ -95,6 +99,7 @@ class MaterializeRowVector(Operator):
             builder.append(row)
         vector = builder.finish()
         ctx.charge_materialize(self, vector.size_bytes())
+        ctx.account_memory(vector.size_bytes())
         if store is not None:
             store.deposit(id(self), ctx.rank, vector)
         yield (vector,)
@@ -110,6 +115,7 @@ class MaterializeRowVector(Operator):
                 element_type, list(self.upstreams[0].stream_batches(ctx))
             )
             ctx.charge_materialize(self, vector.size_bytes())
+            ctx.account_memory(vector.size_bytes())
             if store is not None:
                 store.deposit(id(self), ctx.rank, vector)
         out = RowVectorBuilder(self.output_type)

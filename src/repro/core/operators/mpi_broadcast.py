@@ -73,10 +73,19 @@ class MpiBroadcast(Operator):
 
         windows = comm.win_create(self.output_type, global_total)
         sent = 0
+        metrics = ctx.metrics
         for batch in self.upstreams[0].stream_batches(ctx):
             if len(batch) == 0:
                 continue
             ctx.charge_cpu(self, "partition", len(batch))
+            if metrics is not None:
+                # Replication volume: every batch goes to every rank.
+                metrics.counter("broadcast_rows", op=type(self).__name__).add(
+                    len(batch) * comm.n_ranks
+                )
+                metrics.counter("broadcast_bytes", op=type(self).__name__).add(
+                    batch.size_bytes() * comm.n_ranks
+                )
             ctx.set_phase(self.assigned_phase)
             for start in range(0, len(batch), BUFFER_ROWS):
                 chunk = batch.slice(start, min(start + BUFFER_ROWS, len(batch)))

@@ -43,6 +43,10 @@ __all__ = ["MpiExchange"]
 #: monolithic algorithm flushes asynchronously when full.
 BUFFER_ROWS = 1 << 15
 
+#: Fixed exponential buckets for the rows-per-partition-send histogram
+#: (1 row .. 4^11 ≈ 4M rows), shared so rank registries merge by addition.
+_SEND_ROWS_BOUNDS = tuple(float(4**i) for i in range(12))
+
 
 class MpiExchange(Operator):
     """Shuffle tuples so every partition lands entirely on one rank.
@@ -211,6 +215,16 @@ class MpiExchange(Operator):
         if self.compression is not None:
             ctx.charge_cpu(self, "map", len(rows))
             rows = self.compression.pack_batch(rows)
+        metrics = ctx.metrics
+        if metrics is not None:
+            # Wire volume after compression — what actually travels.
+            metrics.counter("shuffle_rows", op=type(self).__name__).add(len(rows))
+            metrics.counter("shuffle_bytes", op=type(self).__name__).add(
+                rows.size_bytes()
+            )
+            metrics.histogram(
+                "shuffle_send_rows", bounds=_SEND_ROWS_BOUNDS
+            ).observe(len(rows))
         sent = pending.get(pid, 0)
         base = int(partition_base[pid]) + int(my_prefix[pid]) + sent
         ctx.set_phase(self.assigned_phase)

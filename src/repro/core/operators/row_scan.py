@@ -59,6 +59,7 @@ class RowScan(Operator):
         return collection.slice(start, stop)
 
     def _collections(self, ctx: ExecutionContext) -> Iterator[RowVector]:
+        metrics = ctx.metrics
         for row in self.upstreams[0].stream(ctx):
             collection = row[self._position]
             if collection.element_type != self.output_type:
@@ -68,7 +69,15 @@ class RowScan(Operator):
                     f"RowScan expected {self.output_type!r} elements, "
                     f"found {collection.element_type!r}"
                 )
-            yield self._shard(ctx, collection)
+            sharded = self._shard(ctx, collection)
+            if metrics is not None:
+                metrics.counter("scan_rows", op=type(self).__name__).add(
+                    len(sharded)
+                )
+                metrics.counter("scan_bytes", op=type(self).__name__).add(
+                    sharded.size_bytes()
+                )
+            yield sharded
 
     def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
         for collection in self._collections(ctx):

@@ -58,12 +58,13 @@ class BroadcastJoinPlan:
         big: RowVector,
         mode: str = "fused",
         profile: bool = False,
+        metrics: bool = False,
         faults=None,
     ) -> ExecutionReport:
         """Join ``small ⋈ big``; the small relation is replicated."""
         return execute(
             self.root, params={self.slot: (small, big)}, mode=mode, profile=profile,
-            faults=faults,
+            metrics=metrics, faults=faults,
         )
 
     @staticmethod

@@ -65,11 +65,12 @@ class DistributedGroupByPlan:
         table: RowVector,
         mode: str = "fused",
         profile: bool = False,
+        metrics: bool = False,
         faults=None,
     ) -> ExecutionReport:
         return execute(
             self.root, params={self.slot: (table,)}, mode=mode, profile=profile,
-            faults=faults,
+            metrics=metrics, faults=faults,
         )
 
     @staticmethod

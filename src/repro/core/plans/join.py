@@ -82,12 +82,13 @@ class DistributedJoinPlan:
         right: RowVector,
         mode: str = "fused",
         profile: bool = False,
+        metrics: bool = False,
         faults=None,
     ) -> ExecutionReport:
         """Execute the join on two driver-resident relations."""
         return execute(
             self.root, params={self.slot: (left, right)}, mode=mode, profile=profile,
-            faults=faults,
+            metrics=metrics, faults=faults,
         )
 
     @staticmethod

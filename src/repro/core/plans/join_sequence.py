@@ -69,6 +69,7 @@ class JoinSequencePlan:
         relations: Sequence[RowVector],
         mode: str = "fused",
         profile: bool = False,
+        metrics: bool = False,
         faults=None,
     ) -> ExecutionReport:
         if len(relations) != self.n_joins + 1:
@@ -78,7 +79,7 @@ class JoinSequencePlan:
             )
         return execute(
             self.root, params={self.slot: tuple(relations)}, mode=mode, profile=profile,
-            faults=faults,
+            metrics=metrics, faults=faults,
         )
 
     @staticmethod

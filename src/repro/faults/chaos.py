@@ -353,7 +353,41 @@ def run_cli(args) -> int:
                     )
 
     if args.format == "json":
-        print(json.dumps({"soaks": verdicts, "failures": failures}, indent=2))
+        summary = {
+            "targets": targets,
+            "modes": list(modes),
+            "seed_first": args.seed,
+            "seed_last": args.seed + args.seeds - 1,
+            "machines": args.machines,
+            "policy": {
+                "put_drop_rate": args.drop_rate,
+                "collective_drop_rate": args.collective_drop_rate,
+                "crash_rank": args.crash_rank,
+                "crash_after": args.crash_after,
+                "permanent": args.permanent,
+                "stragglers": [list(s) for s in stragglers],
+                "memory_pressure": args.memory_pressure,
+            },
+            "soaks": len(verdicts),
+            "ok": len(verdicts) - failures,
+            "failures": failures,
+        }
+
+        def scalar(value):
+            # numpy ints/floats leak out of verdict counters; JSON output
+            # must stay clean for scripting.
+            item = getattr(value, "item", None)
+            if callable(item):
+                return item()
+            raise TypeError(f"not JSON serializable: {value!r}")
+
+        print(
+            json.dumps(
+                {"summary": summary, "soaks": verdicts, "failures": failures},
+                indent=2,
+                default=scalar,
+            )
+        )
     else:
         total = len(verdicts)
         print(

@@ -65,12 +65,15 @@ def run_wave(
         attempt += 1
         if checkpoints is not None:
             checkpoints.seal()
-        # One child profiler per rank (each bound to the rank's own clock
-        # and thread); only the successful attempt's profilers are merged
-        # into the driver's, so spans tell the true story of what the
-        # surviving execution actually ran.
+        # One child profiler and metrics registry per rank (each bound to
+        # the rank's own clock and thread); only the successful attempt's
+        # children are merged into the driver's, so spans and work counts
+        # tell the true story of what the surviving execution actually ran.
         rank_profilers: list = [None] * cluster.n_ranks
-        worker = _make_worker(executor, ctx, wave, rank_profilers, checkpoints)
+        rank_metrics: list = [None] * cluster.n_ranks
+        worker = _make_worker(
+            executor, ctx, wave, rank_profilers, rank_metrics, checkpoints
+        )
         try:
             result = cluster.run(worker, faults=injector)
         except (RankCrashError, RetryBudgetExceeded) as exc:
@@ -85,6 +88,10 @@ def run_wave(
         if profiler is not None:
             for rank_profiler in rank_profilers:
                 profiler.absorb(rank_profiler)
+        metrics = ctx.metrics
+        if metrics is not None:
+            for rank_registry in rank_metrics:
+                metrics.absorb(rank_registry)
         return result
 
 
@@ -93,11 +100,13 @@ def _make_worker(
     ctx: ExecutionContext,
     wave: list[tuple],
     rank_profilers: list,
+    rank_metrics: list,
     checkpoints: CheckpointStore | None,
 ) -> Callable[["RankContext"], list[tuple]]:
     mode = ctx.mode
     morsel_rows = ctx.morsel_rows
     profiler = ctx.profiler
+    metrics = ctx.metrics
     slot_id = executor.slot.id
 
     def worker(rank_ctx: "RankContext") -> list[tuple]:
@@ -105,9 +114,17 @@ def _make_worker(
         if profiler is not None:
             rank_profiler = profiler.child(rank_ctx.clock, rank_ctx.rank)
             rank_profilers[rank_ctx.rank] = rank_profiler
+        rank_registry = None
+        if metrics is not None:
+            rank_registry = metrics.child(rank_ctx.rank)
+            rank_metrics[rank_ctx.rank] = rank_registry
+            # The comm substrate reads its own handle so put/collective
+            # hooks stay free of ExecutionContext plumbing.
+            rank_ctx.comm.metrics = rank_registry
         worker_ctx = ExecutionContext.for_rank(
             rank_ctx, mode=mode, morsel_rows=morsel_rows,
-            profiler=rank_profiler, checkpoints=checkpoints,
+            profiler=rank_profiler, metrics=rank_registry,
+            checkpoints=checkpoints,
         )
         worker_ctx.push_parameter(slot_id, wave[rank_ctx.rank])
         try:
@@ -158,6 +175,8 @@ def _recover(
         action = "degrade_cluster"
     else:
         action = "stage_retry"
+    if ctx.metrics is not None:
+        ctx.metrics.counter("recovery_actions", action=action).inc()
     executor.recovery_log.append(
         TraceEvent(
             rank=DRIVER_RANK,

@@ -42,6 +42,7 @@ from repro.types.tuples import TupleType
 
 if TYPE_CHECKING:
     from repro.faults.injector import RankFaults
+    from repro.observability.metrics import MetricsRegistry
 
 __all__ = ["CommWorld", "SimComm", "WindowSet"]
 
@@ -221,6 +222,13 @@ class WindowSet:
         self._windows[target_rank].write(offset, data, source_rank=comm.rank)
         start = comm.clock.now
         comm.clock.advance(cost)
+        metrics = comm.metrics
+        if metrics is not None:
+            scope = "local" if target_rank == comm.rank else "network"
+            metrics.counter("comm_puts", scope=scope).inc()
+            metrics.counter("comm_put_bytes", scope=scope).add(payload)
+            metrics.counter("comm_put_rows", scope=scope).add(len(data))
+            metrics.histogram("comm_put_seconds").observe(cost)
         trace = comm.world.trace
         if trace is not None:
             trace.record(
@@ -271,6 +279,9 @@ class SimComm:
         #: Per-rank fault-decision handle, or None when no faults can fire
         #: (the hot comm paths then pay a single ``is None`` check).
         self.faults: "RankFaults | None" = None
+        #: Per-rank metrics registry, or None when the execution does not
+        #: record metrics (same single ``is None`` check discipline).
+        self.metrics: "MetricsRegistry | None" = None
         self._call_index = 0
 
     @property
@@ -315,6 +326,9 @@ class SimComm:
         self.clock.advance(lost_cost)
         retry_start = self.clock.now
         self.clock.advance(backoff)
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("fault_retries", fault=fault).inc()
         trace = self.world.trace
         if trace is not None:
             trace.record(
@@ -375,6 +389,9 @@ class SimComm:
             index, tag, self.rank, value, arrival, combine, op_cost
         )
         self.clock.advance_to(result_time)
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("comm_collectives", tag=tag).inc()
         if self.world.trace is not None:
             self.world.trace.record(
                 TraceEvent(
@@ -439,6 +456,10 @@ class SimComm:
         window = Window(self.rank, element_type, capacity)
         start = self.clock.now
         self.clock.advance(self.cost.window_registration_cost(window.size_bytes()))
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("comm_windows").inc()
+            metrics.gauge("comm_window_bytes_hwm").set_max(window.size_bytes())
         if self.world.trace is not None:
             self.world.trace.record(
                 TraceEvent(

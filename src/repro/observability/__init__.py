@@ -15,7 +15,11 @@ giving every :class:`~repro.core.operator.Operator` a measured identity:
 * :mod:`repro.observability.chrome_trace` — a ``chrome://tracing`` /
   Perfetto JSON exporter that merges operator spans with
   :class:`~repro.mpi.trace.ClusterTrace` collective/put events on one
-  simulated-time axis.
+  simulated-time axis;
+* :mod:`repro.observability.metrics` — the typed work-accounting
+  registry (Counter / Gauge / Histogram) behind
+  ``execute(..., metrics=True)`` / ``ExecutionReport.metrics`` and the
+  ``repro metrics`` Prometheus-style exposition.
 
 Profiling is enabled per execution (``execute(plan, profile=True)``,
 ``Query.explain(analyze=True)``, ``repro profile``/``repro explain
@@ -24,6 +28,15 @@ attribute check per operator activation and allocates nothing.
 """
 
 from repro.observability.chrome_trace import chrome_trace_events, write_chrome_trace
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSample,
+    MetricsRegistry,
+    MetricsSnapshot,
+    exponential_bounds,
+)
 from repro.observability.events import (
     CollectiveDetail,
     EventDetail,
@@ -51,6 +64,13 @@ __all__ = [
     "WindowDetail",
     "OperatorSpan",
     "detail_for",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSample",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "exponential_bounds",
     "Profiler",
     "OperatorStats",
     "PlanProfile",

@@ -1,0 +1,467 @@
+"""Typed query-level metrics: how much work an execution actually did.
+
+PR 3's profiler answers *where time goes* inside one run; this module
+answers *how much work* the run did — rows per operator, bytes shuffled
+per exchange, memory high-water, retries — the per-operator cardinality
+and volume observations cost-based cross-platform optimizers are built
+on (RHEEMix et al.), and the raw material of the benchmark-regression
+harness (:mod:`repro.bench.history`).
+
+Three instrument kinds, Prometheus-flavoured:
+
+* :class:`Counter` — monotone totals (rows, bytes, puts, retries);
+* :class:`Gauge` — high-water levels (``RowVector`` peak bytes, window
+  registration high-water) with *max* merge semantics;
+* :class:`Histogram` — fixed exponential buckets over simulated seconds
+  or sizes (per-put transfer times, rows per partition send).
+
+Instruments are identified by ``(name, labels)``; the registry
+get-or-creates them (:meth:`MetricsRegistry.counter` & co.), so emitting
+a sample is one dict lookup plus one float add.  Like the profiler,
+metrics are **off by default**: operators read ``ctx.metrics`` once per
+activation and do nothing when it is ``None``.
+
+Distribution mirrors the profiler exactly: each simulated rank gets a
+:meth:`~MetricsRegistry.child` registry bound to its rank, and only the
+*successful* attempt of a recovered stage is
+:meth:`~MetricsRegistry.absorb`\\ ed into the driver's registry (counters
+and histogram buckets add, gauges take the max), keeping a per-rank
+breakdown on the side.
+
+:meth:`MetricsRegistry.snapshot` freezes everything into a
+:class:`MetricsSnapshot` — the JSON-clean, queryable form surfaced as
+``ExecutionReport.metrics``, rendered into EXPLAIN ANALYZE and the
+``repro metrics`` Prometheus-style text exposition.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.operator import Operator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricSample",
+    "MetricsSnapshot",
+    "exponential_bounds",
+]
+
+
+def exponential_bounds(
+    start: float = 1e-6, factor: float = 4.0, count: int = 12
+) -> tuple[float, ...]:
+    """Fixed exponential bucket boundaries ``start * factor**i``.
+
+    The default covers 1µs to ~4.2s in twelve powers of four — wide
+    enough for every simulated duration the substrate produces, coarse
+    enough that bucket counts stay meaningful across run sizes.
+    """
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError(
+            f"exponential bounds need start > 0, factor > 1, count >= 1; "
+            f"got start={start}, factor={factor}, count={count}"
+        )
+    return tuple(start * factor**i for i in range(count))
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    add = inc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A high-water level; merging across ranks takes the maximum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def set_max(self, value) -> None:
+        if value > self.value:
+            self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({self.value})"
+
+
+class Histogram:
+    """Sample distribution over fixed exponential buckets.
+
+    ``buckets[i]`` counts samples ``<= bounds[i]``; one implicit overflow
+    bucket (``+Inf``) catches the rest.  Bounds are shared between the
+    driver registry and its rank children so buckets merge by addition.
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "sum")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self.bounds = bounds
+        self.buckets = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, n in enumerate(other.buckets):
+            self.buckets[i] += n
+        self.count += other.count
+        self.sum += other.sum
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Histogram(count={self.count}, sum={self.sum:.6g})"
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class MetricsRegistry:
+    """Mutable instrument store for one execution context (one rank).
+
+    The driver's registry observes driver-side operators;
+    :mod:`repro.faults.stage_recovery` creates one :meth:`child` per rank
+    of each MPI job and absorbs the successful attempt's children, so a
+    single registry ends up holding the whole plan's work accounting.
+    """
+
+    __slots__ = ("rank", "_counters", "_gauges", "_histograms", "_op_depth", "rank_totals")
+
+    #: Rank id of the driver registry (mirrors events.DRIVER_RANK).
+    DRIVER = -1
+
+    def __init__(self, rank: int = DRIVER) -> None:
+        self.rank = rank
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+        #: Live activation nesting per plan node (reentrancy guard for the
+        #: metrics-only observe path; mirrors OperatorStats.depth).
+        self._op_depth: dict[int, int] = {}
+        #: Per-rank totals retained by :meth:`absorb`:
+        #: ``rank -> metric name -> summed value``.
+        self.rank_totals: dict[int, dict[str, float]] = {}
+
+    # -- instrument access (get-or-create) ---------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] | None = None, **labels
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(
+                bounds if bounds is not None else exponential_bounds()
+            )
+        return instrument
+
+    # -- operator-layer recording ------------------------------------------
+
+    def record_operator(
+        self, op: "Operator", mode: str, rows: int, batches: int
+    ) -> None:
+        """Fold one data-path activation's counts in.
+
+        Called from the profiler's observation loop when both subsystems
+        are on (so rows are counted once and the two reports agree ±0),
+        or from :meth:`observe` when only metrics are enabled.
+        """
+        name = type(op).__name__
+        self.counter("operator_rows_out", op=name, mode=mode).add(rows)
+        if batches:
+            self.counter("operator_batches_out", op=name, mode=mode).add(batches)
+        self.counter("operator_calls", op=name).inc()
+
+    def observe(self, op: "Operator", fn, ctx, batched: bool) -> Iterator:
+        """Metrics-only wrapper of one ``rows``/``batches`` activation.
+
+        Mirrors ``Profiler.observe``'s reentrancy rule: when the same
+        node is already being observed on this registry — the default
+        ``rows`` deriving from the node's own ``batches`` — the inner
+        activation passes through uncounted.
+        """
+        inner = fn(op, ctx)
+        depth = self._op_depth
+        key = id(op)
+        if depth.get(key):
+            yield from inner
+            return
+        depth[key] = 1
+        rows = 0
+        batches = 0
+        try:
+            for item in inner:
+                if batched:
+                    batches += 1
+                    rows += len(item)
+                else:
+                    rows += 1
+                yield item
+        finally:
+            depth[key] = 0
+            self.record_operator(op, ctx.mode, rows, batches)
+
+    # -- storage-layer accounting ------------------------------------------
+
+    def account_memory(self, payload_bytes: int) -> None:
+        """One materialized ``RowVector`` of ``payload_bytes`` exists.
+
+        Feeds the memory-accounting hook of ``ExecutionContext``: the
+        counter totals every byte materialized, the gauge keeps the
+        largest single materialization — the resident high-water a real
+        deployment would size worker memory by.
+        """
+        self.counter("materialized_bytes").add(payload_bytes)
+        self.gauge("rowvector_peak_bytes").set_max(payload_bytes)
+
+    # -- distribution ------------------------------------------------------
+
+    def child(self, rank: int) -> "MetricsRegistry":
+        """A fresh registry for one rank of an MPI job (own thread)."""
+        return MetricsRegistry(rank=rank)
+
+    def absorb(self, other: "MetricsRegistry | None") -> None:
+        """Merge a rank registry in; counters/buckets add, gauges max."""
+        if other is None:
+            return
+        for key, counter in other._counters.items():
+            self.counter(key[0], **dict(key[1])).add(counter.value)
+        for key, gauge in other._gauges.items():
+            self.gauge(key[0], **dict(key[1])).set_max(gauge.value)
+        for key, histogram in other._histograms.items():
+            self.histogram(key[0], bounds=histogram.bounds, **dict(key[1])).merge(
+                histogram
+            )
+        totals = self.rank_totals.setdefault(other.rank, {})
+        for (name, _labels), counter in other._counters.items():
+            totals[name] = totals.get(name, 0) + counter.value
+        for (name, _labels), gauge in other._gauges.items():
+            totals[name] = max(totals.get(name, 0), gauge.value)
+        for rank, child_totals in other.rank_totals.items():
+            merged = self.rank_totals.setdefault(rank, {})
+            for name, value in child_totals.items():
+                merged[name] = merged.get(name, 0) + value
+
+    # -- freezing ----------------------------------------------------------
+
+    def snapshot(self) -> "MetricsSnapshot":
+        samples = []
+        for (name, labels), counter in sorted(self._counters.items()):
+            samples.append(
+                MetricSample(name, "counter", dict(labels), counter.value)
+            )
+        for (name, labels), gauge in sorted(self._gauges.items()):
+            samples.append(MetricSample(name, "gauge", dict(labels), gauge.value))
+        for (name, labels), histogram in sorted(self._histograms.items()):
+            samples.append(
+                MetricSample(
+                    name,
+                    "histogram",
+                    dict(labels),
+                    histogram.sum,
+                    count=histogram.count,
+                    bounds=tuple(histogram.bounds),
+                    buckets=tuple(histogram.buckets),
+                )
+            )
+        return MetricsSnapshot(
+            samples=samples,
+            per_rank={
+                rank: dict(totals)
+                for rank, totals in sorted(self.rank_totals.items())
+            },
+        )
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One frozen instrument: name, labels, kind, and its final value."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    labels: dict
+    value: float
+    #: Histogram-only: number of observations and the bucket layout.
+    count: int = 0
+    bounds: tuple[float, ...] = ()
+    buckets: tuple[int, ...] = ()
+
+    def as_dict(self) -> dict:
+        entry: dict = {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+        if self.kind == "histogram":
+            entry["count"] = self.count
+            entry["bounds"] = list(self.bounds)
+            entry["buckets"] = list(self.buckets)
+        return entry
+
+
+@dataclass
+class MetricsSnapshot:
+    """Queryable, JSON-clean view of everything one execution recorded."""
+
+    samples: list[MetricSample] = field(default_factory=list)
+    #: ``rank -> metric name -> total`` retained from rank children.
+    per_rank: dict[int, dict[str, float]] = field(default_factory=dict)
+
+    def find(self, name: str, **labels) -> list[MetricSample]:
+        """Samples of one metric whose labels include all of ``labels``."""
+        return [
+            s
+            for s in self.samples
+            if s.name == name
+            and all(s.labels.get(k) == v for k, v in labels.items())
+        ]
+
+    def value(self, name: str, **labels) -> float:
+        """Exact-label lookup; 0 when the instrument never fired."""
+        for sample in self.samples:
+            if sample.name == name and sample.labels == labels:
+                return sample.value
+        return 0
+
+    def total(self, name: str, **labels) -> float:
+        """Sum over every label set of ``name`` matching the filter."""
+        return sum(s.value for s in self.find(name, **labels))
+
+    def by_label(self, name: str, label: str) -> dict[str, float]:
+        """``label value -> summed total`` breakdown of one metric."""
+        out: dict[str, float] = {}
+        for sample in self.find(name):
+            key = sample.labels.get(label)
+            if key is not None:
+                out[key] = out.get(key, 0) + sample.value
+        return out
+
+    def names(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for sample in self.samples:
+            seen.setdefault(sample.name)
+        return list(seen)
+
+    # -- export ------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "samples": [s.as_dict() for s in self.samples],
+            "per_rank": {
+                str(rank): dict(totals)
+                for rank, totals in self.per_rank.items()
+            },
+        }
+
+    def render_prometheus(self, prefix: str = "repro_") -> str:
+        """Prometheus-style text exposition (the ``repro metrics`` body)."""
+
+        def fmt_labels(labels: dict, extra: dict | None = None) -> str:
+            merged = {**labels, **(extra or {})}
+            if not merged:
+                return ""
+            inner = ",".join(
+                f'{k}="{v}"' for k, v in sorted(merged.items())
+            )
+            return "{" + inner + "}"
+
+        lines: list[str] = []
+        typed: set[str] = set()
+        for sample in self.samples:
+            base = prefix + sample.name
+            if sample.name not in typed:
+                typed.add(sample.name)
+                lines.append(f"# TYPE {base} {sample.kind}")
+            if sample.kind == "counter":
+                lines.append(
+                    f"{base}_total{fmt_labels(sample.labels)} {sample.value}"
+                )
+            elif sample.kind == "gauge":
+                lines.append(f"{base}{fmt_labels(sample.labels)} {sample.value}")
+            else:
+                cumulative = 0
+                for bound, count in zip(sample.bounds, sample.buckets):
+                    cumulative += count
+                    lines.append(
+                        f"{base}_bucket"
+                        f"{fmt_labels(sample.labels, {'le': f'{bound:g}'})}"
+                        f" {cumulative}"
+                    )
+                cumulative += sample.buckets[len(sample.bounds)]
+                lines.append(
+                    f"{base}_bucket"
+                    f"{fmt_labels(sample.labels, {'le': '+Inf'})} {cumulative}"
+                )
+                lines.append(f"{base}_sum{fmt_labels(sample.labels)} {sample.value}")
+                lines.append(
+                    f"{base}_count{fmt_labels(sample.labels)} {sample.count}"
+                )
+        return "\n".join(lines)
+
+    def render_summary(self) -> str:
+        """Compact human-readable block for EXPLAIN ANALYZE / text CLIs."""
+        lines = ["metrics:"]
+        rows_by_op = self.by_label("operator_rows_out", "op")
+        for op, rows in sorted(rows_by_op.items()):
+            lines.append(f"  rows_out[{op}] = {int(rows)}")
+        for name in (
+            "scan_bytes",
+            "shuffle_bytes",
+            "broadcast_bytes",
+            "comm_put_bytes",
+            "materialized_bytes",
+            "rowvector_peak_bytes",
+            "fault_retries",
+            "checkpoint_hits",
+            "recovery_actions",
+        ):
+            total = self.total(name)
+            if total:
+                lines.append(f"  {name} = {int(total)}")
+        if self.per_rank:
+            ranks = ", ".join(str(r) for r in self.per_rank)
+            lines.append(f"  ranks observed: {ranks}")
+        return "\n".join(lines)

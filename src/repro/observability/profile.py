@@ -174,6 +174,7 @@ class Profiler:
         rec.depth += 1
         rec.calls += 1
         mode = ctx.mode
+        metrics = ctx.metrics
         clock = self.clock
         rows = 0
         batches = 0
@@ -202,6 +203,11 @@ class Profiler:
             rec.sim_by_mode[mode] = (
                 rec.sim_by_mode.get(mode, 0.0) + rec.sim_seconds - sim_before
             )
+            # Single-source the work counts: when metrics are also on, the
+            # registry is fed from this same loop so profile and metrics
+            # reconcile exactly (±0 rows).
+            if metrics is not None:
+                metrics.record_operator(op, mode, rows, batches)
             self._record_span(op, start_sim, clock.now, rows, batches, mode)
 
     def _push(self, rec: OperatorStats) -> None:
@@ -334,6 +340,9 @@ class PlanProfile:
     total_seconds: float
     spans: list[OperatorSpan] = field(default_factory=list)
     dropped_spans: int = 0
+    #: Work-accounting snapshot when the run also recorded metrics;
+    #: rendered as an appendix of the EXPLAIN ANALYZE tree.
+    metrics: "object | None" = None
 
     @classmethod
     def from_plan(
@@ -342,6 +351,7 @@ class PlanProfile:
         profiler: Profiler,
         total_seconds: float,
         mode: str,
+        metrics=None,
     ) -> "PlanProfile":
         """Snapshot ``profiler``'s measurements onto the plan tree."""
         nodes: dict[int, ProfileNode] = {}
@@ -368,6 +378,7 @@ class PlanProfile:
             total_seconds=total_seconds,
             spans=list(profiler.spans),
             dropped_spans=profiler.dropped_spans,
+            metrics=metrics,
         )
 
     def nodes(self) -> Iterator[ProfileNode]:
@@ -452,16 +463,21 @@ class PlanProfile:
         emit(self.root, 0, scope_total([self.root]))
         if self.dropped_spans:
             lines.append(f"({self.dropped_spans} spans dropped beyond the cap)")
+        if self.metrics is not None:
+            lines.append(self.metrics.render_summary())
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "mode": self.mode,
             "total_seconds": self.total_seconds,
             "spans": len(self.spans),
             "dropped_spans": self.dropped_spans,
             "plan": self.root.to_dict(),
         }
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics.as_dict()
+        return payload
 
 
 @contextmanager

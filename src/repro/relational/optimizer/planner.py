@@ -356,12 +356,15 @@ class ModularisQuery:
         catalog: Catalog,
         mode: str = "fused",
         profile: bool = False,
+        metrics: bool = False,
         faults=None,
     ) -> ExecutionReport:
         """Execute against the catalog's current table contents.
 
         With ``profile=True`` the report carries a
-        :class:`~repro.observability.profile.PlanProfile` of the run.
+        :class:`~repro.observability.profile.PlanProfile` of the run;
+        with ``metrics=True`` it carries a
+        :class:`~repro.observability.metrics.MetricsSnapshot`.
         ``faults`` arms fault injection for the execution (the
         memory-pressure *planning* degradation happens earlier, in
         :func:`lower_to_modularis`).
@@ -379,9 +382,22 @@ class ModularisQuery:
             tables.append(
                 RowVector(pruned, [data.column(c) for c in side.columns])
             )
+        ctx = None
+        if metrics and self.degraded_from is not None:
+            # The broadcast-fallback decision happened at planning time;
+            # pre-count it on the run's registry so the snapshot taken
+            # inside ``execute`` includes it.
+            from repro.core.context import ExecutionContext
+            from repro.observability.metrics import MetricsRegistry
+
+            ctx = ExecutionContext(mode=mode)
+            ctx.metrics = MetricsRegistry()
+            ctx.metrics.counter(
+                "recovery_actions", action="broadcast_fallback"
+            ).inc()
         report = execute(
-            self.root, params={self.slot: tuple(tables)}, mode=mode, profile=profile,
-            faults=faults,
+            self.root, params={self.slot: tuple(tables)}, mode=mode, ctx=ctx,
+            profile=profile, metrics=metrics, faults=faults,
         )
         if self.degraded_from is not None:
             from repro.mpi.trace import TraceEvent

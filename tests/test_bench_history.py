@@ -1,0 +1,205 @@
+"""Benchmark run records, the JSONL history, and the regression gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import history
+from repro.cli import main
+
+
+def _record(values, label="", source="bench-record", tolerance=0.05):
+    return {
+        "schema": history.SCHEMA_VERSION,
+        "label": label,
+        "git_sha": "abc1234",
+        "timestamp": "2026-01-01T00:00:00",
+        "source": source,
+        "config": {},
+        "benchmarks": {
+            name: {
+                "value": value,
+                "unit": "seconds",
+                "clock": "simulated",
+                "samples": [value],
+                "tolerance": tolerance,
+                "meta": {},
+            }
+            for name, value in values.items()
+        },
+    }
+
+
+class TestRecordsAndHistory:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        history.append_record(path, _record({"a": 1.0}))
+        history.append_record(path, _record({"a": 2.0}, label="second"))
+        records = history.load_history(path)
+        assert len(records) == 2
+        assert records[1]["label"] == "second"
+        assert history.load_history(tmp_path / "missing.jsonl") == []
+
+    def test_smoke_report_folds_into_a_record(self):
+        report = {
+            "benchmarks": {
+                "micro": {
+                    "fused_seconds": 0.001,
+                    "interpreted_seconds": 0.9,
+                    "speedup": 900.0,
+                    "n_integers": 1 << 20,
+                },
+            },
+            "profiler": {"disabled_overhead": 0.01, "profiled_overhead": 0.2},
+            "faults": {"armed_overhead": 0.0},
+        }
+        record = history.record_from_smoke_report(report, label="seed")
+        assert record["source"] == "bench-smoke"
+        marks = record["benchmarks"]
+        assert marks["micro_wall_fused"]["value"] == 0.001
+        assert marks["micro_wall_fused"]["clock"] == "wall"
+        assert marks["micro_wall_interpreted"]["value"] == 0.9
+        assert marks["micro_wall_fused"]["meta"]["n_integers"] == 1 << 20
+        assert record["config"]["profiler"]["disabled_overhead"] == 0.01
+
+    def test_seed_baseline_resolution(self, tmp_path):
+        smoke = tmp_path / "BENCH_fused.json"
+        smoke.write_text(json.dumps({
+            "benchmarks": {"micro": {"fused_seconds": 0.5}},
+        }))
+        # Empty history: falls back to the checked-in smoke report.
+        seed = history.seed_baseline([], smoke_path=smoke)
+        assert seed["label"] == "seed"
+        assert seed["benchmarks"]["micro_wall_fused"]["value"] == 0.5
+        # Labelled record wins over the oldest one.
+        records = [_record({"a": 1.0}), _record({"a": 2.0}, label="seed")]
+        assert history.seed_baseline(records)["label"] == "seed"
+        assert history.find_baseline(records, "seed")["label"] == "seed"
+        assert history.find_baseline(records, "abc1234") is records[-1]
+        assert history.find_baseline(records, "nope") is None
+
+
+class TestCompare:
+    def test_self_compare_is_all_ok(self):
+        record = _record({"a": 1.0, "b": 2.0})
+        rows = history.compare_records(record, record)
+        assert {r["status"] for r in rows} == {"ok"}
+        assert history.gating_failures(rows, record, record) == []
+
+    def test_two_times_slowdown_regresses(self):
+        base = _record({"a": 1.0})
+        slow = _record({"a": 2.0})
+        rows = history.compare_records(slow, base)
+        assert rows[0]["status"] == "regression"
+        assert rows[0]["ratio"] == pytest.approx(2.0)
+        assert history.gating_failures(rows, slow, base) == rows
+
+    def test_improvement_and_tolerance_window(self):
+        base = _record({"a": 1.0})
+        assert history.compare_records(_record({"a": 0.5}), base)[0]["status"] == "improved"
+        # Within ±5%: ok in both directions.
+        assert history.compare_records(_record({"a": 1.04}), base)[0]["status"] == "ok"
+        assert history.compare_records(_record({"a": 0.96}), base)[0]["status"] == "ok"
+
+    def test_looser_tolerance_of_either_record_wins(self):
+        base = _record({"a": 1.0}, tolerance=0.5)
+        cand = _record({"a": 1.4})  # 40% slower, but baseline is wall-noisy
+        rows = history.compare_records(cand, base)
+        assert rows[0]["status"] == "ok"
+        assert rows[0]["tolerance"] == 0.5
+
+    def test_missing_gates_only_within_the_same_source(self):
+        base = _record({"a": 1.0, "b": 1.0})
+        cand = _record({"a": 1.0})
+        rows = history.compare_records(cand, base)
+        missing = [r for r in rows if r["status"] == "missing"]
+        assert len(missing) == 1
+        # Same suite: a dropped benchmark fails the gate.
+        assert history.gating_failures(rows, cand, base) == missing
+        # Across suites (smoke seed vs record suite): it does not.
+        cross = _record({"a": 1.0, "b": 1.0}, source="bench-smoke")
+        rows = history.compare_records(cand, cross)
+        assert history.gating_failures(rows, cand, cross) == []
+
+    def test_new_benchmark_never_fails(self):
+        base = _record({"a": 1.0})
+        cand = _record({"a": 1.0, "b": 9.9})
+        rows = history.compare_records(cand, base)
+        assert {r["status"] for r in rows} == {"ok", "new"}
+        assert history.gating_failures(rows, cand, base) == []
+
+
+class TestCli:
+    @pytest.fixture(scope="class")
+    def recorded(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("bench") / "BENCH_history.jsonl"
+        code = main([
+            "bench", "record", "--history", str(path), "--label", "seed",
+            "--repeats", "1", "--log2-tuples", "10", "--machines", "2",
+        ])
+        assert code == 0
+        return path
+
+    def test_record_writes_the_paper_figure_suite(self, recorded):
+        records = history.load_history(recorded)
+        assert len(records) == 1
+        names = set(records[0]["benchmarks"])
+        assert names >= {
+            "micro_wall_fused", "fig6_join_sim", "fig7_groupby_sim",
+            "fig8_join_sequence_sim", "fig9_q12_sim",
+        }
+        assert len(names) >= 5
+
+    def test_self_compare_exits_zero(self, recorded, capsys):
+        code = main([
+            "bench", "compare", "--history", str(recorded), "--baseline", "seed",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "regression" not in out
+
+    def test_synthetic_slowdown_exits_nonzero(self, recorded, capsys):
+        records = history.load_history(recorded)
+        slow = copy.deepcopy(records[-1])
+        slow["label"] = "slow"
+        for entry in slow["benchmarks"].values():
+            entry["value"] *= 2.0
+        history.append_record(recorded, slow)
+        try:
+            code = main([
+                "bench", "compare", "--history", str(recorded),
+                "--baseline", "seed",
+            ])
+            captured = capsys.readouterr()
+            assert code == 1
+            assert "regression" in captured.out
+            # The advisory warm-up window downgrades the failure.
+            code = main([
+                "bench", "compare", "--history", str(recorded),
+                "--baseline", "seed", "--advisory-below", "5",
+            ])
+            assert code == 0
+        finally:
+            # Drop the synthetic record so other tests see a clean history.
+            with open(recorded, "w") as handle:
+                for record in records:
+                    handle.write(json.dumps(record) + "\n")
+
+    def test_compare_json_payload(self, recorded, capsys):
+        code = main([
+            "bench", "compare", "--history", str(recorded),
+            "--baseline", "seed", "--format", "json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["failures"] == []
+        assert payload["baseline"] == "seed"
+        assert {row["status"] for row in payload["comparison"]} == {"ok"}
+
+    def test_compare_without_history_fails_cleanly(self, tmp_path, capsys):
+        code = main([
+            "bench", "compare", "--history", str(tmp_path / "none.jsonl"),
+        ])
+        assert code == 1
+        assert "no run records" in capsys.readouterr().err

@@ -129,3 +129,80 @@ class TestProfileCommand:
         payload = json.loads(capsys.readouterr().out)
         assert payload["workload"].startswith("tpch q4")
         assert payload["output_rows"] == 1
+
+
+class TestMetricsCommand:
+    def test_metrics_groupby_text_is_prometheus(self, capsys):
+        code = main(
+            ["metrics", "groupby", "--log2-tuples", "10", "--machines", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_operator_rows_out counter" in out
+        assert "repro_comm_put_bytes_total{scope=" in out
+        assert "simulated total:" in out
+
+    def test_metrics_tpch_json(self, capsys):
+        code = main(
+            ["metrics", "tpch", "--query", "12", "--sf", "0.005",
+             "--machines", "2", "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"].startswith("tpch q12")
+        names = {s["name"] for s in payload["metrics"]["samples"]}
+        assert {"operator_rows_out", "shuffle_bytes", "comm_put_bytes"} <= names
+        assert payload["metrics"]["per_rank"].keys() == {"0", "1"}
+        assert payload["advisories"] == []
+
+    def test_metrics_advisory_threshold_flag(self, capsys):
+        code = main(
+            ["metrics", "join", "--log2-tuples", "10", "--machines", "2",
+             "--shuffle-amplification-factor", "0.01", "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [d["rule"] for d in payload["advisories"]] == ["MOD040"]
+
+
+class TestChaosJson:
+    def test_chaos_summary_is_json_clean(self, capsys):
+        code = main(
+            ["chaos", "groupby", "--seeds", "2", "--machines", "2",
+             "--log2-tuples", "10", "--format", "json"]
+        )
+        assert code == 0
+        raw = capsys.readouterr().out
+        payload = json.loads(raw)
+        # Fully JSON-clean: a dump/load round trip reproduces the payload
+        # (no numpy scalars or other leaky types anywhere).
+        assert json.loads(json.dumps(payload)) == payload
+        summary = payload["summary"]
+        assert summary["targets"] == ["groupby"]
+        assert summary["modes"] == ["fused"]
+        assert summary["seed_first"] == 2021
+        assert summary["seed_last"] == 2022
+        assert summary["machines"] == 2
+        assert summary["policy"]["put_drop_rate"] == 0.1
+        assert summary["soaks"] == len(payload["soaks"]) == 2
+        assert summary["failures"] == payload["failures"] == 0
+        assert summary["ok"] == 2
+
+
+class TestBenchHistoryParser:
+    @pytest.mark.parametrize(
+        "argv",
+        (
+            ["bench", "record", "--format", "json"],
+            ["bench", "compare", "--baseline", "seed", "--format", "json"],
+            ["metrics", "tpch", "--format", "json"],
+        ),
+    )
+    def test_new_subcommands_accept_format(self, argv):
+        assert build_parser().parse_args(argv).format == "json"
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["bench", "compare"])
+        assert args.baseline == "seed"
+        assert args.history == "BENCH_history.jsonl"
+        assert args.advisory_below == 0

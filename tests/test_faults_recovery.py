@@ -264,3 +264,55 @@ class TestBroadcastFallback:
         )
         assert lowered.strategy == "broadcast"
         assert lowered.degraded_from is None
+
+
+class TestRankSummaryAfterReshard:
+    """Per-rank communication stats when recovery re-shards to n-1 ranks."""
+
+    def test_rank_summary_covers_survivor_ranks_only(self):
+        plan, workload = _join_plan()
+        policy = FaultPolicy(
+            crash=CrashFault(rank=1, after_comm_ops=3, permanent=True)
+        )
+        chaos = plan.run(workload.left, workload.right, faults=policy)
+        # The surviving cluster result comes from the with_ranks(n-1)
+        # degraded rerun: its trace knows only the 3 survivor ranks.
+        (cluster_result,) = chaos.cluster_results
+        trace = cluster_result.trace
+        assert trace.n_ranks == 3
+        summaries = [trace.rank_summary(r) for r in range(trace.n_ranks)]
+        assert [s.rank for s in summaries] == [0, 1, 2]
+        # The crashed world's rank 3 no longer exists in the summary.
+        with pytest.raises(IndexError):
+            trace.rank_summary(trace.n_ranks)
+        # Conservation: per-rank sent/received totals both cover exactly
+        # the traced network volume.
+        network = trace.network_bytes()
+        assert network > 0
+        assert sum(s.bytes_sent for s in summaries) == network
+        assert sum(s.bytes_received for s in summaries) == network
+        # Every survivor took part in the rerun's windows and collectives.
+        for stats in summaries:
+            assert stats.window_registrations > 0
+            assert stats.collectives > 0
+            assert stats.stall_seconds >= 0.0
+
+    def test_metrics_per_rank_breakdown_matches_survivors(self):
+        plan, workload = _join_plan()
+        policy = FaultPolicy(
+            crash=CrashFault(rank=1, after_comm_ops=3, permanent=True)
+        )
+        chaos = plan.run(
+            workload.left, workload.right, faults=policy, metrics=True
+        )
+        snapshot = chaos.metrics
+        # Only the successful (degraded) attempt's rank registries are
+        # absorbed: the per-rank breakdown lists survivors, not the
+        # original 4-rank world.
+        assert sorted(snapshot.per_rank) == [0, 1, 2]
+        assert snapshot.value("recovery_actions", action="degrade_cluster") == 1
+        (cluster_result,) = chaos.cluster_results
+        assert (
+            snapshot.total("comm_put_bytes", scope="network")
+            == cluster_result.trace.network_bytes()
+        )
