@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke bench-compare chaos-soak profile examples
+.PHONY: test lint bench bench-smoke bench-compare chaos-soak sanitize-soak profile examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -11,7 +11,8 @@ test:
 lint:
 	$(PYTHON) -m repro lint all examples/
 	$(PYTHON) -m pytest -q tests/test_analysis_typeflow.py \
-		tests/test_analysis_commsafety.py tests/test_analysis_lint_cli.py
+		tests/test_analysis_commsafety.py tests/test_analysis_lint_cli.py \
+		tests/test_symbolic.py
 
 bench:
 	$(PYTHON) -m repro bench all
@@ -41,6 +42,15 @@ chaos-soak:
 		--permanent
 	$(PYTHON) -m repro chaos q14 --seeds 1 --strategy broadcast \
 		--memory-pressure
+
+# Runtime-sanitizer soak: every builtin plan and TPC-H query runs with the
+# MOD050-MOD053 sanitizer armed under the full chaos matrix (fault-free,
+# transient faults, permanent-crash degrade, memory pressure); the report
+# must be clean and the results bit-identical to the unsanitized run.
+sanitize-soak:
+	$(PYTHON) -m repro sanitize all
+	$(PYTHON) -m repro sanitize join q14 --mode interpreted \
+		--policies clean transient
 
 # EXPLAIN ANALYZE a TPC-H query and export the merged operator+substrate
 # Chrome trace (open profile_trace.json in chrome://tracing or Perfetto).

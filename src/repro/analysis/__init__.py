@@ -21,13 +21,25 @@ or from the shell::
 from repro.analysis.diagnostics import RULES, Diagnostic, Rule, Severity
 from repro.analysis.lint import analyze, verify
 from repro.analysis.runtime import analyze_runtime
+from repro.analysis.sanitizer import (
+    Sanitizer,
+    SanitizerError,
+    SanitizerReport,
+)
+from repro.analysis.symbolic import Verdict, compare_partition_fns, symbolize
 
 __all__ = [
     "analyze",
     "analyze_runtime",
+    "compare_partition_fns",
+    "symbolize",
     "verify",
     "Diagnostic",
     "Rule",
     "RULES",
+    "Sanitizer",
+    "SanitizerError",
+    "SanitizerReport",
     "Severity",
+    "Verdict",
 ]

@@ -24,6 +24,7 @@ from repro.analysis.structure import (
     same_partition_fn,
     scope_paths,
 )
+from repro.analysis.symbolic import compare_partition_fns
 from repro.core.operator import Operator
 from repro.core.operators.local_histogram import LocalHistogram
 from repro.core.operators.mpi_broadcast import MpiBroadcast
@@ -85,16 +86,30 @@ def _check_ladder(
             f"{name} lays out {fanout} window regions but its global "
             f"histogram reduces {global_.n_buckets} buckets",
         )
-    if isinstance(op, MpiExchange) and not same_partition_fn(
-        local.bucket_fn, op.partition_fn
-    ):
-        reporter.emit(
-            "MOD012", op, path,
-            f"{name} routes tuples with {op.partition_fn!r} but its local "
-            f"histogram counted them with {local.bucket_fn!r}; the "
-            "pre-computed exclusive offsets do not match the actual write "
-            "targets, so one-sided writes may overlap",
-        )
+    if isinstance(op, MpiExchange):
+        # Symbolic first: a semantic proof either way beats the structural
+        # comparison, which both rejects equivalent-but-different forms and
+        # trusts lying subclasses (repro.analysis.symbolic).
+        verdict = compare_partition_fns(local.bucket_fn, op.partition_fn)
+        if verdict.distinct:
+            reporter.emit(
+                "MOD012", op, path,
+                f"{name} routes tuples with {op.partition_fn!r} but its "
+                f"local histogram counted them with {local.bucket_fn!r}; "
+                f"they are semantically different ({verdict.reason}), so "
+                "the pre-computed exclusive offsets do not match the actual "
+                "write targets and one-sided writes may overlap",
+            )
+        elif verdict.unknown and not same_partition_fn(
+            local.bucket_fn, op.partition_fn
+        ):
+            reporter.emit(
+                "MOD012", op, path,
+                f"{name} routes tuples with {op.partition_fn!r} but its "
+                f"local histogram counted them with {local.bucket_fn!r}; "
+                "the pre-computed exclusive offsets do not match the actual "
+                "write targets, so one-sided writes may overlap",
+            )
     if not equivalent_streams(global_.upstreams[0], op.upstreams[1]):
         reporter.emit(
             "MOD012", op, path,

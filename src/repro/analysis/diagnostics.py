@@ -198,6 +198,38 @@ MOD040 = _rule(
     "small side) before the network partition",
 )
 
+# -- runtime sanitizer (MOD050–MOD059) -----------------------------------------
+# The second verification layer: these rules fire from the simulated
+# substrate itself when a plan runs under ``execute(..., sanitize=True)``
+# (repro.analysis.sanitizer).  They carry operator provenance recovered
+# from the data-path instrumentation, turning what would otherwise be a
+# bare SimulationError (or a silent wrong answer) into a Diagnostic.
+
+MOD050 = _rule(
+    "MOD050", "rma-write-set-race", Severity.ERROR,
+    "two one-sided puts touched overlapping rows of the same window within "
+    "one epoch, or a put landed outside the window's capacity; the epoch "
+    "discipline (paper §3.3) that makes RDMA writes safe is violated",
+)
+MOD051 = _rule(
+    "MOD051", "collective-schedule-divergence", Severity.ERROR,
+    "ranks issued diverging collective call sequences (different tags at "
+    "the same call index, or different call counts); on real MPI this "
+    "deadlocks the job instead of failing fast",
+)
+MOD052 = _rule(
+    "MOD052", "window-lifetime", Severity.ERROR,
+    "an RMA window was misused across its lifetime: a put was never "
+    "completed by a closing fence, remotely-written rows were read before "
+    "the epoch's fence, or a window was accessed after its job closed it",
+)
+MOD053 = _rule(
+    "MOD053", "nondeterministic-exchange-payload", Severity.ERROR,
+    "replaying the plan shipped different bytes through an exchange "
+    "boundary even though every feeding operator claims deterministic=True; "
+    "the recovery tier (MOD030/031) is trusting a mislabeled operator",
+)
+
 
 @dataclass(frozen=True)
 class Diagnostic:

@@ -1,0 +1,226 @@
+"""Symbolic comparison of partition functions for the MOD012 check.
+
+The structural check (:func:`repro.analysis.structure.same_partition_fn`)
+compares partition functions by class and constructor arguments.  That is
+sound but has holes in both directions:
+
+* **False positives.**  Two functions can be structurally different yet
+  provably map every key to the same bucket — e.g. ``HashPartition`` salts
+  that select the same multiplier, or any two functions with a fan-out of
+  one.  The structural check rejects such ladders even though the
+  one-sided write regions they derive are exactly disjoint.
+
+* **False negatives.**  A subclass that inherits a trusted class's
+  constructor signature but overrides ``__call__``/``map_batch`` compares
+  structurally *equal* to its base, so a semantically overlapping ladder
+  slips through and only surfaces as a mid-epoch ``SimulationError``.
+
+This module closes both holes with a small abstract interpretation over a
+single integer key:
+
+* ``symbolize`` maps *trusted* partition functions (the exact classes in
+  :mod:`repro.core.functions`, not subclasses) to canonical forms —
+  ``("bits", field, shift, width)`` for radix ranges (``(k >> shift)
+  mod 2**width``), ``("hash", field, n, multiplier)`` with the salt
+  resolved to its multiplier, ``("const", 0)`` for fan-out one.  Equal
+  canonical forms *prove* equivalence; unequal forms over the same key
+  field yield a concrete witness key by probing the forms symbolically.
+
+* For opaque functions (subclasses, ``CallablePartition``, arbitrary
+  callables) a deterministic sampling pass can still *refute* equivalence
+  with a concrete witness.  Sampling never proves equivalence — agreement
+  on every probe returns ``UNKNOWN`` and the caller falls back to the
+  conservative structural verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.functions import (
+    CallablePartition,
+    HashPartition,
+    PartitionFunction,
+    RadixPartition,
+)
+
+__all__ = ["Verdict", "symbolize", "describe", "compare_partition_fns"]
+
+_M64 = 0xFFFFFFFFFFFFFFFF
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Three-valued outcome of a partition-function comparison."""
+
+    kind: str  # "equivalent" | "distinct" | "unknown"
+    reason: str
+    #: A concrete key on which the functions disagree (refutations only).
+    witness: int | None = None
+
+    @property
+    def equivalent(self) -> bool:
+        return self.kind == "equivalent"
+
+    @property
+    def distinct(self) -> bool:
+        return self.kind == "distinct"
+
+    @property
+    def unknown(self) -> bool:
+        return self.kind == "unknown"
+
+
+def _equivalent(reason: str) -> Verdict:
+    return Verdict("equivalent", reason)
+
+
+def _distinct(reason: str, witness: int | None = None) -> Verdict:
+    return Verdict("distinct", reason, witness)
+
+
+def _unknown(reason: str) -> Verdict:
+    return Verdict("unknown", reason)
+
+
+# -- canonical forms -----------------------------------------------------------
+
+def symbolize(fn: object) -> tuple | None:
+    """Canonical form of a *trusted* partition function, else ``None``.
+
+    Only the exact classes from :mod:`repro.core.functions` are trusted:
+    a subclass may override ``__call__``/``map_batch`` to compute anything
+    while keeping the base constructor signature, so it falls through to
+    the sampling path.
+    """
+    if type(fn) is RadixPartition:
+        if fn.n_partitions == 1:
+            return ("const", 0)
+        return ("bits", fn.key_field, fn.shift, fn.fanout_bits)
+    if type(fn) is HashPartition:
+        if fn.n_partitions == 1:
+            return ("const", 0)
+        return ("hash", fn.key_field, fn.n_partitions, fn._multiplier)
+    if type(fn) is CallablePartition and fn.n_partitions == 1:
+        # Range-validated at call time: a fan-out of one can only yield 0.
+        return ("const", 0)
+    return None
+
+
+def describe(canon: tuple) -> str:
+    kind = canon[0]
+    if kind == "const":
+        return "the constant bucket 0"
+    if kind == "bits":
+        _, field, shift, width = canon
+        return f"key bits [{shift}, {shift + width}) of field {field!r}"
+    _, field, n, multiplier = canon
+    return (
+        f"multiplicative hash of field {field!r} "
+        f"(multiplier {multiplier:#x}, mod {n})"
+    )
+
+
+def _eval_canonical(canon: tuple, key: int) -> int:
+    kind = canon[0]
+    if kind == "const":
+        return 0
+    if kind == "bits":
+        _, _field, shift, width = canon
+        return (key >> shift) & ((1 << width) - 1)
+    _, _field, n, multiplier = canon
+    mixed = ((key & _M64) * multiplier) & _M64
+    return (mixed >> 33) % n
+
+
+def _key_field(canon: tuple) -> str | None:
+    return canon[1] if canon[0] in ("bits", "hash") else None
+
+
+#: Deterministic probe keys: small ints, powers of two and their
+#: neighbours (the boundaries radix ranges care about), a few large mixed
+#: constants, and negatives (int64 shifts are arithmetic).
+_PROBE_KEYS: tuple[int, ...] = tuple(
+    sorted(
+        set(range(17))
+        | {1 << i for i in range(1, 48)}
+        | {(1 << i) - 1 for i in range(1, 48)}
+        | {(1 << i) + 1 for i in range(1, 48)}
+        | {-1, -2, -17, -(1 << 20), 987654321, 1234567891011, 0x9E3779B9}
+    )
+)
+
+
+# -- sampling refutation -------------------------------------------------------
+
+def _probe_row_width(fn: object) -> int:
+    pos = getattr(fn, "_key_pos", None)
+    return pos + 1 if isinstance(pos, int) else 0
+
+
+def _sample_refute(a: object, b: object) -> tuple[int, int, int] | None:
+    """A ``(key, bucket_a, bucket_b)`` disagreement witness, or ``None``.
+
+    Probes both functions on rows whose every field holds the same key, so
+    any bound key position sees the probe value.  Errors (unbound
+    functions, callables indexing past the row) make a probe inconclusive
+    rather than a finding — sampling only ever *refutes*.
+    """
+    width = max(_probe_row_width(a), _probe_row_width(b), 8)
+    for key in _PROBE_KEYS:
+        row = (key,) * width
+        try:
+            bucket_a = a(row)
+            bucket_b = b(row)
+        except Exception:
+            continue
+        if bucket_a != bucket_b:
+            return key, bucket_a, bucket_b
+    return None
+
+
+# -- the comparison ------------------------------------------------------------
+
+def compare_partition_fns(a: object, b: object) -> Verdict:
+    """Prove, refute, or give up on ``a`` and ``b`` mapping keys alike.
+
+    ``EQUIVALENT`` and ``DISTINCT`` verdicts are semantic proofs (the
+    latter carrying a concrete witness key where possible); ``UNKNOWN``
+    means the caller should fall back to the structural comparison.
+    """
+    if a is b:
+        return _equivalent("same function object")
+    canon_a, canon_b = symbolize(a), symbolize(b)
+    if canon_a is not None and canon_b is not None:
+        if canon_a == canon_b:
+            return _equivalent(
+                f"both compute {describe(canon_a)}"
+            )
+        field_a, field_b = _key_field(canon_a), _key_field(canon_b)
+        if field_a is not None and field_b is not None and field_a != field_b:
+            # Pointwise probing cannot separate functions keyed on
+            # different fields; stay conservative.
+            return _unknown(
+                f"partition on different key fields ({field_a!r} vs {field_b!r})"
+            )
+        for key in _PROBE_KEYS:
+            bucket_a = _eval_canonical(canon_a, key)
+            bucket_b = _eval_canonical(canon_b, key)
+            if bucket_a != bucket_b:
+                return _distinct(
+                    f"key {key} lands in bucket {bucket_a} under "
+                    f"{describe(canon_a)} but bucket {bucket_b} under "
+                    f"{describe(canon_b)}",
+                    witness=key,
+                )
+        return _unknown("canonical forms differ but no witness key found")
+    if isinstance(a, PartitionFunction) or isinstance(b, PartitionFunction):
+        witness = _sample_refute(a, b)
+        if witness is not None:
+            key, bucket_a, bucket_b = witness
+            return _distinct(
+                f"key {key} lands in bucket {bucket_a} under {a!r} but "
+                f"bucket {bucket_b} under {b!r}",
+                witness=key,
+            )
+    return _unknown("no canonical form and sampling found no disagreement")

@@ -25,6 +25,10 @@ GROUP BY with ``faults=None`` vs a zero-rate armed policy.  The run fails
 if the armed-but-idle overhead exceeds 5%, and the two runs must stay
 bit-identical.
 
+A fifth probe covers the MOD05x runtime sanitizer: the sanitizer-off path
+must stay within the same 5% disabled budget, and TPC-H Q4/Q12/Q14/Q19
+must run bit-identical with ``sanitize=True`` and a clean report.
+
 Results land in ``BENCH_fused.json`` (see ``make bench-smoke``) so a
 checkout records the speedups its tree actually achieves.
 """
@@ -205,11 +209,100 @@ def _fault_overhead(n_tuples: int, machines: int, repeats: int) -> dict[str, flo
     }
 
 
+def _sanitizer_overhead(
+    n_tuples: int, machines: int, repeats: int, tpch_sf: float
+) -> dict:
+    """Wall-clock tax of the MOD05x runtime sanitizer, and its no-perturb proof.
+
+    Times the Figure 7 GROUP BY fused under three configurations:
+
+    * ``baseline`` — ``plan.run(...)`` with no ``sanitize`` argument: the
+      shipping default,
+    * ``disabled`` — ``sanitize=False`` spelled out: the hooks in the comm
+      layer cost one attribute read each, so this must stay within the
+      existing disabled-instrumentation budget,
+    * ``sanitized`` — ``sanitize=True``: write-set tracking, schedule
+      checking, and the determinism replay; its cost is reported but not
+      budgeted (the replay legitimately re-executes the plan).
+
+    Rounds are interleaved so load bursts hit every configuration equally;
+    best-of wins.  The sanitized GROUP BY must be bit-identical to the
+    baseline, and TPC-H Q4/Q12/Q14/Q19 are each run once with the
+    sanitizer off and on — results must match byte for byte and every
+    report must be clean.
+    """
+    kv = TupleType.of(key=INT64, value=INT64)
+    rng = np.random.default_rng(7)
+    table = RowVector(
+        kv,
+        [
+            rng.integers(0, 1 << 10, size=n_tuples, dtype=np.int64),
+            rng.integers(0, 1 << 10, size=n_tuples, dtype=np.int64),
+        ],
+    )
+    plan = build_distributed_groupby(SimCluster(machines), kv, key_bits=10)
+
+    def run(**kwargs) -> tuple[float, RowVector]:
+        start = time.perf_counter()
+        result = plan.run(table, mode="fused", **kwargs)
+        elapsed = time.perf_counter() - start
+        return elapsed, plan.groups(result)
+
+    best = {"baseline": float("inf"), "disabled": float("inf"),
+            "sanitized": float("inf")}
+    for _ in range(max(repeats, 3)):
+        baseline_s, baseline_out = run()
+        disabled_s, _ = run(sanitize=False)
+        sanitized_s, sanitized_out = run(sanitize=True)
+        best["baseline"] = min(best["baseline"], baseline_s)
+        best["disabled"] = min(best["disabled"], disabled_s)
+        best["sanitized"] = min(best["sanitized"], sanitized_s)
+        for name in baseline_out.element_type.field_names:
+            assert np.array_equal(
+                np.asarray(baseline_out.column(name)),
+                np.asarray(sanitized_out.column(name)),
+            ), "sanitizer perturbed the GROUP BY result"
+
+    tpch = {}
+    from repro.mpi.cluster import SimCluster as _Cluster
+    from repro.relational import lower_to_modularis
+    from repro.tpch import ALL_QUERIES, load_catalog
+
+    catalog = load_catalog(scale_factor=tpch_sf)
+    for qnum in (4, 12, 14, 19):
+        query_plan = lower_to_modularis(
+            ALL_QUERIES[qnum]().plan, catalog, _Cluster(machines)
+        )
+        plain = query_plan.result_frame(query_plan.run(catalog, mode="fused"))
+        sanitized_report = query_plan.run(catalog, mode="fused", sanitize=True)
+        sanitized = query_plan.result_frame(sanitized_report)
+        identical = list(plain.columns) == list(sanitized.columns) and all(
+            np.array_equal(np.asarray(plain.columns[n]),
+                           np.asarray(sanitized.columns[n]))
+            for n in plain.columns
+        )
+        tpch[f"q{qnum}"] = {
+            "identical": identical,
+            "clean": sanitized_report.sanitizer.clean,
+        }
+
+    return {
+        "baseline_seconds": best["baseline"],
+        "disabled_seconds": best["disabled"],
+        "sanitized_seconds": best["sanitized"],
+        "disabled_overhead": best["disabled"] / best["baseline"] - 1.0,
+        "sanitized_overhead": best["sanitized"] / best["baseline"] - 1.0,
+        "tpch": tpch,
+        "tpch_sf": tpch_sf,
+    }
+
+
 def run_smoke(
     micro_integers: int = 1 << 20,
     groupby_tuples: int = 1 << 17,
     machines: int = 2,
     repeats: int = 2,
+    tpch_sf: float = 0.005,
 ) -> dict:
     """Run both probes and return the report dictionary."""
     report: dict = {"benchmarks": {}}
@@ -232,6 +325,10 @@ def run_smoke(
     faults["n_tuples"] = groupby_tuples
     faults["machines"] = machines
     report["faults"] = faults
+    sanitizer = _sanitizer_overhead(groupby_tuples, machines, repeats, tpch_sf)
+    sanitizer["n_tuples"] = groupby_tuples
+    sanitizer["machines"] = machines
+    report["sanitizer"] = sanitizer
     return report
 
 
@@ -248,6 +345,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--groupby-tuples", type=int, default=1 << 17)
     parser.add_argument("--machines", type=int, default=2)
     parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--tpch-sf", type=float, default=0.005,
+                        help="scale factor for the sanitizer no-perturb probe")
     args = parser.parse_args(argv)
 
     report = run_smoke(
@@ -255,6 +354,7 @@ def main(argv: list[str] | None = None) -> int:
         groupby_tuples=args.groupby_tuples,
         machines=args.machines,
         repeats=args.repeats,
+        tpch_sf=args.tpch_sf,
     )
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)
@@ -315,6 +415,32 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    sanitizer = report["sanitizer"]
+    print(
+        f"sanitizer: baseline {sanitizer['baseline_seconds']:.3f}s, "
+        f"disabled {sanitizer['disabled_seconds']:.3f}s "
+        f"({sanitizer['disabled_overhead']:+.1%}), "
+        f"sanitized {sanitizer['sanitized_seconds']:.3f}s "
+        f"({sanitizer['sanitized_overhead']:+.1%})"
+    )
+    if sanitizer["disabled_overhead"] > MAX_DISABLED_OVERHEAD:
+        print(
+            f"FAIL: disabled-sanitizer overhead "
+            f"{sanitizer['disabled_overhead']:.1%} exceeds the "
+            f"{MAX_DISABLED_OVERHEAD:.0%} budget — the off path must stay "
+            "one attribute read",
+            file=sys.stderr,
+        )
+        return 1
+    for qname, entry in sanitizer["tpch"].items():
+        if not (entry["identical"] and entry["clean"]):
+            print(
+                f"FAIL: sanitized {qname} "
+                + ("diverged from the unsanitized run"
+                   if not entry["identical"] else "reported findings"),
+                file=sys.stderr,
+            )
+            return 1
     print(f"report written to {args.out}")
     return 0
 

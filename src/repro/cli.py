@@ -241,6 +241,36 @@ def build_parser() -> argparse.ArgumentParser:
         "back to exchange joins)",
     )
 
+    sanitize = commands.add_parser(
+        "sanitize", parents=[fmt],
+        help="soak plans with the MOD05x runtime sanitizer armed and verify "
+        "clean reports plus bit-identical results",
+    )
+    sanitize.add_argument(
+        "targets", nargs="+",
+        help="builtin plans (join, groupby, broadcast_join, join_sequence), "
+        "TPC-H queries (q4, q12, q14, q19), or 'all'",
+    )
+    sanitize.add_argument(
+        "--policies", nargs="+", default=None,
+        choices=("clean", "transient", "degrade", "pressure"),
+        help="chaos-matrix policies to soak under (default: all four)",
+    )
+    sanitize.add_argument("--seed", type=int, default=2021,
+                          help="fault-policy seed (default: 2021)")
+    sanitize.add_argument("--machines", type=int, default=4)
+    sanitize.add_argument("--sf", type=float, default=0.005,
+                          help="TPC-H scale factor for q* targets")
+    sanitize.add_argument("--log2-tuples", type=int, default=10,
+                          help="input size for builtin plan targets")
+    sanitize.add_argument(
+        "--mode", choices=("fused", "interpreted"), default="fused"
+    )
+    sanitize.add_argument(
+        "--strategy", choices=("exchange", "broadcast", "auto"),
+        default="exchange", help="join strategy for q* targets",
+    )
+
     return parser
 
 
@@ -691,6 +721,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return run_cli(args)
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.analysis.sanitize_cli import run_cli
+
+    return run_cli(args)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -702,6 +738,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "metrics": _cmd_metrics,
         "lint": _cmd_lint,
         "chaos": _cmd_chaos,
+        "sanitize": _cmd_sanitize,
     }
     return handlers[args.command](args)
 

@@ -20,6 +20,7 @@ from repro.mpi.comm import SimComm
 from repro.mpi.costmodel import DEFAULT_COST_MODEL, CostModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.sanitizer import Sanitizer
     from repro.faults.checkpoint import CheckpointStore
     from repro.faults.injector import FaultInjector
     from repro.faults.policy import FaultPolicy
@@ -61,6 +62,10 @@ class ExecutionContext:
     #: ``None`` — the default — disables all metric recording; the data
     #: path then pays one attribute read per operator activation.
     metrics: "MetricsRegistry | None" = None
+    #: Runtime sanitizer (:mod:`repro.analysis.sanitizer`) driving the
+    #: MOD05x substrate checks; ``None`` — the default — keeps every
+    #: sanitizer hook cold (one attribute read per operator activation).
+    sanitizer: "Sanitizer | None" = None
     #: Fault-injection policy for this execution (:mod:`repro.faults`).
     #: ``None`` — the default — keeps the fault paths entirely cold.
     faults: "FaultPolicy | None" = None
@@ -116,6 +121,7 @@ class ExecutionContext:
         profiler: "Profiler | None" = None,
         metrics: "MetricsRegistry | None" = None,
         checkpoints: "CheckpointStore | None" = None,
+        sanitizer: "Sanitizer | None" = None,
     ) -> "ExecutionContext":
         """The context a worker uses to execute a nested plan on its rank."""
         return cls(
@@ -127,6 +133,7 @@ class ExecutionContext:
             profiler=profiler,
             metrics=metrics,
             checkpoints=checkpoints,
+            sanitizer=sanitizer,
         )
 
     # -- cost charging --------------------------------------------------------

@@ -25,6 +25,7 @@ from repro.mpi.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.types.tuples import TupleType
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.sanitizer import Sanitizer, SanitizerReport
     from repro.faults.policy import FaultPolicy
     from repro.mpi.trace import ClusterTrace, TraceEvent
     from repro.observability.metrics import MetricsSnapshot
@@ -67,6 +68,10 @@ class ExecutionReport:
     #: events harvested from aborted attempts plus the driver's
     #: ``recovery`` actions (stage retries, cluster degradations).
     recovery_events: list["TraceEvent"] = field(default_factory=list)
+    #: Runtime-sanitizer report (MOD05x counters, determinism-replay
+    #: findings); ``None`` unless the run was sanitized
+    #: (``execute(..., sanitize=True)``).
+    sanitizer: "SanitizerReport | None" = None
 
     @property
     def traces(self) -> list["ClusterTrace"]:
@@ -163,6 +168,7 @@ def execute(
     profile: bool = False,
     metrics: bool = False,
     faults: "FaultPolicy | None" = None,
+    sanitize: bool = False,
 ) -> ExecutionReport:
     """Run a plan on the driver and return its report.
 
@@ -195,6 +201,15 @@ def execute(
             per-execution :class:`~repro.faults.FaultInjector` is created
             here so its crash ledger and job counter span every MPI job —
             and every recovery attempt — of this run.
+        sanitize: Run under the runtime sanitizer
+            (:mod:`repro.analysis.sanitizer`): the simulated substrate
+            checks the MOD050–MOD052 properties as data flows (raising
+            :class:`~repro.analysis.sanitizer.SanitizerError` on
+            violations), then the plan is *replayed* under an identical
+            fresh context and the one-sided write sets are diffed at every
+            exchange boundary (MOD053).  The resulting
+            :class:`~repro.analysis.sanitizer.SanitizerReport` is attached
+            to the report (and to the profile, for EXPLAIN ANALYZE).
     """
     if ctx is None:
         ctx = ExecutionContext(cost=cost_model, mode=mode)
@@ -213,6 +228,14 @@ def execute(
         from repro.faults.injector import FaultInjector
 
         ctx.fault_injector = FaultInjector(ctx.faults)
+    installed_sanitizer: "Sanitizer | None" = None
+    if sanitize:
+        from repro.analysis.sanitizer import Sanitizer
+
+        # Always a fresh recorder: the MOD053 replay diff assumes the
+        # write log covers exactly this execution.
+        installed_sanitizer = Sanitizer()
+        ctx.sanitizer = installed_sanitizer
     if verify_plans is None:
         verify_plans = ctx.verify_plans or VERIFY_PLANS
     if verify_plans and not getattr(root, "_lint_verified", False):
@@ -258,6 +281,14 @@ def execute(
             if op.last_result is not None:
                 cluster_results.append(op.last_result)
             recovery_events.extend(op.recovery_log)
+    sanitizer_report = None
+    if installed_sanitizer is not None:
+        # Harvesting must precede the replay: the replay resets each
+        # MpiExecutor's last_result/recovery_log as any execution does.
+        try:
+            sanitizer_report = _sanitize_replay(root, ctx, params, installed_sanitizer)
+        finally:
+            ctx.sanitizer = None
     metrics_snapshot = None
     if ctx.metrics is not None:
         metrics_snapshot = ctx.metrics.snapshot()
@@ -269,6 +300,7 @@ def execute(
             root, ctx.profiler, total_seconds=ctx.clock.now, mode=ctx.mode,
             metrics=metrics_snapshot,
         )
+        plan_profile.sanitizer = sanitizer_report
     return ExecutionReport(
         rows=rows,
         output_type=root.output_type,
@@ -277,4 +309,69 @@ def execute(
         profile=plan_profile,
         metrics=metrics_snapshot,
         recovery_events=recovery_events,
+        sanitizer=sanitizer_report,
     )
+
+
+def _sanitize_replay(
+    root: Operator,
+    ctx: ExecutionContext,
+    params: dict[ParameterSlot, tuple] | None,
+    baseline: "Sanitizer",
+) -> "SanitizerReport":
+    """MOD053: re-execute the plan and diff the one-sided write sets.
+
+    The replay context matches the first execution in everything that can
+    influence results — mode, morsel size, cost model, fault policy (with
+    a fresh, identically seeded injector) — and carries its own fresh
+    :class:`Sanitizer`.  Identical write logs prove the exchanged bytes
+    were reproducible; a diff convicts a mislabeled ``deterministic=True``
+    operator.  Replay output rows are discarded.
+    """
+    from repro.analysis.diagnostics import RULES, Diagnostic
+    from repro.analysis.sanitizer import Sanitizer
+
+    replay_ctx = ExecutionContext(
+        cost=ctx.cost, mode=ctx.mode, morsel_rows=ctx.morsel_rows
+    )
+    replay_ctx.faults = ctx.faults
+    if ctx.faults is not None:
+        from repro.faults.injector import FaultInjector
+
+        replay_ctx.fault_injector = FaultInjector(ctx.faults)
+    replay_ctx.sanitizer = Sanitizer()
+    bound: list[int] = []
+    try:
+        for slot, value in (params or {}).items():
+            replay_ctx.push_parameter(slot.id, value)
+            bound.append(slot.id)
+        try:
+            if replay_ctx.mode == "fused":
+                for _batch in root.stream_batches(replay_ctx):
+                    pass
+            else:
+                for _row in root.rows(replay_ctx):
+                    pass
+        finally:
+            for slot_id in bound:
+                replay_ctx.pop_parameter(slot_id)
+    except Exception as exc:  # noqa: BLE001 - replay divergence is the finding
+        rule = RULES["MOD053"]
+        report = baseline.report()
+        report.replayed = True
+        report.diagnostics.append(
+            Diagnostic(
+                rule=rule,
+                severity=rule.severity,
+                message=(
+                    f"replaying the plan under an identical context failed "
+                    f"where the first execution succeeded "
+                    f"({type(exc).__name__}: {exc}); plan control flow is "
+                    f"non-deterministic"
+                ),
+                path="runtime/<replay>",
+                operator="<replay>",
+            )
+        )
+        return report
+    return baseline.report(replay=replay_ctx.sanitizer)

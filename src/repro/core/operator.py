@@ -49,13 +49,26 @@ def _observe_data_path(fn, batched: bool):
 
     @functools.wraps(fn)
     def wrapper(self, ctx: ExecutionContext):
+        sanitizer = ctx.sanitizer
+        if sanitizer is None:
+            profiler = ctx.profiler
+            if profiler is not None:
+                return profiler.observe(self, fn, ctx, batched)
+            metrics = ctx.metrics
+            if metrics is not None:
+                return metrics.observe(self, fn, ctx, batched)
+            return fn(self, ctx)
+        # Sanitized run: the sanitizer's provenance tracker wraps whatever
+        # the observability layer produced, so substrate hooks can name the
+        # innermost operator currently executing on this thread (MOD05x).
         profiler = ctx.profiler
         if profiler is not None:
-            return profiler.observe(self, fn, ctx, batched)
-        metrics = ctx.metrics
-        if metrics is not None:
-            return metrics.observe(self, fn, ctx, batched)
-        return fn(self, ctx)
+            inner = profiler.observe(self, fn, ctx, batched)
+        elif ctx.metrics is not None:
+            inner = ctx.metrics.observe(self, fn, ctx, batched)
+        else:
+            inner = fn(self, ctx)
+        return sanitizer.track(self, inner)
 
     wrapper._observes_data_path = True
     return wrapper

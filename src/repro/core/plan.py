@@ -162,19 +162,30 @@ def _is_base_scan_chain(op: Operator) -> bool:
 
 
 def _clone_scan_chain(op: Operator) -> Operator:
-    """Fresh plan nodes for one consumer's private re-scan of a base table."""
+    """Fresh plan nodes for one consumer's private re-scan of a base table.
+
+    Clones must carry the original nodes' lint suppressions: a suppression
+    records an *intentional* deviation on the plan as the user built it,
+    and analyses run after ``prepare()`` (e.g. the degraded-plan
+    re-verification in stage recovery) must see the same verdicts as
+    before compilation.
+    """
     from repro.core.operators.projection import Projection
     from repro.core.operators.row_scan import RowScan
 
     if isinstance(op, RowScan):
-        return RowScan(
+        clone: Operator = RowScan(
             _clone_scan_chain(op.upstreams[0]), op.field, shard_by_rank=op.shard_by_rank
         )
-    if isinstance(op, Projection):
-        return Projection(_clone_scan_chain(op.upstreams[0]), op.fields)
-    if isinstance(op, ParameterLookup):
-        return ParameterLookup(op.slot)
-    raise AssertionError(f"not a base-scan chain node: {op!r}")
+    elif isinstance(op, Projection):
+        clone = Projection(_clone_scan_chain(op.upstreams[0]), op.fields)
+    elif isinstance(op, ParameterLookup):
+        clone = ParameterLookup(op.slot)
+    else:
+        raise AssertionError(f"not a base-scan chain node: {op!r}")
+    if op.lint_suppressions:
+        clone.lint_suppressions = op.lint_suppressions
+    return clone
 
 
 def _insert_shared_scans(root: Operator) -> None:

@@ -60,11 +60,12 @@ class BroadcastJoinPlan:
         profile: bool = False,
         metrics: bool = False,
         faults=None,
+        sanitize: bool = False,
     ) -> ExecutionReport:
         """Join ``small ⋈ big``; the small relation is replicated."""
         return execute(
             self.root, params={self.slot: (small, big)}, mode=mode, profile=profile,
-            metrics=metrics, faults=faults,
+            metrics=metrics, faults=faults, sanitize=sanitize,
         )
 
     @staticmethod

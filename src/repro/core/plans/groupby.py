@@ -67,10 +67,11 @@ class DistributedGroupByPlan:
         profile: bool = False,
         metrics: bool = False,
         faults=None,
+        sanitize: bool = False,
     ) -> ExecutionReport:
         return execute(
             self.root, params={self.slot: (table,)}, mode=mode, profile=profile,
-            metrics=metrics, faults=faults,
+            metrics=metrics, faults=faults, sanitize=sanitize,
         )
 
     @staticmethod

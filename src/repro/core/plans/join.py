@@ -84,11 +84,12 @@ class DistributedJoinPlan:
         profile: bool = False,
         metrics: bool = False,
         faults=None,
+        sanitize: bool = False,
     ) -> ExecutionReport:
         """Execute the join on two driver-resident relations."""
         return execute(
             self.root, params={self.slot: (left, right)}, mode=mode, profile=profile,
-            metrics=metrics, faults=faults,
+            metrics=metrics, faults=faults, sanitize=sanitize,
         )
 
     @staticmethod

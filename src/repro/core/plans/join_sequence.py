@@ -71,6 +71,7 @@ class JoinSequencePlan:
         profile: bool = False,
         metrics: bool = False,
         faults=None,
+        sanitize: bool = False,
     ) -> ExecutionReport:
         if len(relations) != self.n_joins + 1:
             raise TypeCheckError(
@@ -79,7 +80,7 @@ class JoinSequencePlan:
             )
         return execute(
             self.root, params={self.slot: tuple(relations)}, mode=mode, profile=profile,
-            metrics=metrics, faults=faults,
+            metrics=metrics, faults=faults, sanitize=sanitize,
         )
 
     @staticmethod

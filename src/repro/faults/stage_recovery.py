@@ -71,8 +71,14 @@ def run_wave(
         # tell the true story of what the surviving execution actually ran.
         rank_profilers: list = [None] * cluster.n_ranks
         rank_metrics: list = [None] * cluster.n_ranks
+        # One sanitizer job per dispatch attempt: the MOD05x recorders are
+        # scoped to a single MPI job, and jobs are created sequentially on
+        # the driver so window keys stay deterministic across replays.
+        san_job = (
+            ctx.sanitizer.job(cluster.n_ranks) if ctx.sanitizer is not None else None
+        )
         worker = _make_worker(
-            executor, ctx, wave, rank_profilers, rank_metrics, checkpoints
+            executor, ctx, wave, rank_profilers, rank_metrics, checkpoints, san_job
         )
         try:
             result = cluster.run(worker, faults=injector)
@@ -102,11 +108,13 @@ def _make_worker(
     rank_profilers: list,
     rank_metrics: list,
     checkpoints: CheckpointStore | None,
+    san_job=None,
 ) -> Callable[["RankContext"], list[tuple]]:
     mode = ctx.mode
     morsel_rows = ctx.morsel_rows
     profiler = ctx.profiler
     metrics = ctx.metrics
+    sanitizer = ctx.sanitizer
     slot_id = executor.slot.id
 
     def worker(rank_ctx: "RankContext") -> list[tuple]:
@@ -121,10 +129,15 @@ def _make_worker(
             # The comm substrate reads its own handle so put/collective
             # hooks stay free of ExecutionContext plumbing.
             rank_ctx.comm.metrics = rank_registry
+        if san_job is not None:
+            # Same discipline for the sanitizer: the substrate reads its
+            # own per-job handle, while the rank's ExecutionContext carries
+            # the driver Sanitizer for operator-provenance tracking.
+            rank_ctx.comm.sanitizer = san_job
         worker_ctx = ExecutionContext.for_rank(
             rank_ctx, mode=mode, morsel_rows=morsel_rows,
             profiler=rank_profiler, metrics=rank_registry,
-            checkpoints=checkpoints,
+            checkpoints=checkpoints, sanitizer=sanitizer,
         )
         worker_ctx.push_parameter(slot_id, wave[rank_ctx.rank])
         try:
@@ -173,6 +186,15 @@ def _recover(
         if checkpoints is not None:
             checkpoints.resize(cluster.n_ranks)
         action = "degrade_cluster"
+        # A runtime rewrite is a new plan: the degraded re-shard must pass
+        # the same static verification a user-built plan would, *before*
+        # the survivors re-execute it (machine-made rewrites need
+        # machine-checked proofs).  The import is local to keep
+        # repro.faults free of an analysis dependency on the happy path.
+        from repro.analysis import verify
+
+        verify(executor, name=f"{executor.label()} (degraded to "
+                               f"{cluster.n_ranks} ranks)")
     else:
         action = "stage_retry"
     if ctx.metrics is not None:

@@ -195,6 +195,11 @@ class SimCluster:
         def worker(rank: int) -> None:
             try:
                 results[rank] = spmd_fn(contexts[rank])
+                sanitizer = contexts[rank].comm.sanitizer
+                if sanitizer is not None:
+                    # MOD051: a rank finishing while a peer already issued a
+                    # collective it will never match is a would-be deadlock.
+                    sanitizer.on_rank_finished(rank)
             except BaseException as exc:  # noqa: BLE001 - must not hang peers
                 errors[rank] = exc
                 world.abort(exc)

@@ -41,6 +41,7 @@ from repro.types.collections import RowVector
 from repro.types.tuples import TupleType
 
 if TYPE_CHECKING:
+    from repro.analysis.sanitizer import SanitizerJob
     from repro.faults.injector import RankFaults
     from repro.observability.metrics import MetricsRegistry
 
@@ -219,6 +220,9 @@ class WindowSet:
                             sim_time=comm.clock.now,
                         )
                     attempt += 1
+        sanitizer = comm.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_put(self._windows[target_rank], offset, data, comm.rank)
         self._windows[target_rank].write(offset, data, source_rank=comm.rank)
         start = comm.clock.now
         comm.clock.advance(cost)
@@ -265,7 +269,10 @@ class WindowSet:
         self._comm.fence(self)
 
     def _end_epochs(self) -> None:
+        sanitizer = self._comm.sanitizer
         for window in self._windows:
+            if sanitizer is not None:
+                sanitizer.on_fence(window)
             window.end_epoch()
 
 
@@ -282,6 +289,9 @@ class SimComm:
         #: Per-rank metrics registry, or None when the execution does not
         #: record metrics (same single ``is None`` check discipline).
         self.metrics: "MetricsRegistry | None" = None
+        #: Runtime-sanitizer job (MOD05x) shared by every rank of this MPI
+        #: job, or None on unsanitized runs (same ``is None`` discipline).
+        self.sanitizer: "SanitizerJob | None" = None
         self._call_index = 0
 
     @property
@@ -384,6 +394,9 @@ class SimComm:
                 attempt += 1
         index = self._call_index
         self._call_index += 1
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_collective(self.rank, index, tag)
         arrival = self.clock.now
         result, result_time = self.world.rendezvous(
             index, tag, self.rank, value, arrival, combine, op_cost
@@ -454,6 +467,9 @@ class SimComm:
         the paper observes in the network-partitioning phase.
         """
         window = Window(self.rank, element_type, capacity)
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_win_create(window, self.rank)
         start = self.clock.now
         self.clock.advance(self.cost.window_registration_cost(window.size_bytes()))
         metrics = self.metrics

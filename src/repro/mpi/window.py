@@ -35,7 +35,14 @@ class Window:
     used by the cost model is ``rows × element_type.row_size_bytes()``.
     """
 
-    __slots__ = ("owner_rank", "element_type", "capacity", "_columns", "_epoch_writes")
+    __slots__ = (
+        "owner_rank",
+        "element_type",
+        "capacity",
+        "sanitizer",
+        "_columns",
+        "_epoch_writes",
+    )
 
     def __init__(self, owner_rank: int, element_type: TupleType, capacity: int) -> None:
         if capacity < 0:
@@ -43,6 +50,8 @@ class Window:
         self.owner_rank = owner_rank
         self.element_type = element_type
         self.capacity = capacity
+        #: Sanitizer job watching this window's lifetime (MOD05x), or None.
+        self.sanitizer = None
         self._columns = [
             np.zeros(capacity, dtype=_column_dtype(f.item_type)) for f in element_type
         ]
@@ -90,6 +99,9 @@ class Window:
             raise SimulationError(
                 f"get [{start}, {stop}) outside window of capacity {self.capacity}"
             )
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_read(self, start, stop)
         return RowVector(self.element_type, [col[start:stop] for col in self._columns])
 
     # -- epochs --------------------------------------------------------------

@@ -343,6 +343,9 @@ class PlanProfile:
     #: Work-accounting snapshot when the run also recorded metrics;
     #: rendered as an appendix of the EXPLAIN ANALYZE tree.
     metrics: "object | None" = None
+    #: Runtime-sanitizer report when the run was sanitized
+    #: (``execute(..., sanitize=True)``); rendered as a second appendix.
+    sanitizer: "object | None" = None
 
     @classmethod
     def from_plan(
@@ -465,6 +468,8 @@ class PlanProfile:
             lines.append(f"({self.dropped_spans} spans dropped beyond the cap)")
         if self.metrics is not None:
             lines.append(self.metrics.render_summary())
+        if self.sanitizer is not None:
+            lines.append(self.sanitizer.render())
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -477,6 +482,8 @@ class PlanProfile:
         }
         if self.metrics is not None:
             payload["metrics"] = self.metrics.as_dict()
+        if self.sanitizer is not None:
+            payload["sanitizer"] = self.sanitizer.to_dict()
         return payload
 
 

@@ -358,6 +358,7 @@ class ModularisQuery:
         profile: bool = False,
         metrics: bool = False,
         faults=None,
+        sanitize: bool = False,
     ) -> ExecutionReport:
         """Execute against the catalog's current table contents.
 
@@ -397,7 +398,7 @@ class ModularisQuery:
             ).inc()
         report = execute(
             self.root, params={self.slot: tuple(tables)}, mode=mode, ctx=ctx,
-            profile=profile, metrics=metrics, faults=faults,
+            profile=profile, metrics=metrics, faults=faults, sanitize=sanitize,
         )
         if self.degraded_from is not None:
             from repro.mpi.trace import TraceEvent
@@ -701,6 +702,13 @@ def lower_to_modularis(
     if shape.limit is not None:
         final = Limit(final, shape.limit)
     root = MaterializeRowVector(final, field="result")
+    if degraded_from is not None:
+        # The memory-pressure fallback is a machine-made plan rewrite:
+        # re-verify it here, before anything executes it, the same way the
+        # degraded cluster re-shard is re-verified in stage recovery.
+        from repro.analysis import verify
+
+        verify(root, name=f"lowered plan (degraded from {degraded_from})")
     return ModularisQuery(
         root=root,
         slot=slot,

@@ -45,6 +45,28 @@ class TestSharedScanInsertion:
         scans = [op for op in walk(root) if isinstance(op, RowScan)]
         assert len(scans) == 2
 
+    def test_cloned_scan_chains_keep_lint_suppressions(self, ctx):
+        # A suppression records an *intentional* deviation; analyses run
+        # after prepare() (e.g. the degraded-plan re-verification in stage
+        # recovery) must see the same verdicts on the per-consumer clones.
+        scan = RowScan(
+            Projection(table_source(make_kv_table(8), ctx), ["t"]).suppress(
+                "MOD022"
+            ),
+            field="t",
+        )
+        scan.suppress("MOD099")
+        fn = RadixPartition("key", 2)
+        hist = LocalHistogram(scan, RadixPartition("key", 2))
+        part = LocalPartitioning(scan, hist, fn)
+        root = MaterializeRowVector(part)
+        prepare(root)
+        scans = [op for op in walk(root) if isinstance(op, RowScan)]
+        projections = [op for op in walk(root) if isinstance(op, Projection)]
+        assert len(scans) == 2 and len(projections) == 2
+        assert all("MOD099" in s.lint_suppressions for s in scans)
+        assert all("MOD022" in p.lint_suppressions for p in projections)
+
     def test_non_scan_shared_results_are_materialized(self, ctx):
         # A ReduceByKey consumed twice is expensive: it must be wrapped.
         scan = RowScan(table_source(make_kv_table(8), ctx), field="t")

@@ -1,0 +1,96 @@
+"""Soundness sweep: no silent third outcome (satellite of MOD05x).
+
+Property: for every plan in a mutation space over the exchange ladder —
+partition-function family, shift, fan-out, and a lying ``RadixPartition``
+subclass — either the static analyzer rejects the plan with a MOD0xx
+error, or the plan executes bit-identically with ``sanitize=True`` and a
+clean sanitizer report.  A mutated plan that neither analyzes dirty nor
+runs clean would be exactly the hole this PR closes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze
+from repro.core.executor import execute
+from repro.core.functions import HashPartition, RadixPartition
+from repro.core.operators import (
+    LocalHistogram,
+    MaterializeRowVector,
+    MpiExchange,
+    MpiExecutor,
+    MpiHistogram,
+    ParameterLookup,
+    ParameterSlot,
+    RowScan,
+)
+from repro.mpi.cluster import SimCluster
+from repro.types import TupleType, row_vector_type
+
+from tests.conftest import KV, make_kv_table
+
+T = TupleType.of(t=row_vector_type(KV))
+TABLE = make_kv_table(64, seed=11)
+
+
+class LyingRadix(RadixPartition):
+    """Structurally equal to RadixPartition, semantically shifted by two."""
+
+    def __call__(self, row):
+        return (row[self._key_pos] >> (self.shift + 2)) & self.mask
+
+    def map_batch(self, batch):
+        keys = batch.column(self.key_field)
+        return (keys >> (self.shift + 2)) & self.mask
+
+
+def _fn(family, shift):
+    if family == "radix":
+        return RadixPartition("key", 4, shift=shift)
+    if family == "lying":
+        return LyingRadix("key", 4, shift=shift)
+    return HashPartition("key", 4, salt=shift)
+
+
+def _mutant(hist_family, hist_shift, exch_family, exch_shift, ghist_n):
+    slot = ParameterSlot(T)
+
+    def inner(worker_slot):
+        scan = RowScan(ParameterLookup(worker_slot), field="t", shard_by_rank=True)
+        local = LocalHistogram(scan, _fn(hist_family, hist_shift))
+        global_ = MpiHistogram(local, ghist_n)
+        exchange = MpiExchange(
+            scan, local, global_, _fn(exch_family, exch_shift)
+        )
+        return MaterializeRowVector(RowScan(exchange, field="data"))
+
+    executor = MpiExecutor(ParameterLookup(slot), inner, SimCluster(2))
+    return MaterializeRowVector(RowScan(executor)), slot
+
+
+@given(
+    hist_family=st.sampled_from(["radix", "hash", "lying"]),
+    hist_shift=st.sampled_from([0, 1, 2]),
+    exch_family=st.sampled_from(["radix", "hash"]),
+    exch_shift=st.sampled_from([0, 1, 2]),
+    ghist_n=st.sampled_from([2, 4]),
+)
+@settings(max_examples=20, deadline=None)
+def test_mutants_are_rejected_statically_or_run_clean(
+    hist_family, hist_shift, exch_family, exch_shift, ghist_n
+):
+    root, slot = _mutant(hist_family, hist_shift, exch_family, exch_shift, ghist_n)
+    errors = [d for d in analyze(root) if d.is_error]
+    if errors:
+        assert all(d.rule.id.startswith("MOD0") for d in errors)
+        return
+    # Statically clean: must execute cleanly under the sanitizer and be
+    # bit-identical to the unsanitized run.
+    root2, slot2 = _mutant(hist_family, hist_shift, exch_family, exch_shift, ghist_n)
+    sanitized = execute(
+        root, params={slot: (TABLE,)}, sanitize=True, verify_plans=False
+    )
+    plain = execute(root2, params={slot2: (TABLE,)}, verify_plans=False)
+    assert sanitized.sanitizer is not None
+    assert sanitized.sanitizer.clean, sanitized.sanitizer.render()
+    assert sorted(sanitized.rows) == sorted(plain.rows)
