@@ -157,10 +157,11 @@ def load_history(path: str | Path) -> list[dict]:
 def record_from_smoke_report(report: dict, label: str = "") -> dict:
     """Fold a ``BENCH_fused.json`` smoke report into a run record.
 
-    The smoke report's three sections map onto history benchmarks:
+    The smoke report's sections map onto history benchmarks:
     ``benchmarks`` → ``*_wall_fused``/``*_wall_interpreted`` wall-clock
-    samples, ``profiler`` → the observability overhead ratios, and
-    ``faults`` → the armed-injector overhead ratio.  Overheads are kept
+    samples, ``join_kernels`` → ``join_*_wall_sorted``/``join_*_wall_radix``
+    wall-clock samples, ``profiler`` → the observability overhead ratios,
+    and ``faults`` → the armed-injector overhead ratio.  Overheads are kept
     as dimensionless values with an *absolute*-style slack folded into a
     generous tolerance — they hover around 0 and a relative threshold
     would be meaningless.
@@ -181,6 +182,26 @@ def record_from_smoke_report(report: dict, label: str = "") -> dict:
                     tolerance=WALL_TOLERANCE,
                     meta=meta,
                 )
+    join_kernels = report.get("join_kernels", {})
+    for workload in ("uniform", "skewed"):
+        entry = join_kernels.get(workload)
+        if entry is None:
+            continue
+        meta = {
+            "build_rows": join_kernels.get("build_rows"),
+            "probe_rows": join_kernels.get("probe_rows"),
+            "output_rows": entry.get("output_rows"),
+        }
+        for kernel in ("sorted", "radix"):
+            key = f"{kernel}_seconds"
+            if key in entry:
+                benchmarks[f"join_{workload}_wall_{kernel}"] = BenchmarkSample(
+                    value=entry[key],
+                    clock="wall",
+                    samples=[entry[key]],
+                    tolerance=WALL_TOLERANCE,
+                    meta=meta,
+                )
     config: dict = {}
     profiler = report.get("profiler")
     if profiler is not None:
@@ -191,6 +212,12 @@ def record_from_smoke_report(report: dict, label: str = "") -> dict:
     faults = report.get("faults")
     if faults is not None:
         config["faults"] = {"armed_overhead": faults.get("armed_overhead")}
+    if join_kernels:
+        config["join_kernels"] = {
+            workload: join_kernels[workload].get("speedup")
+            for workload in ("uniform", "skewed")
+            if workload in join_kernels
+        }
     return make_record(benchmarks, label=label, source="bench-smoke", config=config)
 
 

@@ -29,6 +29,12 @@ A fifth probe covers the MOD05x runtime sanitizer: the sanitizer-off path
 must stay within the same 5% disabled budget, and TPC-H Q4/Q12/Q14/Q19
 must run bit-identical with ``sanitize=True`` and a clean report.
 
+A sixth probe races the two join kernels (sorted-hash vs radix
+direct-address) at the kernel level on a uniform and a Zipf-skewed
+duplicate-heavy workload.  Outputs must stay bit-identical, and the run
+fails if radix is not at least :data:`MIN_RADIX_SPEEDUP` times faster on
+the skewed workload — the case the kernel exists for.
+
 Results land in ``BENCH_fused.json`` (see ``make bench-smoke``) so a
 checkout records the speedups its tree actually achieves.
 """
@@ -150,6 +156,10 @@ def _profiler_overhead(n_integers: int, repeats: int) -> dict[str, float]:
 
 #: make bench-smoke fails when the disabled-profiler tax exceeds this.
 MAX_DISABLED_OVERHEAD = 0.05
+
+#: make bench-smoke fails when radix is not at least this much faster than
+#: the sorted-hash kernel on the skewed duplicate-heavy workload.
+MIN_RADIX_SPEEDUP = 2.0
 
 #: make bench-smoke fails when the fault-free fault-injection tax exceeds this.
 MAX_FAULT_OVERHEAD = 0.05
@@ -297,12 +307,108 @@ def _sanitizer_overhead(
     }
 
 
+def _join_kernels(build_rows: int, probe_rows: int, repeats: int) -> dict:
+    """Race the sorted-hash and radix join kernels on two key distributions.
+
+    Both kernels run build-plus-probe over the same morsel stream:
+
+    * ``uniform`` — build keys uniform over four times the build
+      cardinality, probe keys uniform over the same range: the crossover
+      workload where direct addressing competes with ``searchsorted``
+      without duplication in its favor,
+    * ``skewed`` — a duplicate-heavy build (eight rows per key) probed
+      with a Zipf-skewed key stream: hot keys hammer the same candidate
+      runs, the case the radix kernel exists for.
+
+    Rounds are interleaved (sorted, radix, repeat) so load bursts hit
+    both kernels equally; best-of wins.  The emitted morsels must be
+    bit-identical between kernels — the probe reports ``identical`` and
+    ``main`` fails the run on divergence or on radix missing its
+    :data:`MIN_RADIX_SPEEDUP` gate on the skewed workload.
+    """
+    from repro.core.kernels.hash_join import (
+        HashJoinBuild,
+        HashJoinSpec,
+        probe_morsel,
+    )
+    from repro.core.kernels.radix_join import RadixJoinBuild, radix_probe_morsel
+
+    left_type = TupleType.of(key=INT64, lpay=INT64)
+    right_type = TupleType.of(key=INT64, rpay=INT64)
+    spec = HashJoinSpec(
+        join_type="inner",
+        output_type=TupleType.of(key=INT64, lpay=INT64, rpay=INT64),
+        key="key",
+        left_rest_pos=(1,),
+        right_rest_pos=(1,),
+        right_type=right_type,
+        outer_fill=0,
+    )
+    rng = np.random.default_rng(2021)
+    dense_range = max(build_rows >> 3, 1)  # eight build rows per key
+    workloads = {
+        "uniform": (
+            rng.integers(0, build_rows * 4, build_rows, dtype=np.int64),
+            rng.integers(0, build_rows * 4, probe_rows, dtype=np.int64),
+        ),
+        "skewed": (
+            rng.integers(0, dense_range, build_rows, dtype=np.int64),
+            (np.minimum(rng.zipf(1.5, probe_rows), 8 * dense_range) - 1).astype(
+                np.int64
+            ),
+        ),
+    }
+    kernels = (
+        ("sorted", HashJoinBuild.from_rows, probe_morsel),
+        ("radix", RadixJoinBuild.from_rows, radix_probe_morsel),
+    )
+
+    report = {}
+    morsel = 1 << 16
+    for name, (build_keys, probe_keys) in workloads.items():
+        left = RowVector(
+            left_type, [build_keys, np.arange(build_rows, dtype=np.int64)]
+        )
+        morsels = [
+            RowVector(
+                right_type,
+                [
+                    probe_keys[i : i + morsel],
+                    np.arange(i, min(i + morsel, probe_rows), dtype=np.int64),
+                ],
+            )
+            for i in range(0, probe_rows, morsel)
+        ]
+        best = {"sorted": float("inf"), "radix": float("inf")}
+        outputs = {}
+        for _ in range(max(repeats, 2)):
+            for kernel, from_rows, probe in kernels:
+                start = time.perf_counter()
+                build = from_rows(left, "key")
+                out = [probe(build, batch, spec) for batch in morsels]
+                best[kernel] = min(best[kernel], time.perf_counter() - start)
+                outputs[kernel] = out
+        identical = all(
+            a == b for a, b in zip(outputs["sorted"], outputs["radix"])
+        )
+        report[name] = {
+            "sorted_seconds": best["sorted"],
+            "radix_seconds": best["radix"],
+            "speedup": best["sorted"] / best["radix"],
+            "output_rows": sum(len(out) for out in outputs["radix"]),
+            "identical": identical,
+        }
+    return report
+
+
 def run_smoke(
     micro_integers: int = 1 << 20,
     groupby_tuples: int = 1 << 17,
     machines: int = 2,
     repeats: int = 2,
     tpch_sf: float = 0.005,
+    join_build_rows: int = 1 << 16,
+    join_probe_rows: int = 1 << 19,
 ) -> dict:
     """Run both probes and return the report dictionary."""
     report: dict = {"benchmarks": {}}
@@ -329,6 +435,10 @@ def run_smoke(
     sanitizer["n_tuples"] = groupby_tuples
     sanitizer["machines"] = machines
     report["sanitizer"] = sanitizer
+    join_kernels = _join_kernels(join_build_rows, join_probe_rows, repeats)
+    join_kernels["build_rows"] = join_build_rows
+    join_kernels["probe_rows"] = join_probe_rows
+    report["join_kernels"] = join_kernels
     return report
 
 
@@ -347,6 +457,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=2)
     parser.add_argument("--tpch-sf", type=float, default=0.005,
                         help="scale factor for the sanitizer no-perturb probe")
+    parser.add_argument("--join-build-rows", type=int, default=1 << 16)
+    parser.add_argument("--join-probe-rows", type=int, default=1 << 19)
     args = parser.parse_args(argv)
 
     report = run_smoke(
@@ -355,6 +467,8 @@ def main(argv: list[str] | None = None) -> int:
         machines=args.machines,
         repeats=args.repeats,
         tpch_sf=args.tpch_sf,
+        join_build_rows=args.join_build_rows,
+        join_probe_rows=args.join_probe_rows,
     )
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)
@@ -441,6 +555,29 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 1
+    join_kernels = report["join_kernels"]
+    for workload in ("uniform", "skewed"):
+        entry = join_kernels[workload]
+        print(
+            f"join_kernels/{workload}: sorted {entry['sorted_seconds']:.3f}s, "
+            f"radix {entry['radix_seconds']:.3f}s "
+            f"-> {entry['speedup']:.1f}x ({entry['output_rows']} rows)"
+        )
+        if not entry["identical"]:
+            print(
+                f"FAIL: the radix kernel diverged from the sorted-hash "
+                f"kernel on the {workload} workload",
+                file=sys.stderr,
+            )
+            return 1
+    if join_kernels["skewed"]["speedup"] < MIN_RADIX_SPEEDUP:
+        print(
+            f"FAIL: radix is only {join_kernels['skewed']['speedup']:.1f}x "
+            f"faster than sorted-hash on the skewed workload "
+            f"(gate: {MIN_RADIX_SPEEDUP:.0f}x)",
+            file=sys.stderr,
+        )
+        return 1
     print(f"report written to {args.out}")
     return 0
 

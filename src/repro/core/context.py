@@ -36,6 +36,14 @@ ExecutionMode = str
 
 _MODES = ("fused", "interpreted")
 
+#: Valid settings of :attr:`ExecutionContext.join_kernel`.
+_JOIN_KERNELS = ("auto", "sorted", "radix")
+
+#: Morsel auto-tuning bounds: never below a vectorization-worthy batch,
+#: never above the PR-2 default that every existing plan was sized for.
+_MORSEL_MIN_ROWS = 1 << 10
+_MORSEL_MAX_ROWS = 1 << 16
+
 
 @dataclass
 class ExecutionContext:
@@ -52,8 +60,16 @@ class ExecutionContext:
     #: Target rows per :class:`~repro.types.collections.RowVector` morsel on
     #: the batch data path.  Bounds the memory footprint of operators whose
     #: ``batches()`` falls back to buffering ``rows()``; scans and kernels
-    #: use it as their output granularity.
-    morsel_rows: int = 1 << 16
+    #: use it as their output granularity.  ``None`` — the default — lets
+    #: :meth:`morsel_rows_for` auto-tune the granularity per operator from
+    #: its row width and the cost model's cache budget; an explicit value
+    #: pins every operator to that size.
+    morsel_rows: int | None = None
+    #: Which vectorized join kernel ``BuildProbe.batches`` runs: ``"auto"``
+    #: (size/skew heuristic, the default), ``"sorted"`` (always the
+    #: sorted-hash kernel), or ``"radix"`` (force the radix direct-address
+    #: kernel whenever its hard memory cap allows).
+    join_kernel: str = "auto"
     #: Per-operator profiler (:mod:`repro.observability`).  ``None`` — the
     #: default — disables all span recording; the data path then pays one
     #: attribute read per operator activation and allocates nothing.
@@ -88,9 +104,14 @@ class ExecutionContext:
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
             raise ExecutionError(f"unknown execution mode {self.mode!r}")
-        if self.morsel_rows < 1:
+        if self.morsel_rows is not None and self.morsel_rows < 1:
             raise ExecutionError(
                 f"morsel size must be at least one row, got {self.morsel_rows}"
+            )
+        if self.join_kernel not in _JOIN_KERNELS:
+            raise ExecutionError(
+                f"unknown join kernel {self.join_kernel!r}; "
+                f"supported: {_JOIN_KERNELS}"
             )
 
     # -- distributed facets -------------------------------------------------
@@ -112,16 +133,34 @@ class ExecutionContext:
     def n_ranks(self) -> int:
         return self.rank_ctx.n_ranks if self.rank_ctx is not None else 1
 
+    # -- morsel granularity ---------------------------------------------------
+
+    def morsel_rows_for(self, element_type) -> int:
+        """Rows per morsel for an operator producing ``element_type``.
+
+        An explicit :attr:`morsel_rows` pins the size.  Otherwise the size
+        is tuned so one morsel of this row width fills half the machine's
+        L3 cache (leaving the other half for the consumer's state), clamped
+        to sane bounds — wide rows get smaller morsels, narrow rows larger
+        ones, and the batch working set stays cache-resident either way.
+        """
+        if self.morsel_rows is not None:
+            return self.morsel_rows
+        row_bytes = max(1, element_type.row_size_bytes())
+        budget = self.cost.machine.l3_cache_bytes // 2
+        return max(_MORSEL_MIN_ROWS, min(_MORSEL_MAX_ROWS, budget // row_bytes))
+
     @classmethod
     def for_rank(
         cls,
         rank_ctx: RankContext,
         mode: ExecutionMode = "fused",
-        morsel_rows: int = 1 << 16,
+        morsel_rows: int | None = None,
         profiler: "Profiler | None" = None,
         metrics: "MetricsRegistry | None" = None,
         checkpoints: "CheckpointStore | None" = None,
         sanitizer: "Sanitizer | None" = None,
+        join_kernel: str = "auto",
     ) -> "ExecutionContext":
         """The context a worker uses to execute a nested plan on its rank."""
         return cls(
@@ -134,6 +173,7 @@ class ExecutionContext:
             metrics=metrics,
             checkpoints=checkpoints,
             sanitizer=sanitizer,
+            join_kernel=join_kernel,
         )
 
     # -- cost charging --------------------------------------------------------

@@ -332,7 +332,8 @@ def _sanitize_replay(
     from repro.analysis.sanitizer import Sanitizer
 
     replay_ctx = ExecutionContext(
-        cost=ctx.cost, mode=ctx.mode, morsel_rows=ctx.morsel_rows
+        cost=ctx.cost, mode=ctx.mode, morsel_rows=ctx.morsel_rows,
+        join_kernel=ctx.join_kernel,
     )
     replay_ctx.faults = ctx.faults
     if ctx.faults is not None:

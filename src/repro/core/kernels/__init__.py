@@ -6,20 +6,44 @@ it over whole :class:`~repro.types.collections.RowVector` morsels at
 once.  Kernels are pure numpy functions — they never touch the
 execution context, charge costs, or pull from upstreams — so the same
 kernel is reusable from any operator (and testable in isolation).
+
+Two join kernels share one emission contract (``emit_probe_hits``): the
+sorted-hash kernel (``hash_join``, range-oblivious) and the radix
+direct-address kernel (``radix_join``, cache-sized counting passes for
+dense/duplicate-heavy key ranges).  ``BuildProbe`` dispatches between
+them with :func:`radix_eligible`.
 """
 
 from repro.core.kernels.hash_join import (
     HashJoinBuild,
     HashJoinSpec,
+    emit_probe_hits,
     mix_hash,
     outer_tail,
     probe_morsel,
 )
+from repro.core.kernels.radix_join import (
+    HARD_RANGE_CAP,
+    RADIX_MIN_ROWS,
+    RadixJoinBuild,
+    radix_eligible,
+    radix_fanout,
+    radix_probe_morsel,
+    select_join_kernel,
+)
 
 __all__ = [
+    "HARD_RANGE_CAP",
     "HashJoinBuild",
     "HashJoinSpec",
+    "RADIX_MIN_ROWS",
+    "RadixJoinBuild",
+    "emit_probe_hits",
     "mix_hash",
     "outer_tail",
     "probe_morsel",
+    "radix_eligible",
+    "radix_fanout",
+    "radix_probe_morsel",
+    "select_join_kernel",
 ]

@@ -21,7 +21,14 @@ import numpy as np
 from repro.types.collections import RowVector, _column_dtype
 from repro.types.tuples import TupleType
 
-__all__ = ["HashJoinBuild", "HashJoinSpec", "mix_hash", "outer_tail", "probe_morsel"]
+__all__ = [
+    "HashJoinBuild",
+    "HashJoinSpec",
+    "emit_probe_hits",
+    "mix_hash",
+    "outer_tail",
+    "probe_morsel",
+]
 
 #: Fibonacci multiplier of the build/probe hash (the same constant family
 #: as :class:`~repro.core.functions.HashPartition`).
@@ -92,9 +99,25 @@ def probe_morsel(
     cand_pos = np.arange(total) + offsets
     # Collision chains: candidates share the hash, not necessarily the key.
     good = build.sorted_keys[cand_pos] == right_keys[right_cand]
-    hit_pos = cand_pos[good]
-    hit_right = right_cand[good]
+    return emit_probe_hits(build, right, right_keys, spec, cand_pos[good], right_cand[good])
 
+
+def emit_probe_hits(
+    build,
+    right: RowVector,
+    right_keys: np.ndarray,
+    spec: HashJoinSpec,
+    hit_pos: np.ndarray,
+    hit_right: np.ndarray,
+) -> RowVector:
+    """Assemble one morsel's output rows from resolved candidate hits.
+
+    Shared by the sorted-hash and radix kernels: ``hit_pos`` indexes the
+    build side in *sorted position* (``build.order[hit_pos]`` recovers the
+    original row), ``hit_right`` indexes the probe morsel, and both are
+    ordered probe-row-major with matches in build-insertion order — the
+    emission contract all join paths are bit-identical under.
+    """
     if spec.join_type in ("inner", "left_outer"):
         if spec.join_type == "left_outer":
             build.matched[hit_pos] = True
@@ -104,7 +127,7 @@ def probe_morsel(
         columns += [right.columns[p][hit_right] for p in spec.right_rest_pos]
         return RowVector(spec.output_type, columns)
 
-    has_hit = np.zeros(n_right, dtype=bool)
+    has_hit = np.zeros(len(right), dtype=bool)
     has_hit[hit_right] = True
     sel = np.flatnonzero(has_hit if spec.join_type == "semi" else ~has_hit)
     columns = [right_keys[sel]]

@@ -1,0 +1,245 @@
+"""Radix-partitioned direct-address join kernel (fused BuildProbe path).
+
+The cache-conscious alternative to the sorted-hash kernel
+(:mod:`repro.core.kernels.hash_join`), modeled on the radix hash join of
+Barthels et al. that the paper decomposes into sub-operators.  Instead of
+hashing, the build side is *rebased* onto its key range ``[kmin, kmax]``
+and scattered into per-key runs with counting passes:
+
+1. a ``bincount`` over the rebased keys gives the exact run length of
+   every distinct key, and its ``cumsum`` the run start offsets — the
+   direct-address table replacing both the hash table and the binary
+   ``searchsorted`` probe;
+2. the scatter itself is one stable counting sort.  When the key range
+   exceeds a cache-sized pass, a first radix pass partitions on the high
+   bits (fan-out chosen from the key range so each sub-range fits the
+   pass budget), then each partition is scattered locally — the classic
+   two-pass radix scheme that keeps every pass's working set cache-sized;
+3. each probe morsel rebases its keys and reads the candidate run
+   ``[starts[k], starts[k+1])`` with two direct loads — no hashing, no
+   collision chains, no search.
+
+The scatter is stable, so candidate runs hold build rows in insertion
+order and the emitted rows are bit-identical to both the scalar
+hash-table path and the sorted-hash kernel.  All four probe policies
+(inner / semi / anti / left_outer) share the candidate machinery through
+:func:`~repro.core.kernels.hash_join.emit_probe_hits`.
+
+Direct addressing trades memory for the key range: the kernel is only
+eligible when the range is dense relative to the build cardinality
+(duplicate-heavy and skewed workloads), and never beyond a hard cap —
+:func:`radix_eligible` is the dispatch heuristic ``BuildProbe`` consults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.kernels.hash_join import (
+    HashJoinBuild,
+    HashJoinSpec,
+    emit_probe_hits,
+    probe_morsel,
+)
+from repro.types.collections import RowVector
+
+__all__ = [
+    "HARD_RANGE_CAP",
+    "RADIX_MIN_ROWS",
+    "RadixJoinBuild",
+    "radix_eligible",
+    "radix_fanout",
+    "radix_probe_morsel",
+    "select_join_kernel",
+]
+
+#: Largest key range the kernel will ever allocate a direct-address table
+#: for (counts + starts ≈ 1 GiB at the cap); beyond it dispatch falls back
+#: to the sorted-hash kernel regardless of any force knob.
+HARD_RANGE_CAP = 1 << 26
+
+#: Rebased-key range one counting pass may cover while staying inside the
+#: cost model's cache budget (int64 counts for 2^18 keys = 2 MiB).
+PASS_RANGE = 1 << 18
+
+#: Builds smaller than this gain nothing from radix setup; the heuristic
+#: keeps them on the sorted-hash kernel.
+RADIX_MIN_ROWS = 1 << 12
+
+#: ``auto`` dispatch accepts a key range up to this multiple of the build
+#: cardinality — i.e. only dense/duplicate-heavy key spaces, where the
+#: direct-address table stays proportional to the data.
+DENSITY_MULTIPLE = 8
+
+
+def key_span(kmin: int, kmax: int) -> int:
+    """Width of the inclusive key range, in exact Python-int arithmetic.
+
+    Python ints cannot overflow, so degenerate sweeps with keys at
+    ``±2**62`` report their true astronomical span (and get rejected by
+    the caps) instead of wrapping in int64.
+    """
+    return int(kmax) - int(kmin) + 1
+
+
+def radix_eligible(n_build: int, kmin: int, kmax: int, forced: bool = False) -> bool:
+    """Dispatch heuristic: is the radix kernel worth (and safe to) run?
+
+    ``forced`` skips the profitability test but never the hard memory cap.
+    """
+    if n_build == 0:
+        return False
+    span = key_span(kmin, kmax)
+    if span > HARD_RANGE_CAP:
+        return False
+    if forced:
+        return True
+    if n_build < RADIX_MIN_ROWS:
+        return False
+    return span <= max(PASS_RANGE, DENSITY_MULTIPLE * n_build)
+
+
+def select_join_kernel(join_kernel: str, left: RowVector, key: str):
+    """⟨dispatch label, constructed build, probe function⟩ for one join.
+
+    The dispatch point ``BuildProbe.batches`` calls with the context's
+    ``join_kernel`` setting and the materialized build side: ``"sorted"``
+    pins the sorted-hash kernel, ``"radix"`` forces radix up to the hard
+    memory cap, and ``"auto"`` applies :func:`radix_eligible`.  The label
+    is the ``join_dispatch{path}`` metric value (``"kernel"`` keeps the
+    sorted-hash path's historical label).
+    """
+    eligible = False
+    keys = left.column(key)
+    if join_kernel != "sorted" and len(keys):
+        kmin, kmax = int(keys.min()), int(keys.max())
+        eligible = radix_eligible(
+            len(keys), kmin, kmax, forced=join_kernel == "radix"
+        )
+    if eligible:
+        return "radix", RadixJoinBuild.from_rows(left, key), radix_probe_morsel
+    return "kernel", HashJoinBuild.from_rows(left, key), probe_morsel
+
+
+def radix_fanout(span: int) -> tuple[int, int]:
+    """⟨shift, fan-out⟩ of the high-bit pass covering ``span`` keys.
+
+    The shift is chosen so every sub-range fits one cache-sized counting
+    pass; the fan-out is the resulting partition count.
+    """
+    shift = PASS_RANGE.bit_length() - 1
+    fanout = (span + (1 << shift) - 1) >> shift
+    return shift, fanout
+
+
+@dataclass
+class RadixJoinBuild:
+    """Build-side state: the key-scattered view of the left input.
+
+    Field names mirror :class:`~repro.core.kernels.hash_join.HashJoinBuild`
+    where the semantics coincide (``order`` maps scattered position to
+    original row; ``matched`` is indexed by scattered position), so
+    ``outer_tail`` works on either build unchanged.
+    """
+
+    left: RowVector
+    build_keys: np.ndarray
+    key_min: int
+    key_max: int
+    order: np.ndarray
+    #: Run offsets of the direct-address table: the build rows holding
+    #: rebased key ``k`` occupy scattered positions [starts[k], starts[k+1]).
+    starts: np.ndarray
+    #: Build rows hit by some probe so far (left_outer bookkeeping).
+    matched: np.ndarray
+
+    @classmethod
+    def from_rows(cls, left: RowVector, key: str) -> "RadixJoinBuild":
+        build_keys = left.column(key)
+        n = len(left)
+        if n == 0:
+            return cls(
+                left=left,
+                build_keys=build_keys,
+                key_min=0,
+                key_max=-1,
+                order=np.empty(0, dtype=np.int64),
+                starts=np.zeros(2, dtype=np.int64),
+                matched=np.zeros(0, dtype=bool),
+            )
+        kmin = int(build_keys.min())
+        kmax = int(build_keys.max())
+        span = key_span(kmin, kmax)
+        if span > HARD_RANGE_CAP:
+            raise ValueError(
+                f"key range {span} exceeds the radix table cap {HARD_RANGE_CAP}"
+            )
+        rebased = build_keys - np.int64(kmin)
+        if span <= PASS_RANGE:
+            # Single cache-sized pass: bincount the runs, stable-scatter.
+            counts = np.bincount(rebased, minlength=span)
+            order = np.argsort(rebased, kind="stable")
+        else:
+            counts, order = cls._two_pass_scatter(rebased, span)
+        starts = np.concatenate(([0], np.cumsum(counts)))
+        return cls(
+            left=left,
+            build_keys=build_keys,
+            key_min=kmin,
+            key_max=kmax,
+            order=order,
+            starts=starts,
+            matched=np.zeros(n, dtype=bool),
+        )
+
+    @staticmethod
+    def _two_pass_scatter(rebased: np.ndarray, span: int) -> tuple[np.ndarray, np.ndarray]:
+        """Two radix passes: high-bit partition, then per-partition scatter.
+
+        Each pass touches a cache-sized working set; the composition is a
+        stable sort by the full rebased key, so the emission contract is
+        identical to the single-pass scatter.
+        """
+        shift, fanout = radix_fanout(span)
+        high = rebased >> np.int64(shift)
+        part_order = np.argsort(high, kind="stable")
+        part_counts = np.bincount(high, minlength=fanout)
+        bounds = np.concatenate(([0], np.cumsum(part_counts)))
+        scattered = rebased[part_order]
+        counts = np.zeros(span, dtype=np.int64)
+        order = np.empty(len(rebased), dtype=part_order.dtype)
+        for p in np.flatnonzero(part_counts):
+            lo, hi = int(bounds[p]), int(bounds[p + 1])
+            base = int(p) << shift
+            width = min(1 << shift, span - base)
+            segment = scattered[lo:hi] - np.int64(base)
+            counts[base : base + width] = np.bincount(segment, minlength=width)
+            order[lo:hi] = part_order[lo:hi][np.argsort(segment, kind="stable")]
+        return counts, order
+
+
+def radix_probe_morsel(
+    build: RadixJoinBuild, right: RowVector, spec: HashJoinSpec
+) -> RowVector:
+    """Probe one right-side morsel against the direct-address table."""
+    right_keys = right.column(spec.key)
+    n_right = len(right)
+    kmin = np.int64(build.key_min)
+    in_range = (right_keys >= build.key_min) & (right_keys <= build.key_max)
+    # Out-of-range keys are clamped to slot 0 before indexing; their
+    # candidate count is masked to zero below, so the clamp never emits.
+    rebased = np.where(in_range, right_keys - kmin, 0)
+    lo = build.starts[rebased]
+    hi = np.where(in_range, build.starts[rebased + 1], lo)
+    counts = hi - lo
+    total = int(counts.sum())
+    # Candidate expansion: for probe row i, the run of scattered build
+    # positions [lo[i], hi[i]) that hold its exact key — the same
+    # expansion as the sorted-hash kernel, but with no collision chains
+    # to resolve (runs are keyed on the key itself, not its hash).
+    right_cand = np.repeat(np.arange(n_right), counts)
+    offsets = np.repeat(hi - np.cumsum(counts), counts)
+    hit_pos = np.arange(total) + offsets
+    return emit_probe_hits(build, right, right_keys, spec, hit_pos, right_cand)

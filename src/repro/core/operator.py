@@ -164,20 +164,21 @@ class Operator:
     def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
         """Yield output tuples as RowVector morsels (the fused data path).
 
-        The default buffers :meth:`rows` into ``ctx.morsel_rows``-sized
-        morsels (at least one batch, possibly empty, is always yielded),
-        which is correct but gains nothing; operators on hot paths override
-        this with a vectorized kernel.
+        The default buffers :meth:`rows` into morsels sized by
+        ``ctx.morsel_rows_for`` (at least one batch, possibly empty, is
+        always yielded), which is correct but gains nothing; operators on
+        hot paths override this with a vectorized kernel.
         """
         yield from self._rows_as_morsels(ctx)
 
     def _rows_as_morsels(self, ctx: ExecutionContext) -> Iterator[RowVector]:
         """Repackage the row iterator into bounded RowVector morsels."""
+        morsel_rows = ctx.morsel_rows_for(self.output_type)
         builder = RowVectorBuilder(self.output_type)
         emitted = False
         for row in self.rows(ctx):
             builder.append(row)
-            if len(builder) >= ctx.morsel_rows:
+            if len(builder) >= morsel_rows:
                 yield builder.finish()
                 builder = RowVectorBuilder(self.output_type)
                 emitted = True

@@ -20,12 +20,8 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.core.context import ExecutionContext
-from repro.core.kernels.hash_join import (
-    HashJoinBuild,
-    HashJoinSpec,
-    outer_tail,
-    probe_morsel,
-)
+from repro.core.kernels.hash_join import HashJoinSpec, outer_tail
+from repro.core.kernels.radix_join import select_join_kernel
 from repro.core.operator import Operator, require_fields
 from repro.errors import TypeCheckError
 from repro.types.atoms import INT64
@@ -177,15 +173,17 @@ class BuildProbe(Operator):
             list(self.upstreams[0].stream_batches(ctx)),
         )
         ctx.charge_cpu(self, "build", len(left))
+        # The kernels module owns the radix-vs-sorted-hash dispatch; the
+        # returned label is the join_dispatch{path} metric value.
+        path, build, probe = select_join_kernel(ctx.join_kernel, left, spec.key)
         metrics = ctx.metrics
         if metrics is not None:
-            metrics.counter("join_dispatch", path="kernel").inc()
+            metrics.counter("join_dispatch", path=path).inc()
             metrics.counter("join_build_rows", op=type(self).__name__).add(len(left))
-        build = HashJoinBuild.from_rows(left, spec.key)
 
         yielded = False
         for batch in self.upstreams[1].stream_batches(ctx):
-            out = probe_morsel(build, batch, spec)
+            out = probe(build, batch, spec)
             # Every policy charges one unit per probe tuple plus one per
             # emitted tuple — identical to the scalar path's accounting.
             ctx.charge_cpu(self, "probe", len(batch) + len(out))
@@ -194,6 +192,8 @@ class BuildProbe(Operator):
                 yield out
 
         if self.join_type == "left_outer":
+            # outer_tail reads only the (order, matched) contract both
+            # builds share, so one tail routine serves either kernel.
             tail = outer_tail(build, spec)
             if len(tail):
                 yielded = True

@@ -14,14 +14,36 @@ import numpy as np
 from repro.core.context import ExecutionContext
 from repro.core.functions import PartitionFunction
 from repro.core.operator import Operator
+from repro.errors import ExecutionError
 from repro.types.atoms import INT64
 from repro.types.collections import RowVector
 from repro.types.tuples import TupleType
 
-__all__ = ["HISTOGRAM_TYPE", "LocalHistogram"]
+__all__ = ["HISTOGRAM_TYPE", "LocalHistogram", "read_histogram"]
 
 #: ⟨bucketID, count⟩ — the type both histogram operators produce.
 HISTOGRAM_TYPE = TupleType.of(bucket=INT64, count=INT64)
+
+
+def read_histogram(
+    ctx: ExecutionContext, upstream: Operator, n_partitions: int
+) -> np.ndarray:
+    """Drain a ⟨bucket, count⟩ upstream into a dense per-partition array.
+
+    The one consumer-side histogram reader, shared by ``LocalPartitioning``
+    and ``MpiExchange``: empty batches are skipped *before* the bucket
+    range is validated, so a histogram delivered as (or padded with) empty
+    morsels never trips ``min()`` on an empty column.
+    """
+    counts = np.zeros(n_partitions, dtype=np.int64)
+    for batch in upstream.stream_batches(ctx):
+        if len(batch) == 0:
+            continue
+        buckets = batch.column("bucket")
+        if not (0 <= int(buckets.min()) and int(buckets.max()) < n_partitions):
+            raise ExecutionError(f"histogram bucket outside [0, {n_partitions})")
+        np.add.at(counts, buckets, batch.column("count"))
+    return counts
 
 
 class LocalHistogram(Operator):

@@ -19,7 +19,7 @@ import numpy as np
 from repro.core.context import ExecutionContext
 from repro.core.functions import PartitionFunction
 from repro.core.operator import Operator, require_fields
-from repro.core.operators.local_histogram import HISTOGRAM_TYPE
+from repro.core.operators.local_histogram import HISTOGRAM_TYPE, read_histogram
 from repro.errors import ExecutionError, TypeCheckError
 from repro.types.atoms import INT64
 from repro.types.collections import RowVector, RowVectorBuilder, row_vector_type
@@ -72,23 +72,8 @@ class LocalPartitioning(Operator):
     def n_partitions(self) -> int:
         return self.partition_fn.n_partitions
 
-    def _read_histogram(self, ctx: ExecutionContext) -> np.ndarray:
-        counts = np.zeros(self.n_partitions, dtype=np.int64)
-        for batch in self.upstreams[1].stream_batches(ctx):
-            if len(batch) == 0:
-                continue
-            buckets = batch.column("bucket")
-            if len(buckets) and not (
-                0 <= int(buckets.min()) and int(buckets.max()) < self.n_partitions
-            ):
-                raise ExecutionError(
-                    f"histogram bucket outside [0, {self.n_partitions})"
-                )
-            np.add.at(counts, buckets, batch.column("count"))
-        return counts
-
     def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
-        counts = self._read_histogram(ctx)
+        counts = read_histogram(ctx, self.upstreams[1], self.n_partitions)
         element_type = self.upstreams[0].output_type
         builders = [RowVectorBuilder(element_type) for _ in range(self.n_partitions)]
         fn = self.partition_fn
@@ -108,7 +93,7 @@ class LocalPartitioning(Operator):
             yield (pid, vector)
 
     def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
-        counts = self._read_histogram(ctx)
+        counts = read_histogram(ctx, self.upstreams[1], self.n_partitions)
         element_type = self.upstreams[0].output_type
         data = RowVector.concat(
             element_type, list(self.upstreams[0].stream_batches(ctx))
@@ -126,13 +111,19 @@ class LocalPartitioning(Operator):
                 "partition sizes diverge from the histogram; data and histogram "
                 "upstreams were not computed over the same input"
             )
+        # One stable counting-sort scatter: a single gather lays every
+        # partition out as one contiguous region, and each emitted
+        # partition is a zero-copy slice view of that region.
         order = np.argsort(buckets, kind="stable")
+        scattered = data.take(order)
         offsets = np.concatenate(([0], np.cumsum(counts)))
 
-        out = RowVectorBuilder(self.output_type)
+        partitions = np.empty(self.n_partitions, dtype=object)
         for pid in range(self.n_partitions):
-            indices = order[offsets[pid] : offsets[pid + 1]]
-            vector = data.take(indices)
+            vector = scattered.slice(int(offsets[pid]), int(offsets[pid + 1]))
             ctx.charge_materialize(self, vector.size_bytes())
-            out.append((pid, vector))
-        yield out.finish()
+            partitions[pid] = vector
+        yield RowVector(
+            self.output_type,
+            [np.arange(self.n_partitions, dtype=np.int64), partitions],
+        )

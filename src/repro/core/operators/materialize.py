@@ -63,7 +63,7 @@ class MaterializeRowVector(Operator):
         """Charge the re-read of a sealed checkpoint and trace the hit."""
         start = ctx.clock.now
         ctx.charge_materialize(self, vector.size_bytes())
-        ctx.account_memory(vector.size_bytes())
+        ctx.account_memory(vector.owned_bytes())
         metrics = ctx.metrics
         if metrics is not None:
             metrics.counter("checkpoint_hits").inc()
@@ -99,7 +99,7 @@ class MaterializeRowVector(Operator):
             builder.append(row)
         vector = builder.finish()
         ctx.charge_materialize(self, vector.size_bytes())
-        ctx.account_memory(vector.size_bytes())
+        ctx.account_memory(vector.owned_bytes())
         if store is not None:
             store.deposit(id(self), ctx.rank, vector)
         yield (vector,)
@@ -110,12 +110,18 @@ class MaterializeRowVector(Operator):
         if vector is not None:
             self._serve_checkpoint(ctx, vector)
         else:
-            element_type = self.upstreams[0].output_type
-            vector = RowVector.concat(
-                element_type, list(self.upstreams[0].stream_batches(ctx))
-            )
+            # Bulk-append drain: whole morsels flow into the builder via
+            # extend_vector, so no row is ever pythonized on this path
+            # (and adjacent slice morsels re-merge zero-copy in finish()).
+            builder = RowVectorBuilder(self.upstreams[0].output_type)
+            for batch in self.upstreams[0].stream_batches(ctx):
+                builder.extend_vector(batch)
+            vector = builder.finish()
             ctx.charge_materialize(self, vector.size_bytes())
-            ctx.account_memory(vector.size_bytes())
+            # Accounting uses owned_bytes: when finish() re-merged the
+            # morsel stream into a zero-copy view of upstream storage,
+            # no new resident bytes exist to count.
+            ctx.account_memory(vector.owned_bytes())
             if store is not None:
                 store.deposit(id(self), ctx.rank, vector)
         out = RowVectorBuilder(self.output_type)

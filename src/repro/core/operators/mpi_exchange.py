@@ -31,10 +31,10 @@ from repro.core.compression import COMPRESSED_TYPE, RadixCompression
 from repro.core.context import ExecutionContext
 from repro.core.functions import PartitionFunction
 from repro.core.operator import Operator
-from repro.core.operators.local_histogram import HISTOGRAM_TYPE
+from repro.core.operators.local_histogram import HISTOGRAM_TYPE, read_histogram
 from repro.errors import ExecutionError, TypeCheckError
 from repro.types.atoms import INT64
-from repro.types.collections import RowVector, RowVectorBuilder, row_vector_type
+from repro.types.collections import RowVector, row_vector_type
 from repro.types.tuples import TupleType
 
 __all__ = ["MpiExchange"]
@@ -108,19 +108,6 @@ class MpiExchange(Operator):
     def n_partitions(self) -> int:
         return self.partition_fn.n_partitions
 
-    def _read_histogram(self, ctx: ExecutionContext, upstream: Operator) -> np.ndarray:
-        counts = np.zeros(self.n_partitions, dtype=np.int64)
-        for batch in upstream.stream_batches(ctx):
-            if len(batch) == 0:
-                continue
-            buckets = batch.column("bucket")
-            if not (0 <= int(buckets.min()) and int(buckets.max()) < self.n_partitions):
-                raise ExecutionError(
-                    f"histogram bucket outside [0, {self.n_partitions})"
-                )
-            np.add.at(counts, buckets, batch.column("count"))
-        return counts
-
     def _owned_partitions(self, rank: int, n_ranks: int) -> range:
         return range(rank, self.n_partitions, n_ranks)
 
@@ -143,8 +130,8 @@ class MpiExchange(Operator):
         ctx.set_phase(self.assigned_phase)
         comm = ctx.comm
         n_ranks = comm.n_ranks
-        local_counts = self._read_histogram(ctx, self.upstreams[1])
-        global_counts = self._read_histogram(ctx, self.upstreams[2])
+        local_counts = read_histogram(ctx, self.upstreams[1], self.n_partitions)
+        global_counts = read_histogram(ctx, self.upstreams[2], self.n_partitions)
 
         ctx.set_phase(self.assigned_phase)
         gathered = comm.allgather(local_counts, payload_bytes=local_counts.nbytes)
@@ -174,12 +161,16 @@ class MpiExchange(Operator):
             total += len(batch)
             ctx.charge_cpu(self, "partition", len(batch))
             buckets = self.partition_fn.map_batch(batch)
+            # One stable counting-sort scatter per batch: a single gather
+            # makes every partition's share one contiguous region, and the
+            # sends consume zero-copy slice views of it.
             order = np.argsort(buckets, kind="stable")
+            scattered = batch.take(order)
             counts = np.bincount(buckets, minlength=self.n_partitions)
             offsets = np.concatenate(([0], np.cumsum(counts)))
             for pid in np.flatnonzero(counts):
                 pid = int(pid)
-                rows = batch.take(order[offsets[pid] : offsets[pid + 1]])
+                rows = scattered.slice(int(offsets[pid]), int(offsets[pid + 1]))
                 self._send_partition(
                     ctx, windows, partition_base, my_prefix, pending, pid, rows
                 )
@@ -192,12 +183,15 @@ class MpiExchange(Operator):
         ctx.set_phase(self.assigned_phase)
         windows.fence()
 
-        out = RowVectorBuilder(self.output_type)
-        for pid in self._owned_partitions(comm.rank, n_ranks):
+        # Columnar drain: ⟨pid, data⟩ assembled directly from the owned
+        # partition ids and the window's zero-copy read views — no
+        # per-partition builder appends, no row pythonization.
+        owned = np.arange(comm.rank, self.n_partitions, n_ranks, dtype=np.int64)
+        partitions = np.empty(len(owned), dtype=object)
+        for i, pid in enumerate(owned):
             base = int(partition_base[pid])
-            data = windows.local.read(base, base + int(global_counts[pid]))
-            out.append((pid, data))
-        yield out.finish()
+            partitions[i] = windows.local.read(base, base + int(global_counts[pid]))
+        yield RowVector(self.output_type, [owned, partitions])
 
     def _send_partition(
         self,

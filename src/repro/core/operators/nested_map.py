@@ -65,12 +65,13 @@ class NestedMap(Operator):
         # The per-invocation control flow is inherently tuple-at-a-time, but
         # pulling whole morsels keeps the *upstream* pipeline fused and
         # repackages the nested results into morsels for the consumer.
+        morsel_rows = ctx.morsel_rows_for(self.output_type)
         builder = RowVectorBuilder(self.output_type)
         emitted = False
         for batch in self.upstreams[0].stream_batches(ctx):
             for row in batch.iter_rows():
                 builder.append(self._run_inner(ctx, row))
-                if len(builder) >= ctx.morsel_rows:
+                if len(builder) >= morsel_rows:
                     yield builder.finish()
                     builder = RowVectorBuilder(self.output_type)
                     emitted = True

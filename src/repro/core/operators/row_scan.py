@@ -85,7 +85,7 @@ class RowScan(Operator):
             yield from collection.iter_rows()
 
     def batches(self, ctx: ExecutionContext) -> Iterator[RowVector]:
-        morsel_rows = ctx.morsel_rows
+        morsel_rows = ctx.morsel_rows_for(self.output_type)
         for collection in self._collections(ctx):
             ctx.charge_cpu(self, "scan", len(collection) * self._scan_weight)
             if len(collection) <= morsel_rows:

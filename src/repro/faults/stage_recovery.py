@@ -112,6 +112,7 @@ def _make_worker(
 ) -> Callable[["RankContext"], list[tuple]]:
     mode = ctx.mode
     morsel_rows = ctx.morsel_rows
+    join_kernel = ctx.join_kernel
     profiler = ctx.profiler
     metrics = ctx.metrics
     sanitizer = ctx.sanitizer
@@ -138,6 +139,7 @@ def _make_worker(
             rank_ctx, mode=mode, morsel_rows=morsel_rows,
             profiler=rank_profiler, metrics=rank_registry,
             checkpoints=checkpoints, sanitizer=sanitizer,
+            join_kernel=join_kernel,
         )
         worker_ctx.push_parameter(slot_id, wave[rank_ctx.rank])
         try:

@@ -359,6 +359,7 @@ class ModularisQuery:
         metrics: bool = False,
         faults=None,
         sanitize: bool = False,
+        join_kernel: str = "auto",
     ) -> ExecutionReport:
         """Execute against the catalog's current table contents.
 
@@ -368,7 +369,9 @@ class ModularisQuery:
         :class:`~repro.observability.metrics.MetricsSnapshot`.
         ``faults`` arms fault injection for the execution (the
         memory-pressure *planning* degradation happens earlier, in
-        :func:`lower_to_modularis`).
+        :func:`lower_to_modularis`).  ``join_kernel`` pins the fused
+        ``BuildProbe`` kernel (``"auto"``/``"sorted"``/``"radix"``) for
+        kernel-equivalence sweeps and benchmarks.
         """
         tables = []
         sides = [self.shape.left]
@@ -384,6 +387,10 @@ class ModularisQuery:
                 RowVector(pruned, [data.column(c) for c in side.columns])
             )
         ctx = None
+        if join_kernel != "auto":
+            from repro.core.context import ExecutionContext
+
+            ctx = ExecutionContext(mode=mode, join_kernel=join_kernel)
         if metrics and self.degraded_from is not None:
             # The broadcast-fallback decision happened at planning time;
             # pre-count it on the run's registry so the snapshot taken
@@ -391,7 +398,8 @@ class ModularisQuery:
             from repro.core.context import ExecutionContext
             from repro.observability.metrics import MetricsRegistry
 
-            ctx = ExecutionContext(mode=mode)
+            if ctx is None:
+                ctx = ExecutionContext(mode=mode)
             ctx.metrics = MetricsRegistry()
             ctx.metrics.counter(
                 "recovery_actions", action="broadcast_fallback"

@@ -135,16 +135,24 @@ class RowVector:
         The bulk counterpart of feeding every part through a
         :class:`RowVectorBuilder`; blocking operators use it to assemble
         their input from a batch stream without a per-row Python loop.
+
+        When the parts are adjacent contiguous slices of one parent vector
+        — the shape ``RowVector.slice`` morselization and the partition
+        scatter produce — each column re-merges into a single view of the
+        shared parent buffer instead of being copied.
         """
         parts = [part for part in parts if len(part)]
         if not parts:
             return cls.empty(element_type)
         if len(parts) == 1:
             return parts[0]
-        columns = [
-            np.concatenate([part._columns[i] for part in parts])
-            for i in range(len(element_type))
-        ]
+        columns = []
+        for i in range(len(element_type)):
+            arrays = [part._columns[i] for part in parts]
+            merged = _merge_contiguous_views(arrays)
+            if merged is None:
+                merged = np.concatenate(arrays)
+            columns.append(merged)
         return cls(element_type, columns)
 
     # -- accessors -------------------------------------------------------
@@ -183,6 +191,18 @@ class RowVector:
         """Flat payload size, the quantity the network cost model charges."""
         return self._length * self.element_type.row_size_bytes()
 
+    def owned_bytes(self) -> int:
+        """Bytes of backing storage this vector owns.
+
+        A vector whose columns are all views of other arrays (a ``slice``
+        morsel, a re-merged zero-copy concat, a ``Window.read``) holds no
+        storage of its own — the bytes already live in the parent buffer
+        — so memory accounting must not count it a second time.
+        """
+        if self._length and all(col.base is not None for col in self._columns):
+            return 0
+        return self.size_bytes()
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RowVector):
             return NotImplemented
@@ -197,6 +217,40 @@ class RowVector:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"RowVector({self.element_type!r}, rows={self._length})"
+
+
+def _merge_contiguous_views(arrays: Sequence[np.ndarray]) -> np.ndarray | None:
+    """One view covering ``arrays`` if they are adjacent slices of one base.
+
+    Returns ``None`` (caller copies) unless every array is a 1-D view of
+    the same 1-D parent buffer and their address ranges chain end-to-end
+    without gaps — the exact layout ``slice`` morselization produces.
+    """
+    base = arrays[0].base
+    if base is None or base.ndim != 1:
+        return None
+    stride = base.strides[0]
+    if stride <= 0:
+        return None
+    base_addr = base.__array_interface__["data"][0]
+    offset = arrays[0].__array_interface__["data"][0] - base_addr
+    if offset % stride:
+        return None
+    start = offset // stride
+    position = start
+    for array in arrays:
+        if (
+            array.base is not base
+            or array.ndim != 1
+            or array.dtype != base.dtype
+            or array.strides != base.strides
+            or array.__array_interface__["data"][0] != base_addr + position * stride
+        ):
+            return None
+        position += len(array)
+    if position > len(base):
+        return None
+    return base[start:position]
 
 
 def _as_python(value: object) -> object:
@@ -218,17 +272,22 @@ class RowVectorBuilder:
     The paper notes (Section 5.1.2) that its ``MaterializeRowVector`` grows
     buffers with ``realloc``; the builder mirrors that by accumulating in
     amortized-O(1) Python lists and converting to numpy once at the end.
+    :meth:`extend_vector` is the bulk-append counterpart: already-columnar
+    morsels are kept as whole segments and never pythonized, so a batch
+    drain through the builder costs one concat instead of a per-row loop.
     """
 
-    __slots__ = ("element_type", "_buffers", "_count")
+    __slots__ = ("element_type", "_buffers", "_count", "_segments", "_total")
 
     def __init__(self, element_type: TupleType) -> None:
         self.element_type = element_type
         self._buffers: list[list] = [[] for _ in element_type]
         self._count = 0
+        self._segments: list[RowVector] = []
+        self._total = 0
 
     def __len__(self) -> int:
-        return self._count
+        return self._total
 
     def append(self, row: tuple) -> None:
         if len(row) != len(self._buffers):
@@ -238,12 +297,28 @@ class RowVectorBuilder:
         for buf, value in zip(self._buffers, row):
             buf.append(value)
         self._count += 1
+        self._total += 1
 
     def extend(self, rows: Iterable[tuple]) -> None:
         for row in rows:
             self.append(row)
 
-    def finish(self) -> RowVector:
+    def extend_vector(self, vector: RowVector) -> None:
+        """Bulk-append a whole RowVector without materializing its rows."""
+        if vector.element_type != self.element_type:
+            raise TypeCheckError(
+                f"cannot extend builder of {self.element_type!r} with a vector "
+                f"of {vector.element_type!r}"
+            )
+        if len(vector) == 0:
+            return
+        if self._count:
+            self._seal_buffers()
+        self._segments.append(vector)
+        self._total += len(vector)
+
+    def _seal_buffers(self) -> None:
+        """Freeze the scalar buffers into a segment, preserving row order."""
         columns = []
         for buf, field in zip(self._buffers, self.element_type):
             dtype = _column_dtype(field.item_type)
@@ -256,7 +331,17 @@ class RowVectorBuilder:
             else:
                 col = np.array(buf, dtype=dtype)
             columns.append(col)
-        return RowVector(self.element_type, columns)
+        self._segments.append(RowVector(self.element_type, columns))
+        self._buffers = [[] for _ in self.element_type]
+        self._count = 0
+
+    def finish(self) -> RowVector:
+        if self._count or not self._segments:
+            self._seal_buffers()
+        segments = self._segments
+        if len(segments) == 1:
+            return segments[0]
+        return RowVector.concat(self.element_type, segments)
 
 
 class ChunkedRowVector:

@@ -106,3 +106,23 @@ class TestTpchQueries:
         # Float aggregates may differ in the last ulp between the scalar
         # fold and the vectorized segment sum; integers must be exact.
         assert frames_match(frames[0], frames[1], tolerance=1e-9)
+
+    @pytest.mark.parametrize("qnum", [4, 12, 14, 19])
+    def test_query_join_kernels_agree(self, qnum, catalog):
+        from repro.bench.experiments.fig9 import frames_match
+        from repro.relational import lower_to_modularis
+        from repro.tpch import ALL_QUERIES
+
+        query = ALL_QUERIES[qnum]()
+        frames = []
+        for join_kernel in ("sorted", "radix", "auto"):
+            lowered = lower_to_modularis(query.plan, catalog, SimCluster(2))
+            frames.append(
+                lowered.result_frame(
+                    lowered.run(catalog, mode="fused", join_kernel=join_kernel)
+                )
+            )
+        # Both kernels share the emission-order contract, so whole query
+        # results are bit-identical — no float tolerance needed.
+        assert frames_match(frames[0], frames[1], tolerance=0.0)
+        assert frames_match(frames[0], frames[2], tolerance=0.0)

@@ -1,0 +1,387 @@
+"""Radix join kernel: dispatch, bit-identity, and the zero-copy data plane.
+
+Three layers of coverage for PR 7:
+
+* kernel mechanics — eligibility heuristic, fan-out selection, the
+  two-pass scatter matching the single-pass table, and the hard range cap;
+* hypothesis sweeps — radix vs sorted-hash vs scalar hash-table outputs
+  are *ordered* bit-identical for all four probe policies under negative
+  keys, heavy duplicates, and Zipf-skewed distributions;
+* the zero-copy columnar plane — ``RowVector.concat`` re-merges adjacent
+  slice views without copying, ``RowVectorBuilder.extend_vector`` bulk
+  appends, and ``LocalPartitioning``/``MpiExchange`` emit partitions as
+  views of one scattered region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context import ExecutionContext
+from repro.core.executor import execute
+from repro.core.functions import RadixPartition
+from repro.core.kernels.hash_join import HashJoinBuild, HashJoinSpec, probe_morsel
+from repro.core.kernels.radix_join import (
+    HARD_RANGE_CAP,
+    PASS_RANGE,
+    RADIX_MIN_ROWS,
+    RadixJoinBuild,
+    radix_eligible,
+    radix_fanout,
+    radix_probe_morsel,
+    select_join_kernel,
+)
+from repro.core.operators import (
+    BuildProbe,
+    LocalHistogram,
+    LocalPartitioning,
+    RowScan,
+)
+from repro.core.operators.build_probe import JOIN_TYPES
+from repro.errors import ExecutionError
+from repro.types import INT64, RowVector, TupleType
+from repro.types.collections import RowVectorBuilder
+
+from tests.conftest import table_source
+
+L = TupleType.of(key=INT64, lpay=INT64)
+R = TupleType.of(key=INT64, rpay=INT64)
+KV = TupleType.of(key=INT64, value=INT64)
+
+
+def vector_of(rows, schema=KV):
+    return RowVector.from_rows(schema, rows)
+
+
+def scan_of(table, ctx):
+    return RowScan(table_source(table, ctx), field="t")
+
+
+def join_outputs(left_rows, right_rows, join_type, join_kernel, mode="fused",
+                 morsel_rows=None):
+    ctx = ExecutionContext(mode=mode, join_kernel=join_kernel,
+                           morsel_rows=morsel_rows)
+    bp = BuildProbe(
+        scan_of(vector_of(left_rows, L), ctx),
+        scan_of(vector_of(right_rows, R), ctx),
+        keys="key",
+        join_type=join_type,
+        outer_fill=-1,
+    )
+    return list(bp.stream(ctx))
+
+
+class TestKernelMechanics:
+    def test_eligibility_dense_build(self):
+        n = RADIX_MIN_ROWS
+        assert radix_eligible(n, 0, n - 1)
+
+    def test_eligibility_rejects_small_build(self):
+        assert not radix_eligible(RADIX_MIN_ROWS - 1, 0, 10)
+
+    def test_eligibility_rejects_sparse_range(self):
+        n = RADIX_MIN_ROWS
+        assert not radix_eligible(n, 0, 100 * n)
+
+    def test_forced_accepts_sparse_within_cap(self):
+        assert radix_eligible(10, 0, HARD_RANGE_CAP - 1, forced=True)
+
+    def test_hard_cap_binds_even_forced(self):
+        assert not radix_eligible(10, 0, HARD_RANGE_CAP, forced=True)
+        assert not radix_eligible(10, -(2**62), 2**62, forced=True)
+
+    def test_fanout_covers_span(self):
+        for span in (PASS_RANGE + 1, 3 * PASS_RANGE, HARD_RANGE_CAP):
+            shift, fanout = radix_fanout(span)
+            assert fanout * (1 << shift) >= span
+            assert (fanout - 1) * (1 << shift) < span
+            assert (1 << shift) <= PASS_RANGE
+
+    def test_from_rows_rejects_range_beyond_cap(self):
+        left = vector_of([(0, 0), (HARD_RANGE_CAP, 1)], L)
+        with pytest.raises(ValueError):
+            RadixJoinBuild.from_rows(left, "key")
+
+    def test_two_pass_scatter_matches_single_pass_table(self):
+        # Span just above one pass forces the two-level scatter; the
+        # resulting (order, starts) must equal a direct stable sort.
+        rng = np.random.default_rng(3)
+        keys = rng.integers(-PASS_RANGE, 2 * PASS_RANGE, 5000)
+        left = vector_of([(int(k), i) for i, k in enumerate(keys)], L)
+        build = RadixJoinBuild.from_rows(left, "key")
+        rebased = keys - keys.min()
+        assert build.order.tolist() == np.argsort(
+            rebased, kind="stable"
+        ).tolist()
+        counts = np.bincount(rebased, minlength=int(rebased.max()) + 1)
+        assert build.starts.tolist() == np.concatenate(
+            ([0], np.cumsum(counts))
+        ).tolist()
+
+    def test_select_kernel_labels(self):
+        dense = vector_of([(i % 64, i) for i in range(RADIX_MIN_ROWS)], L)
+        assert select_join_kernel("auto", dense, "key")[0] == "radix"
+        assert select_join_kernel("sorted", dense, "key")[0] == "kernel"
+        small = vector_of([(1, 1)], L)
+        assert select_join_kernel("auto", small, "key")[0] == "kernel"
+        assert select_join_kernel("radix", small, "key")[0] == "radix"
+        # Forced radix still bows to the hard memory cap.
+        wide = vector_of([(-(2**62), 0), (2**62, 1)], L)
+        assert select_join_kernel("radix", wide, "key")[0] == "kernel"
+
+    def test_probe_matches_sorted_hash_kernel(self):
+        rng = np.random.default_rng(11)
+        left = vector_of(
+            [(int(k), i) for i, k in enumerate(rng.integers(-40, 40, 500))], L
+        )
+        right = vector_of(
+            [(int(k), i) for i, k in enumerate(rng.integers(-40, 40, 300))], R
+        )
+        spec = HashJoinSpec(
+            join_type="inner",
+            output_type=TupleType.of(key=INT64, lpay=INT64, rpay=INT64),
+            key="key",
+            left_rest_pos=(1,),
+            right_rest_pos=(1,),
+            right_type=R,
+            outer_fill=0,
+        )
+        radix = radix_probe_morsel(RadixJoinBuild.from_rows(left, "key"), right, spec)
+        sorted_hash = probe_morsel(HashJoinBuild.from_rows(left, "key"), right, spec)
+        assert radix == sorted_hash
+
+
+class TestBitIdentity:
+    """Radix vs sorted-hash vs scalar hash table: ordered equality."""
+
+    signed_rows = st.lists(
+        st.tuples(st.integers(-8, 8), st.integers(-1000, 1000)), max_size=60
+    )
+
+    @given(
+        left_rows=signed_rows,
+        right_rows=signed_rows,
+        join_type=st.sampled_from(JOIN_TYPES),
+        morsel_rows=st.sampled_from([1, 7, 1 << 16]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_negative_keys_all_policies(
+        self, left_rows, right_rows, join_type, morsel_rows
+    ):
+        radix = join_outputs(
+            left_rows, right_rows, join_type, "radix", morsel_rows=morsel_rows
+        )
+        sorted_hash = join_outputs(
+            left_rows, right_rows, join_type, "sorted", morsel_rows=morsel_rows
+        )
+        scalar = join_outputs(
+            left_rows, right_rows, join_type, "auto",
+            mode="interpreted", morsel_rows=morsel_rows,
+        )
+        assert radix == sorted_hash == scalar
+
+    @given(
+        join_type=st.sampled_from(JOIN_TYPES),
+        n_keys=st.integers(1, 4),
+        n_left=st.integers(0, 40),
+        n_right=st.integers(0, 40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_heavy_duplicates(self, join_type, n_keys, n_left, n_right):
+        left_rows = [(i % n_keys, i) for i in range(n_left)]
+        right_rows = [(i % (n_keys + 1), -i) for i in range(n_right)]
+        radix = join_outputs(left_rows, right_rows, join_type, "radix")
+        sorted_hash = join_outputs(left_rows, right_rows, join_type, "sorted")
+        scalar = join_outputs(
+            left_rows, right_rows, join_type, "auto", mode="interpreted"
+        )
+        assert radix == sorted_hash == scalar
+
+    @given(join_type=st.sampled_from(JOIN_TYPES), seed=st.integers(0, 2**16))
+    @settings(max_examples=24, deadline=None)
+    def test_zipf_skew(self, join_type, seed):
+        rng = np.random.default_rng(seed)
+        lk = rng.zipf(1.3, 400) % 512
+        rk = rng.zipf(1.3, 300) % 512
+        left_rows = [(int(k), i) for i, k in enumerate(lk)]
+        right_rows = [(int(k), -i) for i, k in enumerate(rk)]
+        radix = join_outputs(left_rows, right_rows, join_type, "radix")
+        sorted_hash = join_outputs(left_rows, right_rows, join_type, "sorted")
+        scalar = join_outputs(
+            left_rows, right_rows, join_type, "auto", mode="interpreted"
+        )
+        assert radix == sorted_hash == scalar
+
+    @given(
+        join_type=st.sampled_from(JOIN_TYPES),
+        key=st.integers(-(2**62), 2**62),
+        n_left=st.integers(0, 5),
+        n_right=st.integers(0, 5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_degenerate_extreme_keys(self, join_type, key, n_left, n_right):
+        # Forced radix on astronomically sparse keys must fall back to the
+        # sorted-hash kernel (hard cap), never overflow or allocate.
+        left_rows = [(key, i) for i in range(n_left)]
+        right_rows = [(key, -i) for i in range(n_right)]
+        radix = join_outputs(left_rows, right_rows, join_type, "radix",
+                             morsel_rows=1)
+        scalar = join_outputs(left_rows, right_rows, join_type, "auto",
+                              mode="interpreted", morsel_rows=1)
+        assert radix == scalar
+
+
+class TestDispatchMetric:
+    def _run_metered(self, n_rows, join_kernel):
+        ctx = ExecutionContext(join_kernel=join_kernel)
+        left = vector_of([(i % 64, i) for i in range(n_rows)], L)
+        right = vector_of([(i % 64, -i) for i in range(128)], R)
+        bp = BuildProbe(scan_of(left, ctx), scan_of(right, ctx), keys="key")
+        report = execute(bp, ctx=ctx, metrics=True)
+        return report.metrics
+
+    def test_auto_dispatches_radix_on_dense_build(self):
+        snapshot = self._run_metered(RADIX_MIN_ROWS, "auto")
+        assert snapshot.total("join_dispatch", path="radix") == 1
+        assert snapshot.total("join_dispatch", path="kernel") == 0
+
+    def test_auto_keeps_sorted_hash_on_small_build(self):
+        snapshot = self._run_metered(64, "auto")
+        assert snapshot.total("join_dispatch", path="kernel") == 1
+        assert snapshot.total("join_dispatch", path="radix") == 0
+
+    def test_sorted_pin_wins_over_heuristic(self):
+        snapshot = self._run_metered(RADIX_MIN_ROWS, "sorted")
+        assert snapshot.total("join_dispatch", path="kernel") == 1
+
+
+class TestZeroCopyPlane:
+    def test_concat_remerges_adjacent_slices_without_copy(self):
+        parent = vector_of([(i, i * 2) for i in range(100)])
+        parts = [parent.slice(0, 40), parent.slice(40, 75), parent.slice(75, 100)]
+        merged = RowVector.concat(KV, parts)
+        assert merged == parent
+        for merged_col, parent_col in zip(merged.columns, parent.columns):
+            assert np.shares_memory(merged_col, parent_col)
+
+    def test_concat_copies_on_gap_or_foreign_parts(self):
+        parent = vector_of([(i, i * 2) for i in range(100)])
+        gap = RowVector.concat(KV, [parent.slice(0, 40), parent.slice(50, 100)])
+        assert len(gap) == 90
+        assert not np.shares_memory(gap.columns[0], parent.columns[0])
+        other = vector_of([(7, 7)])
+        mixed = RowVector.concat(KV, [parent.slice(0, 10), other])
+        assert len(mixed) == 11
+
+    def test_builder_extend_vector_bulk_and_interleaved(self):
+        builder = RowVectorBuilder(KV)
+        builder.append((1, 10))
+        builder.extend_vector(vector_of([(2, 20), (3, 30)]))
+        builder.append((4, 40))
+        builder.extend_vector(RowVector.empty(KV))
+        assert len(builder) == 4
+        assert list(builder.finish().iter_rows()) == [
+            (1, 10), (2, 20), (3, 30), (4, 40)
+        ]
+
+    def test_builder_extend_vector_type_checked(self):
+        from repro.errors import TypeCheckError
+
+        builder = RowVectorBuilder(KV)
+        with pytest.raises(TypeCheckError):
+            builder.extend_vector(vector_of([(1, 1)], L))
+
+    def test_local_partitioning_emits_views_of_one_region(self):
+        ctx = ExecutionContext()
+        table = vector_of([(i % 4, i) for i in range(64)])
+        fn = RadixPartition("key", 4)
+        data = scan_of(table, ctx)
+        hist = LocalHistogram(scan_of(table, ctx), fn)
+        lp = LocalPartitioning(data, hist, fn)
+        (batch,) = list(lp.batches(ctx))
+        pids = batch.columns[0].tolist()
+        assert pids == [0, 1, 2, 3]
+        partitions = list(batch.columns[1])
+        base = partitions[0].columns[0].base
+        assert base is not None
+        for part in partitions:
+            assert len(part) == 16
+            # Every partition is a zero-copy slice of the same scattered
+            # region, not a per-partition copy.
+            assert part.columns[0].base is base
+
+    def test_histogram_reader_skips_empty_batches_before_min(self):
+        from repro.core.operators.local_histogram import read_histogram
+
+        class EmptyThenCounts:
+            output_type = TupleType.of(bucket=INT64, count=INT64)
+
+            def stream_batches(self, ctx):
+                yield RowVector.empty(self.output_type)
+                yield vector_of([(0, 3), (1, 2)], self.output_type)
+
+        counts = read_histogram(ExecutionContext(), EmptyThenCounts(), 2)
+        assert counts.tolist() == [3, 2]
+
+    def test_histogram_reader_rejects_out_of_range_bucket(self):
+        from repro.core.operators.local_histogram import read_histogram
+
+        class BadBucket:
+            output_type = TupleType.of(bucket=INT64, count=INT64)
+
+            def stream_batches(self, ctx):
+                yield vector_of([(5, 1)], self.output_type)
+
+        with pytest.raises(ExecutionError):
+            read_histogram(ExecutionContext(), BadBucket(), 2)
+
+
+class TestMemoryAccounting:
+    """``materialized_bytes`` counts owned storage, not zero-copy views."""
+
+    def _materialize_scan(self, morsel_rows):
+        from repro.core.operators import MaterializeRowVector
+
+        ctx = ExecutionContext(morsel_rows=morsel_rows)
+        table = vector_of([(i, i * 2) for i in range(1 << 13)])
+        plan = MaterializeRowVector(scan_of(table, ctx))
+        report = execute(plan, ctx=ctx, metrics=True)
+        return table, report.metrics
+
+    def test_view_remerge_accounts_zero_bytes(self):
+        # Morsels smaller than the table force the builder to re-merge
+        # slice views; the result is a view of the scanned table, so no
+        # new resident bytes exist to count.
+        table, snap = self._materialize_scan(morsel_rows=512)
+        assert table.size_bytes() > 0
+        assert snap.total("materialized_bytes") == 0
+        assert snap.total("rowvector_peak_bytes") == 0
+
+    def test_owned_vector_accounts_full_size(self):
+        parent = vector_of([(i, i) for i in range(32)])
+        assert parent.owned_bytes() == parent.size_bytes()
+        view = parent.slice(4, 20)
+        assert view.size_bytes() == 16 * parent.element_type.row_size_bytes()
+        assert view.owned_bytes() == 0
+
+
+class TestMorselAutoTuning:
+    def test_explicit_setting_pins_size(self):
+        ctx = ExecutionContext(morsel_rows=123)
+        assert ctx.morsel_rows_for(KV) == 123
+
+    def test_auto_scales_inversely_with_row_width(self):
+        ctx = ExecutionContext()
+        narrow = ctx.morsel_rows_for(KV)
+        wide_type = TupleType.of(**{f"c{i}": INT64 for i in range(256)})
+        wide = ctx.morsel_rows_for(wide_type)
+        assert wide < narrow
+        budget = ctx.cost.machine.l3_cache_bytes // 2
+        assert wide == max(1 << 10, min(1 << 16, budget // wide_type.row_size_bytes()))
+
+    def test_unknown_join_kernel_rejected(self):
+        with pytest.raises(ExecutionError):
+            ExecutionContext(join_kernel="simd")
