@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke bench-compare chaos-soak sanitize-soak profile examples
+.PHONY: test lint bench bench-smoke bench-compare chaos-soak sanitize-soak serve-soak profile examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -51,6 +51,13 @@ sanitize-soak:
 	$(PYTHON) -m repro sanitize all
 	$(PYTHON) -m repro sanitize join q14 --mode interpreted \
 		--policies clean transient
+
+# Concurrent-serving soak: 16 interleaved TPC-H queries on one shared
+# cluster must be bit-identical to serial runs (clean and under transient
+# chaos), with no tenant starved beyond its fair-share weight.
+serve-soak:
+	$(PYTHON) -m repro serve --queries 16
+	$(PYTHON) -m repro serve --queries 16 --chaos
 
 # EXPLAIN ANALYZE a TPC-H query and export the merged operator+substrate
 # Chrome trace (open profile_trace.json in chrome://tracing or Perfetto).

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.options import RunOptions
 from repro.core.plans.join import build_distributed_join
 from repro.core.plans.groupby import build_distributed_groupby
 from repro.mpi.cluster import SimCluster
@@ -44,7 +45,7 @@ def _join_seconds(workload, compression: bool, mode: str = "fused",
         key_bits=workload.key_bits,
         compression=compression,
     )
-    result = plan.run(workload.left, workload.right, mode=mode)
+    result = plan.run(workload.left, workload.right, RunOptions(mode=mode))
     assert len(plan.matches(result)) == workload.expected_matches
     cluster_result = result.cluster_results[0]
     return (

@@ -26,6 +26,7 @@ from repro.core.operators import (
     ParameterSlot,
     RowScan,
 )
+from repro.core.options import RunOptions
 from repro.core.plans import build_distributed_join
 from repro.mpi import SimCluster
 from repro.types import INT64, TupleType, row_vector_type
@@ -75,7 +76,7 @@ def traced_join(compression: bool, profile: bool = False):
         key_bits=workload.key_bits,
         compression=compression,
     )
-    report = plan.run(workload.left, workload.right, profile=profile)
+    report = plan.run(workload.left, workload.right, RunOptions(profile=profile))
     assert len(plan.matches(report)) == workload.expected_matches
     return report
 

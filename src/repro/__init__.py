@@ -28,6 +28,7 @@ __version__ = "1.0.0"
 
 from repro import core, mpi, types
 from repro.core.executor import execute
+from repro.core.options import RunOptions
 from repro.errors import (
     CatalogError,
     ExecutionError,
@@ -43,6 +44,7 @@ __all__ = [
     "mpi",
     "types",
     "execute",
+    "RunOptions",
     "ModularisError",
     "TypeCheckError",
     "PlanError",

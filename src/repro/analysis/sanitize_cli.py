@@ -21,6 +21,7 @@ memory pressure.
 
 from __future__ import annotations
 
+from repro.core.options import RunOptions
 from repro.faults.chaos import (
     _columns_match,
     _frame_columns,
@@ -136,12 +137,13 @@ def _run_tpch(name, machines, sf, mode, strategy, policy) -> dict:
     qnum = int(name[1:])
     catalog = load_catalog(scale_factor=sf)
     query = ALL_QUERIES[qnum]()
+    options = RunOptions(mode=mode, faults=policy)
     plan = lower_to_modularis(
         query.plan, catalog, SimCluster(machines), join_strategy=strategy,
-        faults=policy,
+        options=options,
     )
-    plain = plan.run(catalog, mode=mode, faults=policy)
-    sanitized = plan.run(catalog, mode=mode, faults=policy, sanitize=True)
+    plain = plan.run(catalog, options)
+    sanitized = plan.run(catalog, options.replace(sanitize=True))
     identical = _columns_match(
         *_frame_columns(plan.result_frame(plain)),
         *_frame_columns(plan.result_frame(sanitized)),

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bench.harness import ResultTable
+from repro.core.options import RunOptions
 from repro.core.executor import execute
 from repro.core.functions import field_sum
 from repro.core.operators import ParameterLookup, ParameterSlot, Reduce, RowScan
@@ -63,7 +64,7 @@ def run_micro(config: MicroConfig = MicroConfig()) -> ResultTable:
 
     results: dict[str, float] = {}
     for mode in ("fused", "interpreted"):
-        result = execute(plan, params={slot: (table,)}, mode=mode)
+        result = execute(plan, params={slot: (table,)}, options=RunOptions(mode=mode))
         assert result.rows == [(expected,)]
         results[mode] = result.simulated_time
 

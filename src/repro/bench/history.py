@@ -294,6 +294,7 @@ def collect_record(
 
     from repro.bench.experiments.micro import _scan_sum_plan
     from repro.core.executor import execute
+    from repro.core.options import RunOptions
     from repro.core.plans.groupby import build_distributed_groupby
     from repro.core.plans.join import build_distributed_join
     from repro.core.plans.join_sequence import build_join_sequence
@@ -317,7 +318,7 @@ def collect_record(
     plan, slot, table, expected = _scan_sum_plan(micro_n, seed=2021)
 
     def run_micro() -> None:
-        result = execute(plan, params={slot: (table,)}, mode="fused")
+        result = execute(plan, params={slot: (table,)}, options=RunOptions(mode="fused"))
         assert result.rows == [(expected,)]
 
     value, samples = _wall(run_micro, max(repeats, 3))
@@ -408,6 +409,33 @@ def collect_record(
         value=value, samples=samples, tolerance=SIM_TOLERANCE,
         meta={"scale_factor": scale_factor, "machines": machines},
     )
+
+    # Serving: wall seconds to complete a batch of N concurrent TPC-H
+    # queries on the shared-cluster server (queries/sec derives as
+    # N / value; the curve across N shows scheduler overlap paying off).
+    from repro.serving.soak import throughput_probe
+
+    serving_machines = 2
+    per_n_samples: dict[int, list[float]] = {1: [], 4: [], 16: []}
+    for _ in range(max(repeats, 3)):
+        for n, wall in throughput_probe(
+            scale_factor=scale_factor,
+            machines=serving_machines,
+            concurrencies=tuple(per_n_samples),
+        ).items():
+            per_n_samples[n].append(wall)
+    for n, walls in sorted(per_n_samples.items()):
+        value = statistics.median(walls)
+        benchmarks[f"serving_batch_wall_n{n}"] = BenchmarkSample(
+            value=value, clock="wall", samples=walls,
+            tolerance=WALL_TOLERANCE,
+            meta={
+                "concurrency": n,
+                "scale_factor": scale_factor,
+                "machines": serving_machines,
+                "queries_per_second": (n / value) if value > 0 else 0.0,
+            },
+        )
 
     return make_record(
         benchmarks,

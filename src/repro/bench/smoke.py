@@ -48,6 +48,7 @@ import time
 
 import numpy as np
 
+from repro.core.options import RunOptions
 from repro.core.plans.groupby import build_distributed_groupby
 from repro.mpi.cluster import SimCluster
 from repro.types.atoms import INT64
@@ -96,7 +97,7 @@ def _fig7_groupby(n_tuples: int, machines: int, repeats: int) -> dict[str, float
     plan = build_distributed_groupby(SimCluster(machines), kv, key_bits=10)
 
     def run(mode: str) -> None:
-        plan.groups(plan.run(table, mode=mode))
+        plan.groups(plan.run(table, RunOptions(mode=mode)))
 
     return _time_modes(run, repeats)
 
@@ -197,7 +198,7 @@ def _fault_overhead(n_tuples: int, machines: int, repeats: int) -> dict[str, flo
 
     def run(faults) -> tuple[float, RowVector]:
         start = time.perf_counter()
-        result = plan.run(table, mode="fused", faults=faults)
+        result = plan.run(table, RunOptions(mode="fused", faults=faults))
         elapsed = time.perf_counter() - start
         return elapsed, plan.groups(result)
 
@@ -254,7 +255,7 @@ def _sanitizer_overhead(
 
     def run(**kwargs) -> tuple[float, RowVector]:
         start = time.perf_counter()
-        result = plan.run(table, mode="fused", **kwargs)
+        result = plan.run(table, RunOptions(mode="fused", **kwargs))
         elapsed = time.perf_counter() - start
         return elapsed, plan.groups(result)
 
@@ -283,8 +284,9 @@ def _sanitizer_overhead(
         query_plan = lower_to_modularis(
             ALL_QUERIES[qnum]().plan, catalog, _Cluster(machines)
         )
-        plain = query_plan.result_frame(query_plan.run(catalog, mode="fused"))
-        sanitized_report = query_plan.run(catalog, mode="fused", sanitize=True)
+        fused = RunOptions(mode="fused")
+        plain = query_plan.result_frame(query_plan.run(catalog, fused))
+        sanitized_report = query_plan.run(catalog, fused.replace(sanitize=True))
         sanitized = query_plan.result_frame(sanitized_report)
         identical = list(plain.columns) == list(sanitized.columns) and all(
             np.array_equal(np.asarray(plain.columns[n]),

@@ -14,6 +14,7 @@ Usage (also available as ``python -m repro``)::
     python -m repro bench record --label nightly
     python -m repro bench compare --baseline seed
     python -m repro lint all examples/ --format json
+    python -m repro serve --queries 16 --chaos
 
 Every subcommand accepts ``--format {text,json}``: text output mirrors the
 tables the benchmark suite asserts on; JSON carries the same data for
@@ -271,6 +272,32 @@ def build_parser() -> argparse.ArgumentParser:
         default="exchange", help="join strategy for q* targets",
     )
 
+    serve = commands.add_parser(
+        "serve", parents=[fmt],
+        help="soak the concurrent serving layer: N interleaved TPC-H "
+        "queries on one shared cluster, checked bit-identical to serial",
+    )
+    serve.add_argument("--queries", type=int, default=16,
+                       help="concurrent submissions (default: 16)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="scheduler worker threads (default: 4)")
+    serve.add_argument("--quantum", type=int, default=1,
+                       help="morsel steps per scheduling quantum (default: 1)")
+    serve.add_argument("--sf", type=float, default=0.01,
+                       help="TPC-H scale factor (default: 0.01)")
+    serve.add_argument("--machines", type=int, default=2)
+    serve.add_argument("--seed", type=int, default=2021)
+    serve.add_argument(
+        "--chaos", action="store_true",
+        help="arm a transient-fault policy during the soak (results must "
+        "stay bit-identical)",
+    )
+    serve.add_argument(
+        "--trace", action="store_true",
+        help="print the scheduler quantum trace (worker/tenant/query per "
+        "quantum) after the summary",
+    )
+
     return parser
 
 
@@ -415,6 +442,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_tpch(args: argparse.Namespace) -> int:
     from repro.bench.experiments.fig9 import frames_match
+    from repro.core.options import RunOptions
     from repro.mpi.cluster import SimCluster
     from repro.relational import lower_to_modularis, run_logical_plan
     from repro.tpch import load_catalog
@@ -425,7 +453,7 @@ def _cmd_tpch(args: argparse.Namespace) -> int:
     lowered = lower_to_modularis(
         query.plan, catalog, SimCluster(args.machines), join_strategy=args.strategy
     )
-    result = lowered.run(catalog, mode=args.mode)
+    result = lowered.run(catalog, RunOptions(mode=args.mode))
     frame = lowered.result_frame(result)
     if not frames_match(reference, frame, tolerance=1e-6):
         print("ERROR: distributed result diverges from the reference", file=sys.stderr)
@@ -514,6 +542,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core.options import RunOptions
     from repro.core.plan import explain as explain_physical
     from repro.core.plan import prepare
     from repro.mpi.cluster import SimCluster
@@ -534,7 +563,9 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     if args.analyze:
         # Metrics ride along so the ANALYZE tree ends with the work
         # accounting (rows per operator, shuffle volume, memory peaks).
-        report = lowered.run(catalog, mode=args.mode, profile=True, metrics=True)
+        report = lowered.run(
+            catalog, RunOptions(mode=args.mode, profile=True, metrics=True)
+        )
         analyzed = report.profile
 
     if args.format == "json":
@@ -562,10 +593,12 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.options import RunOptions
     from repro.mpi.cluster import SimCluster
     from repro.observability import write_chrome_trace
 
     cluster = SimCluster(args.machines, trace=True)
+    options = RunOptions(mode=args.mode, profile=True)
     if args.workload == "tpch":
         from repro.relational import lower_to_modularis
         from repro.tpch import load_catalog
@@ -575,7 +608,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         lowered = lower_to_modularis(
             query.plan, catalog, cluster, join_strategy=args.strategy
         )
-        report = lowered.run(catalog, mode=args.mode, profile=True)
+        report = lowered.run(catalog, options)
         label = f"tpch q{args.query} sf={args.sf}"
     elif args.workload == "join":
         from repro.core.plans import build_distributed_join
@@ -588,7 +621,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             workload.right.element_type,
             key_bits=workload.key_bits,
         )
-        report = plan.run(workload.left, workload.right, mode=args.mode, profile=True)
+        report = plan.run(workload.left, workload.right, options)
         label = f"join 2^{args.log2_tuples}"
     else:
         from repro.core.plans import build_distributed_groupby
@@ -598,7 +631,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         plan = build_distributed_groupby(
             cluster, workload.table.element_type, key_bits=workload.key_bits
         )
-        report = plan.run(workload.table, mode=args.mode, profile=True)
+        report = plan.run(workload.table, options)
         label = f"groupby 2^{args.log2_tuples}"
 
     chrome_events = None
@@ -641,9 +674,11 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         SHUFFLE_AMPLIFICATION_FACTOR,
         analyze_runtime,
     )
+    from repro.core.options import RunOptions
     from repro.mpi.cluster import SimCluster
 
     cluster = SimCluster(args.machines)
+    options = RunOptions(mode=args.mode, metrics=True)
     if args.workload == "tpch":
         from repro.relational import lower_to_modularis
         from repro.tpch import load_catalog
@@ -653,7 +688,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         lowered = lower_to_modularis(
             query.plan, catalog, cluster, join_strategy=args.strategy
         )
-        report = lowered.run(catalog, mode=args.mode, metrics=True)
+        report = lowered.run(catalog, options)
         label = f"tpch q{args.query} sf={args.sf}"
     elif args.workload == "join":
         from repro.core.plans import build_distributed_join
@@ -666,8 +701,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             workload.right.element_type,
             key_bits=workload.key_bits,
         )
-        report = plan.run(workload.left, workload.right, mode=args.mode,
-                          metrics=True)
+        report = plan.run(workload.left, workload.right, options)
         label = f"join 2^{args.log2_tuples}"
     else:
         from repro.core.plans import build_distributed_groupby
@@ -677,7 +711,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         plan = build_distributed_groupby(
             cluster, workload.table.element_type, key_bits=workload.key_bits
         )
-        report = plan.run(workload.table, mode=args.mode, metrics=True)
+        report = plan.run(workload.table, options)
         label = f"groupby 2^{args.log2_tuples}"
 
     factor = args.shuffle_amplification_factor
@@ -727,6 +761,51 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return run_cli(args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving.soak import SoakConfig, run_soak
+
+    report = run_soak(
+        SoakConfig(
+            scale_factor=args.sf,
+            machines=args.machines,
+            n_queries=args.queries,
+            n_workers=args.workers,
+            quantum=args.quantum,
+            chaos=args.chaos,
+            seed=args.seed,
+        )
+    )
+    if args.format == "json":
+        _print_json(
+            {
+                "queries": len(report.results),
+                "chaos": args.chaos,
+                "bit_identical": report.bit_identical,
+                "serial_wall_seconds": report.serial_wall,
+                "concurrent_wall_seconds": report.concurrent_wall,
+                "queries_per_second": report.queries_per_second,
+                "overlapped": report.overlapped,
+                "steals": report.steals,
+                "starved_tenants": report.starved_tenants,
+                "shares": {
+                    t: {"observed": obs, "entitled": ent}
+                    for t, (obs, ent) in sorted(report.shares.items())
+                },
+                "ledgers": {
+                    t: {"settled": settled, "serial": serial}
+                    for t, (settled, serial) in sorted(report.ledgers.items())
+                },
+            }
+        )
+    else:
+        print(report.render())
+    ok = report.bit_identical and not report.starved_tenants
+    if not ok:
+        print("ERROR: soak failed (results diverged or a tenant starved)",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -739,6 +818,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "lint": _cmd_lint,
         "chaos": _cmd_chaos,
         "sanitize": _cmd_sanitize,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -2,7 +2,7 @@
 
 from repro.core.compression import COMPRESSED_TYPE, RadixCompression
 from repro.core.context import ExecutionContext
-from repro.core.executor import ExecutionReport, ExecutionResult, execute
+from repro.core.executor import ExecutionReport, execute, execution_steps
 from repro.core.functions import (
     CallablePartition,
     HashPartition,
@@ -15,6 +15,7 @@ from repro.core.functions import (
     field_sum,
 )
 from repro.core.operator import Operator
+from repro.core.options import RunOptions
 from repro.core.plan import SharedScan, explain, prepare, walk
 
 __all__ = [
@@ -22,8 +23,9 @@ __all__ = [
     "RadixCompression",
     "ExecutionContext",
     "ExecutionReport",
-    "ExecutionResult",
+    "RunOptions",
     "execute",
+    "execution_steps",
     "CallablePartition",
     "HashPartition",
     "ParamTupleFunction",

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.core.options import JOIN_KERNELS, MODES, RunOptions
 from repro.errors import ExecutionError
 from repro.mpi.clock import SimClock
 from repro.mpi.cluster import RankContext
@@ -34,10 +35,10 @@ __all__ = ["ExecutionContext", "ExecutionMode"]
 #: tuple-at-a-time Volcano interpreter without compilation.
 ExecutionMode = str
 
-_MODES = ("fused", "interpreted")
+_MODES = MODES
 
 #: Valid settings of :attr:`ExecutionContext.join_kernel`.
-_JOIN_KERNELS = ("auto", "sorted", "radix")
+_JOIN_KERNELS = JOIN_KERNELS
 
 #: Morsel auto-tuning bounds: never below a vectorization-worthy batch,
 #: never above the PR-2 default that every existing plan was sized for.
@@ -100,6 +101,12 @@ class ExecutionContext:
     #: Materialized results of shared (multi-consumer) operators, keyed by
     #: the wrapped operator's id; see ``repro.core.plan.SharedScan``.
     shared_cache: dict[int, tuple] = field(default_factory=dict)
+    #: The :class:`~repro.core.options.RunOptions` this execution was
+    #: launched with, when known.  Recovery layers (stage re-execution,
+    #: the sanitizer replay) derive their worker/replay contexts from
+    #: :meth:`run_options` rather than copying knob fields by hand, so a
+    #: knob added to ``RunOptions`` can never silently drop on a retry.
+    options: RunOptions | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -150,6 +157,43 @@ class ExecutionContext:
         budget = self.cost.machine.l3_cache_bytes // 2
         return max(_MORSEL_MIN_ROWS, min(_MORSEL_MAX_ROWS, budget // row_bytes))
 
+    # -- RunOptions integration ----------------------------------------------
+
+    @classmethod
+    def from_options(cls, options: RunOptions) -> "ExecutionContext":
+        """A fresh driver context configured entirely from ``options``."""
+        return cls(
+            cost=options.cost_model,
+            mode=options.mode,
+            verify_plans=bool(options.verify_plans),
+            morsel_rows=options.morsel_rows,
+            join_kernel=options.join_kernel,
+            faults=options.faults,
+            options=options,
+        )
+
+    def run_options(self) -> RunOptions:
+        """The :class:`RunOptions` governing this execution.
+
+        Returns the options the execution was launched with when they are
+        known; otherwise reconstructs them from the context's own knob
+        fields (the path for hand-built contexts).  Either way this is the
+        *single* source recovery layers derive worker/replay knobs from.
+        """
+        if self.options is not None:
+            return self.options
+        return RunOptions(
+            mode=self.mode,
+            cost_model=self.cost,
+            verify_plans=self.verify_plans or None,
+            profile=self.profiler is not None,
+            metrics=self.metrics is not None,
+            faults=self.faults,
+            sanitize=self.sanitizer is not None,
+            join_kernel=self.join_kernel,
+            morsel_rows=self.morsel_rows,
+        )
+
     @classmethod
     def for_rank(
         cls,
@@ -161,19 +205,28 @@ class ExecutionContext:
         checkpoints: "CheckpointStore | None" = None,
         sanitizer: "Sanitizer | None" = None,
         join_kernel: str = "auto",
+        options: RunOptions | None = None,
     ) -> "ExecutionContext":
-        """The context a worker uses to execute a nested plan on its rank."""
+        """The context a worker uses to execute a nested plan on its rank.
+
+        When ``options`` is given, its :meth:`RunOptions.worker_knobs`
+        override the individual knob arguments — the whole set at once, so
+        callers rebuilding worker contexts (stage recovery, replays) cannot
+        forward some knobs and forget others.
+        """
+        knobs = {"mode": mode, "morsel_rows": morsel_rows, "join_kernel": join_kernel}
+        if options is not None:
+            knobs.update(options.worker_knobs())
         return cls(
             cost=rank_ctx.cost,
             clock=rank_ctx.clock,
-            mode=mode,
             rank_ctx=rank_ctx,
-            morsel_rows=morsel_rows,
             profiler=profiler,
             metrics=metrics,
             checkpoints=checkpoints,
             sanitizer=sanitizer,
-            join_kernel=join_kernel,
+            options=options,
+            **knobs,
         )
 
     # -- cost charging --------------------------------------------------------

@@ -1,41 +1,50 @@
 """Driver-side plan execution (§3.4).
 
 The top-level plan runs on the *driver* (the user's workstation in the
-paper's architecture).  ``execute`` prepares the plan (pipeline cutting),
-binds plan inputs to their parameter slots, drives the root operator, and
-collects everything the run produced into one :class:`ExecutionReport`:
-the result tuples, the driver's simulated time, the per-rank phase
-breakdowns of every MPI job the plan ran, and — with ``profile=True`` —
-the per-operator :class:`~repro.observability.profile.PlanProfile`.
+paper's architecture).  :func:`execution_steps` prepares the plan
+(pipeline cutting), binds plan inputs to their parameter slots, and
+drives the root operator one driver-level morsel at a time — yielding
+control between morsels, which is what lets the serving layer
+(:mod:`repro.serving`) interleave many concurrent queries on one shared
+cluster at morsel granularity.  :func:`execute` drives the generator to
+exhaustion and returns everything the run produced as one
+:class:`ExecutionReport`: the result tuples, the driver's simulated time,
+the per-rank phase breakdowns of every MPI job the plan ran, and — with
+profiling on — the per-operator
+:class:`~repro.observability.profile.PlanProfile`.
+
+Per-run behavior is configured by a single immutable
+:class:`~repro.core.options.RunOptions`; the old per-call keywords
+(``mode``, ``profile``, ``metrics``, ...) still work but emit
+``DeprecationWarning`` via :func:`repro.core.options.coerce_options`.
 """
 
 from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Iterator
 
-from repro.core.context import ExecutionContext, ExecutionMode
+from repro.core.context import ExecutionContext
 from repro.core.operator import Operator
 from repro.core.operators.mpi_executor import MpiExecutor
 from repro.core.operators.parameter_lookup import ParameterSlot
+from repro.core.options import UNSET, RunOptions, coerce_options
 from repro.core.plan import prepare, walk
 from repro.mpi.cluster import ClusterResult
-from repro.mpi.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.types.tuples import TupleType
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.sanitizer import Sanitizer, SanitizerReport
-    from repro.faults.policy import FaultPolicy
     from repro.mpi.trace import ClusterTrace, TraceEvent
     from repro.observability.metrics import MetricsSnapshot
     from repro.observability.profile import PlanProfile
 
-__all__ = ["ExecutionReport", "ExecutionResult", "execute", "VERIFY_PLANS"]
+__all__ = ["ExecutionReport", "execute", "execution_steps", "VERIFY_PLANS"]
 
 #: Process-wide default for pre-execution static verification.  The test
 #: suite flips this to True (``tests/conftest.py``) so every executed plan
-#: doubles as an analyzer soak test; per-call ``verify_plans=`` and
+#: doubles as an analyzer soak test; ``RunOptions(verify_plans=...)`` and
 #: per-context ``ExecutionContext(verify_plans=True)`` override it.
 VERIFY_PLANS = False
 
@@ -62,7 +71,7 @@ class ExecutionReport:
     profile: "PlanProfile | None" = None
     #: Work-accounting metrics (rows, bytes shuffled, memory high-water,
     #: retries) with per-operator and per-rank breakdowns; ``None`` unless
-    #: the run recorded metrics (``execute(..., metrics=True)``).
+    #: the run recorded metrics (``RunOptions(metrics=True)``).
     metrics: "MetricsSnapshot | None" = None
     #: Fault-injection evidence that outlived its MPI job: fault/retry
     #: events harvested from aborted attempts plus the driver's
@@ -70,7 +79,7 @@ class ExecutionReport:
     recovery_events: list["TraceEvent"] = field(default_factory=list)
     #: Runtime-sanitizer report (MOD05x counters, determinism-replay
     #: findings); ``None`` unless the run was sanitized
-    #: (``execute(..., sanitize=True)``).
+    #: (``RunOptions(sanitize=True)``).
     sanitizer: "SanitizerReport | None" = None
 
     @property
@@ -129,113 +138,64 @@ class ExecutionReport:
         return len(self.rows)
 
 
-class ExecutionResult(ExecutionReport):
-    """Deprecated name and shape of :class:`ExecutionReport`.
-
-    Kept as a thin constructor shim for code written against the old
-    ``ExecutionResult(rows, output_type, seconds, cluster_results)``
-    surface; ``execute`` itself now returns :class:`ExecutionReport`.
-    """
-
-    def __init__(
-        self,
-        rows: list[tuple],
-        output_type: TupleType,
-        seconds: float,
-        cluster_results: list[ClusterResult] | None = None,
-    ) -> None:
-        warnings.warn(
-            "ExecutionResult is deprecated; use ExecutionReport "
-            "(seconds is now simulated_time)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        super().__init__(
-            rows=rows,
-            output_type=output_type,
-            simulated_time=seconds,
-            cluster_results=list(cluster_results or []),
-        )
-
-
-def execute(
+def execution_steps(
     root: Operator,
     params: dict[ParameterSlot, tuple] | None = None,
-    mode: ExecutionMode = "fused",
-    cost_model: CostModel = DEFAULT_COST_MODEL,
+    options: RunOptions | None = None,
     ctx: ExecutionContext | None = None,
-    verify_plans: bool | None = None,
-    profile: bool = False,
-    metrics: bool = False,
-    faults: "FaultPolicy | None" = None,
-    sanitize: bool = False,
-) -> ExecutionReport:
-    """Run a plan on the driver and return its report.
+) -> Iterator[int]:
+    """Run a plan incrementally: yield per driver morsel, return the report.
+
+    This is the executor half of the driver/executor split.  Each
+    ``next()`` advances the plan by one driver-level morsel (one streamed
+    batch in fused mode, one morsel's worth of rows in interpreted mode)
+    and yields the row count produced so far; the final ``next()`` raises
+    ``StopIteration`` whose ``value`` is the :class:`ExecutionReport`.
+    The serving scheduler (:mod:`repro.serving.scheduler`) holds one such
+    generator per admitted query and round-robins ``next()`` calls across
+    them — morsels are the preemption unit, exactly as plain ``execute``
+    is the degenerate single-query schedule.
 
     Args:
         root: Root operator of the plan DAG.
         params: Bindings for driver-level :class:`ParameterSlot` inputs
             (the plan's base tables and constants).
-        mode: ``fused`` (JiT-compiled pipelines) or ``interpreted``.
-        cost_model: Timing calibration for the driver's clock; workers use
-            the cost model of their cluster.
-        ctx: Pre-built driver context to run under; when given, ``mode``
-            and ``cost_model`` are ignored in its favor.
-        verify_plans: Run the static analyzer (:func:`repro.analysis.verify`)
-            before executing, raising
-            :class:`~repro.errors.PlanVerificationError` on error-severity
-            findings.  ``None`` defers to ``ctx.verify_plans`` and the
-            module-level :data:`VERIFY_PLANS` default.
-        profile: Record per-operator spans and attach the resulting
-            :class:`~repro.observability.profile.PlanProfile` to the
-            report.  A profiler already installed on ``ctx`` is honored
-            either way (its measurements then span every execution that
-            used that context).
-        metrics: Record work-accounting metrics (rows per operator, bytes
-            shuffled, memory high-water, retries) and attach the
-            :class:`~repro.observability.metrics.MetricsSnapshot` to the
-            report.  A registry already installed on ``ctx`` is honored
-            either way, mirroring ``profile``.
-        faults: Fault-injection policy (:class:`repro.faults.FaultPolicy`)
-            to run under; overrides ``ctx.faults`` when given.  The
-            per-execution :class:`~repro.faults.FaultInjector` is created
-            here so its crash ledger and job counter span every MPI job —
-            and every recovery attempt — of this run.
-        sanitize: Run under the runtime sanitizer
-            (:mod:`repro.analysis.sanitizer`): the simulated substrate
-            checks the MOD050–MOD052 properties as data flows (raising
-            :class:`~repro.analysis.sanitizer.SanitizerError` on
-            violations), then the plan is *replayed* under an identical
-            fresh context and the one-sided write sets are diffed at every
-            exchange boundary (MOD053).  The resulting
-            :class:`~repro.analysis.sanitizer.SanitizerReport` is attached
-            to the report (and to the profile, for EXPLAIN ANALYZE).
+        options: The :class:`RunOptions` for this run; ``None`` means all
+            defaults.
+        ctx: Pre-built driver context to run under.  When given, its knob
+            fields (mode, cost model, morsel size, join kernel) win over
+            ``options`` — matching the historical ``execute(ctx=...)``
+            contract — while the behavior flags of ``options`` (profile,
+            metrics, faults, sanitize) still apply on top of it.
     """
+    if options is None:
+        options = RunOptions()
     if ctx is None:
-        ctx = ExecutionContext(cost=cost_model, mode=mode)
-    if profile and ctx.profiler is None:
+        ctx = ExecutionContext.from_options(options)
+    if options.profile and ctx.profiler is None:
         from repro.observability.profile import Profiler
 
         ctx.profiler = Profiler(ctx.clock)
-    if metrics and ctx.metrics is None:
+    if options.metrics and ctx.metrics is None:
         from repro.observability.metrics import MetricsRegistry
 
         ctx.metrics = MetricsRegistry()
-    if faults is not None:
-        ctx.faults = faults
+    if options.faults is not None:
+        ctx.faults = options.faults
         ctx.fault_injector = None
     if ctx.faults is not None and ctx.fault_injector is None:
         from repro.faults.injector import FaultInjector
 
         ctx.fault_injector = FaultInjector(ctx.faults)
     installed_sanitizer: "Sanitizer | None" = None
-    if sanitize:
+    if options.sanitize:
         from repro.analysis.sanitizer import Sanitizer
 
         # Always a fresh recorder: the MOD053 replay diff assumes the
         # write log covers exactly this execution.
         installed_sanitizer = Sanitizer()
         ctx.sanitizer = installed_sanitizer
+    verify_plans = options.verify_plans
     if verify_plans is None:
         verify_plans = ctx.verify_plans or VERIFY_PLANS
     if verify_plans and not getattr(root, "_lint_verified", False):
@@ -259,17 +219,20 @@ def execute(
                 size_bytes = getattr(element, "size_bytes", None)
                 if callable(size_bytes):
                     ctx.metrics.counter("plan_input_bytes").add(size_bytes())
+    rows: list[tuple] = []
     try:
         if ctx.mode == "fused":
             # Pull whole morsels from the root so the top pipeline stays
             # fused instead of degrading to rows at the driver boundary.
-            rows = [
-                row
-                for batch in root.stream_batches(ctx)
-                for row in batch.iter_rows()
-            ]
+            for batch in root.stream_batches(ctx):
+                rows.extend(batch.iter_rows())
+                yield len(rows)
         else:
-            rows = list(root.rows(ctx))
+            morsel = ctx.morsel_rows_for(root.output_type)
+            for row in root.rows(ctx):
+                rows.append(row)
+                if len(rows) % morsel == 0:
+                    yield len(rows)
     finally:
         for slot_id in bound:
             ctx.pop_parameter(slot_id)
@@ -313,6 +276,54 @@ def execute(
     )
 
 
+def execute(
+    root: Operator,
+    params: dict[ParameterSlot, tuple] | None = None,
+    options: RunOptions | None = None,
+    *,
+    ctx: ExecutionContext | None = None,
+    mode: Any = UNSET,
+    cost_model: Any = UNSET,
+    verify_plans: Any = UNSET,
+    profile: Any = UNSET,
+    metrics: Any = UNSET,
+    faults: Any = UNSET,
+    sanitize: Any = UNSET,
+) -> ExecutionReport:
+    """Run a plan on the driver and return its report.
+
+    Args:
+        root: Root operator of the plan DAG.
+        params: Bindings for driver-level :class:`ParameterSlot` inputs
+            (the plan's base tables and constants).
+        options: Per-run configuration; see
+            :class:`~repro.core.options.RunOptions` for every knob.
+        ctx: Pre-built driver context to run under; when given, its knob
+            fields win over ``options`` (see :func:`execution_steps`).
+        mode, cost_model, verify_plans, profile, metrics, faults, sanitize:
+            Deprecated — the pre-``RunOptions`` keyword surface.  Passing
+            any of them emits a ``DeprecationWarning`` and layers the
+            value over ``options``.
+    """
+    options = coerce_options(
+        options,
+        "execute()",
+        mode=mode,
+        cost_model=cost_model,
+        verify_plans=verify_plans,
+        profile=profile,
+        metrics=metrics,
+        faults=faults,
+        sanitize=sanitize,
+    )
+    steps = execution_steps(root, params, options, ctx=ctx)
+    while True:
+        try:
+            next(steps)
+        except StopIteration as done:
+            return done.value
+
+
 def _sanitize_replay(
     root: Operator,
     ctx: ExecutionContext,
@@ -322,18 +333,21 @@ def _sanitize_replay(
     """MOD053: re-execute the plan and diff the one-sided write sets.
 
     The replay context matches the first execution in everything that can
-    influence results — mode, morsel size, cost model, fault policy (with
-    a fresh, identically seeded injector) — and carries its own fresh
-    :class:`Sanitizer`.  Identical write logs prove the exchanged bytes
-    were reproducible; a diff convicts a mislabeled ``deterministic=True``
-    operator.  Replay output rows are discarded.
+    influence results — every ``RunOptions`` worker knob, the cost model,
+    the fault policy (with a fresh, identically seeded injector) — and
+    carries its own fresh :class:`Sanitizer`.  The knobs are derived from
+    ``ctx.run_options()`` wholesale rather than copied field-by-field, so
+    a knob added to :class:`RunOptions` is replayed automatically.
+    Identical write logs prove the exchanged bytes were reproducible; a
+    diff convicts a mislabeled ``deterministic=True`` operator.  Replay
+    output rows are discarded.
     """
     from repro.analysis.diagnostics import RULES, Diagnostic
     from repro.analysis.sanitizer import Sanitizer
 
+    run_options = ctx.run_options()
     replay_ctx = ExecutionContext(
-        cost=ctx.cost, mode=ctx.mode, morsel_rows=ctx.morsel_rows,
-        join_kernel=ctx.join_kernel,
+        cost=ctx.cost, options=run_options, **run_options.worker_knobs()
     )
     replay_ctx.faults = ctx.faults
     if ctx.faults is not None:

@@ -1,0 +1,158 @@
+"""RunOptions: the one immutable bundle of per-execution knobs.
+
+Before the serving layer, every entry point (``execute``,
+``ModularisQuery.run``, the ``core/plans/*`` plan ``run()``s) grew its own
+copy of the same keyword sprawl — ``mode``, ``profile``, ``metrics``,
+``faults``, ``sanitize``, ``join_kernel``, ... — and every layer that
+rebuilt an :class:`~repro.core.context.ExecutionContext` (stage-recovery
+workers, the sanitizer replay) had to copy each knob by hand, so adding a
+knob meant touching half a dozen call chains and silently dropping it in
+the ones you missed.
+
+:class:`RunOptions` consolidates them: a frozen dataclass accepted by
+every public entry point and carried on the driver's ``ExecutionContext``,
+from which worker and replay contexts *derive* their knobs (see
+:meth:`RunOptions.worker_knobs`).  The legacy keywords still work but emit
+a :class:`DeprecationWarning`; :func:`coerce_options` is the single place
+that translation happens.
+
+Immutability matters for the serving layer: a deployed
+:class:`~repro.serving.registry.PreparedPlan` captures a ``RunOptions`` as
+its execution defaults, and concurrent queries sharing it must not be able
+to mutate each other's knobs mid-flight.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, fields, replace
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ExecutionError
+from repro.mpi.costmodel import DEFAULT_COST_MODEL, CostModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.policy import FaultPolicy
+
+__all__ = ["RunOptions", "UNSET", "coerce_options"]
+
+#: Execution modes. ``fused`` models JiT-compiled pipelines (vectorized
+#: kernels, low abstraction overhead); ``interpreted`` models a pure
+#: tuple-at-a-time Volcano interpreter without compilation.
+MODES = ("fused", "interpreted")
+
+#: Valid join-kernel policies for ``BuildProbe.batches``.
+JOIN_KERNELS = ("auto", "sorted", "radix")
+
+
+class _Unset:
+    """Sentinel distinguishing "keyword not passed" from an explicit value."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<unset>"
+
+
+#: Default of every deprecated legacy keyword; an explicit value — even the
+#: old default — marks the keyword as used and triggers the deprecation path.
+UNSET: Any = _Unset()
+
+#: Marks a RunOptions field that worker-side ExecutionContexts must mirror
+#: (stage-recovery ranks, the sanitizer replay).  Fields without it are
+#: driver-only concerns (profiling, verification, fault policy ownership).
+_WORKER_KNOB = {"worker_knob": True}
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Everything one plan execution can be asked to do, in one value.
+
+    Attributes:
+        mode: ``fused`` (JiT-compiled pipelines) or ``interpreted``.
+        cost_model: Timing calibration for the driver's simulated clock;
+            workers use the cost model of their cluster.
+        verify_plans: Run the static analyzer before executing.  ``None``
+            (the default) defers to the context's flag and the process-wide
+            :data:`repro.core.executor.VERIFY_PLANS` default; ``False``
+            forces verification off even when those are set.
+        profile: Record per-operator spans and attach the resulting
+            :class:`~repro.observability.profile.PlanProfile` to the report.
+        metrics: Record work-accounting metrics and attach the
+            :class:`~repro.observability.metrics.MetricsSnapshot`.
+        faults: Fault-injection policy (:class:`repro.faults.FaultPolicy`)
+            to run under; ``None`` keeps every fault path cold.
+        sanitize: Run under the MOD05x runtime sanitizer, including the
+            determinism replay, and attach the
+            :class:`~repro.analysis.sanitizer.SanitizerReport`.
+        join_kernel: ``BuildProbe`` kernel policy: ``auto``, ``sorted``,
+            or ``radix``.
+        morsel_rows: Target rows per morsel on the batch data path;
+            ``None`` lets the context auto-tune per operator.
+    """
+
+    mode: str = field(default="fused", metadata=_WORKER_KNOB)
+    cost_model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
+    verify_plans: bool | None = None
+    profile: bool = False
+    metrics: bool = False
+    faults: "FaultPolicy | None" = None
+    sanitize: bool = False
+    join_kernel: str = field(default="auto", metadata=_WORKER_KNOB)
+    morsel_rows: int | None = field(default=None, metadata=_WORKER_KNOB)
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ExecutionError(f"unknown execution mode {self.mode!r}")
+        if self.join_kernel not in JOIN_KERNELS:
+            raise ExecutionError(
+                f"unknown join kernel {self.join_kernel!r}; "
+                f"supported: {JOIN_KERNELS}"
+            )
+        if self.morsel_rows is not None and self.morsel_rows < 1:
+            raise ExecutionError(
+                f"morsel size must be at least one row, got {self.morsel_rows}"
+            )
+
+    def replace(self, **changes) -> "RunOptions":
+        """A copy with ``changes`` applied (the options stay immutable)."""
+        return replace(self, **changes)
+
+    def worker_knobs(self) -> dict[str, Any]:
+        """The fields every derived (worker/replay) context must mirror.
+
+        Derived from field metadata, not a hand-maintained list: a knob
+        added to :class:`RunOptions` with ``worker_knob`` metadata reaches
+        stage-recovery ranks and the sanitizer replay automatically, so
+        recovery re-executions can never silently drop it.
+        """
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.metadata.get("worker_knob")
+        }
+
+
+def coerce_options(
+    options: RunOptions | None, api: str, **legacy: Any
+) -> RunOptions:
+    """Translate legacy per-call keywords into a :class:`RunOptions`.
+
+    The single deprecation seam: every entry point funnels its old
+    keyword surface through here.  Keywords left at :data:`UNSET` were
+    not passed; explicitly passed ones emit one ``DeprecationWarning``
+    (naming the entry point and the offending keywords) and are layered
+    over ``options`` — so mixed calls keep working during migration.
+    """
+    explicit = {name: value for name, value in legacy.items() if value is not UNSET}
+    base = options if options is not None else RunOptions()
+    if not explicit:
+        return base
+    names = ", ".join(sorted(explicit))
+    warnings.warn(
+        f"{api}: the {names} keyword(s) are deprecated; pass "
+        f"options=RunOptions(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return base.replace(**explicit)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.core.executor import ExecutionReport, execute
 from repro.core.functions import RadixPartition
 from repro.core.operator import Operator
+from repro.core.options import UNSET, RunOptions, coerce_options
 from repro.core.operators import (
     BuildProbe,
     LocalHistogram,
@@ -56,17 +57,20 @@ class BroadcastJoinPlan:
         self,
         small: RowVector,
         big: RowVector,
-        mode: str = "fused",
-        profile: bool = False,
-        metrics: bool = False,
-        faults=None,
-        sanitize: bool = False,
+        options: RunOptions | None = None,
+        *,
+        mode=UNSET,
+        profile=UNSET,
+        metrics=UNSET,
+        faults=UNSET,
+        sanitize=UNSET,
     ) -> ExecutionReport:
         """Join ``small ⋈ big``; the small relation is replicated."""
-        return execute(
-            self.root, params={self.slot: (small, big)}, mode=mode, profile=profile,
+        options = coerce_options(
+            options, "BroadcastJoinPlan.run()", mode=mode, profile=profile,
             metrics=metrics, faults=faults, sanitize=sanitize,
         )
+        return execute(self.root, params={self.slot: (small, big)}, options=options)
 
     @staticmethod
     def matches(result: ExecutionReport) -> RowVector:

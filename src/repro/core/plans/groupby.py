@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.compression import RadixCompression
 from repro.core.executor import ExecutionReport, execute
+from repro.core.options import UNSET, RunOptions, coerce_options
 from repro.core.functions import (
     ParamTupleFunction,
     RadixPartition,
@@ -63,16 +64,19 @@ class DistributedGroupByPlan:
     def run(
         self,
         table: RowVector,
-        mode: str = "fused",
-        profile: bool = False,
-        metrics: bool = False,
-        faults=None,
-        sanitize: bool = False,
+        options: RunOptions | None = None,
+        *,
+        mode=UNSET,
+        profile=UNSET,
+        metrics=UNSET,
+        faults=UNSET,
+        sanitize=UNSET,
     ) -> ExecutionReport:
-        return execute(
-            self.root, params={self.slot: (table,)}, mode=mode, profile=profile,
+        options = coerce_options(
+            options, "DistributedGroupByPlan.run()", mode=mode, profile=profile,
             metrics=metrics, faults=faults, sanitize=sanitize,
         )
+        return execute(self.root, params={self.slot: (table,)}, options=options)
 
     @staticmethod
     def groups(result: ExecutionReport) -> RowVector:

@@ -26,6 +26,7 @@ from typing import Sequence
 from repro.core.executor import ExecutionReport, execute
 from repro.core.functions import RadixPartition
 from repro.core.operator import Operator
+from repro.core.options import UNSET, RunOptions, coerce_options
 from repro.core.operators import (
     BuildProbe,
     LocalHistogram,
@@ -67,20 +68,25 @@ class JoinSequencePlan:
     def run(
         self,
         relations: Sequence[RowVector],
-        mode: str = "fused",
-        profile: bool = False,
-        metrics: bool = False,
-        faults=None,
-        sanitize: bool = False,
+        options: RunOptions | None = None,
+        *,
+        mode=UNSET,
+        profile=UNSET,
+        metrics=UNSET,
+        faults=UNSET,
+        sanitize=UNSET,
     ) -> ExecutionReport:
         if len(relations) != self.n_joins + 1:
             raise TypeCheckError(
                 f"{self.n_joins}-join cascade needs {self.n_joins + 1} relations, "
                 f"got {len(relations)}"
             )
-        return execute(
-            self.root, params={self.slot: tuple(relations)}, mode=mode, profile=profile,
+        options = coerce_options(
+            options, "JoinSequencePlan.run()", mode=mode, profile=profile,
             metrics=metrics, faults=faults, sanitize=sanitize,
+        )
+        return execute(
+            self.root, params={self.slot: tuple(relations)}, options=options
         )
 
     @staticmethod

@@ -109,3 +109,26 @@ class RankCrashError(FaultInjectionError):
 
 class CatalogError(ModularisError):
     """A storage/catalog operation referenced an unknown or duplicate table."""
+
+
+class ServingError(ModularisError):
+    """Base class of serving-layer failures (:mod:`repro.serving`)."""
+
+
+class AdmissionError(ServingError):
+    """The server refused to admit a query.
+
+    Raised when the pending-queue bound of the admission controller is
+    reached (back-pressure: the caller should retry later) or when the
+    submission references an unknown tenant or plan handle.
+    """
+
+
+class SchemaContractError(ServingError):
+    """A deployed plan was run against data violating its schema contract.
+
+    A :class:`~repro.serving.registry.PreparedPlan` freezes the table
+    schemas it was verified against at deploy time; running it on a
+    catalog whose tables are missing or shaped differently is refused
+    before any data flows.
+    """

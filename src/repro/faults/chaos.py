@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.options import RunOptions
 from repro.faults.policy import (
     CrashFault,
     FaultPolicy,
@@ -167,7 +168,7 @@ def _run_builtin(
             key_bits=workload.key_bits,
         )
         run = lambda faults: plan.run(
-            workload.left, workload.right, mode=mode, faults=faults
+            workload.left, workload.right, RunOptions(mode=mode, faults=faults)
         )
         extract = plan.matches
     elif name == "broadcast_join":
@@ -178,7 +179,7 @@ def _run_builtin(
             workload.right.element_type,
         )
         run = lambda faults: plan.run(
-            workload.left, workload.right, mode=mode, faults=faults
+            workload.left, workload.right, RunOptions(mode=mode, faults=faults)
         )
         extract = plan.matches
     elif name == "groupby":
@@ -186,14 +187,16 @@ def _run_builtin(
         plan = build_distributed_groupby(
             cluster, workload.table.element_type, key_bits=workload.key_bits
         )
-        run = lambda faults: plan.run(workload.table, mode=mode, faults=faults)
+        run = lambda faults: plan.run(
+            workload.table, RunOptions(mode=mode, faults=faults)
+        )
         extract = plan.groups
     elif name == "join_sequence":
         relations, _ = make_cascade_relations(3, n_tuples)
         plan = build_join_sequence(
             cluster, [r.element_type for r in relations]
         )
-        run = lambda faults: plan.run(relations, mode=mode, faults=faults)
+        run = lambda faults: plan.run(relations, RunOptions(mode=mode, faults=faults))
         extract = plan.matches
     else:  # pragma: no cover - guarded by the CLI choices
         raise ValueError(f"unknown builtin target {name!r}")
@@ -223,12 +226,12 @@ def _run_tpch(
         query.plan, catalog, SimCluster(machines, trace=True),
         join_strategy=strategy,
     )
-    baseline = base_plan.run(catalog, mode=mode)
+    baseline = base_plan.run(catalog, RunOptions(mode=mode))
     chaos_plan = lower_to_modularis(
         query.plan, catalog, SimCluster(machines, trace=True),
-        join_strategy=strategy, faults=policy,
+        join_strategy=strategy, options=RunOptions(faults=policy),
     )
-    chaos = chaos_plan.run(catalog, mode=mode, faults=policy)
+    chaos = chaos_plan.run(catalog, RunOptions(mode=mode, faults=policy))
     ok = _columns_match(
         *_frame_columns(base_plan.result_frame(baseline)),
         *_frame_columns(chaos_plan.result_frame(chaos)),

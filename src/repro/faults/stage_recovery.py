@@ -110,9 +110,11 @@ def _make_worker(
     checkpoints: CheckpointStore | None,
     san_job=None,
 ) -> Callable[["RankContext"], list[tuple]]:
-    mode = ctx.mode
-    morsel_rows = ctx.morsel_rows
-    join_kernel = ctx.join_kernel
+    # The whole knob set at once: worker contexts are derived from the
+    # run's RunOptions (mode, morsel size, join kernel, and any knob added
+    # later), never copied field-by-field — a knob the driver ran with is
+    # a knob every stage retry re-executes with.
+    run_options = ctx.run_options()
     profiler = ctx.profiler
     metrics = ctx.metrics
     sanitizer = ctx.sanitizer
@@ -136,10 +138,9 @@ def _make_worker(
             # the driver Sanitizer for operator-provenance tracking.
             rank_ctx.comm.sanitizer = san_job
         worker_ctx = ExecutionContext.for_rank(
-            rank_ctx, mode=mode, morsel_rows=morsel_rows,
+            rank_ctx, options=run_options,
             profiler=rank_profiler, metrics=rank_registry,
             checkpoints=checkpoints, sanitizer=sanitizer,
-            join_kernel=join_kernel,
         )
         worker_ctx.push_parameter(slot_id, wave[rank_ctx.rank])
         try:

@@ -137,6 +137,7 @@ class SimCluster:
         self,
         spmd_fn: Callable[[RankContext], T],
         faults: "FaultInjector | None" = None,
+        options=None,
     ) -> ClusterResult:
         """Execute ``spmd_fn`` on every rank concurrently and harvest results.
 
@@ -151,8 +152,21 @@ class SimCluster:
         ``faults`` arms deterministic fault injection for this job: each
         call draws a fresh per-job fault state from the injector, so
         re-running a failed stage retries under fresh (but reproducible)
-        transient faults.
+        transient faults.  Alternatively pass
+        ``options=RunOptions(faults=policy)`` — a fresh injector is then
+        built from the policy for this job (``faults`` wins when both are
+        given, since an injector carries cross-job state the caller wants
+        preserved).
+
+        Each call builds a fresh ``CommWorld`` and per-rank contexts, so
+        concurrent ``run`` calls from different driver threads are fully
+        isolated — the property the serving layer's shared-cluster
+        scheduling relies on.
         """
+        if faults is None and options is not None and options.faults is not None:
+            from repro.faults.injector import FaultInjector
+
+            faults = FaultInjector(options.faults)
         cluster_trace = ClusterTrace(self.n_ranks) if self.trace else None
         world = CommWorld(
             self.n_ranks, self.cost_model, trace=cluster_trace, wait_slice=self.wait_slice

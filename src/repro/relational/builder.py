@@ -111,7 +111,9 @@ class Query:
         lowered = lower_to_modularis(
             self.plan, catalog, cluster, join_strategy=join_strategy
         )
-        report = lowered.run(catalog, mode=mode, profile=True)
+        from repro.core.options import RunOptions
+
+        report = lowered.run(catalog, RunOptions(mode=mode, profile=True))
         return "\n".join((text, "", report.profile.render()))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -28,7 +28,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.executor import ExecutionReport, execute
+from repro.core.executor import ExecutionReport, execution_steps
+from repro.core.options import UNSET, RunOptions, coerce_options
 from repro.core.functions import (
     HashPartition,
     Predicate,
@@ -351,27 +352,11 @@ class ModularisQuery:
     #: (e.g. ``"broadcast"`` refused under injected memory pressure).
     degraded_from: str | None = None
 
-    def run(
-        self,
-        catalog: Catalog,
-        mode: str = "fused",
-        profile: bool = False,
-        metrics: bool = False,
-        faults=None,
-        sanitize: bool = False,
-        join_kernel: str = "auto",
-    ) -> ExecutionReport:
-        """Execute against the catalog's current table contents.
+    def bind(self, catalog: Catalog) -> tuple[RowVector, ...]:
+        """Extract and prune this query's input relations from ``catalog``.
 
-        With ``profile=True`` the report carries a
-        :class:`~repro.observability.profile.PlanProfile` of the run;
-        with ``metrics=True`` it carries a
-        :class:`~repro.observability.metrics.MetricsSnapshot`.
-        ``faults`` arms fault injection for the execution (the
-        memory-pressure *planning* degradation happens earlier, in
-        :func:`lower_to_modularis`).  ``join_kernel`` pins the fused
-        ``BuildProbe`` kernel (``"auto"``/``"sorted"``/``"radix"``) for
-        kernel-equivalence sweeps and benchmarks.
+        The serving layer binds fresh inputs per run; ``run`` and
+        ``execution`` both go through here.
         """
         tables = []
         sides = [self.shape.left]
@@ -386,27 +371,37 @@ class ModularisQuery:
             tables.append(
                 RowVector(pruned, [data.column(c) for c in side.columns])
             )
-        ctx = None
-        if join_kernel != "auto":
-            from repro.core.context import ExecutionContext
+        return tuple(tables)
 
-            ctx = ExecutionContext(mode=mode, join_kernel=join_kernel)
-        if metrics and self.degraded_from is not None:
+    def execution(
+        self, catalog: Catalog, options: RunOptions | None = None
+    ):
+        """Stepwise execution: a generator yielding per driver morsel.
+
+        The planner-level twin of
+        :func:`repro.core.executor.execution_steps` — same contract (each
+        ``next()`` advances one morsel; ``StopIteration.value`` is the
+        :class:`ExecutionReport`), plus this query's planning-time
+        bookkeeping (the broadcast-fallback recovery evidence).  The
+        serving scheduler interleaves many of these on one cluster.
+        """
+        if options is None:
+            options = RunOptions()
+        from repro.core.context import ExecutionContext
+
+        ctx = ExecutionContext.from_options(options)
+        if options.metrics and self.degraded_from is not None:
             # The broadcast-fallback decision happened at planning time;
             # pre-count it on the run's registry so the snapshot taken
-            # inside ``execute`` includes it.
-            from repro.core.context import ExecutionContext
+            # inside the executor includes it.
             from repro.observability.metrics import MetricsRegistry
 
-            if ctx is None:
-                ctx = ExecutionContext(mode=mode)
             ctx.metrics = MetricsRegistry()
             ctx.metrics.counter(
                 "recovery_actions", action="broadcast_fallback"
             ).inc()
-        report = execute(
-            self.root, params={self.slot: tuple(tables)}, mode=mode, ctx=ctx,
-            profile=profile, metrics=metrics, faults=faults, sanitize=sanitize,
+        report = yield from execution_steps(
+            self.root, {self.slot: self.bind(catalog)}, options, ctx=ctx
         )
         if self.degraded_from is not None:
             from repro.mpi.trace import TraceEvent
@@ -425,6 +420,45 @@ class ModularisQuery:
                 )
             )
         return report
+
+    def run(
+        self,
+        catalog: Catalog,
+        options: RunOptions | None = None,
+        *,
+        mode=UNSET,
+        profile=UNSET,
+        metrics=UNSET,
+        faults=UNSET,
+        sanitize=UNSET,
+        join_kernel=UNSET,
+    ) -> ExecutionReport:
+        """Execute against the catalog's current table contents.
+
+        ``options`` configures the run (see
+        :class:`~repro.core.options.RunOptions`): with ``profile=True``
+        the report carries a
+        :class:`~repro.observability.profile.PlanProfile`; with
+        ``metrics=True`` a
+        :class:`~repro.observability.metrics.MetricsSnapshot`;
+        ``faults`` arms fault injection for the execution (the
+        memory-pressure *planning* degradation happens earlier, in
+        :func:`lower_to_modularis`); ``join_kernel`` pins the fused
+        ``BuildProbe`` kernel for kernel-equivalence sweeps and
+        benchmarks.  The individual keywords are the deprecated
+        pre-``RunOptions`` surface.
+        """
+        options = coerce_options(
+            options, "ModularisQuery.run()", mode=mode, profile=profile,
+            metrics=metrics, faults=faults, sanitize=sanitize,
+            join_kernel=join_kernel,
+        )
+        steps = self.execution(catalog, options)
+        while True:
+            try:
+                next(steps)
+            except StopIteration as done:
+                return done.value
 
     def result_frame(self, result: ExecutionReport) -> Frame:
         """The final output as a columnar frame.
@@ -497,7 +531,8 @@ def lower_to_modularis(
     local_fanout: int = 16,
     network_fanout: int | None = None,
     join_strategy: str = "exchange",
-    faults=None,
+    options: RunOptions | None = None,
+    faults=UNSET,
 ) -> ModularisQuery:
     """Optimize and lower a logical plan onto a simulated cluster.
 
@@ -506,17 +541,21 @@ def lower_to_modularis(
             paper's plan and the default), ``broadcast`` (replicate the
             build side via MpiBroadcast — an extension this library adds),
             or ``auto`` to let the stats rule decide.
-        faults: A :class:`repro.faults.FaultPolicy` known at planning
-            time.  Under its ``memory_pressure`` flag the lowering refuses
-            the broadcast-join strategy — replicating the build side is
-            exactly what a memory-pressured build rank cannot afford — and
-            degrades to the shuffle (exchange) join plan, recording the
-            original choice on ``ModularisQuery.degraded_from``.
+        options: :class:`~repro.core.options.RunOptions` known at planning
+            time.  Under its fault policy's ``memory_pressure`` flag the
+            lowering refuses the broadcast-join strategy — replicating the
+            build side is exactly what a memory-pressured build rank
+            cannot afford — and degrades to the shuffle (exchange) join
+            plan, recording the original choice on
+            ``ModularisQuery.degraded_from``.
+        faults: Deprecated — pass ``options=RunOptions(faults=...)``.
     """
     if join_strategy not in JOIN_STRATEGIES:
         raise PlanError(
             f"unknown join strategy {join_strategy!r}; have {JOIN_STRATEGIES}"
         )
+    options = coerce_options(options, "lower_to_modularis()", faults=faults)
+    faults = options.faults
     optimized = optimize(plan, catalog)
     shape = _extract_shape(optimized, catalog)
     n_net = network_fanout or cluster.n_ranks

@@ -1,0 +1,43 @@
+"""Concurrent multi-query serving over one shared simulated cluster.
+
+The driver/executor split of the Modularis reproduction: a
+:class:`Server` admits many concurrent queries — deployed once via the
+``session → deploy → run`` lifecycle, then executed morsel-by-morsel by a
+work-stealing scheduler with stride fair-share across tenants and a hard
+admission bound.  See ``docs/serving.md``.
+"""
+
+from repro.serving.registry import PlanRegistry, PreparedPlan, SchemaContract
+from repro.serving.scheduler import (
+    FairShare,
+    QueryTask,
+    SchedulerEvent,
+    WorkStealingScheduler,
+)
+from repro.serving.server import (
+    QueryFuture,
+    QueryOutcome,
+    QuerySession,
+    Server,
+    TenantAccount,
+)
+from repro.serving.soak import SoakConfig, SoakReport, run_soak, throughput_probe
+
+__all__ = [
+    "FairShare",
+    "PlanRegistry",
+    "PreparedPlan",
+    "QueryFuture",
+    "QueryOutcome",
+    "QuerySession",
+    "QueryTask",
+    "SchedulerEvent",
+    "SchemaContract",
+    "Server",
+    "SoakConfig",
+    "SoakReport",
+    "TenantAccount",
+    "WorkStealingScheduler",
+    "run_soak",
+    "throughput_probe",
+]

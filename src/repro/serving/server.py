@@ -1,0 +1,339 @@
+"""The serving front door: sessions, admission control, tenant accounting.
+
+The :class:`Server` is the driver half of the driver/executor split.  It
+owns one shared :class:`~repro.mpi.cluster.SimCluster` (the executor
+substrate), one :class:`~repro.serving.registry.PlanRegistry` of deployed
+plans, one :class:`~repro.serving.scheduler.WorkStealingScheduler`, and
+one :class:`~repro.observability.metrics.MetricsRegistry` the scheduler
+and the per-tenant accountants both feed — so a single
+``server.snapshot()`` answers "who ran what, how much, and how fairly".
+
+Admission control is a hard pending-queue bound: submissions past
+``max_pending`` in-flight queries raise
+:class:`~repro.errors.AdmissionError` (back-pressure) instead of queueing
+without limit.
+
+The client surface is :class:`QuerySession` — ``session → deploy → run``:
+
+    server = Server(cluster, catalog, max_pending=32)
+    session = server.session("analytics", weight=2.0)
+    handle = session.deploy("q12", q12())          # verify + freeze once
+    outcome = session.run(handle)                  # hot path, many times
+    frame = outcome.frame
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.options import RunOptions
+from repro.errors import AdmissionError
+from repro.observability.metrics import MetricsRegistry
+from repro.serving.registry import PlanRegistry, PreparedPlan
+from repro.serving.scheduler import QueryTask, WorkStealingScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.executor import ExecutionReport
+    from repro.mpi.cluster import SimCluster
+    from repro.relational.frame import Frame
+    from repro.storage.catalog import Catalog
+
+__all__ = ["QueryOutcome", "QueryFuture", "TenantAccount", "QuerySession", "Server"]
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Everything a completed query produced."""
+
+    query_id: int
+    tenant: str
+    handle: str
+    report: "ExecutionReport"
+    frame: "Frame"
+    #: Driver morsel steps this query consumed (the fair-share currency).
+    steps: int
+    #: Global step-sequence span ``[first_seq, last_seq]`` — two outcomes
+    #: with overlapping spans provably interleaved on the scheduler.
+    first_seq: int
+    last_seq: int
+
+
+class QueryFuture:
+    """Handle to an in-flight query; ``result()`` blocks for the outcome."""
+
+    def __init__(self, query_id: int, tenant: str, handle: str) -> None:
+        self.query_id = query_id
+        self.tenant = tenant
+        self.handle = handle
+        self._event = threading.Event()
+        self._outcome: QueryOutcome | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> QueryOutcome:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"query {self.query_id} ({self.handle}) still running after "
+                f"{timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._outcome is not None
+        return self._outcome
+
+    def _resolve(
+        self, outcome: QueryOutcome | None, error: BaseException | None
+    ) -> None:
+        self._outcome = outcome
+        self._error = error
+        self._event.set()
+
+
+@dataclass
+class TenantAccount:
+    """Lock-guarded per-tenant resource totals.
+
+    The scheduler's counters are per-event; this is the tenant's running
+    ledger, updated once per completed query.  ``Counter.inc`` is a plain
+    ``+=`` (fine inside the executor where one rank owns one child
+    registry, not fine across server worker threads), hence the lock.
+    """
+
+    name: str
+    weight: float = 1.0
+    queries: int = 0
+    steps: int = 0
+    simulated_seconds: float = 0.0
+    rejected: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def settle(self, steps: int, simulated_seconds: float) -> None:
+        with self._lock:
+            self.queries += 1
+            self.steps += steps
+            self.simulated_seconds += simulated_seconds
+
+    def reject(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+
+class Server:
+    """Concurrent multi-query serving over one shared cluster."""
+
+    def __init__(
+        self,
+        cluster: "SimCluster",
+        catalog: "Catalog",
+        n_workers: int = 4,
+        quantum: int = 1,
+        max_pending: int = 64,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be positive, got {max_pending}")
+        self.cluster = cluster
+        self.catalog = catalog
+        self.max_pending = max_pending
+        self.registry = PlanRegistry()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.scheduler = WorkStealingScheduler(
+            n_workers=n_workers, quantum=quantum, metrics=self.metrics
+        )
+        self._tenants: dict[str, TenantAccount] = {}
+        self._tenants_lock = threading.Lock()
+        self._query_ids = itertools.count(1)
+        self._closed = False
+        self.register_tenant("default", 1.0)
+        self.scheduler.start()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain in-flight queries and stop the scheduler pool."""
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.close()
+
+    def drain(self) -> None:
+        self.scheduler.drain()
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- tenants & sessions -------------------------------------------------
+
+    def register_tenant(self, name: str, weight: float = 1.0) -> TenantAccount:
+        """Create (or re-weight) a tenant's fair-share account."""
+        with self._tenants_lock:
+            account = self._tenants.get(name)
+            if account is None:
+                account = TenantAccount(name=name, weight=weight)
+                self._tenants[name] = account
+            else:
+                account.weight = weight
+        self.scheduler.fairshare.register(name, weight)
+        return account
+
+    def tenant(self, name: str) -> TenantAccount:
+        with self._tenants_lock:
+            account = self._tenants.get(name)
+        if account is None:
+            raise AdmissionError(
+                f"unknown tenant {name!r}; register it (or open a session) first"
+            )
+        return account
+
+    def tenants(self) -> list[TenantAccount]:
+        with self._tenants_lock:
+            return sorted(self._tenants.values(), key=lambda a: a.name)
+
+    def session(self, tenant: str = "default", weight: float = 1.0) -> "QuerySession":
+        """Open a tenant-bound session (registers the tenant)."""
+        self.register_tenant(tenant, weight)
+        return QuerySession(self, tenant)
+
+    # -- deploy -------------------------------------------------------------
+
+    def deploy(
+        self,
+        name: str,
+        query,
+        join_strategy: str = "exchange",
+        defaults: RunOptions | None = None,
+    ) -> PreparedPlan:
+        """Verify and freeze a query against the server's catalog."""
+        return self.registry.deploy(
+            name,
+            query,
+            self.catalog,
+            self.cluster,
+            join_strategy=join_strategy,
+            defaults=defaults,
+        )
+
+    # -- run ----------------------------------------------------------------
+
+    def submit(
+        self,
+        handle: str,
+        tenant: str = "default",
+        options: RunOptions | None = None,
+    ) -> QueryFuture:
+        """Admit one run of a deployed plan; returns immediately.
+
+        Raises :class:`AdmissionError` when the server is at its
+        ``max_pending`` bound (back-pressure — retry after a completion)
+        or when ``handle``/``tenant`` is unknown.
+        """
+        if self._closed:
+            raise AdmissionError("server is closed")
+        account = self.tenant(tenant)
+        prepared = self.registry.get(handle)
+        if self.scheduler.pending() >= self.max_pending:
+            account.reject()
+            self.metrics.counter("serving_rejected", tenant=tenant).inc()
+            raise AdmissionError(
+                f"admission control: {self.max_pending} queries already "
+                f"in flight; retry after a completion"
+            )
+        # Fresh physical plan per run: contract check + lowering now, so
+        # submit() fails fast and the scheduler only sees runnable work.
+        lowered = prepared.instantiate(self.catalog, self.cluster, options)
+        run_options = options if options is not None else prepared.defaults
+        query_id = next(self._query_ids)
+        future = QueryFuture(query_id, tenant, prepared.handle)
+
+        def on_done(task: QueryTask, result, error: BaseException | None) -> None:
+            if error is not None:
+                future._resolve(None, error)
+                return
+            try:
+                outcome = QueryOutcome(
+                    query_id=query_id,
+                    tenant=tenant,
+                    handle=prepared.handle,
+                    report=result,
+                    frame=lowered.result_frame(result),
+                    steps=task.steps_done,
+                    first_seq=task.first_seq,
+                    last_seq=task.last_seq,
+                )
+            except BaseException as exc:  # noqa: BLE001 - surface via future
+                future._resolve(None, exc)
+                return
+            account.settle(task.steps_done, result.simulated_time)
+            self.metrics.counter(
+                "serving_simulated_millis", tenant=tenant
+            ).add(int(result.simulated_time * 1000))
+            future._resolve(outcome, None)
+
+        task = QueryTask(
+            query_id=query_id,
+            tenant=tenant,
+            label=prepared.handle,
+            steps=lowered.execution(self.catalog, run_options),
+            on_done=on_done,
+        )
+        self.scheduler.submit(task)
+        return future
+
+    def run(
+        self,
+        handle: str,
+        tenant: str = "default",
+        options: RunOptions | None = None,
+        timeout: float | None = None,
+    ) -> QueryOutcome:
+        """Submit and block for the outcome."""
+        return self.submit(handle, tenant=tenant, options=options).result(timeout)
+
+    # -- observability ------------------------------------------------------
+
+    def snapshot(self):
+        """Point-in-time snapshot of the serving metrics registry."""
+        return self.metrics.snapshot()
+
+
+class QuerySession:
+    """A tenant-bound view of a :class:`Server` (deploy → run)."""
+
+    def __init__(self, server: Server, tenant: str) -> None:
+        self.server = server
+        self.tenant = tenant
+
+    def deploy(
+        self,
+        name: str,
+        query,
+        join_strategy: str = "exchange",
+        defaults: RunOptions | None = None,
+    ) -> PreparedPlan:
+        return self.server.deploy(
+            name, query, join_strategy=join_strategy, defaults=defaults
+        )
+
+    def submit(self, handle: str, options: RunOptions | None = None) -> QueryFuture:
+        return self.server.submit(handle, tenant=self.tenant, options=options)
+
+    def run(
+        self,
+        handle: str,
+        options: RunOptions | None = None,
+        timeout: float | None = None,
+    ) -> QueryOutcome:
+        return self.server.run(
+            handle, tenant=self.tenant, options=options, timeout=timeout
+        )
+
+    def account(self) -> TenantAccount:
+        return self.server.tenant(self.tenant)

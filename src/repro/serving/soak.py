@@ -1,0 +1,290 @@
+"""Concurrency soak: many mixed TPC-H queries on one shared cluster.
+
+The soak is the serving layer's end-to-end correctness and fairness
+probe, runnable as ``repro serve`` and asserted by the tier-1 tests:
+
+* **Bit-identity** — N interleaved runs of TPC-H Q4/Q12/Q14/Q19 on one
+  shared :class:`~repro.mpi.cluster.SimCluster` must produce frames
+  bit-identical (``tolerance=0.0``) to serial runs of the same prepared
+  plans, including under a transient-fault chaos policy.  Every query
+  owns a private context/clock and every ``SimCluster.run`` call builds
+  a fresh ``CommWorld``, so scheduling must not be observable.
+* **Accounting** — each tenant's settled simulated seconds must equal
+  the sum of its queries' serial simulated times (the ledger neither
+  loses nor invents work).
+* **Overlap** — the scheduler's global step sequence must show queries
+  actually interleaving (overlapping ``[first_seq, last_seq]`` spans),
+  i.e. the server runs concurrent queries, not a disguised serial loop.
+* **Fairness** — no registered tenant's share of morsel steps may fall
+  below a configured fraction of its weight-proportional entitlement.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.experiments.fig9 import frames_match
+from repro.core.options import RunOptions
+from repro.faults.policy import FaultPolicy
+from repro.mpi.cluster import SimCluster
+from repro.serving.server import QueryOutcome, Server
+from repro.tpch import ALL_QUERIES, load_catalog
+
+__all__ = ["SoakConfig", "SoakQueryResult", "SoakReport", "run_soak", "throughput_probe"]
+
+#: The mixed workload: the four TPC-H queries the reproduction serves.
+SOAK_QUERY_IDS = (4, 12, 14, 19)
+
+#: Tenant name → fair-share weight for the default soak population.
+DEFAULT_TENANTS = (("analytics", 2.0), ("reporting", 1.0), ("adhoc", 1.0))
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    scale_factor: float = 0.01
+    machines: int = 2
+    #: Total concurrent submissions (cycled over the query mix).
+    n_queries: int = 16
+    n_workers: int = 4
+    #: Morsel steps per scheduling quantum.
+    quantum: int = 1
+    #: Arm a transient-fault chaos policy (results must stay identical).
+    chaos: bool = False
+    seed: int = 2021
+    tenants: tuple[tuple[str, float], ...] = DEFAULT_TENANTS
+    #: A tenant is "starved" if its steps-per-weight share drops below
+    #: this fraction of the even split (soft bound; scheduling is lumpy
+    #: at small N).
+    fairness_floor: float = 0.25
+
+
+@dataclass(frozen=True)
+class SoakQueryResult:
+    query_id: int
+    handle: str
+    tenant: str
+    matched: bool
+    steps: int
+    first_seq: int
+    last_seq: int
+    simulated_seconds: float
+
+    def overlaps(self, other: "SoakQueryResult") -> bool:
+        return self.first_seq <= other.last_seq and other.first_seq <= self.last_seq
+
+
+@dataclass(frozen=True)
+class SoakReport:
+    config: SoakConfig
+    results: tuple[SoakQueryResult, ...]
+    #: Wall-clock seconds for the serial baseline / the concurrent batch.
+    serial_wall: float
+    concurrent_wall: float
+    #: Queries whose scheduler span overlapped at least one other query.
+    overlapped: int
+    #: tenant → (observed step fraction, entitled weight fraction).
+    shares: dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: tenant → (settled simulated seconds, serial sum) — must agree.
+    ledgers: dict[str, tuple[float, float]] = field(default_factory=dict)
+    steals: int = 0
+
+    @property
+    def bit_identical(self) -> bool:
+        return all(r.matched for r in self.results)
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.concurrent_wall <= 0:
+            return float("inf")
+        return len(self.results) / self.concurrent_wall
+
+    @property
+    def starved_tenants(self) -> list[str]:
+        floor = self.config.fairness_floor
+        return [
+            tenant
+            for tenant, (observed, entitled) in self.shares.items()
+            if observed < floor * entitled
+        ]
+
+    def render(self) -> str:
+        lines = [
+            f"serving soak: {len(self.results)} queries "
+            f"({'chaos' if self.config.chaos else 'clean'}), "
+            f"{self.config.n_workers} workers, quantum={self.config.quantum}",
+            f"  bit-identical to serial: {self.bit_identical}",
+            f"  wall: serial {self.serial_wall:.3f}s, "
+            f"concurrent {self.concurrent_wall:.3f}s "
+            f"({self.queries_per_second:.1f} q/s)",
+            f"  overlapped queries: {self.overlapped}/{len(self.results)}; "
+            f"steals: {self.steals}",
+        ]
+        for tenant in sorted(self.shares):
+            observed, entitled = self.shares[tenant]
+            settled, serial = self.ledgers[tenant]
+            starved = " STARVED" if tenant in self.starved_tenants else ""
+            lines.append(
+                f"  tenant {tenant}: share {observed:.0%} "
+                f"(entitled {entitled:.0%}){starved}; "
+                f"simulated {settled:.6f}s vs serial {serial:.6f}s"
+            )
+        return "\n".join(lines)
+
+
+def _chaos_policy(seed: int) -> FaultPolicy:
+    """Transient-only chaos: drops and retries, never data corruption."""
+    return FaultPolicy(
+        seed=seed, put_drop_rate=0.05, collective_drop_rate=0.05
+    )
+
+
+def _assignments(config: SoakConfig) -> list[tuple[str, str]]:
+    """The submission list: (query name, tenant), cycled over both mixes."""
+    names = [f"q{qid}" for qid in SOAK_QUERY_IDS]
+    tenants = [name for name, _ in config.tenants]
+    return [
+        (names[i % len(names)], tenants[i % len(tenants)])
+        for i in range(config.n_queries)
+    ]
+
+
+def run_soak(config: SoakConfig = SoakConfig()) -> SoakReport:
+    """Deploy the mix, run it serially, then concurrently, and compare."""
+    catalog = load_catalog(config.scale_factor, seed=config.seed)
+    cluster = SimCluster(config.machines, seed=config.seed)
+    options = RunOptions(
+        metrics=True, faults=_chaos_policy(config.seed) if config.chaos else None
+    )
+    plan = _assignments(config)
+
+    with Server(
+        cluster,
+        catalog,
+        n_workers=config.n_workers,
+        quantum=config.quantum,
+        max_pending=max(config.n_queries, 1),
+    ) as server:
+        for tenant, weight in config.tenants:
+            server.register_tenant(tenant, weight)
+        handles = {
+            f"q{qid}": server.deploy(f"q{qid}", ALL_QUERIES[qid]()).handle
+            for qid in SOAK_QUERY_IDS
+        }
+
+        # Serial baseline: the same prepared plans, one at a time, off the
+        # scheduler.  Gives the reference frames and the wall/simulated
+        # time baselines the concurrent batch is judged against.
+        serial_frames: dict[str, object] = {}
+        serial_seconds: dict[str, float] = {}
+        serial_start = time.perf_counter()
+        for name in handles:
+            lowered = server.registry.get(handles[name]).instantiate(
+                catalog, cluster, options
+            )
+            report = lowered.run(catalog, options)
+            serial_frames[name] = lowered.result_frame(report)
+            serial_seconds[name] = report.simulated_time
+        serial_wall_per = time.perf_counter() - serial_start
+        # Scale the measured per-mix wall to the full submission count.
+        serial_wall = serial_wall_per * (len(plan) / max(len(handles), 1))
+
+        concurrent_start = time.perf_counter()
+        futures = [
+            (name, tenant, server.submit(handles[name], tenant=tenant, options=options))
+            for name, tenant in plan
+        ]
+        outcomes: list[tuple[str, QueryOutcome]] = [
+            (name, future.result(timeout=600)) for name, _tenant, future in futures
+        ]
+        concurrent_wall = time.perf_counter() - concurrent_start
+
+        results = tuple(
+            SoakQueryResult(
+                query_id=outcome.query_id,
+                handle=outcome.handle,
+                tenant=outcome.tenant,
+                matched=frames_match(
+                    serial_frames[name], outcome.frame, tolerance=0.0
+                ),
+                steps=outcome.steps,
+                first_seq=outcome.first_seq,
+                last_seq=outcome.last_seq,
+                simulated_seconds=outcome.report.simulated_time,
+            )
+            for name, outcome in outcomes
+        )
+
+        overlapped = sum(
+            1
+            for r in results
+            if any(other is not r and r.overlaps(other) for other in results)
+        )
+
+        total_steps = sum(r.steps for r in results) or 1
+        total_weight = sum(weight for _, weight in config.tenants) or 1.0
+        shares = {
+            tenant: (
+                sum(r.steps for r in results if r.tenant == tenant) / total_steps,
+                weight / total_weight,
+            )
+            for tenant, weight in config.tenants
+        }
+        ledgers = {
+            tenant: (
+                server.tenant(tenant).simulated_seconds,
+                sum(
+                    serial_seconds[name]
+                    for name, assigned in plan
+                    if assigned == tenant
+                ),
+            )
+            for tenant, _ in config.tenants
+        }
+        snapshot = server.snapshot()
+        steals = int(snapshot.total("serving_steals"))
+
+    return SoakReport(
+        config=config,
+        results=results,
+        serial_wall=serial_wall,
+        concurrent_wall=concurrent_wall,
+        overlapped=overlapped,
+        shares=shares,
+        ledgers=ledgers,
+        steals=steals,
+    )
+
+
+def throughput_probe(
+    scale_factor: float = 0.01,
+    machines: int = 2,
+    concurrencies: tuple[int, ...] = (1, 4, 16),
+    n_workers: int = 4,
+    seed: int = 2021,
+) -> dict[int, float]:
+    """Wall-clock seconds to serve N concurrent queries, per N.
+
+    The ``repro bench record`` serving benchmark: one shared catalog and
+    cluster, a fresh server per concurrency level, submissions cycled
+    over the soak query mix.  Lower is better; queries/sec is derived.
+    """
+    catalog = load_catalog(scale_factor, seed=seed)
+    cluster = SimCluster(machines, seed=seed)
+    walls: dict[int, float] = {}
+    for n in concurrencies:
+        with Server(
+            cluster, catalog, n_workers=n_workers, max_pending=max(n, 1)
+        ) as server:
+            handles = [
+                server.deploy(f"q{qid}", ALL_QUERIES[qid]()).handle
+                for qid in SOAK_QUERY_IDS
+            ]
+            start = time.perf_counter()
+            futures = [
+                server.submit(handles[i % len(handles)]) for i in range(n)
+            ]
+            for future in futures:
+                future.result(timeout=600)
+            walls[n] = time.perf_counter() - start
+    return walls

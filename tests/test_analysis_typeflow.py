@@ -9,6 +9,7 @@ exactly the failure mode the analyzer exists to catch.
 
 import pytest
 
+from repro.core.options import RunOptions
 from repro.analysis import RULES, Severity, analyze, verify
 from repro.core.executor import execute
 from repro.core.functions import field_sum
@@ -166,10 +167,10 @@ class TestVerify:
         )
         params = {driver_slot: (make_kv_table(8),)}
         with pytest.raises(PlanVerificationError):
-            execute(nested, params=params, verify_plans=True)
+            execute(nested, params=params, options=RunOptions(verify_plans=True))
         # Explicitly disabling verification restores the old behavior: the
         # plan runs (this table is non-empty, so it even succeeds).
-        result = execute(nested, params=params, verify_plans=False)
+        result = execute(nested, params=params, options=RunOptions(verify_plans=False))
         assert len(result.rows) == 1
 
     def test_suppressions(self):

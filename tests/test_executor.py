@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.options import RunOptions
 from repro.core.executor import execute
 from repro.core.functions import field_sum
 from repro.core.operators import (
@@ -47,8 +48,8 @@ class TestExecute:
     def test_interpreted_mode_costs_more_sim_time(self):
         root, slot = simple_plan()
         table = make_kv_table(1 << 10)
-        fused = execute(root, params={slot: (table,)}, mode="fused")
-        interp = execute(root, params={slot: (table,)}, mode="interpreted")
+        fused = execute(root, params={slot: (table,)}, options=RunOptions(mode="fused"))
+        interp = execute(root, params={slot: (table,)}, options=RunOptions(mode="interpreted"))
         assert interp.simulated_time > fused.simulated_time
 
     def test_parameters_unbound_after_execution(self):

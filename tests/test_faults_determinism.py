@@ -14,6 +14,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.options import RunOptions
 from repro.core.plans import build_distributed_join
 from repro.faults import CrashFault, FaultPolicy
 from repro.faults.chaos import build_policy, soak
@@ -58,10 +59,12 @@ class TestHypothesisSweep:
             seed=seed, put_drop_rate=drop, collective_drop_rate=drop / 2
         )
         fused = _PLAN.run(
-            _WORKLOAD.left, _WORKLOAD.right, mode="fused", faults=policy
+            _WORKLOAD.left, _WORKLOAD.right,
+            RunOptions(mode="fused", faults=policy),
         )
         interpreted = _PLAN.run(
-            _WORKLOAD.left, _WORKLOAD.right, mode="interpreted", faults=policy
+            _WORKLOAD.left, _WORKLOAD.right,
+            RunOptions(mode="interpreted", faults=policy),
         )
         for f, i, clean in zip(
             _columns(fused), _columns(interpreted), _baseline_columns()
@@ -77,7 +80,7 @@ class TestHypothesisSweep:
         )
 
         def run():
-            report = _PLAN.run(_WORKLOAD.left, _WORKLOAD.right, faults=policy)
+            report = _PLAN.run(_WORKLOAD.left, _WORKLOAD.right, RunOptions(faults=policy))
             return report.fault_summary(), report.simulated_time
 
         first, second = run(), run()
@@ -114,7 +117,8 @@ class TestObservabilityOfFaults:
     def test_profiled_run_reports_fault_and_retry_events(self):
         policy = FaultPolicy(seed=5, put_drop_rate=0.2, collective_drop_rate=0.1)
         report = _PLAN.run(
-            _WORKLOAD.left, _WORKLOAD.right, profile=True, faults=policy
+            _WORKLOAD.left, _WORKLOAD.right,
+            RunOptions(profile=True, faults=policy),
         )
         kinds = {e.kind for e in report.fault_events()}
         assert "fault" in kinds and "retry" in kinds
@@ -128,7 +132,8 @@ class TestObservabilityOfFaults:
             crash=CrashFault(rank=1, after_comm_ops=4),
         )
         report = _PLAN.run(
-            _WORKLOAD.left, _WORKLOAD.right, profile=True, faults=policy
+            _WORKLOAD.left, _WORKLOAD.right,
+            RunOptions(profile=True, faults=policy),
         )
         out = tmp_path / "trace.json"
         count = write_chrome_trace(

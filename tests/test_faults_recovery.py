@@ -9,6 +9,7 @@ retry/recovery story visible in the execution report.
 import numpy as np
 import pytest
 
+from repro.core.options import RunOptions
 from repro.core.executor import execute
 from repro.core.functions import RadixPartition
 from repro.core.operators import (
@@ -60,7 +61,7 @@ class TestTransientRetries:
         plan, workload = _join_plan()
         baseline = plan.run(workload.left, workload.right)
         policy = FaultPolicy(seed=3, put_drop_rate=0.15, collective_drop_rate=0.1)
-        chaos = plan.run(workload.left, workload.right, faults=policy)
+        chaos = plan.run(workload.left, workload.right, RunOptions(faults=policy))
 
         assert _matches_equal(plan.matches(baseline), plan.matches(chaos))
         summary = chaos.fault_summary()
@@ -74,7 +75,7 @@ class TestTransientRetries:
     def test_retry_events_carry_typed_details(self):
         plan, workload = _join_plan()
         policy = FaultPolicy(seed=3, put_drop_rate=0.15, collective_drop_rate=0.1)
-        chaos = plan.run(workload.left, workload.right, faults=policy)
+        chaos = plan.run(workload.left, workload.right, RunOptions(faults=policy))
         events = chaos.fault_events()
         faults = [e for e in events if e.kind == "fault"]
         retries = [e for e in events if e.kind == "retry"]
@@ -93,13 +94,13 @@ class TestTransientRetries:
             max_stage_retries=0,
         )
         with pytest.raises(RetryBudgetExceeded):
-            plan.run(workload.left, workload.right, faults=policy)
+            plan.run(workload.left, workload.right, RunOptions(faults=policy))
 
     def test_straggler_slows_the_clock_not_the_data(self):
         plan, workload = _join_plan(machines=2, n=1024)
         baseline = plan.run(workload.left, workload.right)
         policy = FaultPolicy(stragglers=(StragglerFault(rank=1, slowdown=8.0),))
-        chaos = plan.run(workload.left, workload.right, faults=policy)
+        chaos = plan.run(workload.left, workload.right, RunOptions(faults=policy))
         assert _matches_equal(plan.matches(baseline), plan.matches(chaos))
         assert chaos.simulated_time > baseline.simulated_time
         assert chaos.fault_summary().get("fault:straggler") == 1
@@ -108,9 +109,12 @@ class TestTransientRetries:
 class TestStageRecovery:
     def test_transient_crash_reexecutes_only_the_failed_stage(self):
         plan, workload = _join_plan()
-        baseline = plan.run(workload.left, workload.right, profile=True)
+        baseline = plan.run(workload.left, workload.right, RunOptions(profile=True))
         policy = FaultPolicy(crash=CrashFault(rank=2, after_comm_ops=5))
-        chaos = plan.run(workload.left, workload.right, profile=True, faults=policy)
+        chaos = plan.run(
+            workload.left, workload.right,
+            RunOptions(profile=True, faults=policy),
+        )
 
         assert _matches_equal(plan.matches(baseline), plan.matches(chaos))
         summary = chaos.fault_summary()
@@ -134,7 +138,7 @@ class TestStageRecovery:
     def test_recovery_events_name_the_stage(self):
         plan, workload = _join_plan()
         policy = FaultPolicy(crash=CrashFault(rank=1, after_comm_ops=5))
-        chaos = plan.run(workload.left, workload.right, faults=policy)
+        chaos = plan.run(workload.left, workload.right, RunOptions(faults=policy))
         (recovery,) = [
             e for e in chaos.recovery_events if e.kind == "recovery"
         ]
@@ -149,7 +153,7 @@ class TestStageRecovery:
         policy = FaultPolicy(
             crash=CrashFault(rank=1, after_comm_ops=3, permanent=True)
         )
-        chaos = plan.run(workload.left, workload.right, faults=policy)
+        chaos = plan.run(workload.left, workload.right, RunOptions(faults=policy))
         # Re-sharding over 3 survivors permutes rows but not the row set.
         assert _matches_equal(
             plan.matches(baseline), plan.matches(chaos), ordered=False
@@ -164,7 +168,7 @@ class TestStageRecovery:
             crash=CrashFault(rank=0, after_comm_ops=1, permanent=True)
         )
         with pytest.raises(RankCrashError):
-            plan.run(workload.left, workload.right, faults=policy)
+            plan.run(workload.left, workload.right, RunOptions(faults=policy))
 
 
 def _staged_plan(cluster):
@@ -207,7 +211,7 @@ class TestCheckpointReuse:
         # The crash fires at rank 2's first comm op — after every rank has
         # deposited the staged materialization, before the exchange.
         policy = FaultPolicy(crash=CrashFault(rank=2, after_comm_ops=1))
-        chaos = execute(root, params={slot: (table,)}, faults=policy)
+        chaos = execute(root, params={slot: (table,)}, options=RunOptions(faults=policy))
 
         (base_row,) = baseline.rows
         (chaos_row,) = chaos.rows
@@ -222,7 +226,7 @@ class TestCheckpointReuse:
         table = make_kv_table(512, seed=9)
         root, slot = _staged_plan(SimCluster(4, trace=True))
         policy = FaultPolicy(crash=CrashFault(rank=2, after_comm_ops=1))
-        execute(root, params={slot: (table,)}, faults=policy)
+        execute(root, params={slot: (table,)}, options=RunOptions(faults=policy))
         # A fresh fault-free execution starts with an empty store.
         clean = execute(root, params={slot: (table,)})
         assert "recovery:checkpoint_hit" not in clean.fault_summary()
@@ -244,11 +248,11 @@ class TestBroadcastFallback:
         policy = FaultPolicy(memory_pressure=True)
         lowered = lower_to_modularis(
             query.plan, catalog, SimCluster(4), join_strategy="broadcast",
-            faults=policy,
+            options=RunOptions(faults=policy),
         )
         assert lowered.strategy == "exchange"
         assert lowered.degraded_from == "broadcast"
-        result = lowered.run(catalog, faults=policy)
+        result = lowered.run(catalog, RunOptions(faults=policy))
         assert result.fault_summary().get("recovery:broadcast_fallback") == 1
         reference = run_logical_plan(query.plan, catalog)
         assert frames_match(reference, lowered.result_frame(result), 1e-6)
@@ -260,7 +264,7 @@ class TestBroadcastFallback:
         query = ALL_QUERIES[14]()
         lowered = lower_to_modularis(
             query.plan, catalog, SimCluster(4), join_strategy="broadcast",
-            faults=FaultPolicy(put_drop_rate=0.05),
+            options=RunOptions(faults=FaultPolicy(put_drop_rate=0.05)),
         )
         assert lowered.strategy == "broadcast"
         assert lowered.degraded_from is None
@@ -274,7 +278,7 @@ class TestRankSummaryAfterReshard:
         policy = FaultPolicy(
             crash=CrashFault(rank=1, after_comm_ops=3, permanent=True)
         )
-        chaos = plan.run(workload.left, workload.right, faults=policy)
+        chaos = plan.run(workload.left, workload.right, RunOptions(faults=policy))
         # The surviving cluster result comes from the with_ranks(n-1)
         # degraded rerun: its trace knows only the 3 survivor ranks.
         (cluster_result,) = chaos.cluster_results
@@ -303,7 +307,8 @@ class TestRankSummaryAfterReshard:
             crash=CrashFault(rank=1, after_comm_ops=3, permanent=True)
         )
         chaos = plan.run(
-            workload.left, workload.right, faults=policy, metrics=True
+            workload.left, workload.right,
+            RunOptions(faults=policy, metrics=True),
         )
         snapshot = chaos.metrics
         # Only the successful (degraded) attempt's rank registries are

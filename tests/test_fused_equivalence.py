@@ -19,6 +19,7 @@ import collections
 
 import pytest
 
+from repro.core.options import RunOptions
 from repro.core.operators.build_probe import JOIN_TYPES
 from repro.core.plans.groupby import build_distributed_groupby
 from repro.core.plans.join import build_distributed_join
@@ -48,7 +49,7 @@ class TestJoinPlans:
             plan = build_distributed_join(
                 SimCluster(4), L, R, key_bits=10, join_type=join_type
             )
-            result = plan.run(left, right, mode=mode)
+            result = plan.run(left, right, RunOptions(mode=mode))
             outputs.append(list(plan.matches(result).iter_rows()))
         assert outputs[0] == outputs[1]
         assert outputs[0]  # non-degenerate: the join produced rows
@@ -63,7 +64,7 @@ class TestJoinPlans:
                 [r.element_type for r in relations],
                 variant=variant,
             )
-            result = plan.run(relations, mode=mode)
+            result = plan.run(relations, RunOptions(mode=mode))
             outputs.append(list(plan.matches(result).iter_rows()))
         assert outputs[0] == outputs[1]
         assert len(outputs[0]) == expected
@@ -75,7 +76,7 @@ class TestGroupByPlan:
         outputs = []
         for mode in ("fused", "interpreted"):
             plan = build_distributed_groupby(SimCluster(4), KV, key_bits=10)
-            result = plan.run(kv_vector(KV, pairs), mode=mode)
+            result = plan.run(kv_vector(KV, pairs), RunOptions(mode=mode))
             groups = plan.groups(result)
             outputs.append(sorted(groups.iter_rows()))
         assert outputs[0] == outputs[1]
@@ -102,7 +103,7 @@ class TestTpchQueries:
         frames = []
         for mode in ("fused", "interpreted"):
             lowered = lower_to_modularis(query.plan, catalog, SimCluster(2))
-            frames.append(lowered.result_frame(lowered.run(catalog, mode=mode)))
+            frames.append(lowered.result_frame(lowered.run(catalog, RunOptions(mode=mode))))
         # Float aggregates may differ in the last ulp between the scalar
         # fold and the vectorized segment sum; integers must be exact.
         assert frames_match(frames[0], frames[1], tolerance=1e-9)
@@ -119,7 +120,7 @@ class TestTpchQueries:
             lowered = lower_to_modularis(query.plan, catalog, SimCluster(2))
             frames.append(
                 lowered.result_frame(
-                    lowered.run(catalog, mode="fused", join_kernel=join_kernel)
+                    lowered.run(catalog, RunOptions(mode="fused", join_kernel=join_kernel))
                 )
             )
         # Both kernels share the emission-order contract, so whole query

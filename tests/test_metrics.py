@@ -9,6 +9,7 @@ import json
 
 import pytest
 
+from repro.core.options import RunOptions
 from repro.analysis.runtime import analyze_runtime
 from repro.mpi.cluster import SimCluster
 from repro.observability.metrics import (
@@ -143,7 +144,7 @@ class TestSnapshotExport:
 def _run_q(catalog, qnum, machines=4, mode="fused", **kwargs):
     cluster = SimCluster(machines, trace=True)
     lowered = lower_to_modularis(ALL_QUERIES[qnum]().plan, catalog, cluster)
-    report = lowered.run(catalog, mode=mode, **kwargs)
+    report = lowered.run(catalog, RunOptions(mode=mode, **kwargs))
     return lowered, report
 
 

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.core.options import RunOptions
 from repro.core.plans import build_distributed_join
 from repro.mpi.cluster import SimCluster
 from repro.mpi.trace import ClusterTrace, RankCommStats, TraceEvent
@@ -27,7 +28,7 @@ def run_traced_join(machines: int = 2, log2_tuples: int = 10):
         workload.right.element_type,
         key_bits=workload.key_bits,
     )
-    return plan.run(workload.left, workload.right, profile=True)
+    return plan.run(workload.left, workload.right, RunOptions(profile=True))
 
 
 class TestTypedDetails:

@@ -4,7 +4,8 @@ import warnings
 
 import pytest
 
-from repro.core.executor import ExecutionReport, ExecutionResult, execute
+from repro.core.options import RunOptions
+from repro.core.executor import ExecutionReport, execute
 from repro.core.functions import field_sum
 from repro.core.operators import (
     MaterializeRowVector,
@@ -52,7 +53,7 @@ class TestDisabledCostsNothing:
         root_a, slot_a = simple_plan()
         root_b, slot_b = simple_plan()
         plain = execute(root_a, params={slot_a: (table,)})
-        profiled = execute(root_b, params={slot_b: (table,)}, profile=True)
+        profiled = execute(root_b, params={slot_b: (table,)}, options=RunOptions(profile=True))
         assert plain.rows[0][0].row(0) == profiled.rows[0][0].row(0)
         assert plain.simulated_time == profiled.simulated_time
 
@@ -74,14 +75,20 @@ class TestDisabledCostsNothing:
 class TestProfileContents:
     def test_root_row_count_matches_output(self):
         root, slot = simple_plan()
-        result = execute(root, params={slot: (make_kv_table(256),)}, profile=True)
+        result = execute(
+            root, params={slot: (make_kv_table(256),)},
+            options=RunOptions(profile=True),
+        )
         profile = result.profile
         assert profile is not None
         assert profile.root.stats.rows_out == len(result.rows)
 
     def test_spans_recorded(self):
         root, slot = simple_plan()
-        result = execute(root, params={slot: (make_kv_table(64),)}, profile=True)
+        result = execute(
+            root, params={slot: (make_kv_table(64),)},
+            options=RunOptions(profile=True),
+        )
         assert result.profile.spans
         assert result.profile.dropped_spans == 0
         span = result.profile.spans[-1]
@@ -90,7 +97,10 @@ class TestProfileContents:
 
     def test_render_annotations(self):
         root, slot = simple_plan()
-        result = execute(root, params={slot: (make_kv_table(64),)}, profile=True)
+        result = execute(
+            root, params={slot: (make_kv_table(64),)},
+            options=RunOptions(profile=True),
+        )
         text = result.profile.render()
         assert text.startswith("EXPLAIN ANALYZE")
         assert "MaterializeRowVector" in text
@@ -100,7 +110,10 @@ class TestProfileContents:
 
     def test_to_dict_round_trips_counts(self):
         root, slot = simple_plan()
-        result = execute(root, params={slot: (make_kv_table(64),)}, profile=True)
+        result = execute(
+            root, params={slot: (make_kv_table(64),)},
+            options=RunOptions(profile=True),
+        )
         payload = result.profile.to_dict()
         assert payload["plan"]["op"] == "MaterializeRowVector"
         assert payload["plan"]["rows_out"] == 1
@@ -125,7 +138,7 @@ class TestDistributedMerge:
             workload.right.element_type,
             key_bits=workload.key_bits,
         )
-        report = plan.run(workload.left, workload.right, profile=True)
+        report = plan.run(workload.left, workload.right, RunOptions(profile=True))
         profile = report.profile
         assert profile is not None
         # Nested-plan nodes executed once per rank.
@@ -175,7 +188,7 @@ class TestTpchRowCounts:
         lowered = lower_to_modularis(
             ALL_QUERIES[qnum]().plan, catalog, SimCluster(2)
         )
-        report = lowered.run(catalog, mode=mode, profile=True)
+        report = lowered.run(catalog, RunOptions(mode=mode, profile=True))
         materialized = report.rows[0][0]
         profile = report.profile
         # The root materializes the whole result as one vector-bearing row.
@@ -196,13 +209,13 @@ class TestExecutionReportCompat:
         with pytest.warns(DeprecationWarning, match="simulated_time"):
             assert report.seconds == 1.5
 
-    def test_execution_result_shim_warns_and_maps(self):
-        with pytest.warns(DeprecationWarning, match="ExecutionResult"):
-            result = ExecutionResult([(1,)], KV, 2.5)
-        assert isinstance(result, ExecutionReport)
-        assert result.simulated_time == 2.5
-        assert result.rows == [(1,)]
-        assert result.cluster_results == []
+    def test_execution_result_shim_is_gone(self):
+        # The PR-3 compatibility shim completed its deprecation cycle.
+        import repro.core
+        import repro.core.executor
+
+        assert not hasattr(repro.core.executor, "ExecutionResult")
+        assert "ExecutionResult" not in repro.core.__all__
 
     def test_trace_properties(self):
         report = ExecutionReport(rows=[], output_type=KV, simulated_time=0.0)

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.options import RunOptions
 from repro.core.functions import ReduceFunction
 from repro.core.plans.groupby import build_distributed_groupby
 from repro.errors import TypeCheckError
@@ -56,7 +57,7 @@ class TestCorrectness:
         plan = build_distributed_groupby(
             SimCluster(2), workload.table.element_type, key_bits=workload.key_bits
         )
-        result = plan.run(workload.table, mode="interpreted")
+        result = plan.run(workload.table, RunOptions(mode="interpreted"))
         groups = plan.groups(result)
         got = dict(zip(groups.column("key").tolist(), groups.column("value").tolist()))
         assert got == workload.expected_sums()

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.options import RunOptions
 from repro.core.plans.join import build_distributed_join
 from repro.errors import TypeCheckError
 from repro.mpi.cluster import SimCluster
@@ -65,7 +66,7 @@ class TestCorrectness:
     def test_interpreted_mode(self):
         left, right = relations(256, seed=9)
         plan = build_distributed_join(SimCluster(2), L, R, key_bits=10)
-        out = plan.matches(plan.run(left, right, mode="interpreted"))
+        out = plan.matches(plan.run(left, right, RunOptions(mode="interpreted")))
         assert sorted(out.iter_rows()) == reference_join(left, right)
 
     @pytest.mark.parametrize("network_fanout,local_fanout", [(8, 4), (16, 32), (2, 2)])

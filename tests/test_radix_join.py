@@ -20,6 +20,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.options import RunOptions
 from repro.core.context import ExecutionContext
 from repro.core.executor import execute
 from repro.core.functions import RadixPartition
@@ -240,7 +241,7 @@ class TestDispatchMetric:
         left = vector_of([(i % 64, i) for i in range(n_rows)], L)
         right = vector_of([(i % 64, -i) for i in range(128)], R)
         bp = BuildProbe(scan_of(left, ctx), scan_of(right, ctx), keys="key")
-        report = execute(bp, ctx=ctx, metrics=True)
+        report = execute(bp, ctx=ctx, options=RunOptions(metrics=True))
         return report.metrics
 
     def test_auto_dispatches_radix_on_dense_build(self):
@@ -348,7 +349,7 @@ class TestMemoryAccounting:
         ctx = ExecutionContext(morsel_rows=morsel_rows)
         table = vector_of([(i, i * 2) for i in range(1 << 13)])
         plan = MaterializeRowVector(scan_of(table, ctx))
-        report = execute(plan, ctx=ctx, metrics=True)
+        report = execute(plan, ctx=ctx, options=RunOptions(metrics=True))
         return table, report.metrics
 
     def test_view_remerge_accounts_zero_bytes(self):

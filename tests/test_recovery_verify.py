@@ -11,6 +11,7 @@ silent wrong answer) on the survivors.
 
 import pytest
 
+from repro.core.options import RunOptions
 from repro.core.executor import execute
 from repro.core.functions import CallablePartition
 from repro.core.operators import LocalHistogram
@@ -62,8 +63,7 @@ class TestDegradedReshardReverification:
             execute(
                 plan.root,
                 params={plan.slot: (workload.left, workload.right)},
-                faults=CRASH_POLICY,
-                verify_plans=False,
+                options=RunOptions(faults=CRASH_POLICY, verify_plans=False),
             )
         msg = str(exc.value)
         assert "MOD012" in msg
@@ -74,8 +74,7 @@ class TestDegradedReshardReverification:
         report = execute(
             plan.root,
             params={plan.slot: (workload.left, workload.right)},
-            faults=CRASH_POLICY,
-            verify_plans=False,
+            options=RunOptions(faults=CRASH_POLICY, verify_plans=False),
         )
         assert report.fault_summary().get("recovery:degrade_cluster") == 1
 
@@ -104,7 +103,7 @@ class TestDegradedLoweringVerification:
             lower_to_modularis(
                 ALL_QUERIES[14]().plan, catalog, SimCluster(4),
                 join_strategy="broadcast",
-                faults=FaultPolicy(memory_pressure=True),
+                options=RunOptions(faults=FaultPolicy(memory_pressure=True)),
             )
         msg = str(exc.value)
         assert "MOD012" in msg
@@ -117,7 +116,7 @@ class TestDegradedLoweringVerification:
         lowered = lower_to_modularis(
             ALL_QUERIES[14]().plan, catalog, SimCluster(4),
             join_strategy="broadcast",
-            faults=FaultPolicy(memory_pressure=True),
+            options=RunOptions(faults=FaultPolicy(memory_pressure=True)),
         )
         assert lowered.degraded_from == "broadcast"
         assert lowered.strategy == "exchange"

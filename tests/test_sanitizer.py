@@ -12,6 +12,7 @@ import itertools
 import numpy as np
 import pytest
 
+from repro.core.options import RunOptions
 from repro.analysis import SanitizerError
 from repro.core.context import ExecutionContext
 from repro.core.executor import execute
@@ -48,7 +49,9 @@ def run_plan(build_inner, table, n_ranks=2, **kwargs):
     root = MaterializeRowVector(RowScan(executor))
     kwargs.setdefault("sanitize", True)
     kwargs.setdefault("verify_plans", False)
-    return execute(root, params={slot: (table,)}, **kwargs)
+    return execute(
+        root, params={slot: (table,)}, options=RunOptions(**kwargs)
+    )
 
 
 def scan_of(slot):
@@ -274,7 +277,7 @@ class TestCleanRuns:
             TupleType.of(key=INT64, other=INT64),
             list(make_kv_table(256, seed=2).columns),
         )
-        sanitized = plan.run(left, right, sanitize=True)
+        sanitized = plan.run(left, right, RunOptions(sanitize=True))
         plain = plan.run(left, right)
         san = sanitized.sanitizer
         assert san is not None and san.clean and san.replayed
@@ -284,12 +287,12 @@ class TestCleanRuns:
 
     def test_groupby_soaks_clean(self):
         plan = build_distributed_groupby(SimCluster(2), KV)
-        report = plan.run(make_kv_table(128), sanitize=True)
+        report = plan.run(make_kv_table(128), RunOptions(sanitize=True))
         assert report.sanitizer is not None and report.sanitizer.clean
 
     def test_explain_analyze_carries_the_sanitizer_appendix(self):
         plan = build_distributed_groupby(SimCluster(2), KV)
-        report = plan.run(make_kv_table(64), profile=True, sanitize=True)
+        report = plan.run(make_kv_table(64), RunOptions(profile=True, sanitize=True))
         rendered = report.profile.render()
         assert "sanitizer:" in rendered
         assert "clean" in rendered
@@ -297,6 +300,6 @@ class TestCleanRuns:
 
     def test_report_render_counts(self):
         plan = build_distributed_groupby(SimCluster(2), KV)
-        report = plan.run(make_kv_table(64), sanitize=True)
+        report = plan.run(make_kv_table(64), RunOptions(sanitize=True))
         text = report.sanitizer.render()
         assert "puts" in text and "collectives" in text and "clean" in text

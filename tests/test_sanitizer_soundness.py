@@ -11,6 +11,7 @@ runs clean would be exactly the hole this PR closes.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.options import RunOptions
 from repro.analysis import analyze
 from repro.core.executor import execute
 from repro.core.functions import HashPartition, RadixPartition
@@ -88,9 +89,13 @@ def test_mutants_are_rejected_statically_or_run_clean(
     # bit-identical to the unsanitized run.
     root2, slot2 = _mutant(hist_family, hist_shift, exch_family, exch_shift, ghist_n)
     sanitized = execute(
-        root, params={slot: (TABLE,)}, sanitize=True, verify_plans=False
+        root, params={slot: (TABLE,)},
+        options=RunOptions(sanitize=True, verify_plans=False),
     )
-    plain = execute(root2, params={slot2: (TABLE,)}, verify_plans=False)
+    plain = execute(
+        root2, params={slot2: (TABLE,)},
+        options=RunOptions(verify_plans=False),
+    )
     assert sanitized.sanitizer is not None
     assert sanitized.sanitizer.clean, sanitized.sanitizer.render()
     assert sorted(sanitized.rows) == sorted(plain.rows)

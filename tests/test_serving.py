@@ -1,0 +1,325 @@
+"""Unit tests for the serving layer: registry, scheduler, server surface.
+
+The end-to-end concurrency/bit-identity soak lives in
+``tests/test_serving_soak.py``; this file covers the pieces in
+isolation: the deploy-time schema contract, prepared-plan versioning,
+admission control, stride fair-share, and work stealing.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.options import RunOptions
+from repro.errors import AdmissionError, SchemaContractError
+from repro.mpi.cluster import SimCluster
+from repro.observability.metrics import MetricsRegistry
+from repro.serving import (
+    FairShare,
+    PlanRegistry,
+    QueryTask,
+    SchemaContract,
+    Server,
+    WorkStealingScheduler,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+from repro.tpch import load_catalog, q4, q12
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return load_catalog(scale_factor=0.002)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return SimCluster(2)
+
+
+class TestSchemaContract:
+    def test_captures_referenced_tables_and_types(self, catalog):
+        contract = SchemaContract.capture(q12().plan, catalog)
+        tables = dict(contract.tables)
+        assert set(tables) == {"lineitem", "orders"}
+        # Every captured column exists in the catalog with the same type.
+        for name, required in tables.items():
+            schema = catalog.get(name).schema
+            assert required.field_names
+            for field in required:
+                assert schema[field.name] == field.item_type
+
+    def test_validate_accepts_deploy_catalog(self, catalog):
+        SchemaContract.capture(q12().plan, catalog).validate(catalog)
+
+    def test_missing_table_rejected(self, catalog):
+        contract = SchemaContract.capture(q12().plan, catalog)
+        empty = Catalog()
+        with pytest.raises(SchemaContractError, match="needs table"):
+            contract.validate(empty)
+
+    def test_missing_column_rejected(self, catalog):
+        contract = SchemaContract.capture(q12().plan, catalog)
+        drifted = Catalog()
+        for table in catalog:
+            if table.name == "orders":
+                keep = [
+                    f.name for f in table.schema if f.name != "o_orderpriority"
+                ]
+                pruned_type = type(table.schema).of(
+                    **{n: table.schema[n] for n in keep}
+                )
+                from repro.types.collections import RowVector
+
+                drifted.register(Table(
+                    "orders",
+                    RowVector(
+                        pruned_type, [table.data.column(n) for n in keep]
+                    ),
+                ))
+            else:
+                drifted.register(table)
+        with pytest.raises(SchemaContractError, match="lost column"):
+            contract.validate(drifted)
+
+
+class TestPlanRegistry:
+    def test_deploy_returns_versioned_handle(self, catalog, cluster):
+        registry = PlanRegistry()
+        prepared = registry.deploy("q12", q12(), catalog, cluster)
+        assert prepared.handle == "q12@v1"
+        assert registry.get("q12@v1") is prepared
+        # A bare name resolves to the latest version.
+        assert registry.get("q12") is prepared
+
+    def test_redeploy_bumps_version_and_keeps_old_handle(self, catalog, cluster):
+        registry = PlanRegistry()
+        first = registry.deploy("q", q12(), catalog, cluster)
+        second = registry.deploy("q", q4(), catalog, cluster)
+        assert first.handle != second.handle
+        assert registry.get(first.handle) is first
+        assert registry.get("q") is second
+
+    def test_unknown_handle_raises_admission_error(self, catalog, cluster):
+        registry = PlanRegistry()
+        with pytest.raises(AdmissionError, match="unknown plan handle"):
+            registry.get("nope")
+
+    def test_deploy_rejects_non_plans(self, catalog, cluster):
+        registry = PlanRegistry()
+        with pytest.raises(AdmissionError, match="needs a Query"):
+            registry.deploy("bad", object(), catalog, cluster)
+
+    def test_instantiate_returns_fresh_lowered_plan(self, catalog, cluster):
+        registry = PlanRegistry()
+        prepared = registry.deploy("q12", q12(), catalog, cluster)
+        a = prepared.instantiate(catalog, cluster)
+        b = prepared.instantiate(catalog, cluster)
+        # Fresh per run: MpiExecutor state must never be shared.
+        assert a is not b
+        assert a.root is not b.root
+
+    def test_prepared_plan_is_immutable(self, catalog, cluster):
+        registry = PlanRegistry()
+        prepared = registry.deploy("q12", q12(), catalog, cluster)
+        with pytest.raises(AttributeError):
+            prepared.handle = "other"
+
+
+def _counting_task(query_id, tenant, n_steps, log=None, delay=0.0):
+    def steps():
+        for i in range(n_steps):
+            if delay:
+                import time
+
+                time.sleep(delay)
+            yield i
+        return f"done-{query_id}"
+
+    task = QueryTask(
+        query_id=query_id, tenant=tenant, label=f"t{query_id}", steps=steps()
+    )
+    if log is not None:
+        task.on_done = lambda t, result, error: log.append((t.query_id, result, error))
+    return task
+
+
+class TestFairShare:
+    def test_weighted_stride(self):
+        share = FairShare()
+        share.register("heavy", 2.0)
+        share.register("light", 1.0)
+        share.charge("heavy", 10)
+        share.charge("light", 10)
+        # Equal work advances the light tenant's pass twice as fast.
+        assert share.pass_of("light") == pytest.approx(
+            2 * share.pass_of("heavy")
+        )
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            FairShare().register("x", 0.0)
+
+    def test_late_joiner_starts_at_current_floor(self):
+        share = FairShare()
+        share.register("old", 1.0)
+        share.charge("old", 100)
+        share.register("new", 1.0)
+        assert share.pass_of("new") == pytest.approx(share.pass_of("old"))
+
+
+class TestScheduler:
+    def test_runs_tasks_to_completion(self):
+        metrics = MetricsRegistry()
+        scheduler = WorkStealingScheduler(n_workers=2, metrics=metrics)
+        scheduler.start()
+        log = []
+        for i in range(6):
+            scheduler.submit(_counting_task(i, "default", n_steps=5, log=log))
+        scheduler.close()
+        assert sorted(r for _, r, _ in log) == [f"done-{i}" for i in range(6)]
+        assert all(e is None for _, _, e in log)
+        snap = metrics.snapshot()
+        assert snap.total("serving_completed") == 6
+        # Each task: 5 yields + the completing next() count as steps.
+        assert snap.total("serving_steps") == 6 * 6
+
+    def test_errors_delivered_not_raised_in_worker(self):
+        def exploding():
+            yield 0
+            raise RuntimeError("boom")
+
+        scheduler = WorkStealingScheduler(n_workers=1)
+        log = []
+        task = QueryTask(query_id=1, tenant="default", label="x", steps=exploding())
+        task.on_done = lambda t, r, e: log.append(e)
+        scheduler.start()
+        scheduler.submit(task)
+        scheduler.close()
+        assert len(log) == 1 and isinstance(log[0], RuntimeError)
+
+    def test_quantum_interleaves_two_tasks(self):
+        # One worker, quantum=1: two tasks must alternate, which is the
+        # morsel-level preemption the serving layer is built on.
+        order = []
+
+        def tracked(tag, n):
+            for i in range(n):
+                order.append(tag)
+                yield i
+            return tag
+
+        scheduler = WorkStealingScheduler(n_workers=1, quantum=1)
+        scheduler.submit(QueryTask(1, "default", "a", tracked("a", 4)))
+        scheduler.submit(QueryTask(2, "default", "b", tracked("b", 4)))
+        scheduler.start()
+        scheduler.close()
+        # Strict round-robin is not guaranteed, but both tags must appear
+        # before either finishes (no run-to-completion).
+        first_b = order.index("b")
+        last_a = len(order) - 1 - order[::-1].index("a")
+        assert first_b < last_a, order
+
+    def test_steals_counted(self):
+        metrics = MetricsRegistry()
+        scheduler = WorkStealingScheduler(n_workers=4, metrics=metrics)
+        # Pile every task onto worker 0's deque before the pool starts:
+        # workers 1-3 wake with empty deques and must steal to make
+        # progress (white-box placement keeps the assertion deterministic).
+        # The per-step sleep releases the GIL so workers 1-3 actually wake
+        # while worker 0's deque is still full.
+        with scheduler._lock:
+            for i in range(8):
+                scheduler._queues[0].append(
+                    _counting_task(i, "default", n_steps=10, delay=0.002)
+                )
+                scheduler._in_flight += 1
+        scheduler.start()
+        scheduler.close()
+        assert metrics.snapshot().total("serving_steals") > 0
+
+    def test_trace_records_every_quantum(self):
+        scheduler = WorkStealingScheduler(n_workers=2, quantum=2)
+        scheduler.start()
+        for i in range(3):
+            scheduler.submit(_counting_task(i, "default", n_steps=4))
+        scheduler.close()
+        assert scheduler.trace
+        assert sum(e.steps for e in scheduler.trace) == 3 * 5
+        seqs = [e.seq for e in scheduler.trace]
+        assert sorted(seqs) == list(range(len(seqs)))
+
+
+class TestServerSurface:
+    def test_session_deploy_run(self, catalog, cluster):
+        with Server(cluster, catalog, n_workers=2, max_pending=8) as server:
+            session = server.session("team-a", weight=1.0)
+            prepared = session.deploy("q12", q12())
+            outcome = session.run(prepared.handle, timeout=120)
+            assert outcome.tenant == "team-a"
+            assert outcome.frame.n_rows >= 1
+            assert outcome.steps > 0
+            account = session.account()
+            assert account.queries == 1
+            assert account.simulated_seconds == outcome.report.simulated_time
+
+    def test_unknown_tenant_rejected(self, catalog, cluster):
+        with Server(cluster, catalog, n_workers=1) as server:
+            server.deploy("q12", q12())
+            with pytest.raises(AdmissionError, match="unknown tenant"):
+                server.submit("q12", tenant="ghost")
+
+    def test_admission_bound_backpressure(self, catalog, cluster):
+        with Server(cluster, catalog, n_workers=1, max_pending=1) as server:
+            handle = server.deploy("q12", q12()).handle
+            first = server.submit(handle)
+            # The first query may or may not have finished; force the
+            # bound by stacking submissions until one is refused or the
+            # queue drains.  With max_pending=1 a refusal can only happen
+            # while the first is still pending, so retry-submit quickly.
+            rejected = False
+            try:
+                server.submit(handle)
+            except AdmissionError:
+                rejected = True
+            first.result(timeout=120)
+            server.drain()
+            # After draining, admission opens up again.
+            server.run(handle, timeout=120)
+            if rejected:
+                assert server.tenant("default").rejected == 1
+                snap = server.snapshot()
+                assert snap.total("serving_rejected") == 1
+
+    def test_run_options_flow_through(self, catalog, cluster):
+        with Server(cluster, catalog, n_workers=2) as server:
+            handle = server.deploy("q4", q4()).handle
+            outcome = server.run(
+                handle, options=RunOptions(profile=True, metrics=True),
+                timeout=120,
+            )
+            assert outcome.report.profile is not None
+            assert outcome.report.metrics is not None
+
+    def test_per_run_metrics_isolated_across_concurrent_queries(
+        self, catalog, cluster
+    ):
+        # Two queries with metrics on, submitted together: each report's
+        # snapshot must describe its own run only (no cross-talk through
+        # the shared cluster).
+        with Server(cluster, catalog, n_workers=2) as server:
+            handle = server.deploy("q12", q12()).handle
+            options = RunOptions(metrics=True)
+            futures = [server.submit(handle, options=options) for _ in range(2)]
+            snaps = [f.result(timeout=120).report.metrics for f in futures]
+            values = [s.total("operator_rows_out") for s in snaps]
+            assert values[0] == values[1] > 0
+
+    def test_contract_violation_surfaces_at_submit(self, cluster):
+        deploy_catalog = load_catalog(scale_factor=0.002)
+        with Server(cluster, deploy_catalog, n_workers=1) as server:
+            handle = server.deploy("q12", q12()).handle
+            # Swap the server's catalog for one missing a required column.
+            server.catalog = Catalog()
+            with pytest.raises(SchemaContractError):
+                server.submit(handle)

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.options import RunOptions
 from repro.bench.experiments.fig9 import frames_match
 from repro.mpi.cluster import SimCluster
 from repro.relational import lower_to_modularis, run_logical_plan
@@ -68,7 +69,7 @@ class TestQ1Distributed:
         query = q1()
         reference = run_logical_plan(query.plan, catalog)
         lowered = lower_to_modularis(query.plan, catalog, SimCluster(2))
-        frame = lowered.result_frame(lowered.run(catalog, mode="interpreted"))
+        frame = lowered.result_frame(lowered.run(catalog, RunOptions(mode="interpreted")))
         assert frames_match(reference, frame, tolerance=1e-9)
 
 
