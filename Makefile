@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke bench-compare chaos-soak sanitize-soak serve-soak profile examples
+.PHONY: test lint bench bench-smoke bench-compare chaos-soak sanitize-soak serve-soak serve-chaos profile examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -58,6 +58,14 @@ sanitize-soak:
 serve-soak:
 	$(PYTHON) -m repro serve --queries 16
 	$(PYTHON) -m repro serve --queries 16 --chaos
+
+# Query-lifecycle robustness gate: the full chaos matrix (transient,
+# crash, straggler, flaky-with-retries) must stay bit-identical to
+# serial with an exactly reconciled tenant ledger, and the poison-plan
+# breaker scenario must trip the circuit while bystander queries on the
+# same server keep matching their serial reference.
+serve-chaos:
+	$(PYTHON) -m repro serve --matrix --queries 8 --sf 0.005
 
 # EXPLAIN ANALYZE a TPC-H query and export the merged operator+substrate
 # Chrome trace (open profile_trace.json in chrome://tracing or Perfetto).

@@ -161,7 +161,8 @@ def record_from_smoke_report(report: dict, label: str = "") -> dict:
     ``benchmarks`` → ``*_wall_fused``/``*_wall_interpreted`` wall-clock
     samples, ``join_kernels`` → ``join_*_wall_sorted``/``join_*_wall_radix``
     wall-clock samples, ``profiler`` → the observability overhead ratios,
-    and ``faults`` → the armed-injector overhead ratio.  Overheads are kept
+    and ``faults``/``serving`` → the armed-injector and armed-lifecycle
+    overhead ratios.  Overheads are kept
     as dimensionless values with an *absolute*-style slack folded into a
     generous tolerance — they hover around 0 and a relative threshold
     would be meaningless.
@@ -212,6 +213,9 @@ def record_from_smoke_report(report: dict, label: str = "") -> dict:
     faults = report.get("faults")
     if faults is not None:
         config["faults"] = {"armed_overhead": faults.get("armed_overhead")}
+    serving = report.get("serving")
+    if serving is not None:
+        config["serving"] = {"armed_overhead": serving.get("armed_overhead")}
     if join_kernels:
         config["join_kernels"] = {
             workload: join_kernels[workload].get("speedup")

@@ -29,7 +29,12 @@ A fifth probe covers the MOD05x runtime sanitizer: the sanitizer-off path
 must stay within the same 5% disabled budget, and TPC-H Q4/Q12/Q14/Q19
 must run bit-identical with ``sanitize=True`` and a clean report.
 
-A sixth probe races the two join kernels (sorted-hash vs radix
+A sixth probe measures the query-lifecycle tax on the serving layer: a
+TPC-H batch served with deadlines, a retry policy, a circuit breaker,
+and shed accounting all armed but never firing must stay within 5% of
+the plain serving path.
+
+A seventh probe races the two join kernels (sorted-hash vs radix
 direct-address) at the kernel level on a uniform and a Zipf-skewed
 duplicate-heavy workload.  Outputs must stay bit-identical, and the run
 fails if radix is not at least :data:`MIN_RADIX_SPEEDUP` times faster on
@@ -164,6 +169,77 @@ MIN_RADIX_SPEEDUP = 2.0
 
 #: make bench-smoke fails when the fault-free fault-injection tax exceeds this.
 MAX_FAULT_OVERHEAD = 0.05
+
+#: make bench-smoke fails when the armed-but-idle query-lifecycle tax
+#: (deadlines + retry policy + breaker + shed accounting, none firing)
+#: exceeds this.
+MAX_SERVING_ROBUSTNESS_OVERHEAD = 0.05
+
+
+def _serving_robustness_overhead(
+    scale_factor: float, machines: int, n_queries: int, repeats: int
+) -> dict[str, float]:
+    """Wall-clock tax of the query-lifecycle machinery when nothing fires.
+
+    Serves the same TPC-H batch through two servers:
+
+    * ``baseline`` — no deadline, no retry policy, shedding off: the
+      pre-lifecycle serving configuration,
+    * ``armed`` — a generous deadline on every submission, a configured
+      retry policy, and a shed threshold just below the cap: every
+      lifecycle check runs on every quantum and submission, but no
+      deadline ever misses, no retry ever fires, and nothing is shed.
+
+    Rounds are interleaved so load bursts hit both configurations
+    equally; best-of wins.  Only the submit-to-result window is timed
+    (deploys happen once, outside the clock).
+    """
+    from repro.faults.policy import RetryPolicy
+    from repro.serving.server import Server
+    from repro.tpch import ALL_QUERIES, load_catalog
+
+    catalog = load_catalog(scale_factor)
+    cluster = SimCluster(machines)
+    qids = (4, 12, 14, 19)
+
+    def run(armed: bool) -> float:
+        kwargs = (
+            {"retry": RetryPolicy(max_attempts=3), "shed_threshold": 0.99}
+            if armed
+            else {}
+        )
+        with Server(
+            cluster,
+            catalog,
+            n_workers=4,
+            max_pending=max(n_queries, 1) * 2,
+            **kwargs,
+        ) as server:
+            handles = [
+                server.deploy(f"q{qid}", ALL_QUERIES[qid]()).handle
+                for qid in qids
+            ]
+            start = time.perf_counter()
+            futures = [
+                server.submit(
+                    handles[i % len(handles)],
+                    deadline=1e6 if armed else None,
+                )
+                for i in range(n_queries)
+            ]
+            for future in futures:
+                future.result(timeout=600)
+            return time.perf_counter() - start
+
+    best = {"baseline": float("inf"), "armed": float("inf")}
+    for _ in range(max(repeats, 3)):
+        best["baseline"] = min(best["baseline"], run(armed=False))
+        best["armed"] = min(best["armed"], run(armed=True))
+    return {
+        "baseline_seconds": best["baseline"],
+        "armed_seconds": best["armed"],
+        "armed_overhead": best["armed"] / best["baseline"] - 1.0,
+    }
 
 
 def _fault_overhead(n_tuples: int, machines: int, repeats: int) -> dict[str, float]:
@@ -441,6 +517,10 @@ def run_smoke(
     join_kernels["build_rows"] = join_build_rows
     join_kernels["probe_rows"] = join_probe_rows
     report["join_kernels"] = join_kernels
+    serving = _serving_robustness_overhead(tpch_sf, machines, 8, repeats)
+    serving["scale_factor"] = tpch_sf
+    serving["machines"] = machines
+    report["serving"] = serving
     return report
 
 
@@ -572,6 +652,21 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 1
+    serving = report["serving"]
+    print(
+        f"serving: baseline {serving['baseline_seconds']:.3f}s, "
+        f"armed {serving['armed_seconds']:.3f}s "
+        f"({serving['armed_overhead']:+.1%})"
+    )
+    if serving["armed_overhead"] > MAX_SERVING_ROBUSTNESS_OVERHEAD:
+        print(
+            f"FAIL: armed-but-idle query-lifecycle overhead "
+            f"{serving['armed_overhead']:.1%} exceeds the "
+            f"{MAX_SERVING_ROBUSTNESS_OVERHEAD:.0%} budget — deadlines, "
+            "retries, and the breaker must stay free when nothing fires",
+            file=sys.stderr,
+        )
+        return 1
     if join_kernels["skewed"]["speedup"] < MIN_RADIX_SPEEDUP:
         print(
             f"FAIL: radix is only {join_kernels['skewed']['speedup']:.1f}x "

@@ -288,10 +288,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--machines", type=int, default=2)
     serve.add_argument("--seed", type=int, default=2021)
     serve.add_argument(
-        "--chaos", action="store_true",
-        help="arm a transient-fault policy during the soak (results must "
-        "stay bit-identical)",
+        "--chaos", nargs="?", const="transient", default="none",
+        choices=("none", "transient", "crash", "straggler", "flaky"),
+        help="arm a chaos profile during the soak (bare --chaos means "
+        "'transient'; surviving results must stay bit-identical)",
     )
+    serve.add_argument(
+        "--matrix", action="store_true",
+        help="run the full robustness gauntlet instead of one soak: every "
+        "chaos profile plus the poison-plan circuit-breaker scenario",
+    )
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="simulated-seconds deadline per query")
+    serve.add_argument("--retries", type=int, default=0,
+                       help="server-level retry attempts beyond the first "
+                       "(the flaky profile needs >= 1)")
+    serve.add_argument("--cancel-every", type=int, default=0,
+                       help="cancel every k-th submission (0 = never)")
+    serve.add_argument("--shed-threshold", type=float, default=1.0,
+                       help="load-shedding floor as a fraction of the "
+                       "admission cap (1.0 disables shedding)")
     serve.add_argument(
         "--trace", action="store_true",
         help="print the scheduler quantum trace (worker/tenant/query per "
@@ -762,7 +778,69 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serving.soak import SoakConfig, run_soak
+    from repro.serving.soak import (
+        SoakConfig,
+        breaker_scenario,
+        chaos_matrix,
+        run_soak,
+    )
+
+    if args.matrix:
+        reports = chaos_matrix(
+            scale_factor=args.sf,
+            machines=args.machines,
+            n_queries=args.queries,
+            seed=args.seed,
+        )
+        breaker = breaker_scenario(
+            scale_factor=args.sf, machines=args.machines, seed=args.seed
+        )
+        ok = breaker.tripped and breaker.bystander_matched
+        for profile, report in reports.items():
+            ok = (
+                ok
+                and report.bit_identical
+                and not report.starved_tenants
+                and not report.reconciliation_errors()
+            )
+        if args.format == "json":
+            _print_json(
+                {
+                    "profiles": {
+                        profile: {
+                            "bit_identical": report.bit_identical,
+                            "lifecycle": {
+                                k: len(v)
+                                for k, v in report.lifecycle.items()
+                                if v
+                            },
+                            "reconciliation_errors":
+                                report.reconciliation_errors(),
+                        }
+                        for profile, report in reports.items()
+                    },
+                    "breaker": {
+                        "tripped": breaker.tripped,
+                        "state": breaker.breaker_state,
+                        "fast_failed": breaker.breaker_rejected,
+                        "bystander_bit_identical": breaker.bystander_matched,
+                    },
+                    "ok": ok,
+                }
+            )
+        else:
+            for profile, report in reports.items():
+                print(f"--- chaos profile: {profile} ---")
+                print(report.render())
+            print("--- poison-plan breaker scenario ---")
+            print(breaker.render())
+        if not ok:
+            print(
+                "ERROR: chaos matrix failed (divergence, starvation, broken "
+                "ledger, or breaker misbehavior)",
+                file=sys.stderr,
+            )
+        return 0 if ok else 1
 
     report = run_soak(
         SoakConfig(
@@ -773,6 +851,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             quantum=args.quantum,
             chaos=args.chaos,
             seed=args.seed,
+            deadline=args.deadline,
+            cancel_every=args.cancel_every,
+            retries=args.retries,
+            shed_threshold=args.shed_threshold,
         )
     )
     if args.format == "json":
@@ -795,13 +877,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     t: {"settled": settled, "serial": serial}
                     for t, (settled, serial) in sorted(report.ledgers.items())
                 },
+                "lifecycle": {
+                    k: list(v) for k, v in report.lifecycle.items() if v
+                },
+                "reconciliation_errors": report.reconciliation_errors(),
             }
         )
     else:
         print(report.render())
-    ok = report.bit_identical and not report.starved_tenants
+    ok = (
+        report.bit_identical
+        and not report.starved_tenants
+        and not report.reconciliation_errors()
+    )
     if not ok:
-        print("ERROR: soak failed (results diverged or a tenant starved)",
+        print("ERROR: soak failed (results diverged, a tenant starved, or "
+              "the ledgers failed to reconcile)",
               file=sys.stderr)
     return 0 if ok else 1
 

@@ -132,3 +132,150 @@ class SchemaContractError(ServingError):
     catalog whose tables are missing or shaped differently is refused
     before any data flows.
     """
+
+
+class QueryLifecycleError(ServingError):
+    """Base of per-query lifecycle failures in the serving layer.
+
+    Carries enough context (query id, tenant, plan handle) to file the
+    failure against the right tenant ledger without re-deriving it from
+    the server's internal state.
+    """
+
+    def __init__(
+        self, message: str, query_id: int = -1, tenant: str = "", handle: str = ""
+    ) -> None:
+        super().__init__(message)
+        self.query_id = query_id
+        self.tenant = tenant
+        self.handle = handle
+
+
+class QueryCancelled(QueryLifecycleError):
+    """A query was cooperatively cancelled between morsel steps.
+
+    Raised out of :meth:`QueryFuture.result` after
+    :meth:`QueryFuture.cancel` / :meth:`Server.cancel` took effect.  The
+    cancelled query's consumed morsel steps are settled into its tenant's
+    ledger as a ``cancelled`` outcome; no result frame exists.
+    """
+
+
+class DeadlineExceeded(QueryLifecycleError):
+    """A query overran its simulated-time deadline.
+
+    Deadlines are budgets on the *simulated* clock (the same axis as
+    ``ExecutionReport.simulated_time``), enforced cooperatively at
+    scheduler quantum boundaries — never against wall time, so the set of
+    deadline misses is deterministic for a given seed and configuration.
+    The budget spans server-level retries: backoff and prior attempts'
+    elapsed simulated time count against it.
+
+    Attributes:
+        deadline: The simulated-seconds budget the query was given.
+        elapsed: Simulated seconds consumed when the miss was detected.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        query_id: int = -1,
+        tenant: str = "",
+        handle: str = "",
+        deadline: float = 0.0,
+        elapsed: float = 0.0,
+    ) -> None:
+        super().__init__(message, query_id=query_id, tenant=tenant, handle=handle)
+        self.deadline = deadline
+        self.elapsed = elapsed
+
+
+class ResultTimeout(QueryLifecycleError, TimeoutError):
+    """``QueryFuture.result(timeout=...)`` expired before the outcome.
+
+    This is a *wall-clock* wait bound on the calling thread, not a
+    statement about the query: the query keeps running (use
+    :meth:`QueryFuture.cancel` to stop it).  Contrast with
+    :class:`DeadlineExceeded`, which is a simulated-clock budget enforced
+    by the scheduler.  Subclasses :class:`TimeoutError` so pre-existing
+    ``except TimeoutError`` call sites keep working.
+    """
+
+
+class RetriesExhausted(QueryLifecycleError):
+    """Server-level retry gave up on a query that kept failing retryably.
+
+    Every attempt failed with a retryable fault
+    (:class:`FaultInjectionError`); the attempt budget ran out.  The last
+    underlying error is chained as ``__cause__`` and kept on
+    :attr:`last_error`.  Counts as a *terminal* failure for the plan's
+    circuit breaker.
+
+    Attributes:
+        attempts: Total attempts made (including the first).
+        last_error: The final attempt's failure.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        query_id: int = -1,
+        tenant: str = "",
+        handle: str = "",
+        attempts: int = 0,
+        last_error: BaseException | None = None,
+    ) -> None:
+        super().__init__(message, query_id=query_id, tenant=tenant, handle=handle)
+        self.attempts = attempts
+        self.last_error = last_error
+        if last_error is not None:
+            self.__cause__ = last_error
+
+
+class CircuitOpenError(ServingError):
+    """A submission fast-failed because its plan's circuit breaker is open.
+
+    After K consecutive terminal failures a prepared plan's handle is
+    quarantined: new submissions fail immediately (this error) instead of
+    wasting scheduler time on a poisoned plan.  After a cooldown the
+    breaker half-opens and admits a single probe; redeploying the name
+    yields a fresh handle with a fresh (closed) breaker.
+
+    Attributes:
+        handle: The quarantined ``name@vN`` handle.
+        state: Breaker state at rejection (``open`` or ``half-open``).
+    """
+
+    def __init__(self, message: str, handle: str = "", state: str = "open") -> None:
+        super().__init__(message)
+        self.handle = handle
+        self.state = state
+
+
+class OverloadShedError(AdmissionError):
+    """A submission was shed by load-aware admission control.
+
+    Distinct from the hard ``max_pending`` bound: shedding starts below
+    the hard cap and is *selective* — a tenant already holding at least
+    its weight-proportional share of the in-flight slots is shed first,
+    so a flooding tenant cannot starve a well-behaved one.  The shed is
+    recorded in the tenant's ledger; the query never reaches the
+    scheduler.
+
+    Attributes:
+        tenant: The tenant whose submission was shed.
+        in_flight: The tenant's in-flight queries at the decision.
+        entitlement: The tenant's weight-proportional slot entitlement.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        tenant: str = "",
+        in_flight: int = 0,
+        entitlement: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.in_flight = in_flight
+        self.entitlement = entitlement

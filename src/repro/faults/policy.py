@@ -24,7 +24,13 @@ from dataclasses import dataclass, field
 
 from repro.errors import TypeCheckError
 
-__all__ = ["RetryPolicy", "StragglerFault", "CrashFault", "FaultPolicy"]
+__all__ = [
+    "RetryPolicy",
+    "StragglerFault",
+    "CrashFault",
+    "FaultPolicy",
+    "is_retryable",
+]
 
 
 @dataclass(frozen=True)
@@ -171,3 +177,67 @@ class FaultPolicy:
             or self.crash is not None
             or self.memory_pressure
         )
+
+    # -- named profiles ------------------------------------------------------
+    #
+    # The chaos soaks (``repro chaos``, ``repro serve``) name their fault
+    # mixes; these constructors are the single place those names resolve,
+    # so a "crash" soak in the serving layer and in the single-query chaos
+    # CLI mean the same injection.
+
+    @classmethod
+    def transient(cls, seed: int = 2021, rate: float = 0.05, **kwargs) -> "FaultPolicy":
+        """Transient-only chaos: dropped puts/collectives, retried in-substrate."""
+        return cls(
+            seed=seed, put_drop_rate=rate, collective_drop_rate=rate, **kwargs
+        )
+
+    @classmethod
+    def with_crash(
+        cls,
+        seed: int = 2021,
+        rank: int = 1,
+        after_comm_ops: int = 4,
+        permanent: bool = False,
+        **kwargs,
+    ) -> "FaultPolicy":
+        """One hard rank crash; stage recovery (or n-1 degrade) must heal it."""
+        return cls(
+            seed=seed,
+            crash=CrashFault(
+                rank=rank, after_comm_ops=after_comm_ops, permanent=permanent
+            ),
+            **kwargs,
+        )
+
+    @classmethod
+    def with_stragglers(
+        cls,
+        seed: int = 2021,
+        rank: int = 1,
+        slowdown: float = 4.0,
+        **kwargs,
+    ) -> "FaultPolicy":
+        """One delayed rank: compute-bound work runs ``slowdown``x slower."""
+        return cls(
+            seed=seed, stragglers=(StragglerFault(rank=rank, slowdown=slowdown),),
+            **kwargs,
+        )
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether a failed query may be re-run from its immutable prepared plan.
+
+    Injected faults (:class:`~repro.errors.FaultInjectionError`) model
+    environmental failures — a clean re-execution can succeed, so the
+    serving layer's retry loop re-submits them with fresh fault seeds.
+    Everything else (plan bugs, contract violations, lifecycle outcomes
+    like cancellation or a missed deadline) is terminal: retrying cannot
+    change the verdict, and terminal failures are what trip a prepared
+    plan's circuit breaker.
+    """
+    from repro.errors import FaultInjectionError, ServingError
+
+    if isinstance(error, ServingError):
+        return False
+    return isinstance(error, FaultInjectionError)

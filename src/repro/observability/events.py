@@ -32,6 +32,7 @@ __all__ = [
     "FaultDetail",
     "RetryDetail",
     "RecoveryDetail",
+    "LifecycleDetail",
     "GenericDetail",
     "OperatorSpan",
     "detail_for",
@@ -153,6 +154,26 @@ class RecoveryDetail(EventDetail):
 
 
 @dataclass(frozen=True)
+class LifecycleDetail(EventDetail):
+    """One serving-layer query-lifecycle transition.
+
+    ``transition`` is one of ``deadline_missed`` | ``cancelled`` |
+    ``retry`` | ``shed`` | ``failed`` | ``breaker_open`` |
+    ``breaker_half_open`` | ``breaker_closed`` | ``breaker_rejected``.
+    Times on the carrying event are the query's simulated clock (retry
+    events span the backoff interval); breaker/shed events happen at the
+    submission boundary and carry a zero-length interval.
+    """
+
+    transition: str
+    query_id: int = -1
+    tenant: str = ""
+    handle: str = ""
+    attempt: int = 0
+    reason: str = ""
+
+
+@dataclass(frozen=True)
 class GenericDetail(EventDetail):
     """Fallback payload for event kinds without a dedicated detail type."""
 
@@ -181,6 +202,7 @@ _DETAIL_TYPES: dict[str, type] = {
     "fault": FaultDetail,
     "retry": RetryDetail,
     "recovery": RecoveryDetail,
+    "lifecycle": LifecycleDetail,
 }
 
 

@@ -103,6 +103,11 @@ class Gauge:
         if value > self.value:
             self.value = value
 
+    def add(self, delta) -> None:
+        """Up-down adjustment (e.g. in-flight query counts); may go negative
+        transiently, which a final snapshot should never show."""
+        self.value += delta
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Gauge({self.value})"
 

@@ -374,7 +374,7 @@ class ModularisQuery:
         return tuple(tables)
 
     def execution(
-        self, catalog: Catalog, options: RunOptions | None = None
+        self, catalog: Catalog, options: RunOptions | None = None, ctx=None
     ):
         """Stepwise execution: a generator yielding per driver morsel.
 
@@ -384,12 +384,19 @@ class ModularisQuery:
         :class:`ExecutionReport`), plus this query's planning-time
         bookkeeping (the broadcast-fallback recovery evidence).  The
         serving scheduler interleaves many of these on one cluster.
+
+        Args:
+            ctx: Pre-built driver context to run under (the serving layer
+                passes one so it can watch the query's simulated clock
+                for deadline enforcement and charge retry backoff to it);
+                ``None`` builds a fresh context from ``options``.
         """
         if options is None:
             options = RunOptions()
         from repro.core.context import ExecutionContext
 
-        ctx = ExecutionContext.from_options(options)
+        if ctx is None:
+            ctx = ExecutionContext.from_options(options)
         if options.metrics and self.degraded_from is not None:
             # The broadcast-fallback decision happened at planning time;
             # pre-count it on the run's registry so the snapshot taken

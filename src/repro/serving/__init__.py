@@ -7,6 +7,7 @@ work-stealing scheduler with stride fair-share across tenants and a hard
 admission bound.  See ``docs/serving.md``.
 """
 
+from repro.serving.lifecycle import BreakerConfig, CircuitBreaker
 from repro.serving.registry import PlanRegistry, PreparedPlan, SchemaContract
 from repro.serving.scheduler import (
     FairShare,
@@ -24,6 +25,8 @@ from repro.serving.server import (
 from repro.serving.soak import SoakConfig, SoakReport, run_soak, throughput_probe
 
 __all__ = [
+    "BreakerConfig",
+    "CircuitBreaker",
     "FairShare",
     "PlanRegistry",
     "PreparedPlan",

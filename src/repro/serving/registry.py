@@ -33,6 +33,7 @@ from repro.types.tuples import TupleType
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mpi.cluster import SimCluster
+    from repro.serving.lifecycle import CircuitBreaker
 
 __all__ = ["SchemaContract", "PreparedPlan", "PlanRegistry"]
 
@@ -147,6 +148,7 @@ class PlanRegistry:
         self._plans: dict[str, PreparedPlan] = {}
         self._versions = itertools.count(1)
         self._latest: dict[str, str] = {}
+        self._breakers: dict[str, "CircuitBreaker"] = {}
 
     def deploy(
         self,
@@ -207,6 +209,36 @@ class PlanRegistry:
             known = sorted(self._plans)
             raise AdmissionError(f"unknown plan handle {handle!r}; have {known}")
         return resolved
+
+    def breaker_for(
+        self,
+        handle: str,
+        config=None,
+        on_transition=None,
+    ) -> "CircuitBreaker":
+        """The circuit breaker guarding one deployed handle.
+
+        Breakers are keyed by the resolved ``name@vN`` handle, and the
+        registry owns them so every submission path shares one breaker
+        per prepared plan.  Redeploying a name creates a new handle —
+        and hence a fresh, closed breaker — which is exactly the recovery
+        story for a quarantined (poisoned) plan: fix it, redeploy, and
+        the old version stays quarantined while the new one serves.
+
+        ``config``/``on_transition`` only apply on first creation; later
+        calls return the existing breaker unchanged.
+        """
+        from repro.serving.lifecycle import CircuitBreaker
+
+        resolved = self.get(handle).handle
+        with self._lock:
+            breaker = self._breakers.get(resolved)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    resolved, config=config, on_transition=on_transition
+                )
+                self._breakers[resolved] = breaker
+        return breaker
 
     def handles(self) -> list[str]:
         with self._lock:

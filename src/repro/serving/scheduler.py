@@ -39,7 +39,9 @@ import itertools
 import threading
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.errors import DeadlineExceeded, QueryCancelled
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.observability.metrics import MetricsRegistry
@@ -89,7 +91,8 @@ class QueryTask:
     label: str
     #: The stepwise execution; ``StopIteration.value`` is its result.
     steps: Iterator[int]
-    #: Morsel steps executed so far.
+    #: Morsel steps executed so far.  Carried across server-level retry
+    #: attempts so tenant ledgers account every morsel the query consumed.
     steps_done: int = 0
     #: Global step-sequence numbers of the first/last morsel (for
     #: interleaving evidence); -1 until the first step runs.
@@ -97,6 +100,17 @@ class QueryTask:
     last_seq: int = -1
     #: Completion callback(task, result, error) installed by the server.
     on_done: Any = None
+    #: Simulated-seconds budget for this query (``None`` = no deadline),
+    #: checked against :attr:`sim_now` at every quantum boundary.
+    deadline: float | None = None
+    #: Reads the query's simulated clock (the driver context's
+    #: ``clock.now``); the only time source lifecycle decisions may use.
+    sim_now: Callable[[], float] | None = None
+    #: Server-level attempt number (1 = first submission).
+    attempt: int = 1
+    #: Cooperative-cancellation flag, shared across retry attempts of the
+    #: same query so a cancel lands no matter which attempt is running.
+    cancel: threading.Event = field(default_factory=threading.Event)
     result: Any = None
     error: BaseException | None = None
     done: bool = False
@@ -107,6 +121,10 @@ class QueryTask:
         self.done = True
         if self.on_done is not None:
             self.on_done(self, result, error)
+
+    def elapsed(self) -> float:
+        """Simulated seconds this query has consumed (0 without a clock)."""
+        return self.sim_now() if self.sim_now is not None else 0.0
 
 
 @dataclass(frozen=True)
@@ -176,8 +194,14 @@ class WorkStealingScheduler:
             thread.start()
 
     def close(self) -> None:
-        """Stop the pool after in-flight work drains."""
-        self.drain()
+        """Stop the pool after in-flight work drains.
+
+        A pool that was never started cannot make progress on pending
+        tasks, so closing one skips the drain (their futures stay
+        unresolved) instead of deadlocking on work no thread will run.
+        """
+        if self._threads:
+            self.drain()
         with self._lock:
             self._shutdown = True
             self._work_available.notify_all()
@@ -202,13 +226,18 @@ class WorkStealingScheduler:
             queue.append(task)
             self._in_flight += 1
             self._work_available.notify()
-        if self.metrics is not None:
-            self.metrics.counter("serving_submitted", tenant=task.tenant).inc()
+            if self.metrics is not None:
+                self.metrics.counter("serving_submitted", tenant=task.tenant).inc()
 
     def pending(self) -> int:
         """Tasks admitted but not yet completed (queued or mid-quantum)."""
         with self._lock:
             return self._in_flight
+
+    def kick(self) -> None:
+        """Wake idle workers (e.g. so a cancellation lands promptly)."""
+        with self._lock:
+            self._work_available.notify_all()
 
     # -- the worker loop ----------------------------------------------------
 
@@ -274,11 +303,42 @@ class WorkStealingScheduler:
                         self._queues[worker_id].append(task)
                         self._work_available.notify()
 
+    def _check_lifecycle(self, task: QueryTask) -> None:
+        """Raise the cooperative lifecycle verdicts (cancel, deadline).
+
+        Called between morsel steps — the only preemption points — so a
+        cancel or deadline miss never interrupts a step mid-flight.  Both
+        verdicts read deterministic inputs (the cancel flag set by the
+        server, the query's own simulated clock), never wall time.
+        """
+        if task.cancel.is_set():
+            raise QueryCancelled(
+                f"query {task.query_id} ({task.label!r}) cancelled after "
+                f"{task.steps_done} morsel step(s)",
+                query_id=task.query_id,
+                tenant=task.tenant,
+                handle=task.label,
+            )
+        if task.deadline is not None:
+            elapsed = task.elapsed()
+            if elapsed > task.deadline:
+                raise DeadlineExceeded(
+                    f"query {task.query_id} ({task.label!r}) exceeded its "
+                    f"deadline of {task.deadline:.6f} simulated seconds "
+                    f"(elapsed {elapsed:.6f})",
+                    query_id=task.query_id,
+                    tenant=task.tenant,
+                    handle=task.label,
+                    deadline=task.deadline,
+                    elapsed=elapsed,
+                )
+
     def _run_quantum(self, worker_id: int, task: QueryTask, stolen: bool) -> None:
         """Advance one task by up to ``quantum`` morsel steps."""
         steps = 0
         try:
             for _ in range(self.quantum):
+                self._check_lifecycle(task)
                 seq = next(self._step_seq)
                 if task.first_seq < 0:
                     task.first_seq = seq
@@ -296,6 +356,9 @@ class WorkStealingScheduler:
                 task.first_seq = task.last_seq
             task.finish(result=done.value)
         except BaseException as exc:  # noqa: BLE001 - delivered via the future
+            # Close the suspended generator so its finally blocks run (it
+            # is a no-op when the error escaped from inside the generator).
+            task.steps.close()
             task.finish(error=exc)
         self.fairshare.charge(task.tenant, steps)
         if self.trace is not None:
@@ -311,11 +374,18 @@ class WorkStealingScheduler:
                 )
             )
         if self.metrics is not None:
-            self.metrics.counter("serving_steps", tenant=task.tenant).add(steps)
-            self.metrics.counter("serving_quanta", worker=str(worker_id)).inc()
-            if stolen:
-                self.metrics.counter("serving_steals", worker=str(worker_id)).inc()
-            if task.done:
-                self.metrics.counter(
-                    "serving_completed", tenant=task.tenant
-                ).inc()
+            # Counter bumps are plain ``+=``; serialize them under the
+            # scheduler lock so soak-level ledger reconciliation is exact.
+            with self._lock:
+                self.metrics.counter("serving_steps", tenant=task.tenant).add(steps)
+                self.metrics.counter("serving_quanta", worker=str(worker_id)).inc()
+                if stolen:
+                    self.metrics.counter(
+                        "serving_steals", worker=str(worker_id)
+                    ).inc()
+                if task.done and task.error is None:
+                    # Success only; cancelled/deadline-missed/failed outcomes
+                    # are classified and counted by the server's on_done.
+                    self.metrics.counter(
+                        "serving_completed", tenant=task.tenant
+                    ).inc()

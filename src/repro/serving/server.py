@@ -8,10 +8,28 @@ one :class:`~repro.observability.metrics.MetricsRegistry` the scheduler
 and the per-tenant accountants both feed — so a single
 ``server.snapshot()`` answers "who ran what, how much, and how fairly".
 
-Admission control is a hard pending-queue bound: submissions past
-``max_pending`` in-flight queries raise
-:class:`~repro.errors.AdmissionError` (back-pressure) instead of queueing
-without limit.
+A query is a *lifecycle*, not a call::
+
+    submitted ──► running ──► completed
+        │            ├──────► cancelled          (cooperative cancel)
+        │            ├──────► deadline-exceeded  (simulated-clock budget)
+        │            ├──────► retried ──► running…   (retryable fault)
+        │            └──────► failed             (terminal; feeds breaker)
+        ├──────► shed        (load-aware admission, per-tenant)
+        └──────► rejected    (hard max_pending cap / open breaker)
+
+Admission control has three gates, in order: the per-plan circuit
+breaker (:class:`~repro.serving.lifecycle.CircuitBreaker` fast-fails
+handles with a run of terminal failures), the hard ``max_pending`` bound
+(:class:`~repro.errors.AdmissionError` back-pressure), and load-aware
+shedding — above ``shed_threshold * max_pending`` in-flight queries, a
+tenant already holding its weight-proportional share of slots is shed
+(:class:`~repro.errors.OverloadShedError`) so a flooding tenant cannot
+starve a well-behaved one.
+
+Every lifecycle decision is driven by counts and the query's *simulated*
+clock, never wall time, so the set of outcomes for a given seed and
+submission sequence is deterministic (``tests/test_serving_replay.py``).
 
 The client surface is :class:`QuerySession` — ``session → deploy → run``:
 
@@ -24,14 +42,29 @@ The client surface is :class:`QuerySession` — ``session → deploy → run``:
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
+import math
 import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.core.context import ExecutionContext
 from repro.core.options import RunOptions
-from repro.errors import AdmissionError
+from repro.errors import (
+    AdmissionError,
+    CircuitOpenError,
+    DeadlineExceeded,
+    OverloadShedError,
+    QueryCancelled,
+    ResultTimeout,
+    RetriesExhausted,
+)
+from repro.faults.policy import RetryPolicy, is_retryable
+from repro.mpi.trace import TraceEvent
+from repro.observability.events import DRIVER_RANK, LifecycleDetail
 from repro.observability.metrics import MetricsRegistry
+from repro.serving.lifecycle import BREAKER_STATE_CODES, BreakerConfig
 from repro.serving.registry import PlanRegistry, PreparedPlan
 from repro.serving.scheduler import QueryTask, WorkStealingScheduler
 
@@ -39,6 +72,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.executor import ExecutionReport
     from repro.mpi.cluster import SimCluster
     from repro.relational.frame import Frame
+    from repro.serving.lifecycle import CircuitBreaker
     from repro.storage.catalog import Catalog
 
 __all__ = ["QueryOutcome", "QueryFuture", "TenantAccount", "QuerySession", "Server"]
@@ -53,21 +87,30 @@ class QueryOutcome:
     handle: str
     report: "ExecutionReport"
     frame: "Frame"
-    #: Driver morsel steps this query consumed (the fair-share currency).
+    #: Driver morsel steps this query consumed (the fair-share currency),
+    #: cumulative across server-level retry attempts.
     steps: int
     #: Global step-sequence span ``[first_seq, last_seq]`` — two outcomes
     #: with overlapping spans provably interleaved on the scheduler.
     first_seq: int
     last_seq: int
+    #: Server-level attempts this query took (1 = no retries needed).
+    attempts: int = 1
 
 
 class QueryFuture:
     """Handle to an in-flight query; ``result()`` blocks for the outcome."""
 
-    def __init__(self, query_id: int, tenant: str, handle: str) -> None:
+    def __init__(
+        self, query_id: int, tenant: str, handle: str, server: "Server | None" = None
+    ) -> None:
         self.query_id = query_id
         self.tenant = tenant
         self.handle = handle
+        self._server = server
+        #: Shared with every scheduler attempt of this query, so a cancel
+        #: lands no matter which retry attempt is currently running.
+        self._cancel = threading.Event()
         self._event = threading.Event()
         self._outcome: QueryOutcome | None = None
         self._error: BaseException | None = None
@@ -75,11 +118,47 @@ class QueryFuture:
     def done(self) -> bool:
         return self._event.is_set()
 
+    def cancel(self) -> bool:
+        """Request cooperative cancellation of this query.
+
+        The flag is observed by the scheduler between morsel steps — never
+        mid-step — and the query settles into its tenant's ledger as a
+        ``cancelled`` outcome; ``result()`` then raises
+        :class:`~repro.errors.QueryCancelled`.  Returns ``False`` if the
+        query already settled (its outcome stands), ``True`` if the
+        cancellation request was recorded.
+        """
+        if self.done():
+            return False
+        self._cancel.set()
+        if self._server is not None:
+            self._server.scheduler.kick()
+        return True
+
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested (not yet necessarily
+        settled — poll :meth:`done` or block on :meth:`result`)."""
+        return self._cancel.is_set()
+
     def result(self, timeout: float | None = None) -> QueryOutcome:
+        """Block for the outcome.
+
+        ``timeout`` is a *wall-clock* bound on this wait (the caller's
+        patience), unrelated to the query's simulated-clock ``deadline``;
+        expiring raises :class:`~repro.errors.ResultTimeout` and leaves
+        the query running.  A settled failure re-raises its typed error
+        (:class:`~repro.errors.QueryCancelled`,
+        :class:`~repro.errors.DeadlineExceeded`,
+        :class:`~repro.errors.RetriesExhausted`, …).
+        """
         if not self._event.wait(timeout):
-            raise TimeoutError(
+            raise ResultTimeout(
                 f"query {self.query_id} ({self.handle}) still running after "
-                f"{timeout}s"
+                f"a {timeout}s wall-clock wait; the query itself is "
+                f"unaffected (cancel() to stop it)",
+                query_id=self.query_id,
+                tenant=self.tenant,
+                handle=self.handle,
             )
         if self._error is not None:
             raise self._error
@@ -96,31 +175,95 @@ class QueryFuture:
 
 @dataclass
 class TenantAccount:
-    """Lock-guarded per-tenant resource totals.
+    """Lock-guarded per-tenant resource ledger.
 
     The scheduler's counters are per-event; this is the tenant's running
-    ledger, updated once per completed query.  ``Counter.inc`` is a plain
-    ``+=`` (fine inside the executor where one rank owns one child
-    registry, not fine across server worker threads), hence the lock.
+    ledger, updated once per submission and once per settled outcome.
+    ``Counter.inc`` is a plain ``+=`` (fine inside the executor where one
+    rank owns one child registry, not fine across server worker threads),
+    hence the lock.
+
+    Conservation invariant (asserted by the soak reconciliation test)::
+
+        submitted == queries + cancelled + deadline_missed + failed
+                     + shed + rejected            (once in_flight == 0)
+
+    ``steps`` counts every morsel the tenant's queries consumed,
+    *including* attempts that were later cancelled, deadline-missed,
+    failed, or retried; ``simulated_seconds`` counts completed queries
+    only (it is the currency compared against serial baselines).
     """
 
     name: str
     weight: float = 1.0
+    #: Queries that completed successfully.
     queries: int = 0
     steps: int = 0
     simulated_seconds: float = 0.0
+    #: Hard admission failures: max_pending cap + open-breaker fast-fails.
     rejected: int = 0
+    #: Every submit() attempt, whatever its fate.
+    submitted: int = 0
+    cancelled: int = 0
+    deadline_missed: int = 0
+    failed: int = 0
+    #: Load-shed submissions (never reached the scheduler).
+    shed: int = 0
+    #: Server-level re-submissions after retryable faults.
+    retries: int = 0
+    #: Queries admitted to the scheduler and not yet settled.
+    in_flight: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
+    def note_submit(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def admit(self) -> None:
+        with self._lock:
+            self.in_flight += 1
+
     def settle(self, steps: int, simulated_seconds: float) -> None:
+        """A query completed successfully."""
         with self._lock:
             self.queries += 1
             self.steps += steps
             self.simulated_seconds += simulated_seconds
+            self.in_flight -= 1
+
+    def settle_failure(self, kind: str, steps: int) -> None:
+        """A query settled without a result: ``cancelled`` /
+        ``deadline_missed`` / ``failed``."""
+        if kind not in ("cancelled", "deadline_missed", "failed"):
+            raise ValueError(f"unknown failure kind {kind!r}")
+        with self._lock:
+            setattr(self, kind, getattr(self, kind) + 1)
+            self.steps += steps
+            self.in_flight -= 1
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
 
     def reject(self) -> None:
         with self._lock:
             self.rejected += 1
+
+    def shed_one(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def settled_total(self) -> int:
+        """Outcomes filed so far (every submission's final fate)."""
+        with self._lock:
+            return (
+                self.queries
+                + self.cancelled
+                + self.deadline_missed
+                + self.failed
+                + self.shed
+                + self.rejected
+            )
 
 
 class Server:
@@ -134,12 +277,46 @@ class Server:
         quantum: int = 1,
         max_pending: int = 64,
         metrics: MetricsRegistry | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: BreakerConfig | None = None,
+        shed_threshold: float = 1.0,
+        start: bool = True,
     ) -> None:
+        """Args beyond the obvious:
+
+        Args:
+            retry: Server-level retry budget for queries failing with
+                *retryable* faults (:func:`repro.faults.policy.is_retryable`);
+                attempt ``k`` re-runs the immutable prepared plan with the
+                fault seed bumped by ``k - 1`` and the backoff charged to
+                the query's simulated clock (so a ``deadline`` spans
+                retries).  ``None`` (default) disables server retries.
+            breaker: Per-prepared-plan circuit-breaker knobs; ``None``
+                uses :class:`~repro.serving.lifecycle.BreakerConfig`
+                defaults.  Breakers are always armed — a healthy plan
+                never trips one.
+            shed_threshold: Fraction of ``max_pending`` at which load-aware
+                shedding starts; in the shed region a tenant at/above its
+                weight-proportional slot entitlement is shed.  The default
+                of ``1.0`` disables shedding (the hard cap fires first);
+                overload-hardened deployments pass e.g. ``0.75``.
+            start: Start the scheduler pool immediately.  Pass ``False``
+                and call :meth:`start` later to make submission-time
+                decisions (shedding) independent of execution timing —
+                the soak harness does this for exact replayability.
+        """
         if max_pending < 1:
             raise ValueError(f"max_pending must be positive, got {max_pending}")
+        if not 0.0 < shed_threshold <= 1.0:
+            raise ValueError(
+                f"shed_threshold must be in (0, 1], got {shed_threshold}"
+            )
         self.cluster = cluster
         self.catalog = catalog
         self.max_pending = max_pending
+        self.shed_threshold = shed_threshold
+        self.retry = retry
+        self.breaker_config = breaker if breaker is not None else BreakerConfig()
         self.registry = PlanRegistry()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.scheduler = WorkStealingScheduler(
@@ -149,10 +326,26 @@ class Server:
         self._tenants_lock = threading.Lock()
         self._query_ids = itertools.count(1)
         self._closed = False
+        #: Unsettled futures by query id (for :meth:`cancel`).
+        self._inflight: dict[int, QueryFuture] = {}
+        self._inflight_lock = threading.Lock()
+        #: Serializes server-side metric bumps (scheduler-side bumps are
+        #: serialized under the scheduler's own lock; the two sides touch
+        #: disjoint instruments, so the split is race-free).
+        self._metrics_lock = threading.Lock()
+        #: Lifecycle transitions (typed :class:`TraceEvent`\ s with
+        #: :class:`LifecycleDetail`), in arrival order.
+        self.lifecycle_events: list[TraceEvent] = []
+        self._events_lock = threading.Lock()
         self.register_tenant("default", 1.0)
-        self.scheduler.start()
+        if start:
+            self.start()
 
     # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the scheduler pool (idempotent)."""
+        self.scheduler.start()
 
     def close(self) -> None:
         """Drain in-flight queries and stop the scheduler pool."""
@@ -228,63 +421,125 @@ class Server:
         handle: str,
         tenant: str = "default",
         options: RunOptions | None = None,
+        deadline: float | None = None,
     ) -> QueryFuture:
         """Admit one run of a deployed plan; returns immediately.
 
-        Raises :class:`AdmissionError` when the server is at its
-        ``max_pending`` bound (back-pressure — retry after a completion)
-        or when ``handle``/``tenant`` is unknown.
+        Args:
+            deadline: Simulated-seconds budget for the query (the axis of
+                ``ExecutionReport.simulated_time``), enforced at scheduler
+                quantum boundaries; the budget spans server-level retries
+                (backoff included).  ``None`` means no deadline.
+
+        Raises:
+            CircuitOpenError: The plan's circuit breaker has quarantined
+                this handle after repeated terminal failures.
+            OverloadShedError: Load-aware shedding refused the tenant's
+                submission (it already holds its share of in-flight slots).
+            AdmissionError: The hard ``max_pending`` bound, or an unknown
+                ``handle``/``tenant``.
         """
         if self._closed:
             raise AdmissionError("server is closed")
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
         account = self.tenant(tenant)
         prepared = self.registry.get(handle)
-        if self.scheduler.pending() >= self.max_pending:
-            account.reject()
-            self.metrics.counter("serving_rejected", tenant=tenant).inc()
-            raise AdmissionError(
-                f"admission control: {self.max_pending} queries already "
-                f"in flight; retry after a completion"
-            )
-        # Fresh physical plan per run: contract check + lowering now, so
-        # submit() fails fast and the scheduler only sees runnable work.
-        lowered = prepared.instantiate(self.catalog, self.cluster, options)
-        run_options = options if options is not None else prepared.defaults
-        query_id = next(self._query_ids)
-        future = QueryFuture(query_id, tenant, prepared.handle)
-
-        def on_done(task: QueryTask, result, error: BaseException | None) -> None:
-            if error is not None:
-                future._resolve(None, error)
-                return
-            try:
-                outcome = QueryOutcome(
-                    query_id=query_id,
-                    tenant=tenant,
-                    handle=prepared.handle,
-                    report=result,
-                    frame=lowered.result_frame(result),
-                    steps=task.steps_done,
-                    first_seq=task.first_seq,
-                    last_seq=task.last_seq,
-                )
-            except BaseException as exc:  # noqa: BLE001 - surface via future
-                future._resolve(None, exc)
-                return
-            account.settle(task.steps_done, result.simulated_time)
-            self.metrics.counter(
-                "serving_simulated_millis", tenant=tenant
-            ).add(int(result.simulated_time * 1000))
-            future._resolve(outcome, None)
-
-        task = QueryTask(
-            query_id=query_id,
-            tenant=tenant,
-            label=prepared.handle,
-            steps=lowered.execution(self.catalog, run_options),
-            on_done=on_done,
+        account.note_submit()
+        breaker = self.registry.breaker_for(
+            prepared.handle,
+            config=self.breaker_config,
+            on_transition=self._on_breaker_transition,
         )
-        self.scheduler.submit(task)
+        try:
+            breaker.admit()
+        except CircuitOpenError as exc:
+            account.reject()
+            with self._metrics_lock:
+                self.metrics.counter(
+                    "serving_rejected", tenant=tenant
+                ).inc()
+                self.metrics.counter(
+                    "serving_breaker_rejected", handle=prepared.handle
+                ).inc()
+            self._record_lifecycle(
+                "breaker_rejected",
+                tenant=tenant,
+                handle=prepared.handle,
+                reason=exc.state,
+            )
+            raise
+        admitted = False
+        try:
+            pending = self.scheduler.pending()
+            if pending >= self.max_pending:
+                account.reject()
+                with self._metrics_lock:
+                    self.metrics.counter("serving_rejected", tenant=tenant).inc()
+                raise AdmissionError(
+                    f"admission control: {self.max_pending} queries already "
+                    f"in flight; retry after a completion"
+                )
+            if pending >= self._shed_floor():
+                entitlement = self._entitlement(account)
+                if account.in_flight >= entitlement:
+                    account.shed_one()
+                    with self._metrics_lock:
+                        self.metrics.counter("serving_shed", tenant=tenant).inc()
+                    self._record_lifecycle(
+                        "shed",
+                        tenant=tenant,
+                        handle=prepared.handle,
+                        reason=(
+                            f"in_flight={account.in_flight} >= "
+                            f"entitlement={entitlement}"
+                        ),
+                    )
+                    raise OverloadShedError(
+                        f"overload shedding: {pending}/{self.max_pending} "
+                        f"queries in flight and tenant {tenant!r} already "
+                        f"holds {account.in_flight} of its {entitlement} "
+                        f"slot(s)",
+                        tenant=tenant,
+                        in_flight=account.in_flight,
+                        entitlement=entitlement,
+                    )
+            run_options = options if options is not None else prepared.defaults
+            query_id = next(self._query_ids)
+            future = QueryFuture(query_id, tenant, prepared.handle, server=self)
+            # Build the first attempt before any bookkeeping: contract
+            # check + lowering happen now, so submit() fails fast and the
+            # scheduler only ever sees runnable work.
+            try:
+                task = self._make_attempt(
+                    prepared,
+                    account,
+                    breaker,
+                    future,
+                    run_options,
+                    deadline,
+                    attempt=1,
+                    carry_steps=0,
+                    carry_first_seq=-1,
+                    carry_elapsed=0.0,
+                )
+            except BaseException:
+                # Keeps the ledger conservation invariant: every
+                # submission files into exactly one outcome bucket.
+                account.reject()
+                raise
+            account.admit()
+            with self._inflight_lock:
+                self._inflight[query_id] = future
+            with self._metrics_lock:
+                self.metrics.gauge("serving_in_flight", tenant=tenant).add(1)
+            self.scheduler.submit(task)
+            admitted = True
+        finally:
+            if not admitted:
+                # Release a half-open probe slot the admission gates or a
+                # failed instantiation consumed (no-op when closed).
+                breaker.abandon()
         return future
 
     def run(
@@ -293,9 +548,246 @@ class Server:
         tenant: str = "default",
         options: RunOptions | None = None,
         timeout: float | None = None,
+        deadline: float | None = None,
     ) -> QueryOutcome:
         """Submit and block for the outcome."""
-        return self.submit(handle, tenant=tenant, options=options).result(timeout)
+        future = self.submit(
+            handle, tenant=tenant, options=options, deadline=deadline
+        )
+        return future.result(timeout)
+
+    def cancel(self, query_id: int) -> bool:
+        """Cooperatively cancel an in-flight query by id.
+
+        Returns ``False`` for unknown or already-settled queries.
+        """
+        with self._inflight_lock:
+            future = self._inflight.get(query_id)
+        if future is None:
+            return False
+        return future.cancel()
+
+    # -- lifecycle internals ------------------------------------------------
+
+    def _shed_floor(self) -> int:
+        """In-flight count at which load-aware shedding starts."""
+        return max(1, math.ceil(self.shed_threshold * self.max_pending))
+
+    def _entitlement(self, account: TenantAccount) -> int:
+        """Weight-proportional in-flight slot share for one tenant."""
+        with self._tenants_lock:
+            total = sum(a.weight for a in self._tenants.values())
+        return max(1, int(self.max_pending * account.weight / total))
+
+    def _attempt_options(self, base: RunOptions, attempt: int) -> RunOptions:
+        """Per-attempt options: bump the fault seed so a retry does not
+        deterministically replay the exact fault sequence that killed the
+        previous attempt.  Faults only ever cost simulated time, so the
+        result stays bit-identical whatever seed an attempt runs under."""
+        if attempt == 1 or base.faults is None:
+            return base
+        faults = dataclasses.replace(base.faults, seed=base.faults.seed + attempt - 1)
+        return base.replace(faults=faults)
+
+    def _make_attempt(
+        self,
+        prepared: PreparedPlan,
+        account: TenantAccount,
+        breaker: "CircuitBreaker",
+        future: QueryFuture,
+        base_options: RunOptions,
+        deadline: float | None,
+        attempt: int,
+        carry_steps: int,
+        carry_first_seq: int,
+        carry_elapsed: float,
+    ) -> QueryTask:
+        """One scheduler attempt of one query (retries re-enter here).
+
+        The attempt runs under a private driver context whose simulated
+        clock is pre-advanced by ``carry_elapsed`` — the previous
+        attempts' elapsed time plus the retry backoff — so deadlines and
+        ``simulated_seconds`` ledger entries span the whole retry chain.
+        """
+        opts = self._attempt_options(base_options, attempt)
+        lowered = prepared.instantiate(self.catalog, self.cluster, opts)
+        ctx = ExecutionContext.from_options(opts)
+        if carry_elapsed:
+            ctx.clock.advance(carry_elapsed)
+        tenant = account.name
+        query_id = future.query_id
+
+        def on_done(task: QueryTask, result, error: BaseException | None) -> None:
+            if error is None:
+                try:
+                    outcome = QueryOutcome(
+                        query_id=query_id,
+                        tenant=tenant,
+                        handle=prepared.handle,
+                        report=result,
+                        frame=lowered.result_frame(result),
+                        steps=task.steps_done,
+                        first_seq=task.first_seq,
+                        last_seq=task.last_seq,
+                        attempts=task.attempt,
+                    )
+                except BaseException as exc:  # noqa: BLE001 - via future
+                    self._finalize_failure(task, exc, account, breaker, future)
+                    return
+                breaker.record_success()
+                account.settle(task.steps_done, result.simulated_time)
+                with self._metrics_lock:
+                    self.metrics.counter(
+                        "serving_simulated_millis", tenant=tenant
+                    ).add(int(result.simulated_time * 1000))
+                    self.metrics.gauge(
+                        "serving_in_flight", tenant=tenant
+                    ).add(-1)
+                self._forget(query_id)
+                future._resolve(outcome, None)
+                return
+            retry = self.retry
+            retryable = is_retryable(error)
+            if (
+                retry is not None
+                and retryable
+                and task.attempt < retry.max_attempts
+                and not task.cancel.is_set()
+            ):
+                account.record_retry()
+                with self._metrics_lock:
+                    self.metrics.counter("serving_retries", tenant=tenant).inc()
+                self._record_lifecycle(
+                    "retry",
+                    query_id=query_id,
+                    tenant=tenant,
+                    handle=prepared.handle,
+                    attempt=task.attempt,
+                    reason=type(error).__name__,
+                    at=task.elapsed(),
+                )
+                try:
+                    next_task = self._make_attempt(
+                        prepared,
+                        account,
+                        breaker,
+                        future,
+                        base_options,
+                        deadline,
+                        attempt=task.attempt + 1,
+                        carry_steps=task.steps_done,
+                        carry_first_seq=task.first_seq,
+                        carry_elapsed=task.elapsed()
+                        + retry.backoff(task.attempt),
+                    )
+                    self.scheduler.submit(next_task)
+                except BaseException as exc:  # noqa: BLE001 - via future
+                    self._finalize_failure(task, exc, account, breaker, future)
+                return
+            if retry is not None and retryable:
+                error = RetriesExhausted(
+                    f"query {query_id} ({prepared.handle}) failed retryably "
+                    f"on all {task.attempt} attempt(s)",
+                    query_id=query_id,
+                    tenant=tenant,
+                    handle=prepared.handle,
+                    attempts=task.attempt,
+                    last_error=error,
+                )
+            self._finalize_failure(task, error, account, breaker, future)
+
+        return QueryTask(
+            query_id=query_id,
+            tenant=tenant,
+            label=prepared.handle,
+            steps=lowered.execution(self.catalog, opts, ctx=ctx),
+            steps_done=carry_steps,
+            first_seq=carry_first_seq,
+            on_done=on_done,
+            deadline=deadline,
+            sim_now=lambda: ctx.clock.now,
+            attempt=attempt,
+            cancel=future._cancel,
+        )
+
+    def _finalize_failure(
+        self,
+        task: QueryTask,
+        error: BaseException,
+        account: TenantAccount,
+        breaker: "CircuitBreaker",
+        future: QueryFuture,
+    ) -> None:
+        """Settle a query's terminal non-success outcome everywhere:
+        ledger, metrics, breaker, lifecycle trace, future."""
+        if isinstance(error, QueryCancelled):
+            kind, metric = "cancelled", "serving_cancelled"
+            # Cancellation is a client action, not evidence about the
+            # plan: the breaker only releases its probe slot.
+            breaker.abandon()
+        elif isinstance(error, DeadlineExceeded):
+            kind, metric = "deadline_missed", "serving_deadline_missed"
+            # Deadlines are client budgets; a miss does not feed the
+            # breaker either (a poisoned plan fails, it does not dawdle).
+            breaker.abandon()
+        else:
+            kind, metric = "failed", "serving_failed"
+            breaker.record_failure(terminal=True)
+        account.settle_failure(kind, task.steps_done)
+        with self._metrics_lock:
+            self.metrics.counter(metric, tenant=account.name).inc()
+            self.metrics.gauge("serving_in_flight", tenant=account.name).add(-1)
+        self._record_lifecycle(
+            kind,
+            query_id=task.query_id,
+            tenant=account.name,
+            handle=task.label,
+            attempt=task.attempt,
+            reason=type(error).__name__,
+            at=task.elapsed(),
+        )
+        self._forget(task.query_id)
+        future._resolve(None, error)
+
+    def _forget(self, query_id: int) -> None:
+        with self._inflight_lock:
+            self._inflight.pop(query_id, None)
+
+    def _on_breaker_transition(self, handle: str, old: str, new: str) -> None:
+        transition = f"breaker_{new.replace('-', '_')}"
+        with self._metrics_lock:
+            self.metrics.gauge("serving_breaker_state", handle=handle).set(
+                BREAKER_STATE_CODES[new]
+            )
+        self._record_lifecycle(transition, handle=handle, reason=f"{old}->{new}")
+
+    def _record_lifecycle(
+        self,
+        transition: str,
+        query_id: int = -1,
+        tenant: str = "",
+        handle: str = "",
+        attempt: int = 0,
+        reason: str = "",
+        at: float = 0.0,
+    ) -> None:
+        event = TraceEvent(
+            rank=DRIVER_RANK,
+            kind="lifecycle",
+            label=transition,
+            start=at,
+            end=at,
+            detail=LifecycleDetail(
+                transition=transition,
+                query_id=query_id,
+                tenant=tenant,
+                handle=handle,
+                attempt=attempt,
+                reason=reason,
+            ),
+        )
+        with self._events_lock:
+            self.lifecycle_events.append(event)
 
     # -- observability ------------------------------------------------------
 
@@ -322,17 +814,29 @@ class QuerySession:
             name, query, join_strategy=join_strategy, defaults=defaults
         )
 
-    def submit(self, handle: str, options: RunOptions | None = None) -> QueryFuture:
-        return self.server.submit(handle, tenant=self.tenant, options=options)
+    def submit(
+        self,
+        handle: str,
+        options: RunOptions | None = None,
+        deadline: float | None = None,
+    ) -> QueryFuture:
+        return self.server.submit(
+            handle, tenant=self.tenant, options=options, deadline=deadline
+        )
 
     def run(
         self,
         handle: str,
         options: RunOptions | None = None,
         timeout: float | None = None,
+        deadline: float | None = None,
     ) -> QueryOutcome:
         return self.server.run(
-            handle, tenant=self.tenant, options=options, timeout=timeout
+            handle,
+            tenant=self.tenant,
+            options=options,
+            timeout=timeout,
+            deadline=deadline,
         )
 
     def account(self) -> TenantAccount:

@@ -6,38 +6,85 @@ probe, runnable as ``repro serve`` and asserted by the tier-1 tests:
 * **Bit-identity** — N interleaved runs of TPC-H Q4/Q12/Q14/Q19 on one
   shared :class:`~repro.mpi.cluster.SimCluster` must produce frames
   bit-identical (``tolerance=0.0``) to serial runs of the same prepared
-  plans, including under a transient-fault chaos policy.  Every query
-  owns a private context/clock and every ``SimCluster.run`` call builds
-  a fresh ``CommWorld``, so scheduling must not be observable.
-* **Accounting** — each tenant's settled simulated seconds must equal
-  the sum of its queries' serial simulated times (the ledger neither
-  loses nor invents work).
+  plans, including under every chaos profile.  Every query owns a
+  private context/clock and every ``SimCluster.run`` call builds a fresh
+  ``CommWorld``, so scheduling must not be observable.
+* **Accounting** — each tenant's ledger must *reconcile exactly*: every
+  submission files into exactly one outcome bucket, ledger counts equal
+  the ``serving_*`` metric totals, and settled simulated seconds match
+  the serial baseline (for profiles without server-level retries).
 * **Overlap** — the scheduler's global step sequence must show queries
   actually interleaving (overlapping ``[first_seq, last_seq]`` spans),
   i.e. the server runs concurrent queries, not a disguised serial loop.
 * **Fairness** — no registered tenant's share of morsel steps may fall
   below a configured fraction of its weight-proportional entitlement.
+* **Replayability** — all lifecycle decisions are count- and
+  simulated-clock-driven, so two runs of the same config produce the
+  same :attr:`SoakReport.lifecycle` id sets (the hypothesis sweep in
+  ``tests/test_serving_replay.py``).
+
+Chaos profiles (:data:`CHAOS_PROFILES`):
+
+* ``none`` — no injection.
+* ``transient`` — dropped puts/collectives, healed by substrate retry.
+* ``crash`` — one rank hard-crash per execution, healed by driver
+  stage re-execution.
+* ``straggler`` — one delayed rank (tail-latency pressure; no failures).
+* ``flaky`` — transient drops with the substrate budgets zeroed out, so
+  failures escape to the *server's* retry loop (configure
+  ``retries > 0`` or queries fail terminally).
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from repro.bench.experiments.fig9 import frames_match
 from repro.core.options import RunOptions
-from repro.faults.policy import FaultPolicy
+from repro.errors import (
+    AdmissionError,
+    DeadlineExceeded,
+    QueryCancelled,
+)
+from repro.faults.policy import FaultPolicy, RetryPolicy
 from repro.mpi.cluster import SimCluster
+from repro.serving.lifecycle import BreakerConfig
 from repro.serving.server import QueryOutcome, Server
 from repro.tpch import ALL_QUERIES, load_catalog
 
-__all__ = ["SoakConfig", "SoakQueryResult", "SoakReport", "run_soak", "throughput_probe"]
+__all__ = [
+    "CHAOS_PROFILES",
+    "SoakConfig",
+    "SoakQueryResult",
+    "SoakReport",
+    "BreakerScenarioReport",
+    "run_soak",
+    "chaos_matrix",
+    "breaker_scenario",
+    "throughput_probe",
+]
 
 #: The mixed workload: the four TPC-H queries the reproduction serves.
 SOAK_QUERY_IDS = (4, 12, 14, 19)
 
 #: Tenant name → fair-share weight for the default soak population.
 DEFAULT_TENANTS = (("analytics", 2.0), ("reporting", 1.0), ("adhoc", 1.0))
+
+#: Named fault mixes a soak can run under (see module docstring).
+CHAOS_PROFILES = ("none", "transient", "crash", "straggler", "flaky")
+
+#: Ledger outcome buckets tracked per submission (submission-index sets).
+LIFECYCLE_KINDS = (
+    "completed",
+    "cancelled",
+    "deadline_missed",
+    "failed",
+    "shed",
+    "rejected",
+    "retried",
+)
 
 
 @dataclass(frozen=True)
@@ -49,14 +96,52 @@ class SoakConfig:
     n_workers: int = 4
     #: Morsel steps per scheduling quantum.
     quantum: int = 1
-    #: Arm a transient-fault chaos policy (results must stay identical).
-    chaos: bool = False
+    #: Chaos profile name (:data:`CHAOS_PROFILES`).  ``bool`` is the
+    #: deprecated pre-profile spelling: ``True`` → ``"transient"``,
+    #: ``False`` → ``"none"``.
+    chaos: bool | str = "none"
     seed: int = 2021
     tenants: tuple[tuple[str, float], ...] = DEFAULT_TENANTS
     #: A tenant is "starved" if its steps-per-weight share drops below
     #: this fraction of the even split (soft bound; scheduling is lumpy
     #: at small N).
     fairness_floor: float = 0.25
+    #: Simulated-seconds deadline applied to every submission (``None``
+    #: disables; misses settle as ``deadline_missed``).
+    deadline: float | None = None
+    #: Cancel every k-th submission (0 disables).  Cancels are issued
+    #: before the scheduler starts, so the cancelled id set is exact.
+    cancel_every: int = 0
+    #: Server-level retry attempts beyond the first (0 disables server
+    #: retries; the ``flaky`` profile needs >= 1 to heal).
+    retries: int = 0
+    #: Hard admission cap; ``None`` sizes it to ``n_queries``.
+    max_pending: int | None = None
+    #: Load-shedding floor as a fraction of ``max_pending`` (1.0 = off).
+    shed_threshold: float = 1.0
+    #: Run the serial baseline and compare frames.  The replay sweep
+    #: turns this off: it only asserts lifecycle determinism.
+    verify_frames: bool = True
+
+    def __post_init__(self) -> None:
+        chaos = self.chaos
+        if isinstance(chaos, bool):
+            if chaos:
+                warnings.warn(
+                    "SoakConfig(chaos=True) is deprecated; name a profile "
+                    "instead, e.g. chaos='transient'",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+            object.__setattr__(self, "chaos", "transient" if chaos else "none")
+        elif chaos not in CHAOS_PROFILES:
+            raise ValueError(
+                f"unknown chaos profile {chaos!r}; pick one of {CHAOS_PROFILES}"
+            )
+
+    @property
+    def chaos_armed(self) -> bool:
+        return self.chaos != "none"
 
 
 @dataclass(frozen=True)
@@ -69,6 +154,7 @@ class SoakQueryResult:
     first_seq: int
     last_seq: int
     simulated_seconds: float
+    attempts: int = 1
 
     def overlaps(self, other: "SoakQueryResult") -> bool:
         return self.first_seq <= other.last_seq and other.first_seq <= self.last_seq
@@ -85,9 +171,17 @@ class SoakReport:
     overlapped: int
     #: tenant → (observed step fraction, entitled weight fraction).
     shares: dict[str, tuple[float, float]] = field(default_factory=dict)
-    #: tenant → (settled simulated seconds, serial sum) — must agree.
+    #: tenant → (settled simulated seconds, serial sum) — must agree for
+    #: profiles without server-level retries or lifecycle outcomes.
     ledgers: dict[str, tuple[float, float]] = field(default_factory=dict)
     steals: int = 0
+    #: Outcome kind → sorted submission indices (0-based submission
+    #: order).  Deterministic per config+seed — the replay contract.
+    lifecycle: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    #: tenant → ledger counters (submitted/queries/cancelled/…).
+    ledger_counts: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: ``serving_*`` metric name → tenant → value, for reconciliation.
+    metric_counts: dict[str, dict[str, float]] = field(default_factory=dict)
 
     @property
     def bit_identical(self) -> bool:
@@ -101,25 +195,94 @@ class SoakReport:
 
     @property
     def starved_tenants(self) -> list[str]:
+        # Starvation is a *scheduling* verdict, so only tenants that ran
+        # work to completion count: a tenant whose submissions were all
+        # cancelled, deadline-missed, or shed got few steps by lifecycle
+        # policy, not because the scheduler withheld its share.
         floor = self.config.fairness_floor
+        completed = {result.tenant for result in self.results}
         return [
             tenant
             for tenant, (observed, entitled) in self.shares.items()
-            if observed < floor * entitled
+            if tenant in completed and observed < floor * entitled
         ]
+
+    def reconciliation_errors(self) -> list[str]:
+        """Exact ledger ↔ metrics ↔ outcome cross-checks; empty = sound.
+
+        Per tenant: (1) every submission filed into exactly one outcome
+        bucket, (2) nothing left in flight, (3) each ledger counter
+        equals its ``serving_*`` metric total.
+        """
+        errors: list[str] = []
+        pairs = (
+            ("queries", "serving_completed"),
+            ("cancelled", "serving_cancelled"),
+            ("deadline_missed", "serving_deadline_missed"),
+            ("failed", "serving_failed"),
+            ("shed", "serving_shed"),
+            ("rejected", "serving_rejected"),
+            ("retries", "serving_retries"),
+            ("steps", "serving_steps"),
+        )
+        for tenant, counts in sorted(self.ledger_counts.items()):
+            settled = (
+                counts["queries"]
+                + counts["cancelled"]
+                + counts["deadline_missed"]
+                + counts["failed"]
+                + counts["shed"]
+                + counts["rejected"]
+            )
+            if counts["submitted"] != settled:
+                errors.append(
+                    f"{tenant}: submitted {counts['submitted']} != settled "
+                    f"{settled} ({counts})"
+                )
+            if counts["in_flight"] != 0:
+                errors.append(
+                    f"{tenant}: {counts['in_flight']} queries still in flight"
+                )
+            for ledger_key, metric in pairs:
+                observed = self.metric_counts.get(metric, {}).get(tenant, 0)
+                if counts[ledger_key] != observed:
+                    errors.append(
+                        f"{tenant}: ledger {ledger_key}={counts[ledger_key]} "
+                        f"!= metric {metric}={observed}"
+                    )
+            gauge = self.metric_counts.get("serving_in_flight", {}).get(tenant, 0)
+            if gauge != 0:
+                errors.append(
+                    f"{tenant}: serving_in_flight gauge ended at {gauge}"
+                )
+        return errors
 
     def render(self) -> str:
         lines = [
-            f"serving soak: {len(self.results)} queries "
-            f"({'chaos' if self.config.chaos else 'clean'}), "
+            f"serving soak: {self.config.n_queries} queries "
+            f"(chaos={self.config.chaos}), "
             f"{self.config.n_workers} workers, quantum={self.config.quantum}",
-            f"  bit-identical to serial: {self.bit_identical}",
+            f"  bit-identical to serial: {self.bit_identical} "
+            f"({len(self.results)} completed)",
             f"  wall: serial {self.serial_wall:.3f}s, "
             f"concurrent {self.concurrent_wall:.3f}s "
             f"({self.queries_per_second:.1f} q/s)",
             f"  overlapped queries: {self.overlapped}/{len(self.results)}; "
             f"steals: {self.steals}",
         ]
+        lifecycle = {
+            kind: len(ids) for kind, ids in self.lifecycle.items() if ids
+        }
+        if lifecycle:
+            lines.append(
+                "  lifecycle: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(lifecycle.items()))
+            )
+        reconciliation = self.reconciliation_errors()
+        lines.append(
+            "  ledger reconciliation: "
+            + ("exact" if not reconciliation else f"BROKEN {reconciliation}")
+        )
         for tenant in sorted(self.shares):
             observed, entitled = self.shares[tenant]
             settled, serial = self.ledgers[tenant]
@@ -132,11 +295,28 @@ class SoakReport:
         return "\n".join(lines)
 
 
-def _chaos_policy(seed: int) -> FaultPolicy:
-    """Transient-only chaos: drops and retries, never data corruption."""
-    return FaultPolicy(
-        seed=seed, put_drop_rate=0.05, collective_drop_rate=0.05
-    )
+def _chaos_policy(profile: str, seed: int) -> FaultPolicy | None:
+    """Resolve a chaos profile name to its fault policy."""
+    if profile == "none":
+        return None
+    if profile == "transient":
+        return FaultPolicy.transient(seed=seed, rate=0.05)
+    if profile == "crash":
+        return FaultPolicy.with_crash(seed=seed)
+    if profile == "straggler":
+        return FaultPolicy.with_stragglers(seed=seed)
+    if profile == "flaky":
+        # Substrate retry budgets zeroed: the first dropped operation
+        # escapes to the server, whose retry loop (fresh fault seed per
+        # attempt) is the only thing standing between it and a terminal
+        # failure.
+        return FaultPolicy.transient(
+            seed=seed,
+            rate=0.05,
+            retry=RetryPolicy(max_attempts=1),
+            max_stage_retries=0,
+        )
+    raise ValueError(f"unknown chaos profile {profile!r}")
 
 
 def _assignments(config: SoakConfig) -> list[tuple[str, str]]:
@@ -150,20 +330,43 @@ def _assignments(config: SoakConfig) -> list[tuple[str, str]]:
 
 
 def run_soak(config: SoakConfig = SoakConfig()) -> SoakReport:
-    """Deploy the mix, run it serially, then concurrently, and compare."""
+    """Deploy the mix, run it serially, then concurrently, and compare.
+
+    Submissions (and any ``cancel_every`` cancellations) happen *before*
+    the scheduler pool starts, so every admission-time decision — shed,
+    reject, breaker — depends only on the submission sequence, never on
+    execution timing; that is what makes :attr:`SoakReport.lifecycle`
+    exactly replayable.
+    """
+    profile = str(config.chaos)
     catalog = load_catalog(config.scale_factor, seed=config.seed)
     cluster = SimCluster(config.machines, seed=config.seed)
-    options = RunOptions(
-        metrics=True, faults=_chaos_policy(config.seed) if config.chaos else None
+    faults = _chaos_policy(profile, config.seed)
+    options = RunOptions(metrics=True, faults=faults)
+    # The serial reference must complete on its own: the flaky profile
+    # has no substrate budget left, so its reference runs fault-free
+    # (frames are fault-independent; only simulated time differs).
+    reference_options = (
+        RunOptions(metrics=True) if profile == "flaky" else options
     )
     plan = _assignments(config)
+    retry = (
+        RetryPolicy(max_attempts=config.retries + 1) if config.retries else None
+    )
 
     with Server(
         cluster,
         catalog,
         n_workers=config.n_workers,
         quantum=config.quantum,
-        max_pending=max(config.n_queries, 1),
+        max_pending=(
+            config.max_pending
+            if config.max_pending is not None
+            else max(config.n_queries, 1)
+        ),
+        retry=retry,
+        shed_threshold=config.shed_threshold,
+        start=False,
     ) as server:
         for tenant, weight in config.tenants:
             server.register_tenant(tenant, weight)
@@ -177,26 +380,66 @@ def run_soak(config: SoakConfig = SoakConfig()) -> SoakReport:
         # time baselines the concurrent batch is judged against.
         serial_frames: dict[str, object] = {}
         serial_seconds: dict[str, float] = {}
-        serial_start = time.perf_counter()
-        for name in handles:
-            lowered = server.registry.get(handles[name]).instantiate(
-                catalog, cluster, options
-            )
-            report = lowered.run(catalog, options)
-            serial_frames[name] = lowered.result_frame(report)
-            serial_seconds[name] = report.simulated_time
-        serial_wall_per = time.perf_counter() - serial_start
-        # Scale the measured per-mix wall to the full submission count.
-        serial_wall = serial_wall_per * (len(plan) / max(len(handles), 1))
+        serial_wall = 0.0
+        if config.verify_frames:
+            serial_start = time.perf_counter()
+            for name in handles:
+                lowered = server.registry.get(handles[name]).instantiate(
+                    catalog, cluster, reference_options
+                )
+                report = lowered.run(catalog, reference_options)
+                serial_frames[name] = lowered.result_frame(report)
+                serial_seconds[name] = report.simulated_time
+            serial_wall_per = time.perf_counter() - serial_start
+            # Scale the measured per-mix wall to the full submission count.
+            serial_wall = serial_wall_per * (len(plan) / max(len(handles), 1))
 
+        lifecycle: dict[str, list[int]] = {k: [] for k in LIFECYCLE_KINDS}
         concurrent_start = time.perf_counter()
-        futures = [
-            (name, tenant, server.submit(handles[name], tenant=tenant, options=options))
-            for name, tenant in plan
-        ]
-        outcomes: list[tuple[str, QueryOutcome]] = [
-            (name, future.result(timeout=600)) for name, _tenant, future in futures
-        ]
+        #: (submission index, query name, tenant, future or None).
+        submissions = []
+        for index, (name, tenant) in enumerate(plan):
+            try:
+                future = server.submit(
+                    handles[name],
+                    tenant=tenant,
+                    options=options,
+                    deadline=config.deadline,
+                )
+            except AdmissionError as exc:
+                # OverloadShedError subclasses AdmissionError; an open
+                # breaker cannot happen here (soak plans are healthy).
+                kind = (
+                    "shed" if type(exc).__name__ == "OverloadShedError"
+                    else "rejected"
+                )
+                lifecycle[kind].append(index)
+                submissions.append((index, name, tenant, None))
+                continue
+            if config.cancel_every and (index + 1) % config.cancel_every == 0:
+                future.cancel()
+            submissions.append((index, name, tenant, future))
+        server.start()
+
+        outcomes: list[tuple[str, QueryOutcome]] = []
+        for index, name, tenant, future in submissions:
+            if future is None:
+                continue
+            try:
+                outcome = future.result(timeout=600)
+            except QueryCancelled:
+                lifecycle["cancelled"].append(index)
+                continue
+            except DeadlineExceeded:
+                lifecycle["deadline_missed"].append(index)
+                continue
+            except BaseException:  # noqa: BLE001 - classified, not hidden
+                lifecycle["failed"].append(index)
+                continue
+            lifecycle["completed"].append(index)
+            if outcome.attempts > 1:
+                lifecycle["retried"].append(index)
+            outcomes.append((name, outcome))
         concurrent_wall = time.perf_counter() - concurrent_start
 
         results = tuple(
@@ -204,13 +447,18 @@ def run_soak(config: SoakConfig = SoakConfig()) -> SoakReport:
                 query_id=outcome.query_id,
                 handle=outcome.handle,
                 tenant=outcome.tenant,
-                matched=frames_match(
-                    serial_frames[name], outcome.frame, tolerance=0.0
+                matched=(
+                    frames_match(
+                        serial_frames[name], outcome.frame, tolerance=0.0
+                    )
+                    if config.verify_frames
+                    else True
                 ),
                 steps=outcome.steps,
                 first_seq=outcome.first_seq,
                 last_seq=outcome.last_seq,
                 simulated_seconds=outcome.report.simulated_time,
+                attempts=outcome.attempts,
             )
             for name, outcome in outcomes
         )
@@ -233,16 +481,50 @@ def run_soak(config: SoakConfig = SoakConfig()) -> SoakReport:
         ledgers = {
             tenant: (
                 server.tenant(tenant).simulated_seconds,
-                sum(
-                    serial_seconds[name]
-                    for name, assigned in plan
-                    if assigned == tenant
+                (
+                    sum(
+                        serial_seconds[name]
+                        for name, assigned in plan
+                        if assigned == tenant
+                    )
+                    if config.verify_frames
+                    else server.tenant(tenant).simulated_seconds
                 ),
             )
             for tenant, _ in config.tenants
         }
+        ledger_counts = {
+            account.name: {
+                "submitted": account.submitted,
+                "queries": account.queries,
+                "cancelled": account.cancelled,
+                "deadline_missed": account.deadline_missed,
+                "failed": account.failed,
+                "shed": account.shed,
+                "rejected": account.rejected,
+                "retries": account.retries,
+                "in_flight": account.in_flight,
+                "steps": account.steps,
+            }
+            for account in server.tenants()
+            if account.submitted or account.name != "default"
+        }
         snapshot = server.snapshot()
         steals = int(snapshot.total("serving_steals"))
+        metric_counts = {
+            name: snapshot.by_label(name, "tenant")
+            for name in (
+                "serving_completed",
+                "serving_cancelled",
+                "serving_deadline_missed",
+                "serving_failed",
+                "serving_shed",
+                "serving_retries",
+                "serving_rejected",
+                "serving_steps",
+                "serving_in_flight",
+            )
+        }
 
     return SoakReport(
         config=config,
@@ -253,6 +535,154 @@ def run_soak(config: SoakConfig = SoakConfig()) -> SoakReport:
         shares=shares,
         ledgers=ledgers,
         steals=steals,
+        lifecycle={k: tuple(sorted(v)) for k, v in lifecycle.items()},
+        ledger_counts=ledger_counts,
+        metric_counts=metric_counts,
+    )
+
+
+def chaos_matrix(
+    scale_factor: float = 0.01,
+    machines: int = 2,
+    n_queries: int = 8,
+    seed: int = 2021,
+    profiles: tuple[str, ...] = ("transient", "crash", "straggler", "flaky"),
+) -> dict[str, SoakReport]:
+    """One soak per chaos profile: the serving robustness gauntlet.
+
+    ``repro serve --matrix`` and ``make serve-chaos`` run this; every
+    profile's surviving queries must stay bit-identical to serial and
+    every ledger must reconcile exactly.  The flaky profile runs with
+    two server-level retries (that is the failure mode it exercises).
+    """
+    reports: dict[str, SoakReport] = {}
+    for profile in profiles:
+        config = SoakConfig(
+            scale_factor=scale_factor,
+            machines=machines,
+            n_queries=n_queries,
+            chaos=profile,
+            seed=seed,
+            retries=2 if profile == "flaky" else 0,
+        )
+        reports[profile] = run_soak(config)
+    return reports
+
+
+@dataclass(frozen=True)
+class BreakerScenarioReport:
+    """Outcome of the poison-plan circuit-breaker scenario."""
+
+    #: Submissions attempted against the poison handle.
+    poison_submissions: int
+    #: Poison queries that ran and failed terminally.
+    poison_failed: int
+    #: Submissions fast-failed by the open breaker (never scheduled).
+    breaker_rejected: int
+    #: Final breaker state of the poison handle.
+    breaker_state: str
+    #: Breaker state transitions observed, in order (``open``,
+    #: ``half-open``, …).
+    transitions: tuple[str, ...]
+    #: Healthy-bystander queries run while the poison plan misbehaved.
+    bystander_runs: int
+    #: All bystander frames bit-identical to the serial reference.
+    bystander_matched: bool
+
+    @property
+    def tripped(self) -> bool:
+        return self.breaker_state != "closed" or bool(self.breaker_rejected)
+
+    def render(self) -> str:
+        return (
+            f"breaker scenario: poison {self.poison_submissions} submissions "
+            f"→ {self.poison_failed} failed, {self.breaker_rejected} "
+            f"fast-failed; state={self.breaker_state}; transitions="
+            f"{list(self.transitions)}; bystander {self.bystander_runs} runs, "
+            f"bit-identical={self.bystander_matched}"
+        )
+
+
+def breaker_scenario(
+    scale_factor: float = 0.01,
+    machines: int = 2,
+    seed: int = 2021,
+    poison_submissions: int = 8,
+) -> BreakerScenarioReport:
+    """Poison-plan quarantine: breaker trips, bystanders stay unharmed.
+
+    Deploys a healthy Q12 and a *poison* Q12 whose defaults carry a
+    fault policy with a ~0.95 put drop rate and zero substrate/stage
+    retry budget — every run fails, every server retry fails again, so
+    each submission is a terminal failure.  After
+    ``failure_threshold`` of those the breaker opens and later
+    submissions fast-fail without touching the scheduler.  A bystander
+    query on the healthy handle runs after every poison submission and
+    must stay bit-identical to its serial reference — quarantine is per
+    handle, not per server.
+    """
+    catalog = load_catalog(scale_factor, seed=seed)
+    cluster = SimCluster(machines, seed=seed)
+    poison_faults = FaultPolicy(
+        seed=seed,
+        put_drop_rate=0.95,
+        retry=RetryPolicy(max_attempts=1),
+        max_stage_retries=0,
+    )
+    transitions: list[str] = []
+    with Server(
+        cluster,
+        catalog,
+        n_workers=2,
+        retry=RetryPolicy(max_attempts=2),
+        breaker=BreakerConfig(failure_threshold=2, cooldown=2),
+    ) as server:
+        healthy = server.deploy("q12", ALL_QUERIES[12]()).handle
+        poison = server.deploy(
+            "q12-poison",
+            ALL_QUERIES[12](),
+            defaults=RunOptions(faults=poison_faults),
+        ).handle
+        breaker = server.registry.breaker_for(poison)
+
+        reference = server.registry.get(healthy).instantiate(catalog, cluster)
+        reference_frame = reference.result_frame(reference.run(catalog))
+
+        poison_failed = 0
+        breaker_rejected = 0
+        bystander_runs = 0
+        bystander_matched = True
+        for _ in range(poison_submissions):
+            before = breaker.state
+            try:
+                future = server.submit(poison)
+            except Exception as exc:
+                if type(exc).__name__ != "CircuitOpenError":
+                    raise
+                breaker_rejected += 1
+            else:
+                try:
+                    future.result(timeout=600)
+                except BaseException:  # noqa: BLE001 - expected poison
+                    poison_failed += 1
+            after = breaker.state
+            if after != before:
+                transitions.append(after)
+            # The bystander keeps serving regardless of the quarantine.
+            outcome = server.run(healthy, timeout=600)
+            bystander_runs += 1
+            bystander_matched = bystander_matched and frames_match(
+                reference_frame, outcome.frame, tolerance=0.0
+            )
+        final_state = breaker.state
+    return BreakerScenarioReport(
+        poison_submissions=poison_submissions,
+        poison_failed=poison_failed,
+        breaker_rejected=breaker_rejected,
+        breaker_state=final_state,
+        transitions=tuple(transitions),
+        bystander_runs=bystander_runs,
+        bystander_matched=bystander_matched,
     )
 
 

@@ -11,7 +11,7 @@ more than one query's work actually overlapped.
 import pytest
 
 from repro.serving import SoakConfig, run_soak
-from repro.serving.soak import throughput_probe
+from repro.serving.soak import CHAOS_PROFILES, breaker_scenario, throughput_probe
 
 SF = 0.005
 
@@ -24,7 +24,16 @@ def clean_report():
 @pytest.fixture(scope="module")
 def chaos_report():
     return run_soak(
-        SoakConfig(scale_factor=SF, n_queries=8, n_workers=4, chaos=True)
+        SoakConfig(scale_factor=SF, n_queries=8, n_workers=4, chaos="transient")
+    )
+
+
+@pytest.fixture(scope="module")
+def flaky_report():
+    return run_soak(
+        SoakConfig(
+            scale_factor=SF, n_queries=8, n_workers=4, chaos="flaky", retries=2
+        )
     )
 
 
@@ -91,3 +100,102 @@ class TestConcurrency:
         assert "overlapped" in text
         for tenant in clean_report.shares:
             assert tenant in text
+
+
+class TestChaosProfiles:
+    def test_bool_chaos_is_a_deprecated_alias(self):
+        with pytest.warns(DeprecationWarning, match="chaos"):
+            config = SoakConfig(chaos=True)
+        assert config.chaos == "transient"
+        assert SoakConfig(chaos=False).chaos == "none"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="chaos"):
+            SoakConfig(chaos="meteor-strike")
+
+    def test_profile_names_are_closed(self):
+        assert set(CHAOS_PROFILES) == {
+            "none", "transient", "crash", "straggler", "flaky"
+        }
+
+    def test_flaky_profile_heals_through_server_retries(self, flaky_report):
+        # Every query completes, and every one of them needed at least
+        # one server-level re-submission to get there.
+        assert flaky_report.bit_identical
+        n = flaky_report.config.n_queries
+        assert flaky_report.lifecycle.get("completed") == tuple(range(n))
+        assert flaky_report.lifecycle.get("retried") == tuple(range(n))
+
+
+class TestLifecycleAndReconciliation:
+    def test_clean_soak_completes_everything(self, clean_report):
+        n = clean_report.config.n_queries
+        assert clean_report.lifecycle.get("completed") == tuple(range(n))
+
+    @pytest.mark.parametrize(
+        "report_fixture", ["clean_report", "chaos_report", "flaky_report"]
+    )
+    def test_ledger_reconciles_exactly(self, report_fixture, request):
+        report = request.getfixturevalue(report_fixture)
+        assert report.reconciliation_errors() == []
+        assert "ledger reconciliation: exact" in report.render()
+
+    def test_cancelled_submissions_settle_as_cancelled(self):
+        report = run_soak(
+            SoakConfig(
+                scale_factor=SF, n_queries=8, n_workers=4, cancel_every=4
+            )
+        )
+        assert report.lifecycle.get("cancelled") == (3, 7)
+        assert len(report.lifecycle.get("completed", ())) == 6
+        assert report.bit_identical
+        assert report.reconciliation_errors() == []
+
+    def test_tiny_deadline_misses_every_query(self):
+        report = run_soak(
+            SoakConfig(
+                scale_factor=SF, n_queries=8, n_workers=4, deadline=1e-6
+            )
+        )
+        assert report.lifecycle.get("deadline_missed") == tuple(range(8))
+        assert report.reconciliation_errors() == []
+
+    def test_overload_shedding_spills_over_entitlement(self):
+        report = run_soak(
+            SoakConfig(
+                scale_factor=SF,
+                n_queries=12,
+                n_workers=4,
+                max_pending=8,
+                shed_threshold=0.5,
+            )
+        )
+        shed = report.lifecycle.get("shed", ())
+        completed = report.lifecycle.get("completed", ())
+        assert shed  # the burst overflows the shed region
+        assert len(shed) + len(completed) == 12
+        assert report.bit_identical
+        assert report.reconciliation_errors() == []
+
+
+class TestBreakerScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return breaker_scenario(scale_factor=SF, poison_submissions=8)
+
+    def test_poison_plan_trips_and_fast_fails(self, scenario):
+        assert scenario.tripped
+        assert scenario.breaker_state == "open"
+        assert scenario.breaker_rejected > 0
+        assert scenario.poison_failed + scenario.breaker_rejected == (
+            scenario.poison_submissions
+        )
+
+    def test_bystanders_unharmed(self, scenario):
+        assert scenario.bystander_runs == scenario.poison_submissions
+        assert scenario.bystander_matched
+
+    def test_render_names_the_verdicts(self, scenario):
+        text = scenario.render()
+        assert "fast-failed" in text
+        assert "bit-identical" in text
