@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke bench-compare chaos-soak sanitize-soak serve-soak serve-chaos profile examples
+.PHONY: test lint bench bench-smoke bench-compare chaos-soak sanitize-soak serve-soak serve-chaos slo-smoke profile examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -63,9 +63,17 @@ serve-soak:
 # crash, straggler, flaky-with-retries) must stay bit-identical to
 # serial with an exactly reconciled tenant ledger, and the poison-plan
 # breaker scenario must trip the circuit while bystander queries on the
-# same server keep matching their serial reference.
+# same server keep matching their serial reference.  Exports the merged
+# multi-query Chrome trace and the per-profile journal JSON as run
+# artifacts (open serve_trace.json in chrome://tracing or Perfetto).
 serve-chaos:
-	$(PYTHON) -m repro serve --matrix --queries 8 --sf 0.005
+	$(PYTHON) -m repro serve --matrix --queries 8 --sf 0.005 \
+		--chrome-out serve_trace.json --journal-out serve_journals.json
+
+# SLO latency gate: serve a mixed batch and fail if any tenant or
+# prepared-plan handle burns past its error budget on the simulated axis.
+slo-smoke:
+	$(PYTHON) -m repro slo --queries 16 --target 0.01 --objective 0.99
 
 # EXPLAIN ANALYZE a TPC-H query and export the merged operator+substrate
 # Chrome trace (open profile_trace.json in chrome://tracing or Perfetto).

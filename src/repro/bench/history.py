@@ -216,6 +216,9 @@ def record_from_smoke_report(report: dict, label: str = "") -> dict:
     serving = report.get("serving")
     if serving is not None:
         config["serving"] = {"armed_overhead": serving.get("armed_overhead")}
+    tracing = report.get("tracing")
+    if tracing is not None:
+        config["tracing"] = {"traced_overhead": tracing.get("traced_overhead")}
     if join_kernels:
         config["join_kernels"] = {
             workload: join_kernels[workload].get("speedup")

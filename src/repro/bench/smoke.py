@@ -175,6 +175,11 @@ MAX_FAULT_OVERHEAD = 0.05
 #: exceeds this.
 MAX_SERVING_ROBUSTNESS_OVERHEAD = 0.05
 
+#: make bench-smoke fails when the armed-but-idle tracing tax (trace
+#: contexts + per-query journals + SLO latency accounting, with the
+#: cluster substrate trace left off) exceeds this.
+MAX_TRACING_OVERHEAD = 0.05
+
 
 def _serving_robustness_overhead(
     scale_factor: float, machines: int, n_queries: int, repeats: int
@@ -239,6 +244,73 @@ def _serving_robustness_overhead(
         "baseline_seconds": best["baseline"],
         "armed_seconds": best["armed"],
         "armed_overhead": best["armed"] / best["baseline"] - 1.0,
+    }
+
+
+def _tracing_overhead(
+    scale_factor: float, machines: int, n_queries: int, repeats: int
+) -> dict[str, float]:
+    """Wall-clock tax of query tracing when nobody reads the journals.
+
+    Serves the same TPC-H batch through two servers:
+
+    * ``baseline`` — ``tracing=False``: no trace contexts are minted, no
+      journals are kept, no SLO accounting runs,
+    * ``traced`` — the shipping default plus an armed
+      :class:`~repro.observability.slo.SLOConfig`: every submission mints
+      a trace context, keeps an append-only journal, stamps its events at
+      settlement, and feeds the per-tenant/per-handle latency histograms
+      and burn counters.
+
+    The cluster substrate trace stays off in both runs — stamping is a
+    post-hoc settlement pass, so the hot path must not notice the
+    difference.  Rounds are interleaved; best-of wins.  The batch is
+    doubled and more rounds run than the other serving probes because
+    the per-query tax under test is tiny relative to scheduler jitter.
+    """
+    from repro.observability.slo import SLOConfig
+    from repro.serving.server import Server
+    from repro.tpch import ALL_QUERIES, load_catalog
+
+    catalog = load_catalog(scale_factor)
+    cluster = SimCluster(machines)
+    qids = (4, 12, 14, 19)
+
+    def run(traced: bool) -> float:
+        kwargs = (
+            {"slo": SLOConfig(target_seconds=1e6), "tracing": True}
+            if traced
+            else {"tracing": False}
+        )
+        with Server(
+            cluster,
+            catalog,
+            n_workers=4,
+            max_pending=max(n_queries, 1) * 2,
+            **kwargs,
+        ) as server:
+            handles = [
+                server.deploy(f"q{qid}", ALL_QUERIES[qid]()).handle
+                for qid in qids
+            ]
+            start = time.perf_counter()
+            futures = [
+                server.submit(handles[i % len(handles)])
+                for i in range(n_queries)
+            ]
+            for future in futures:
+                future.result(timeout=600)
+            return time.perf_counter() - start
+
+    run(traced=False)  # warm caches before either configuration is timed
+    best = {"baseline": float("inf"), "traced": float("inf")}
+    for _ in range(max(repeats, 5)):
+        best["baseline"] = min(best["baseline"], run(traced=False))
+        best["traced"] = min(best["traced"], run(traced=True))
+    return {
+        "baseline_seconds": best["baseline"],
+        "traced_seconds": best["traced"],
+        "traced_overhead": best["traced"] / best["baseline"] - 1.0,
     }
 
 
@@ -521,6 +593,10 @@ def run_smoke(
     serving["scale_factor"] = tpch_sf
     serving["machines"] = machines
     report["serving"] = serving
+    tracing = _tracing_overhead(tpch_sf, machines, 16, repeats)
+    tracing["scale_factor"] = tpch_sf
+    tracing["machines"] = machines
+    report["tracing"] = tracing
     return report
 
 
@@ -664,6 +740,21 @@ def main(argv: list[str] | None = None) -> int:
             f"{serving['armed_overhead']:.1%} exceeds the "
             f"{MAX_SERVING_ROBUSTNESS_OVERHEAD:.0%} budget — deadlines, "
             "retries, and the breaker must stay free when nothing fires",
+            file=sys.stderr,
+        )
+        return 1
+    tracing = report["tracing"]
+    print(
+        f"tracing: baseline {tracing['baseline_seconds']:.3f}s, "
+        f"traced {tracing['traced_seconds']:.3f}s "
+        f"({tracing['traced_overhead']:+.1%})"
+    )
+    if tracing["traced_overhead"] > MAX_TRACING_OVERHEAD:
+        print(
+            f"FAIL: armed-but-idle tracing overhead "
+            f"{tracing['traced_overhead']:.1%} exceeds the "
+            f"{MAX_TRACING_OVERHEAD:.0%} budget — journals and SLO "
+            "accounting must stay off the quantum hot path",
             file=sys.stderr,
         )
         return 1

@@ -310,9 +310,55 @@ def build_parser() -> argparse.ArgumentParser:
                        "admission cap (1.0 disables shedding)")
     serve.add_argument(
         "--trace", action="store_true",
-        help="print the scheduler quantum trace (worker/tenant/query per "
-        "quantum) after the summary",
+        help="arm full query tracing (operator profiles + substrate "
+        "events, causally linked per query) and print the scheduler "
+        "quantum trace after the summary",
     )
+    serve.add_argument(
+        "--slo-target", type=float, default=None, metavar="SECONDS",
+        help="arm SLO accounting with this per-query simulated-seconds "
+        "latency target and report burn rates after the soak",
+    )
+    serve.add_argument(
+        "--chrome-out", metavar="PATH", default=None,
+        help="write the soak's merged chrome://tracing JSON (per-tenant "
+        "and per-worker lanes plus one process per query; implies "
+        "--trace; in --matrix mode all profiles merge into one file)",
+    )
+    serve.add_argument(
+        "--journal-out", metavar="PATH", default=None,
+        help="write every query journal as JSON (implies --trace; keyed "
+        "by profile in --matrix mode)",
+    )
+
+    slo = commands.add_parser(
+        "slo", parents=[fmt],
+        help="run a serving soak with latency SLO accounting armed and "
+        "report per-tenant/per-handle quantiles and burn rates",
+    )
+    slo.add_argument("--queries", type=int, default=16,
+                     help="concurrent submissions (default: 16)")
+    slo.add_argument("--workers", type=int, default=4,
+                     help="scheduler worker threads (default: 4)")
+    slo.add_argument("--sf", type=float, default=0.01,
+                     help="TPC-H scale factor (default: 0.01)")
+    slo.add_argument("--machines", type=int, default=2)
+    slo.add_argument("--seed", type=int, default=2021)
+    slo.add_argument(
+        "--target", type=float, default=0.01, metavar="SECONDS",
+        help="per-query simulated-seconds latency target (default: 0.01)",
+    )
+    slo.add_argument(
+        "--objective", type=float, default=0.99,
+        help="fraction of queries that must meet the target (default: 0.99)",
+    )
+    slo.add_argument(
+        "--chaos", nargs="?", const="transient", default="none",
+        choices=("none", "transient", "crash", "straggler", "flaky"),
+        help="arm a chaos profile during the SLO soak",
+    )
+    slo.add_argument("--retries", type=int, default=0,
+                     help="server-level retry attempts beyond the first")
 
     return parser
 
@@ -782,19 +828,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         SoakConfig,
         breaker_scenario,
         chaos_matrix,
+        export_soak_artifacts,
         run_soak,
     )
 
+    trace = bool(args.trace or args.chrome_out or args.journal_out)
     if args.matrix:
         reports = chaos_matrix(
             scale_factor=args.sf,
             machines=args.machines,
             n_queries=args.queries,
             seed=args.seed,
+            trace=trace,
         )
         breaker = breaker_scenario(
             scale_factor=args.sf, machines=args.machines, seed=args.seed
         )
+        artifacts = None
+        if args.chrome_out or args.journal_out:
+            artifacts = export_soak_artifacts(
+                reports,
+                chrome_out=args.chrome_out,
+                journal_out=args.journal_out,
+            )
         ok = breaker.tripped and breaker.bystander_matched
         for profile, report in reports.items():
             ok = (
@@ -802,42 +858,57 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 and report.bit_identical
                 and not report.starved_tenants
                 and not report.reconciliation_errors()
+                and not report.journal_errors()
             )
         if args.format == "json":
-            _print_json(
-                {
-                    "profiles": {
-                        profile: {
-                            "bit_identical": report.bit_identical,
-                            "lifecycle": {
-                                k: len(v)
-                                for k, v in report.lifecycle.items()
-                                if v
-                            },
-                            "reconciliation_errors":
-                                report.reconciliation_errors(),
-                        }
-                        for profile, report in reports.items()
-                    },
-                    "breaker": {
-                        "tripped": breaker.tripped,
-                        "state": breaker.breaker_state,
-                        "fast_failed": breaker.breaker_rejected,
-                        "bystander_bit_identical": breaker.bystander_matched,
-                    },
-                    "ok": ok,
+            payload = {
+                "profiles": {
+                    profile: {
+                        "bit_identical": report.bit_identical,
+                        "lifecycle": {
+                            k: len(v)
+                            for k, v in report.lifecycle.items()
+                            if v
+                        },
+                        "reconciliation_errors":
+                            report.reconciliation_errors(),
+                        "journal_errors": report.journal_errors(),
+                        "journals": len(report.journals),
+                    }
+                    for profile, report in reports.items()
+                },
+                "breaker": {
+                    "tripped": breaker.tripped,
+                    "state": breaker.breaker_state,
+                    "fast_failed": breaker.breaker_rejected,
+                    "bystander_bit_identical": breaker.bystander_matched,
+                },
+                "ok": ok,
+            }
+            if artifacts is not None:
+                payload["artifacts"] = {
+                    **artifacts,
+                    "chrome_out": args.chrome_out,
+                    "journal_out": args.journal_out,
                 }
-            )
+            _print_json(payload)
         else:
             for profile, report in reports.items():
                 print(f"--- chaos profile: {profile} ---")
                 print(report.render())
             print("--- poison-plan breaker scenario ---")
             print(breaker.render())
+            if artifacts is not None:
+                print(
+                    f"artifacts: {artifacts['chrome_events']} chrome events"
+                    + (f" -> {args.chrome_out}" if args.chrome_out else "")
+                    + f", {artifacts['journals']} journals"
+                    + (f" -> {args.journal_out}" if args.journal_out else "")
+                )
         if not ok:
             print(
                 "ERROR: chaos matrix failed (divergence, starvation, broken "
-                "ledger, or breaker misbehavior)",
+                "ledger/journals, or breaker misbehavior)",
                 file=sys.stderr,
             )
         return 0 if ok else 1
@@ -855,46 +926,114 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cancel_every=args.cancel_every,
             retries=args.retries,
             shed_threshold=args.shed_threshold,
+            trace=trace,
+            slo_target=args.slo_target,
         )
     )
+    artifacts = None
+    if args.chrome_out or args.journal_out:
+        artifacts = export_soak_artifacts(
+            report, chrome_out=args.chrome_out, journal_out=args.journal_out
+        )
+    if args.format == "json":
+        payload = {
+            "queries": len(report.results),
+            "chaos": args.chaos,
+            "bit_identical": report.bit_identical,
+            "serial_wall_seconds": report.serial_wall,
+            "concurrent_wall_seconds": report.concurrent_wall,
+            "queries_per_second": report.queries_per_second,
+            "overlapped": report.overlapped,
+            "steals": report.steals,
+            "starved_tenants": report.starved_tenants,
+            "shares": {
+                t: {"observed": obs, "entitled": ent}
+                for t, (obs, ent) in sorted(report.shares.items())
+            },
+            "ledgers": {
+                t: {"settled": settled, "serial": serial}
+                for t, (settled, serial) in sorted(report.ledgers.items())
+            },
+            "lifecycle": {
+                k: list(v) for k, v in report.lifecycle.items() if v
+            },
+            "reconciliation_errors": report.reconciliation_errors(),
+            "journal_errors": report.journal_errors(),
+            "journals": len(report.journals),
+        }
+        if report.slo is not None:
+            payload["slo"] = report.slo.as_dict()
+        if artifacts is not None:
+            payload["artifacts"] = {
+                **artifacts,
+                "chrome_out": args.chrome_out,
+                "journal_out": args.journal_out,
+            }
+        _print_json(payload)
+    else:
+        print(report.render())
+        if args.trace:
+            print("\nscheduler quantum trace (seq worker tenant query):")
+            for event in report.scheduler_events:
+                stolen = " stolen" if event.stolen else ""
+                print(
+                    f"  [{event.seq:>5}] w{event.worker} {event.tenant:<12} "
+                    f"q{event.query_id} {event.label} "
+                    f"({event.trace_id or 'untraced'}){stolen}"
+                )
+        if artifacts is not None:
+            print(
+                f"artifacts: {artifacts['chrome_events']} chrome events"
+                + (f" -> {args.chrome_out}" if args.chrome_out else "")
+                + f", {artifacts['journals']} journals"
+                + (f" -> {args.journal_out}" if args.journal_out else "")
+            )
+    ok = (
+        report.bit_identical
+        and not report.starved_tenants
+        and not report.reconciliation_errors()
+        and not report.journal_errors()
+    )
+    if not ok:
+        print("ERROR: soak failed (results diverged, a tenant starved, or "
+              "the ledgers/journals failed to reconcile)",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from repro.serving.soak import SoakConfig, run_soak
+
+    report = run_soak(
+        SoakConfig(
+            scale_factor=args.sf,
+            machines=args.machines,
+            n_queries=args.queries,
+            n_workers=args.workers,
+            chaos=args.chaos,
+            seed=args.seed,
+            retries=args.retries,
+            slo_target=args.target,
+            slo_objective=args.objective,
+        )
+    )
+    slo = report.slo
+    assert slo is not None  # slo_target was set
     if args.format == "json":
         _print_json(
             {
                 "queries": len(report.results),
                 "chaos": args.chaos,
-                "bit_identical": report.bit_identical,
-                "serial_wall_seconds": report.serial_wall,
-                "concurrent_wall_seconds": report.concurrent_wall,
-                "queries_per_second": report.queries_per_second,
-                "overlapped": report.overlapped,
-                "steals": report.steals,
-                "starved_tenants": report.starved_tenants,
-                "shares": {
-                    t: {"observed": obs, "entitled": ent}
-                    for t, (obs, ent) in sorted(report.shares.items())
-                },
-                "ledgers": {
-                    t: {"settled": settled, "serial": serial}
-                    for t, (settled, serial) in sorted(report.ledgers.items())
-                },
-                "lifecycle": {
-                    k: list(v) for k, v in report.lifecycle.items() if v
-                },
-                "reconciliation_errors": report.reconciliation_errors(),
+                "target_seconds": args.target,
+                "objective": args.objective,
+                "ok": slo.ok,
+                "slo": slo.as_dict(),
+                "journal_errors": report.journal_errors(),
             }
         )
     else:
-        print(report.render())
-    ok = (
-        report.bit_identical
-        and not report.starved_tenants
-        and not report.reconciliation_errors()
-    )
-    if not ok:
-        print("ERROR: soak failed (results diverged, a tenant starved, or "
-              "the ledgers failed to reconcile)",
-              file=sys.stderr)
-    return 0 if ok else 1
+        print(slo.render())
+    return 0 if slo.ok and not report.journal_errors() else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -910,6 +1049,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "chaos": _cmd_chaos,
         "sanitize": _cmd_sanitize,
         "serve": _cmd_serve,
+        "slo": _cmd_slo,
     }
     return handlers[args.command](args)
 

@@ -27,6 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.policy import FaultPolicy
     from repro.observability.metrics import MetricsRegistry
     from repro.observability.profile import Profiler
+    from repro.observability.tracing import TraceContext
 
 __all__ = ["ExecutionContext", "ExecutionMode"]
 
@@ -107,6 +108,12 @@ class ExecutionContext:
     #: :meth:`run_options` rather than copying knob fields by hand, so a
     #: knob added to ``RunOptions`` can never silently drop on a retry.
     options: RunOptions | None = None
+    #: Causal trace context of the serving attempt this execution belongs
+    #: to (:mod:`repro.observability.tracing`); ``None`` outside serving.
+    #: Stage recovery derives per-rank child contexts from it and stamps
+    #: fault/recovery events as they surface — the data path never reads
+    #: it, so tracing costs nothing per tuple.
+    trace: "TraceContext | None" = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -206,13 +213,15 @@ class ExecutionContext:
         sanitizer: "Sanitizer | None" = None,
         join_kernel: str = "auto",
         options: RunOptions | None = None,
+        trace: "TraceContext | None" = None,
     ) -> "ExecutionContext":
         """The context a worker uses to execute a nested plan on its rank.
 
         When ``options`` is given, its :meth:`RunOptions.worker_knobs`
         override the individual knob arguments — the whole set at once, so
         callers rebuilding worker contexts (stage recovery, replays) cannot
-        forward some knobs and forget others.
+        forward some knobs and forget others.  ``trace`` is the rank's
+        child span of the enclosing attempt's trace context.
         """
         knobs = {"mode": mode, "morsel_rows": morsel_rows, "join_kernel": join_kernel}
         if options is not None:
@@ -226,6 +235,7 @@ class ExecutionContext:
             checkpoints=checkpoints,
             sanitizer=sanitizer,
             options=options,
+            trace=trace,
             **knobs,
         )
 

@@ -33,6 +33,7 @@ from repro.errors import RankCrashError, RetryBudgetExceeded
 from repro.faults.checkpoint import CheckpointStore
 from repro.mpi.trace import TraceEvent
 from repro.observability.events import DRIVER_RANK, RecoveryDetail
+from repro.observability.tracing import stamp_events
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.operators.mpi_executor import MpiExecutor
@@ -118,6 +119,7 @@ def _make_worker(
     profiler = ctx.profiler
     metrics = ctx.metrics
     sanitizer = ctx.sanitizer
+    trace = ctx.trace
     slot_id = executor.slot.id
 
     def worker(rank_ctx: "RankContext") -> list[tuple]:
@@ -141,6 +143,7 @@ def _make_worker(
             rank_ctx, options=run_options,
             profiler=rank_profiler, metrics=rank_registry,
             checkpoints=checkpoints, sanitizer=sanitizer,
+            trace=trace.for_rank(rank_ctx.rank) if trace is not None else None,
         )
         worker_ctx.push_parameter(slot_id, wave[rank_ctx.rank])
         try:
@@ -167,8 +170,10 @@ def _recover(
     # with the attempt, but the faults explain the recovery.
     trace = getattr(exc, "cluster_trace", None)
     if trace is not None:
-        executor.recovery_log.extend(trace.events(kind="fault"))
-        executor.recovery_log.extend(trace.events(kind="retry"))
+        harvested = trace.events(kind="fault") + trace.events(kind="retry")
+        if ctx.trace is not None:
+            stamp_events(harvested, ctx.trace)
+        executor.recovery_log.extend(harvested)
     # The failed attempt's work is wasted but not free: charge the
     # simulated time the failing rank had accumulated to the driver.
     start = ctx.clock.now
@@ -202,6 +207,9 @@ def _recover(
         action = "stage_retry"
     if ctx.metrics is not None:
         ctx.metrics.counter("recovery_actions", action=action).inc()
+    recovery_trace = (
+        ctx.trace.for_stage(f"recover{attempt}") if ctx.trace is not None else None
+    )
     executor.recovery_log.append(
         TraceEvent(
             rank=DRIVER_RANK,
@@ -209,6 +217,9 @@ def _recover(
             label=action,
             start=start,
             end=ctx.clock.now,
+            trace_id=recovery_trace.trace_id if recovery_trace else "",
+            span_id=recovery_trace.span_id if recovery_trace else "",
+            parent_span_id=recovery_trace.parent_span_id if recovery_trace else "",
             detail=RecoveryDetail(
                 action=action,
                 stage=executor.label(),

@@ -19,7 +19,13 @@ giving every :class:`~repro.core.operator.Operator` a measured identity:
 * :mod:`repro.observability.metrics` — the typed work-accounting
   registry (Counter / Gauge / Histogram) behind
   ``execute(..., metrics=True)`` / ``ExecutionReport.metrics`` and the
-  ``repro metrics`` Prometheus-style exposition.
+  ``repro metrics`` Prometheus-style exposition;
+* :mod:`repro.observability.tracing` — causal trace contexts
+  (:class:`TraceContext`) minted per serving submission and the
+  append-only per-query :class:`QueryJournal` audit record;
+* :mod:`repro.observability.slo` — per-tenant / per-handle latency
+  objectives (:class:`SLOConfig`) and the burn-rate report behind
+  ``repro slo``.
 
 Profiling is enabled per execution (``execute(plan, profile=True)``,
 ``Query.explain(analyze=True)``, ``repro profile``/``repro explain
@@ -27,15 +33,37 @@ Profiling is enabled per execution (``execute(plan, profile=True)``,
 attribute check per operator activation and allocates nothing.
 """
 
-from repro.observability.chrome_trace import chrome_trace_events, write_chrome_trace
+from repro.observability.chrome_trace import (
+    chrome_trace_events,
+    serving_trace_events,
+    write_chrome_trace,
+    write_serving_chrome_trace,
+)
 from repro.observability.metrics import (
+    METRIC_HELP,
     Counter,
     Gauge,
     Histogram,
     MetricSample,
     MetricsRegistry,
     MetricsSnapshot,
+    bucket_quantile,
     exponential_bounds,
+)
+from repro.observability.slo import (
+    SERVING_LATENCY_BOUNDS,
+    SLOConfig,
+    SLOEntry,
+    SLOReport,
+    build_slo_report,
+)
+from repro.observability.tracing import (
+    JournalEvent,
+    QueryJournal,
+    TraceContext,
+    stamp_event,
+    stamp_events,
+    stamp_report,
 )
 from repro.observability.events import (
     CollectiveDetail,
@@ -77,5 +105,20 @@ __all__ = [
     "ProfileNode",
     "uninstrumented",
     "chrome_trace_events",
+    "serving_trace_events",
     "write_chrome_trace",
+    "write_serving_chrome_trace",
+    "METRIC_HELP",
+    "bucket_quantile",
+    "SERVING_LATENCY_BOUNDS",
+    "SLOConfig",
+    "SLOEntry",
+    "SLOReport",
+    "build_slo_report",
+    "JournalEvent",
+    "QueryJournal",
+    "TraceContext",
+    "stamp_event",
+    "stamp_events",
+    "stamp_report",
 ]

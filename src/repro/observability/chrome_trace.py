@@ -22,10 +22,18 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 from repro.observability.events import DRIVER_RANK, SimEvent
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.executor import ExecutionReport
     from repro.mpi.trace import ClusterTrace
     from repro.observability.profile import PlanProfile
+    from repro.observability.tracing import QueryJournal
+    from repro.serving.scheduler import SchedulerEvent
 
-__all__ = ["chrome_trace_events", "write_chrome_trace"]
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "serving_trace_events",
+    "write_serving_chrome_trace",
+]
 
 #: Track id of the substrate (communication) events within each process.
 _SUBSTRATE_TID = 0
@@ -66,6 +74,13 @@ def chrome_trace_events(
     events.extend(extra_events)
 
     metadata: list[dict] = []
+    if profile is not None and getattr(profile, "dropped_spans", 0):
+        # The profiler hit its span cap: make the truncation visible in
+        # the trace itself, not just in EXPLAIN ANALYZE.
+        metadata.append(
+            {"ph": "M", "name": "dropped_spans", "pid": 0,
+             "args": {"dropped_spans": profile.dropped_spans}}
+        )
     #: Processes already described with process_name/substrate metadata.
     known_pids: set[int] = set()
     #: Operator node id -> track id (1.. in first-seen order, shared
@@ -103,6 +118,10 @@ def chrome_trace_events(
             tid = _SUBSTRATE_TID
             name = f"{event.kind}:{event.label}"
             cat = "substrate"
+        args = event.chrome_args()
+        if event.trace_id:
+            args = {**args, "trace_id": event.trace_id, "span_id": event.span_id,
+                    "parent_span_id": event.parent_span_id}
         spans.append(
             {
                 "name": name,
@@ -112,7 +131,7 @@ def chrome_trace_events(
                 "dur": max(0.0, event.duration) * time_scale,
                 "pid": pid,
                 "tid": tid,
-                "args": event.chrome_args(),
+                "args": args,
             }
         )
     return metadata + spans
@@ -127,6 +146,288 @@ def write_chrome_trace(
     """Write the merged trace JSON to ``path``; returns the event count."""
     events = chrome_trace_events(
         profile=profile, traces=list(traces), extra_events=extra_events
+    )
+    with open(path, "w") as handle:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, handle)
+        handle.write("\n")
+    return len(events)
+
+
+# -- multi-query serving export ----------------------------------------------
+
+#: Per-query process track layout (see :func:`serving_trace_events`).
+_LIFECYCLE_TID = 0
+_QUERY_SUBSTRATE_TID_BASE = 10
+_QUERY_OPERATOR_TID_BASE = 100
+
+
+def serving_trace_events(
+    queries: Sequence[tuple["QueryJournal", "ExecutionReport | None"]],
+    scheduler_events: Sequence["SchedulerEvent"] = (),
+    lifecycle_events: Sequence[SimEvent] = (),
+    time_scale: float = 1e6,
+    pid_base: int = 0,
+    label_prefix: str = "",
+) -> list[dict]:
+    """One merged Chrome trace for a whole serving run.
+
+    Lanes (Chrome *processes*), offset by ``pid_base`` so several runs
+    (e.g. the profiles of a chaos matrix) can merge into one file:
+
+    * ``pid_base + 1`` — scheduler workers: one thread per worker, one
+      box per quantum on the *global step-sequence* axis.  Overlapping
+      boxes of different queries are the interleaving proof, visually.
+    * ``pid_base + 2`` — tenants: one thread per tenant, one box per
+      admitted query spanning ``[first_seq, last_seq]`` (instants for
+      shed/rejected submissions that never ran).
+    * ``pid_base + 3`` — server transitions that belong to no single
+      query (circuit-breaker state changes).
+    * ``pid_base + 10 + i`` — one process per submission ``i``, on the
+      *simulated-time* axis (µs): journal lifecycle instants on thread
+      0, per-rank substrate events on threads 10+, operator spans on
+      threads 100+.
+
+    Every event's ``args`` carry its causal ``trace_id``/``span_id``, so
+    clicking any box answers "which query was this?".
+
+    Args:
+        queries: ``(journal, report-or-None)`` per submission, in
+            submission order; failed/shed submissions pass ``None``.
+        scheduler_events: The scheduler's quantum trace.
+        lifecycle_events: The server's lifecycle transitions; entries
+            without a trace id land in the server lane.
+        time_scale: Simulated seconds → µs for the per-query processes.
+        pid_base: Offset for every process id this call emits.
+        label_prefix: Prefix for process names (e.g. a matrix profile).
+    """
+    prefix = f"{label_prefix}: " if label_prefix else ""
+    metadata: list[dict] = []
+    spans: list[dict] = []
+    worker_pid = pid_base + 1
+    tenant_pid = pid_base + 2
+    server_pid = pid_base + 3
+
+    def describe(pid: int, name: str) -> None:
+        metadata.append({"ph": "M", "name": "process_name", "pid": pid,
+                         "args": {"name": f"{prefix}{name}"}})
+        metadata.append({"ph": "M", "name": "process_sort_index", "pid": pid,
+                         "args": {"sort_index": pid}})
+
+    # Scheduler-worker lanes: the step-sequence axis.
+    seen_workers: set[int] = set()
+    if scheduler_events:
+        describe(worker_pid, "scheduler workers (step-sequence axis)")
+    for event in scheduler_events:
+        if event.worker not in seen_workers:
+            seen_workers.add(event.worker)
+            metadata.append(
+                {"ph": "M", "name": "thread_name", "pid": worker_pid,
+                 "tid": event.worker, "args": {"name": f"worker {event.worker}"}}
+            )
+        spans.append(
+            {
+                "name": f"q{event.query_id} {event.label}",
+                "cat": "scheduler",
+                "ph": "X",
+                "ts": float(event.seq),
+                "dur": 1.0,
+                "pid": worker_pid,
+                "tid": event.worker,
+                "args": {
+                    "query_id": event.query_id,
+                    "tenant": event.tenant,
+                    "steps": event.steps,
+                    "stolen": event.stolen,
+                    "trace_id": event.trace_id,
+                    "span_id": event.span_id,
+                },
+            }
+        )
+
+    # Tenant lanes: one box per journal on the same sequence axis.
+    tenant_tids: dict[str, int] = {}
+    if queries:
+        describe(tenant_pid, "tenants (step-sequence axis)")
+    for journal, _report in queries:
+        tid = tenant_tids.get(journal.tenant)
+        if tid is None:
+            tid = tenant_tids[journal.tenant] = len(tenant_tids)
+            metadata.append(
+                {"ph": "M", "name": "thread_name", "pid": tenant_pid,
+                 "tid": tid, "args": {"name": f"tenant {journal.tenant}"}}
+            )
+        args = {
+            "trace_id": journal.trace_id,
+            "handle": journal.handle,
+            "terminal": journal.terminal,
+            "attempts": journal.attempts,
+            "steps": journal.steps,
+            "total_seconds": journal.total_seconds,
+        }
+        if journal.first_seq >= 0:
+            spans.append(
+                {
+                    "name": f"{journal.trace_id} {journal.handle}",
+                    "cat": "query",
+                    "ph": "X",
+                    "ts": float(journal.first_seq),
+                    "dur": float(max(1, journal.last_seq - journal.first_seq)),
+                    "pid": tenant_pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+        else:
+            # Never scheduled (shed / rejected): an instant at its
+            # submission index keeps the refusal visible on the lane.
+            spans.append(
+                {
+                    "name": f"{journal.trace_id} {journal.terminal}",
+                    "cat": "query",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": float(journal.submission),
+                    "pid": tenant_pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+
+    # Per-query processes on the simulated axis.
+    journal_pids: dict[str, int] = {}
+    for index, (journal, report) in enumerate(queries):
+        pid = pid_base + 10 + index
+        journal_pids[journal.trace_id] = pid
+        describe(pid, f"{journal.trace_id} ({journal.handle})")
+        metadata.append(
+            {"ph": "M", "name": "thread_name", "pid": pid,
+             "tid": _LIFECYCLE_TID, "args": {"name": "lifecycle"}}
+        )
+        for entry in journal.events:
+            spans.append(
+                {
+                    "name": entry.kind,
+                    "cat": "lifecycle",
+                    "ph": "i",
+                    "s": "p",
+                    "ts": entry.sim_time * time_scale,
+                    "pid": pid,
+                    "tid": _LIFECYCLE_TID,
+                    "args": {"span_id": entry.span_id,
+                             "attempt": entry.attempt,
+                             **dict(entry.detail)},
+                }
+            )
+        if report is None:
+            continue
+        report_events: list[SimEvent] = []
+        profile = getattr(report, "profile", None)
+        if profile is not None:
+            report_events.extend(profile.spans)
+            if getattr(profile, "dropped_spans", 0):
+                metadata.append(
+                    {"ph": "M", "name": "dropped_spans", "pid": pid,
+                     "args": {"dropped_spans": profile.dropped_spans}}
+                )
+        for trace in getattr(report, "traces", ()):
+            report_events.extend(trace.events())
+        report_events.extend(getattr(report, "recovery_events", ()))
+        op_tids: dict[int, int] = {}
+        named: set[int] = set()
+        for event in report_events:
+            if event.kind == "operator":
+                tid = _QUERY_OPERATOR_TID_BASE + op_tids.setdefault(
+                    getattr(event, "node_id", 0), len(op_tids)
+                )
+                if tid not in named:
+                    named.add(tid)
+                    metadata.append(
+                        {"ph": "M", "name": "thread_name", "pid": pid,
+                         "tid": tid,
+                         "args": {"name": getattr(event, "op_type", event.label)}}
+                    )
+                name = event.label
+                cat = "operator"
+            else:
+                tid = _QUERY_SUBSTRATE_TID_BASE + event.rank + 1
+                if tid not in named:
+                    named.add(tid)
+                    lane = ("driver" if event.rank == DRIVER_RANK
+                            else f"rank {event.rank}")
+                    metadata.append(
+                        {"ph": "M", "name": "thread_name", "pid": pid,
+                         "tid": tid, "args": {"name": lane}}
+                    )
+                name = f"{event.kind}:{event.label}"
+                cat = "substrate"
+            args = event.chrome_args()
+            if event.trace_id:
+                args = {**args, "trace_id": event.trace_id,
+                        "span_id": event.span_id,
+                        "parent_span_id": event.parent_span_id}
+            spans.append(
+                {
+                    "name": name,
+                    "cat": cat,
+                    "ph": "X",
+                    "ts": event.start * time_scale,
+                    "dur": max(0.0, event.duration) * time_scale,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+
+    # Lifecycle transitions: traced ones join their query's process,
+    # the rest (breaker state changes) get a server lane.
+    server_described = False
+    for event in lifecycle_events:
+        pid = journal_pids.get(event.trace_id)
+        tid = _LIFECYCLE_TID
+        if pid is None:
+            if not server_described:
+                server_described = True
+                describe(server_pid, "server")
+                metadata.append(
+                    {"ph": "M", "name": "thread_name", "pid": server_pid,
+                     "tid": _LIFECYCLE_TID, "args": {"name": "transitions"}}
+                )
+            pid = server_pid
+        args = event.chrome_args()
+        if event.trace_id:
+            args = {**args, "trace_id": event.trace_id,
+                    "span_id": event.span_id,
+                    "parent_span_id": event.parent_span_id}
+        spans.append(
+            {
+                "name": f"{event.kind}:{event.label}",
+                "cat": "lifecycle",
+                "ph": "i",
+                "s": "p",
+                "ts": event.start * time_scale,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    return metadata + spans
+
+
+def write_serving_chrome_trace(
+    path: str,
+    queries: Sequence[tuple["QueryJournal", "ExecutionReport | None"]],
+    scheduler_events: Sequence["SchedulerEvent"] = (),
+    lifecycle_events: Sequence[SimEvent] = (),
+    pid_base: int = 0,
+    label_prefix: str = "",
+) -> int:
+    """Write a serving-run trace JSON to ``path``; returns the event count."""
+    events = serving_trace_events(
+        queries,
+        scheduler_events=scheduler_events,
+        lifecycle_events=lifecycle_events,
+        pid_base=pid_base,
+        label_prefix=label_prefix,
     )
     with open(path, "w") as handle:
         json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, handle)

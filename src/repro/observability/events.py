@@ -56,6 +56,12 @@ class SimEvent:
             ``put->k``, operator label).
         start: Simulated time the rank entered the event.
         end: Simulated time the event completed for this rank.
+        trace_id: Causal trace the event belongs to (empty until stamped).
+            Serving stamps every event of a query attempt with the
+            query's :class:`~repro.observability.tracing.TraceContext`
+            at settlement, so the hot path never pays for tracing.
+        span_id: The event's own span within the trace.
+        parent_span_id: The causal parent span (attempt or rank span).
     """
 
     rank: int
@@ -63,6 +69,9 @@ class SimEvent:
     label: str
     start: float
     end: float
+    trace_id: str = ""
+    span_id: str = ""
+    parent_span_id: str = ""
 
     @property
     def duration(self) -> float:

@@ -47,11 +47,62 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "METRIC_HELP",
     "MetricsRegistry",
     "MetricSample",
     "MetricsSnapshot",
+    "bucket_quantile",
     "exponential_bounds",
 ]
+
+#: ``# HELP`` text per metric family in the Prometheus exposition.
+#: Unlisted names fall back to a generic line (exposition stays valid).
+METRIC_HELP: dict[str, str] = {
+    "broadcast_bytes": "Bytes replicated to every rank by broadcast joins",
+    "broadcast_rows": "Rows replicated to every rank by broadcast joins",
+    "checkpoint_hits": "Stage re-executions answered from sealed checkpoints",
+    "comm_collectives": "Collective operations executed on the substrate",
+    "comm_put_bytes": "Bytes moved by one-sided puts",
+    "comm_put_rows": "Rows moved by one-sided puts",
+    "comm_put_seconds": "Simulated seconds per one-sided put",
+    "comm_puts": "One-sided put operations issued",
+    "comm_window_bytes_hwm": "High-water bytes registered in RMA windows",
+    "comm_windows": "RMA window registrations",
+    "fault_retries": "Substrate-level retries of dropped operations",
+    "join_build_rows": "Rows ingested by join build sides",
+    "join_dispatch": "Join kernel dispatch decisions by kernel",
+    "materialized_bytes": "Bytes materialized into RowVectors",
+    "morsels_drained": "Driver-level morsel steps drained",
+    "operator_batches_out": "Batches emitted per operator and mode",
+    "operator_calls": "Data-path activations per operator",
+    "operator_rows_out": "Rows emitted per operator and mode",
+    "plan_input_bytes": "Bytes bound as plan parameters",
+    "recovery_actions": "Driver-level stage recovery actions",
+    "rowvector_peak_bytes": "Largest single RowVector materialization",
+    "scan_bytes": "Bytes read by table scans",
+    "scan_rows": "Rows read by table scans",
+    "serving_breaker_rejected": "Submissions fast-failed by an open circuit breaker",
+    "serving_breaker_state": "Circuit breaker state per handle (0 closed, 1 half-open, 2 open)",
+    "serving_cancelled": "Queries settled by cooperative cancellation",
+    "serving_completed": "Queries completed successfully",
+    "serving_deadline_missed": "Queries settled by simulated-clock deadline misses",
+    "serving_failed": "Queries settled by terminal failures",
+    "serving_handle_latency_seconds": "End-to-end simulated latency of completed queries per handle",
+    "serving_handle_settled": "Settled queries considered for SLO burn per handle",
+    "serving_in_flight": "Queries admitted and not yet settled",
+    "serving_latency_seconds": "End-to-end simulated latency of completed queries per tenant",
+    "serving_quanta": "Scheduler quanta executed per worker",
+    "serving_rejected": "Submissions refused by hard admission control",
+    "serving_retries": "Server-level retry attempts after retryable faults",
+    "serving_shed": "Submissions refused by load-aware shedding",
+    "serving_simulated_millis": "Simulated milliseconds consumed by completed queries",
+    "serving_slo_miss": "Settled queries that burned SLO error budget",
+    "serving_steals": "Tasks stolen from other workers' queues",
+    "serving_steps": "Morsel steps executed per tenant",
+    "serving_submitted": "Query submissions admitted to the scheduler",
+    "shuffle_bytes": "Bytes exchanged by hash-partitioned shuffles",
+    "shuffle_rows": "Rows exchanged by hash-partitioned shuffles",
+}
 
 
 def exponential_bounds(
@@ -69,6 +120,40 @@ def exponential_bounds(
             f"got start={start}, factor={factor}, count={count}"
         )
     return tuple(start * factor**i for i in range(count))
+
+
+def bucket_quantile(
+    bounds: tuple[float, ...],
+    buckets: tuple[int, ...] | list[int],
+    count: int,
+    q: float,
+) -> float:
+    """Quantile estimate from cumulative-style bucket counts.
+
+    ``buckets[i]`` counts samples ``<= bounds[i]`` (one trailing overflow
+    bucket), exactly the :class:`Histogram` layout.  The estimate
+    interpolates linearly inside the containing bucket — the Prometheus
+    ``histogram_quantile`` convention — so it is exact to within one
+    bucket width (the property test sweeps this against
+    ``numpy.percentile``).  Samples landing in the overflow bucket clamp
+    to the highest finite bound; an empty distribution returns NaN.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if count <= 0:
+        return float("nan")
+    rank = q * count
+    cumulative = 0
+    for i in range(len(bounds)):
+        in_bucket = buckets[i]
+        if in_bucket and cumulative + in_bucket >= rank:
+            lower = bounds[i - 1] if i else 0.0
+            upper = bounds[i]
+            fraction = max(0.0, rank - cumulative) / in_bucket
+            return lower + (upper - lower) * fraction
+        cumulative += in_bucket
+    # Everything at/after the target rank overflowed the finite bounds.
+    return bounds[-1] if bounds else float("nan")
 
 
 class Counter:
@@ -140,6 +225,10 @@ class Histogram:
             self.buckets[i] += n
         self.count += other.count
         self.sum += other.sum
+
+    def quantile(self, q: float) -> float:
+        """Bucketed quantile estimate (see :func:`bucket_quantile`)."""
+        return bucket_quantile(self.bounds, self.buckets, self.count, q)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Histogram(count={self.count}, sum={self.sum:.6g})"
@@ -333,6 +422,12 @@ class MetricSample:
     bounds: tuple[float, ...] = ()
     buckets: tuple[int, ...] = ()
 
+    def quantile(self, q: float) -> float:
+        """Bucketed quantile estimate for histogram samples (else NaN)."""
+        if self.kind != "histogram":
+            return float("nan")
+        return bucket_quantile(self.bounds, self.buckets, self.count, q)
+
     def as_dict(self) -> dict:
         entry: dict = {
             "name": self.name,
@@ -402,14 +497,29 @@ class MetricsSnapshot:
         }
 
     def render_prometheus(self, prefix: str = "repro_") -> str:
-        """Prometheus-style text exposition (the ``repro metrics`` body)."""
+        """Prometheus-style text exposition (the ``repro metrics`` body).
+
+        Conforms to the text exposition format: one ``# HELP`` and one
+        ``# TYPE`` line per metric family, label values escaped
+        (backslash, double quote, newline), counters suffixed ``_total``,
+        histograms expanded to cumulative ``_bucket{le=...}`` series plus
+        ``_sum``/``_count``.
+        """
+
+        def escape(value) -> str:
+            return (
+                str(value)
+                .replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n")
+            )
 
         def fmt_labels(labels: dict, extra: dict | None = None) -> str:
             merged = {**labels, **(extra or {})}
             if not merged:
                 return ""
             inner = ",".join(
-                f'{k}="{v}"' for k, v in sorted(merged.items())
+                f'{k}="{escape(v)}"' for k, v in sorted(merged.items())
             )
             return "{" + inner + "}"
 
@@ -419,6 +529,13 @@ class MetricsSnapshot:
             base = prefix + sample.name
             if sample.name not in typed:
                 typed.add(sample.name)
+                help_text = METRIC_HELP.get(
+                    sample.name, f"{sample.name} recorded by the repro runtime"
+                )
+                # HELP text escapes backslash and newline only (the
+                # exposition spec; quotes stay literal outside labels).
+                escaped_help = help_text.replace("\\", "\\\\").replace("\n", "\\n")
+                lines.append(f"# HELP {base} {escaped_help}")
                 lines.append(f"# TYPE {base} {sample.kind}")
             if sample.kind == "counter":
                 lines.append(

@@ -1,0 +1,248 @@
+"""Tenant and handle SLO latency accounting over the serving metrics.
+
+The server records every completed query's end-to-end *simulated*
+latency (the retry chain included: backoff + all attempts) into
+``serving_latency_seconds{tenant=...}`` and
+``serving_handle_latency_seconds{handle=...}`` histograms.  With an
+:class:`SLOConfig` armed, every settled query also feeds a
+``serving_slo_miss`` burn counter — completions over the latency target
+plus terminal failures and deadline misses burn error budget;
+cancellations are client actions and burn nothing.
+
+:func:`build_slo_report` turns a
+:class:`~repro.observability.metrics.MetricsSnapshot` into the
+``repro slo`` report: per-tenant and per-handle p50/p95/p99 estimates
+(:func:`~repro.observability.metrics.bucket_quantile`), burn counts,
+and the burn-rate verdict against the configured objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.observability.metrics import exponential_bounds
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.metrics import MetricsSnapshot
+
+__all__ = [
+    "SERVING_LATENCY_BOUNDS",
+    "SLOConfig",
+    "SLOEntry",
+    "SLOReport",
+    "build_slo_report",
+]
+
+#: Bucket layout of the serving latency histograms: powers of two from
+#: 10µs to ~84s.  Finer than the default metric bounds so quantile
+#: estimates stay non-degenerate across a mixed query workload.
+SERVING_LATENCY_BOUNDS = exponential_bounds(start=1e-5, factor=2.0, count=24)
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Latency objective for served queries.
+
+    Attributes:
+        target_seconds: End-to-end simulated-latency target; a completed
+            query slower than this burns error budget.
+        objective: Fraction of settled queries that must meet the target
+            (e.g. 0.99 → a 1% error budget).
+        per_tenant: ``(tenant, target_seconds)`` overrides.
+    """
+
+    target_seconds: float = 1.0
+    objective: float = 0.99
+    per_tenant: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.target_seconds <= 0:
+            raise ValueError(
+                f"SLO target must be positive, got {self.target_seconds}"
+            )
+        if not 0.0 < self.objective <= 1.0:
+            raise ValueError(
+                f"SLO objective must be in (0, 1], got {self.objective}"
+            )
+
+    def target_for(self, tenant: str) -> float:
+        for name, target in self.per_tenant:
+            if name == tenant:
+                return target
+        return self.target_seconds
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+
+@dataclass(frozen=True)
+class SLOEntry:
+    """One tenant's (or handle's) latency/burn accounting."""
+
+    #: ``tenant`` or ``handle``.
+    scope: str
+    name: str
+    target_seconds: float
+    objective: float
+    #: Queries that completed successfully (latency samples).
+    completed: int
+    #: Settled queries that burned error budget (slow + failed +
+    #: deadline-missed; cancellations excluded).
+    burned: int
+    #: All settled queries considered for the burn rate.
+    considered: int
+    p50: float
+    p95: float
+    p99: float
+
+    @property
+    def burn_rate(self) -> float:
+        if self.considered <= 0:
+            return 0.0
+        return self.burned / self.considered
+
+    @property
+    def ok(self) -> bool:
+        return self.burn_rate <= (1.0 - self.objective) + 1e-12
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "scope": self.scope,
+            "name": self.name,
+            "target_seconds": self.target_seconds,
+            "objective": self.objective,
+            "completed": self.completed,
+            "burned": self.burned,
+            "considered": self.considered,
+            "burn_rate": self.burn_rate,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "ok": self.ok,
+        }
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """The ``repro slo`` report: per-tenant and per-handle entries."""
+
+    config: SLOConfig
+    tenants: tuple[SLOEntry, ...]
+    handles: tuple[SLOEntry, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(entry.ok for entry in self.tenants + self.handles)
+
+    def tenant(self, name: str) -> SLOEntry | None:
+        for entry in self.tenants:
+            if entry.name == name:
+                return entry
+        return None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "target_seconds": self.config.target_seconds,
+            "objective": self.config.objective,
+            "ok": self.ok,
+            "tenants": [entry.as_dict() for entry in self.tenants],
+            "handles": [entry.as_dict() for entry in self.handles],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"SLO: target {self.config.target_seconds:g}s simulated, "
+            f"objective {self.config.objective:.2%} "
+            f"(error budget {self.config.error_budget:.2%})"
+        ]
+        for scope, entries in (("tenant", self.tenants), ("handle", self.handles)):
+            for entry in entries:
+                verdict = "ok" if entry.ok else "BURNING"
+                lines.append(
+                    f"  {scope} {entry.name}: p50={entry.p50 * 1e3:.3f}ms "
+                    f"p95={entry.p95 * 1e3:.3f}ms p99={entry.p99 * 1e3:.3f}ms "
+                    f"({entry.completed} completed); burn "
+                    f"{entry.burned}/{entry.considered} "
+                    f"({entry.burn_rate:.2%}) -> {verdict}"
+                )
+        if len(lines) == 1:
+            lines.append("  no settled queries observed")
+        return "\n".join(lines)
+
+
+def _entries(
+    snapshot: "MetricsSnapshot",
+    config: SLOConfig,
+    scope: str,
+    latency_metric: str,
+    considered_by_name: dict[str, int],
+) -> tuple[SLOEntry, ...]:
+    entries = []
+    for sample in snapshot.find(latency_metric):
+        name = sample.labels.get(scope)
+        if name is None:
+            continue
+        completed = sample.count
+        burned = int(
+            snapshot.value("serving_slo_miss", **{scope: name})
+        )
+        considered = considered_by_name.get(name, completed)
+        entries.append(
+            SLOEntry(
+                scope=scope,
+                name=name,
+                target_seconds=(
+                    config.target_for(name) if scope == "tenant"
+                    else config.target_seconds
+                ),
+                objective=config.objective,
+                completed=completed,
+                burned=burned,
+                considered=max(considered, completed),
+                p50=sample.quantile(0.50),
+                p95=sample.quantile(0.95),
+                p99=sample.quantile(0.99),
+            )
+        )
+    return tuple(sorted(entries, key=lambda e: e.name))
+
+
+def build_slo_report(
+    snapshot: "MetricsSnapshot", config: SLOConfig | None = None
+) -> SLOReport:
+    """Assemble the SLO report from one serving metrics snapshot.
+
+    The burn denominator per tenant is every settled query the SLO
+    speaks about: completed + failed + deadline-missed (shed/rejected
+    never ran; cancelled is a client action).
+    """
+    config = config if config is not None else SLOConfig()
+    considered: dict[str, int] = {}
+    for metric in (
+        "serving_completed",
+        "serving_failed",
+        "serving_deadline_missed",
+    ):
+        for name, value in snapshot.by_label(metric, "tenant").items():
+            considered[name] = considered.get(name, 0) + int(value)
+    handle_considered = {
+        name: int(value)
+        for name, value in snapshot.by_label(
+            "serving_handle_settled", "handle"
+        ).items()
+    }
+    return SLOReport(
+        config=config,
+        tenants=_entries(
+            snapshot, config, "tenant", "serving_latency_seconds", considered
+        ),
+        handles=_entries(
+            snapshot,
+            config,
+            "handle",
+            "serving_handle_latency_seconds",
+            handle_considered,
+        ),
+    )

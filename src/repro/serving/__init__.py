@@ -8,7 +8,12 @@ admission bound.  See ``docs/serving.md``.
 """
 
 from repro.serving.lifecycle import BreakerConfig, CircuitBreaker
-from repro.serving.registry import PlanRegistry, PreparedPlan, SchemaContract
+from repro.serving.registry import (
+    HandleStats,
+    PlanRegistry,
+    PreparedPlan,
+    SchemaContract,
+)
 from repro.serving.scheduler import (
     FairShare,
     QueryTask,
@@ -22,12 +27,19 @@ from repro.serving.server import (
     Server,
     TenantAccount,
 )
-from repro.serving.soak import SoakConfig, SoakReport, run_soak, throughput_probe
+from repro.serving.soak import (
+    SoakConfig,
+    SoakReport,
+    export_soak_artifacts,
+    run_soak,
+    throughput_probe,
+)
 
 __all__ = [
     "BreakerConfig",
     "CircuitBreaker",
     "FairShare",
+    "HandleStats",
     "PlanRegistry",
     "PreparedPlan",
     "QueryFuture",
@@ -41,6 +53,7 @@ __all__ = [
     "SoakReport",
     "TenantAccount",
     "WorkStealingScheduler",
+    "export_soak_artifacts",
     "run_soak",
     "throughput_probe",
 ]

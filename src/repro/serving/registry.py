@@ -33,9 +33,10 @@ from repro.types.tuples import TupleType
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mpi.cluster import SimCluster
+    from repro.observability.tracing import QueryJournal
     from repro.serving.lifecycle import CircuitBreaker
 
-__all__ = ["SchemaContract", "PreparedPlan", "PlanRegistry"]
+__all__ = ["HandleStats", "SchemaContract", "PreparedPlan", "PlanRegistry"]
 
 
 def _scan_nodes(plan: LogicalPlan):
@@ -135,6 +136,69 @@ class PreparedPlan:
         )
 
 
+class HandleStats:
+    """Accumulated observed behaviour of one prepared-plan handle.
+
+    Fed one settled :class:`~repro.observability.tracing.QueryJournal`
+    at a time by the server; this is the per-handle record a future
+    feedback-driven re-optimizer (ROADMAP item 2) reads — how often the
+    plan runs, how long it takes end to end, how many attempts and
+    morsel steps it burns, and how it fails.
+    """
+
+    __slots__ = (
+        "handle", "terminals", "attempts", "steps",
+        "simulated_seconds", "latency",
+    )
+
+    def __init__(self, handle: str) -> None:
+        from repro.observability.metrics import Histogram
+        from repro.observability.slo import SERVING_LATENCY_BOUNDS
+
+        self.handle = handle
+        #: terminal state -> count (completed/cancelled/…/shed/rejected).
+        self.terminals: dict[str, int] = {}
+        self.attempts = 0
+        self.steps = 0
+        #: Simulated seconds of *completed* runs (end to end, retries in).
+        self.simulated_seconds = 0.0
+        #: Latency distribution of completed runs.
+        self.latency = Histogram(SERVING_LATENCY_BOUNDS)
+
+    @property
+    def runs(self) -> int:
+        return self.terminals.get("completed", 0)
+
+    def observe(self, journal: "QueryJournal") -> None:
+        self.terminals[journal.terminal] = (
+            self.terminals.get(journal.terminal, 0) + 1
+        )
+        self.attempts += journal.attempts
+        self.steps += journal.steps
+        if journal.terminal == "completed":
+            self.simulated_seconds += journal.total_seconds
+            self.latency.observe(journal.total_seconds)
+
+    def as_dict(self) -> dict:
+        return {
+            "handle": self.handle,
+            "terminals": dict(sorted(self.terminals.items())),
+            "runs": self.runs,
+            "attempts": self.attempts,
+            "steps": self.steps,
+            "simulated_seconds": self.simulated_seconds,
+            "latency_p50": self.latency.quantile(0.50),
+            "latency_p95": self.latency.quantile(0.95),
+            "latency_p99": self.latency.quantile(0.99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HandleStats({self.handle!r}, runs={self.runs}, "
+            f"attempts={self.attempts})"
+        )
+
+
 class PlanRegistry:
     """Thread-safe store of deployed plans, versioned by name.
 
@@ -149,6 +213,7 @@ class PlanRegistry:
         self._versions = itertools.count(1)
         self._latest: dict[str, str] = {}
         self._breakers: dict[str, "CircuitBreaker"] = {}
+        self._stats: dict[str, HandleStats] = {}
 
     def deploy(
         self,
@@ -243,3 +308,34 @@ class PlanRegistry:
     def handles(self) -> list[str]:
         with self._lock:
             return sorted(self._plans)
+
+    # -- observed-behaviour aggregation -------------------------------------
+
+    def observe_journal(self, journal: "QueryJournal") -> None:
+        """Fold one settled query journal into its handle's statistics.
+
+        The server calls this at every settlement (all terminal states,
+        including shed/rejected submissions that never ran), so the
+        per-handle record reflects demand as well as execution.
+        """
+        if not journal.terminal:
+            raise ValueError(
+                f"journal {journal.trace_id} is not settled; refusing to "
+                f"aggregate an in-flight record"
+            )
+        with self._lock:
+            stats = self._stats.get(journal.handle)
+            if stats is None:
+                stats = self._stats[journal.handle] = HandleStats(journal.handle)
+            stats.observe(journal)
+
+    def stats_for(self, handle: str) -> HandleStats | None:
+        """Accumulated serving statistics of one handle (``None`` if the
+        handle never settled a submission)."""
+        resolved = self.get(handle).handle
+        with self._lock:
+            return self._stats.get(resolved)
+
+    def stats(self) -> dict[str, HandleStats]:
+        with self._lock:
+            return dict(self._stats)

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterator
@@ -111,6 +112,14 @@ class QueryTask:
     #: Cooperative-cancellation flag, shared across retry attempts of the
     #: same query so a cancel lands no matter which attempt is running.
     cancel: threading.Event = field(default_factory=threading.Event)
+    #: The attempt's :class:`~repro.observability.tracing.TraceContext`
+    #: (``None`` when the server runs untraced); every scheduler event
+    #: of this task carries its trace id.
+    trace: Any = None
+    #: Wall-clock instant the first morsel of this attempt was scheduled
+    #: (0.0 until then); the server derives journal queue-wait from it.
+    #: Informational only — never an input to lifecycle decisions.
+    started_wall: float = 0.0
     result: Any = None
     error: BaseException | None = None
     done: bool = False
@@ -144,6 +153,10 @@ class SchedulerEvent:
     label: str
     steps: int
     stolen: bool
+    #: Causal link to the query (and attempt) this quantum advanced;
+    #: empty when the server runs untraced.
+    trace_id: str = ""
+    span_id: str = ""
 
 
 class WorkStealingScheduler:
@@ -335,6 +348,8 @@ class WorkStealingScheduler:
 
     def _run_quantum(self, worker_id: int, task: QueryTask, stolen: bool) -> None:
         """Advance one task by up to ``quantum`` morsel steps."""
+        if task.started_wall == 0.0:
+            task.started_wall = time.perf_counter()
         steps = 0
         try:
             for _ in range(self.quantum):
@@ -371,6 +386,8 @@ class WorkStealingScheduler:
                     label=task.label,
                     steps=steps,
                     stolen=stolen,
+                    trace_id=task.trace.trace_id if task.trace is not None else "",
+                    span_id=task.trace.span_id if task.trace is not None else "",
                 )
             )
         if self.metrics is not None:

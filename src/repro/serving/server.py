@@ -46,6 +46,7 @@ import dataclasses
 import itertools
 import math
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -64,6 +65,8 @@ from repro.faults.policy import RetryPolicy, is_retryable
 from repro.mpi.trace import TraceEvent
 from repro.observability.events import DRIVER_RANK, LifecycleDetail
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.slo import SERVING_LATENCY_BOUNDS, SLOConfig
+from repro.observability.tracing import QueryJournal, TraceContext, stamp_report
 from repro.serving.lifecycle import BREAKER_STATE_CODES, BreakerConfig
 from repro.serving.registry import PlanRegistry, PreparedPlan
 from repro.serving.scheduler import QueryTask, WorkStealingScheduler
@@ -96,6 +99,9 @@ class QueryOutcome:
     last_seq: int
     #: Server-level attempts this query took (1 = no retries needed).
     attempts: int = 1
+    #: The query's audit journal (submit → admit → attempt(s) → settle)
+    #: with causal span links; ``None`` when the server runs untraced.
+    journal: QueryJournal | None = None
 
 
 class QueryFuture:
@@ -281,6 +287,8 @@ class Server:
         breaker: BreakerConfig | None = None,
         shed_threshold: float = 1.0,
         start: bool = True,
+        slo: SLOConfig | None = None,
+        tracing: bool = True,
     ) -> None:
         """Args beyond the obvious:
 
@@ -304,6 +312,17 @@ class Server:
                 and call :meth:`start` later to make submission-time
                 decisions (shedding) independent of execution timing —
                 the soak harness does this for exact replayability.
+            slo: Latency objectives to account against.  When set,
+                completed queries slower than their tenant's target — and
+                every failed or deadline-missed query — burn the error
+                budget (``serving_slo_miss``); :func:`repro.observability
+                .slo.build_slo_report` turns the snapshot into a report.
+                Latency histograms are recorded whether or not an SLO is
+                armed.
+            tracing: Mint a :class:`TraceContext` and keep a
+                :class:`QueryJournal` per submission (the default).  Pass
+                ``False`` for an untraced server — the bench overhead
+                probe's baseline.
         """
         if max_pending < 1:
             raise ValueError(f"max_pending must be positive, got {max_pending}")
@@ -325,6 +344,16 @@ class Server:
         self._tenants: dict[str, TenantAccount] = {}
         self._tenants_lock = threading.Lock()
         self._query_ids = itertools.count(1)
+        self.slo = slo
+        self.tracing = tracing
+        #: Trace-id allocation counter; separate from ``_query_ids`` so
+        #: shed/rejected submissions (which never get a query id) still
+        #: get a resolvable trace.
+        self._submissions = itertools.count(1)
+        #: Every journal ever minted, in submission order.
+        self.journals: list[QueryJournal] = []
+        self._journals_by_trace: dict[str, QueryJournal] = {}
+        self._journal_lock = threading.Lock()
         self._closed = False
         #: Unsettled futures by query id (for :meth:`cancel`).
         self._inflight: dict[int, QueryFuture] = {}
@@ -446,6 +475,29 @@ class Server:
         account = self.tenant(tenant)
         prepared = self.registry.get(handle)
         account.note_submit()
+        trace: TraceContext | None = None
+        journal: QueryJournal | None = None
+        if self.tracing:
+            # Minted for *every* submission — shed and rejected queries
+            # get a trace and an audited fate too.  The trace id is keyed
+            # by a dedicated submission counter, not the query id, so
+            # query-id allocation is unchanged by tracing.
+            submission = next(self._submissions)
+            trace = TraceContext.for_query(submission)
+            journal = QueryJournal(
+                trace_id=trace.trace_id,
+                submission=submission,
+                tenant=tenant,
+                handle=prepared.handle,
+            )
+            journal._wall_start = time.perf_counter()
+            if deadline is not None:
+                journal.note("submitted", deadline=deadline)
+            else:
+                journal.note("submitted")
+            with self._journal_lock:
+                self.journals.append(journal)
+                self._journals_by_trace[trace.trace_id] = journal
         breaker = self.registry.breaker_for(
             prepared.handle,
             config=self.breaker_config,
@@ -467,7 +519,9 @@ class Server:
                 tenant=tenant,
                 handle=prepared.handle,
                 reason=exc.state,
+                trace=trace,
             )
+            self._settle_admission(journal, "rejected", f"breaker_{exc.state}")
             raise
         admitted = False
         try:
@@ -476,6 +530,7 @@ class Server:
                 account.reject()
                 with self._metrics_lock:
                     self.metrics.counter("serving_rejected", tenant=tenant).inc()
+                self._settle_admission(journal, "rejected", "max_pending")
                 raise AdmissionError(
                     f"admission control: {self.max_pending} queries already "
                     f"in flight; retry after a completion"
@@ -494,7 +549,9 @@ class Server:
                             f"in_flight={account.in_flight} >= "
                             f"entitlement={entitlement}"
                         ),
+                        trace=trace,
                     )
+                    self._settle_admission(journal, "shed", "overload_shed")
                     raise OverloadShedError(
                         f"overload shedding: {pending}/{self.max_pending} "
                         f"queries in flight and tenant {tenant!r} already "
@@ -507,6 +564,9 @@ class Server:
             run_options = options if options is not None else prepared.defaults
             query_id = next(self._query_ids)
             future = QueryFuture(query_id, tenant, prepared.handle, server=self)
+            if journal is not None:
+                journal.query_id = query_id
+                journal.note("admitted", query_id=query_id)
             # Build the first attempt before any bookkeeping: contract
             # check + lowering happen now, so submit() fails fast and the
             # scheduler only ever sees runnable work.
@@ -522,11 +582,14 @@ class Server:
                     carry_steps=0,
                     carry_first_seq=-1,
                     carry_elapsed=0.0,
+                    trace=trace,
+                    journal=journal,
                 )
-            except BaseException:
+            except BaseException as exc:
                 # Keeps the ledger conservation invariant: every
                 # submission files into exactly one outcome bucket.
                 account.reject()
+                self._settle_admission(journal, "rejected", type(exc).__name__)
                 raise
             account.admit()
             with self._inflight_lock:
@@ -601,6 +664,8 @@ class Server:
         carry_steps: int,
         carry_first_seq: int,
         carry_elapsed: float,
+        trace: TraceContext | None = None,
+        journal: QueryJournal | None = None,
     ) -> QueryTask:
         """One scheduler attempt of one query (retries re-enter here).
 
@@ -608,16 +673,41 @@ class Server:
         clock is pre-advanced by ``carry_elapsed`` — the previous
         attempts' elapsed time plus the retry backoff — so deadlines and
         ``simulated_seconds`` ledger entries span the whole retry chain.
+
+        Each attempt executes under its own child span of the query's
+        trace (``<trace>/aN``); the attempt span rides the execution
+        context into the substrate, where rank spans (``<trace>/aN/rM``)
+        are stamped onto the attempt's events at settlement.
         """
         opts = self._attempt_options(base_options, attempt)
         lowered = prepared.instantiate(self.catalog, self.cluster, opts)
         ctx = ExecutionContext.from_options(opts)
+        attempt_trace = trace.for_attempt(attempt) if trace is not None else None
+        ctx.trace = attempt_trace
         if carry_elapsed:
             ctx.clock.advance(carry_elapsed)
+        if journal is not None:
+            journal.note(
+                "attempt_started",
+                span_id=attempt_trace.span_id,
+                attempt=attempt,
+                sim_time=carry_elapsed,
+                carry_steps=carry_steps,
+            )
         tenant = account.name
         query_id = future.query_id
 
         def on_done(task: QueryTask, result, error: BaseException | None) -> None:
+            if (
+                journal is not None
+                and journal.queue_wall_seconds == 0.0
+                and task.started_wall
+            ):
+                # Wall-clock admission-to-first-morsel wait, captured at
+                # the first settlement that saw the task scheduled.
+                journal.queue_wall_seconds = max(
+                    0.0, task.started_wall - journal._wall_start
+                )
             if error is None:
                 try:
                     outcome = QueryOutcome(
@@ -630,19 +720,72 @@ class Server:
                         first_seq=task.first_seq,
                         last_seq=task.last_seq,
                         attempts=task.attempt,
+                        journal=journal,
                     )
                 except BaseException as exc:  # noqa: BLE001 - via future
                     self._finalize_failure(task, exc, account, breaker, future)
                     return
                 breaker.record_success()
                 account.settle(task.steps_done, result.simulated_time)
+                latency = result.simulated_time
                 with self._metrics_lock:
                     self.metrics.counter(
                         "serving_simulated_millis", tenant=tenant
                     ).add(int(result.simulated_time * 1000))
+                    self.metrics.histogram(
+                        "serving_latency_seconds",
+                        SERVING_LATENCY_BOUNDS,
+                        tenant=tenant,
+                    ).observe(latency)
+                    self.metrics.histogram(
+                        "serving_handle_latency_seconds",
+                        SERVING_LATENCY_BOUNDS,
+                        handle=prepared.handle,
+                    ).observe(latency)
+                    self.metrics.counter(
+                        "serving_handle_settled", handle=prepared.handle
+                    ).inc()
+                    if self.slo is not None and latency > self.slo.target_for(
+                        tenant
+                    ):
+                        self.metrics.counter(
+                            "serving_slo_miss", tenant=tenant
+                        ).inc()
+                        self.metrics.counter(
+                            "serving_slo_miss", handle=prepared.handle
+                        ).inc()
                     self.metrics.gauge(
                         "serving_in_flight", tenant=tenant
                     ).add(-1)
+                if attempt_trace is not None:
+                    # Post-hoc causal stamping: the execution hot path ran
+                    # cold; the surviving attempt's spans, substrate
+                    # events, and recovery log are linked to the query
+                    # here, once, at settlement.
+                    stamp_report(result, attempt_trace)
+                if journal is not None:
+                    journal.note(
+                        "attempt_finished",
+                        span_id=attempt_trace.span_id,
+                        attempt=task.attempt,
+                        sim_time=result.simulated_time,
+                        steps=task.steps_done,
+                        rows=len(result.rows),
+                    )
+                    journal.first_seq = task.first_seq
+                    journal.last_seq = task.last_seq
+                    journal.settle(
+                        "completed",
+                        span_id=attempt_trace.span_id,
+                        attempt=task.attempt,
+                        sim_time=result.simulated_time,
+                        steps=task.steps_done,
+                        result_rows=len(result.rows),
+                    )
+                    journal.wall_seconds = (
+                        time.perf_counter() - journal._wall_start
+                    )
+                    self.registry.observe_journal(journal)
                 self._forget(query_id)
                 future._resolve(outcome, None)
                 return
@@ -654,6 +797,7 @@ class Server:
                 and task.attempt < retry.max_attempts
                 and not task.cancel.is_set()
             ):
+                backoff = retry.backoff(task.attempt)
                 account.record_retry()
                 with self._metrics_lock:
                     self.metrics.counter("serving_retries", tenant=tenant).inc()
@@ -665,7 +809,18 @@ class Server:
                     attempt=task.attempt,
                     reason=type(error).__name__,
                     at=task.elapsed(),
+                    trace=attempt_trace,
                 )
+                if journal is not None:
+                    journal.record_backoff(backoff)
+                    journal.note(
+                        "retry_scheduled",
+                        span_id=attempt_trace.span_id if attempt_trace else "",
+                        attempt=task.attempt,
+                        sim_time=task.elapsed(),
+                        backoff=backoff,
+                        reason=type(error).__name__,
+                    )
                 try:
                     next_task = self._make_attempt(
                         prepared,
@@ -677,8 +832,9 @@ class Server:
                         attempt=task.attempt + 1,
                         carry_steps=task.steps_done,
                         carry_first_seq=task.first_seq,
-                        carry_elapsed=task.elapsed()
-                        + retry.backoff(task.attempt),
+                        carry_elapsed=task.elapsed() + backoff,
+                        trace=trace,
+                        journal=journal,
                     )
                     self.scheduler.submit(next_task)
                 except BaseException as exc:  # noqa: BLE001 - via future
@@ -708,6 +864,7 @@ class Server:
             sim_now=lambda: ctx.clock.now,
             attempt=attempt,
             cancel=future._cancel,
+            trace=attempt_trace,
         )
 
     def _finalize_failure(
@@ -736,6 +893,20 @@ class Server:
         account.settle_failure(kind, task.steps_done)
         with self._metrics_lock:
             self.metrics.counter(metric, tenant=account.name).inc()
+            if kind in ("failed", "deadline_missed"):
+                # Failures and deadline misses burn the error budget and
+                # count toward the handle's settled denominator even
+                # though they contribute no latency sample.
+                self.metrics.counter(
+                    "serving_handle_settled", handle=task.label
+                ).inc()
+                if self.slo is not None:
+                    self.metrics.counter(
+                        "serving_slo_miss", tenant=account.name
+                    ).inc()
+                    self.metrics.counter(
+                        "serving_slo_miss", handle=task.label
+                    ).inc()
             self.metrics.gauge("serving_in_flight", tenant=account.name).add(-1)
         self._record_lifecycle(
             kind,
@@ -745,7 +916,25 @@ class Server:
             attempt=task.attempt,
             reason=type(error).__name__,
             at=task.elapsed(),
+            trace=task.trace,
         )
+        journal = None
+        if task.trace is not None:
+            with self._journal_lock:
+                journal = self._journals_by_trace.get(task.trace.trace_id)
+        if journal is not None and not journal.settled:
+            journal.first_seq = task.first_seq
+            journal.last_seq = task.last_seq
+            journal.settle(
+                kind,
+                span_id=task.trace.span_id,
+                attempt=task.attempt,
+                sim_time=task.elapsed(),
+                steps=task.steps_done,
+                reason=type(error).__name__,
+            )
+            journal.wall_seconds = time.perf_counter() - journal._wall_start
+            self.registry.observe_journal(journal)
         self._forget(task.query_id)
         future._resolve(None, error)
 
@@ -761,6 +950,17 @@ class Server:
             )
         self._record_lifecycle(transition, handle=handle, reason=f"{old}->{new}")
 
+    def _settle_admission(
+        self, journal: QueryJournal | None, terminal: str, reason: str
+    ) -> None:
+        """Settle a journal for a submission that never reached the
+        scheduler (shed / rejected / failed instantiation)."""
+        if journal is None or journal.settled:
+            return
+        journal.settle(terminal, reason=reason)
+        journal.wall_seconds = time.perf_counter() - journal._wall_start
+        self.registry.observe_journal(journal)
+
     def _record_lifecycle(
         self,
         transition: str,
@@ -770,6 +970,7 @@ class Server:
         attempt: int = 0,
         reason: str = "",
         at: float = 0.0,
+        trace: TraceContext | None = None,
     ) -> None:
         event = TraceEvent(
             rank=DRIVER_RANK,
@@ -777,6 +978,9 @@ class Server:
             label=transition,
             start=at,
             end=at,
+            trace_id=trace.trace_id if trace is not None else "",
+            span_id=trace.span_id if trace is not None else "",
+            parent_span_id=trace.parent_span_id if trace is not None else "",
             detail=LifecycleDetail(
                 transition=transition,
                 query_id=query_id,
@@ -794,6 +998,17 @@ class Server:
     def snapshot(self):
         """Point-in-time snapshot of the serving metrics registry."""
         return self.metrics.snapshot()
+
+    def journal_for(self, trace_id: str) -> QueryJournal | None:
+        """The journal minted for one trace id (``None`` if unknown)."""
+        with self._journal_lock:
+            return self._journals_by_trace.get(trace_id)
+
+    def slo_report(self):
+        """SLO accounting over the current snapshot (armed or not)."""
+        from repro.observability.slo import build_slo_report
+
+        return build_slo_report(self.snapshot(), self.slo)
 
 
 class QuerySession:

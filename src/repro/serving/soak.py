@@ -37,9 +37,11 @@ Chaos profiles (:data:`CHAOS_PROFILES`):
 
 from __future__ import annotations
 
+import json
 import time
 import warnings
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.bench.experiments.fig9 import frames_match
 from repro.core.options import RunOptions
@@ -50,9 +52,16 @@ from repro.errors import (
 )
 from repro.faults.policy import FaultPolicy, RetryPolicy
 from repro.mpi.cluster import SimCluster
+from repro.observability.slo import SLOConfig, SLOReport
 from repro.serving.lifecycle import BreakerConfig
 from repro.serving.server import QueryOutcome, Server
 from repro.tpch import ALL_QUERIES, load_catalog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.executor import ExecutionReport
+    from repro.mpi.trace import TraceEvent
+    from repro.observability.tracing import QueryJournal
+    from repro.serving.scheduler import SchedulerEvent
 
 __all__ = [
     "CHAOS_PROFILES",
@@ -64,6 +73,7 @@ __all__ = [
     "chaos_matrix",
     "breaker_scenario",
     "throughput_probe",
+    "export_soak_artifacts",
 ]
 
 #: The mixed workload: the four TPC-H queries the reproduction serves.
@@ -122,6 +132,17 @@ class SoakConfig:
     #: Run the serial baseline and compare frames.  The replay sweep
     #: turns this off: it only asserts lifecycle determinism.
     verify_frames: bool = True
+    #: Arm full tracing: substrate event traces (``SimCluster(trace=)``)
+    #: plus per-query operator profiles, so the soak report carries the
+    #: inputs of :func:`export_soak_artifacts` (merged Chrome trace and
+    #: journal JSON).  Journals themselves are always kept.
+    trace: bool = False
+    #: Per-query latency SLO target in simulated seconds (``None``
+    #: disables SLO burn accounting; the latency histograms record
+    #: either way).
+    slo_target: float | None = None
+    #: SLO objective (fraction of queries that must meet the target).
+    slo_objective: float = 0.99
 
     def __post_init__(self) -> None:
         chaos = self.chaos
@@ -182,6 +203,17 @@ class SoakReport:
     ledger_counts: dict[str, dict[str, int]] = field(default_factory=dict)
     #: ``serving_*`` metric name → tenant → value, for reconciliation.
     metric_counts: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: One journal per submission, in submission order.
+    journals: tuple["QueryJournal", ...] = ()
+    #: The scheduler's quantum trace (with per-quantum trace ids).
+    scheduler_events: tuple["SchedulerEvent", ...] = ()
+    #: The server's lifecycle transitions.
+    lifecycle_events: tuple["TraceEvent", ...] = ()
+    #: trace id → completed query's execution report (only populated
+    #: when the soak ran with ``trace=True``).
+    reports_by_trace: dict[str, "ExecutionReport"] = field(default_factory=dict)
+    #: SLO accounting (only when ``slo_target`` was set).
+    slo: SLOReport | None = None
 
     @property
     def bit_identical(self) -> bool:
@@ -257,6 +289,58 @@ class SoakReport:
                 )
         return errors
 
+    def journal_errors(self) -> list[str]:
+        """Journal ↔ ledger cross-checks; empty = every submission has
+        exactly one settled, terminal-consistent journal.
+
+        Per tenant, the count of journals settled into each terminal
+        state must equal the corresponding ledger bucket — the journal
+        set and the ledger are two independent records of the same
+        lifecycle decisions.
+        """
+        errors: list[str] = []
+        if not self.journals:
+            return errors
+        trace_ids = [j.trace_id for j in self.journals]
+        if len(set(trace_ids)) != len(trace_ids):
+            errors.append("duplicate trace ids across journals")
+        submitted_total = sum(
+            counts["submitted"] for counts in self.ledger_counts.values()
+        )
+        if len(self.journals) != submitted_total:
+            errors.append(
+                f"{len(self.journals)} journals != {submitted_total} ledger "
+                f"submissions"
+            )
+        bucket_of = {
+            "completed": "queries",
+            "cancelled": "cancelled",
+            "deadline_missed": "deadline_missed",
+            "failed": "failed",
+            "shed": "shed",
+            "rejected": "rejected",
+        }
+        observed: dict[str, dict[str, int]] = {}
+        for journal in self.journals:
+            if not journal.terminal:
+                errors.append(f"journal {journal.trace_id} never settled")
+                continue
+            tenant_counts = observed.setdefault(journal.tenant, {})
+            tenant_counts[journal.terminal] = (
+                tenant_counts.get(journal.terminal, 0) + 1
+            )
+        for tenant, counts in sorted(self.ledger_counts.items()):
+            journal_counts = observed.get(tenant, {})
+            for terminal, bucket in bucket_of.items():
+                expected = counts[bucket]
+                got = journal_counts.get(terminal, 0)
+                if expected != got:
+                    errors.append(
+                        f"{tenant}: {got} journals settled {terminal!r} != "
+                        f"ledger {bucket}={expected}"
+                    )
+        return errors
+
     def render(self) -> str:
         lines = [
             f"serving soak: {self.config.n_queries} queries "
@@ -283,6 +367,13 @@ class SoakReport:
             "  ledger reconciliation: "
             + ("exact" if not reconciliation else f"BROKEN {reconciliation}")
         )
+        if self.journals:
+            journal_issues = self.journal_errors()
+            lines.append(
+                f"  journals: {len(self.journals)} "
+                + ("reconciled" if not journal_issues
+                   else f"BROKEN {journal_issues}")
+            )
         for tenant in sorted(self.shares):
             observed, entitled = self.shares[tenant]
             settled, serial = self.ledgers[tenant]
@@ -292,6 +383,8 @@ class SoakReport:
                 f"(entitled {entitled:.0%}){starved}; "
                 f"simulated {settled:.6f}s vs serial {serial:.6f}s"
             )
+        if self.slo is not None:
+            lines.append("  " + self.slo.render().replace("\n", "\n  "))
         return "\n".join(lines)
 
 
@@ -340,18 +433,26 @@ def run_soak(config: SoakConfig = SoakConfig()) -> SoakReport:
     """
     profile = str(config.chaos)
     catalog = load_catalog(config.scale_factor, seed=config.seed)
-    cluster = SimCluster(config.machines, seed=config.seed)
+    cluster = SimCluster(config.machines, seed=config.seed, trace=config.trace)
     faults = _chaos_policy(profile, config.seed)
-    options = RunOptions(metrics=True, faults=faults)
+    options = RunOptions(metrics=True, faults=faults, profile=config.trace)
     # The serial reference must complete on its own: the flaky profile
     # has no substrate budget left, so its reference runs fault-free
-    # (frames are fault-independent; only simulated time differs).
-    reference_options = (
-        RunOptions(metrics=True) if profile == "flaky" else options
+    # (frames are fault-independent; only simulated time differs).  It
+    # also skips profiling — artifacts record the concurrent run only.
+    reference_options = RunOptions(
+        metrics=True, faults=None if profile == "flaky" else faults
     )
     plan = _assignments(config)
     retry = (
         RetryPolicy(max_attempts=config.retries + 1) if config.retries else None
+    )
+    slo = (
+        SLOConfig(
+            target_seconds=config.slo_target, objective=config.slo_objective
+        )
+        if config.slo_target is not None
+        else None
     )
 
     with Server(
@@ -367,6 +468,7 @@ def run_soak(config: SoakConfig = SoakConfig()) -> SoakReport:
         retry=retry,
         shed_threshold=config.shed_threshold,
         start=False,
+        slo=slo,
     ) as server:
         for tenant, weight in config.tenants:
             server.register_tenant(tenant, weight)
@@ -525,6 +627,19 @@ def run_soak(config: SoakConfig = SoakConfig()) -> SoakReport:
                 "serving_in_flight",
             )
         }
+        journals = tuple(server.journals)
+        scheduler_events = tuple(server.scheduler.trace or ())
+        lifecycle_events = tuple(server.lifecycle_events)
+        reports_by_trace = (
+            {
+                outcome.journal.trace_id: outcome.report
+                for _, outcome in outcomes
+                if outcome.journal is not None
+            }
+            if config.trace
+            else {}
+        )
+        slo_report = server.slo_report() if slo is not None else None
 
     return SoakReport(
         config=config,
@@ -538,6 +653,11 @@ def run_soak(config: SoakConfig = SoakConfig()) -> SoakReport:
         lifecycle={k: tuple(sorted(v)) for k, v in lifecycle.items()},
         ledger_counts=ledger_counts,
         metric_counts=metric_counts,
+        journals=journals,
+        scheduler_events=scheduler_events,
+        lifecycle_events=lifecycle_events,
+        reports_by_trace=reports_by_trace,
+        slo=slo_report,
     )
 
 
@@ -547,6 +667,7 @@ def chaos_matrix(
     n_queries: int = 8,
     seed: int = 2021,
     profiles: tuple[str, ...] = ("transient", "crash", "straggler", "flaky"),
+    trace: bool = False,
 ) -> dict[str, SoakReport]:
     """One soak per chaos profile: the serving robustness gauntlet.
 
@@ -554,6 +675,9 @@ def chaos_matrix(
     profile's surviving queries must stay bit-identical to serial and
     every ledger must reconcile exactly.  The flaky profile runs with
     two server-level retries (that is the failure mode it exercises).
+    Pass ``trace=True`` to arm full tracing on every profile, so the
+    matrix can export one merged Chrome trace via
+    :func:`export_soak_artifacts`.
     """
     reports: dict[str, SoakReport] = {}
     for profile in profiles:
@@ -564,9 +688,71 @@ def chaos_matrix(
             chaos=profile,
             seed=seed,
             retries=2 if profile == "flaky" else 0,
+            trace=trace,
         )
         reports[profile] = run_soak(config)
     return reports
+
+
+#: Pid stride between matrix profiles in a merged Chrome trace; one
+#: profile uses pids [base+1, base+10+n_queries], so 1000 never collides.
+_MATRIX_PID_STRIDE = 1000
+
+
+def export_soak_artifacts(
+    reports: "SoakReport | dict[str, SoakReport]",
+    chrome_out: str | None = None,
+    journal_out: str | None = None,
+) -> dict[str, int]:
+    """Write a soak's (or a whole matrix's) observability artifacts.
+
+    ``chrome_out`` gets one merged Chrome trace — per-tenant and
+    per-worker lanes plus one process per query (see
+    :func:`~repro.observability.chrome_trace.serving_trace_events`) —
+    with each matrix profile offset to its own pid range and labelled.
+    ``journal_out`` gets the journal JSON (non-canonical form, i.e.
+    including the informational wall-clock fields), keyed by profile
+    for a matrix.  Returns ``{"chrome_events": N, "journals": M}``.
+    """
+    from repro.observability.chrome_trace import serving_trace_events
+
+    named = reports if isinstance(reports, dict) else {"": reports}
+    chrome_events: list[dict] = []
+    journal_payload: dict[str, list[dict]] = {}
+    journal_count = 0
+    for index, (label, report) in enumerate(named.items()):
+        queries = [
+            (journal, report.reports_by_trace.get(journal.trace_id))
+            for journal in report.journals
+        ]
+        chrome_events.extend(
+            serving_trace_events(
+                queries,
+                scheduler_events=report.scheduler_events,
+                lifecycle_events=report.lifecycle_events,
+                pid_base=index * _MATRIX_PID_STRIDE,
+                label_prefix=label,
+            )
+        )
+        journal_payload[label] = [
+            journal.as_dict(canonical=False) for journal in report.journals
+        ]
+        journal_count += len(report.journals)
+    if chrome_out is not None:
+        with open(chrome_out, "w") as handle:
+            json.dump(
+                {"traceEvents": chrome_events, "displayTimeUnit": "ms"}, handle
+            )
+            handle.write("\n")
+    if journal_out is not None:
+        payload = (
+            journal_payload[""] if tuple(journal_payload) == ("",)
+            else journal_payload
+        )
+        with open(journal_out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    return {"chrome_events": len(chrome_events), "journals": journal_count}
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,7 @@ class TestSharedFormatOption:
             ["explain", "--query", "4", "--format", "json"],
             ["profile", "tpch", "--format", "json"],
             ["lint", "all", "--format", "json"],
+            ["slo", "--format", "json"],
         ),
     )
     def test_every_subcommand_accepts_format(self, argv):
@@ -187,6 +188,71 @@ class TestChaosJson:
         assert summary["soaks"] == len(payload["soaks"]) == 2
         assert summary["failures"] == payload["failures"] == 0
         assert summary["ok"] == 2
+
+
+class TestSloCommand:
+    def test_slo_text_reports_quantiles(self, capsys):
+        code = main(
+            ["slo", "--queries", "6", "--sf", "0.002", "--workers", "2",
+             "--target", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SLO: target 10s simulated" in out
+        assert "p50=" in out and "p99=" in out
+        assert "-> ok" in out
+
+    def test_slo_json_burns_on_tight_target(self, capsys):
+        code = main(
+            ["slo", "--queries", "6", "--sf", "0.002", "--workers", "2",
+             "--target", "1e-9", "--format", "json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["journal_errors"] == []
+        burned = sum(t["burned"] for t in payload["slo"]["tenants"])
+        assert burned == payload["queries"]
+
+
+class TestServeArtifacts:
+    def test_serve_exports_chrome_and_journals(self, tmp_path, capsys):
+        chrome = tmp_path / "trace.json"
+        journals = tmp_path / "journals.json"
+        code = main(
+            ["serve", "--queries", "4", "--sf", "0.002", "--workers", "2",
+             "--chrome-out", str(chrome), "--journal-out", str(journals),
+             "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["journal_errors"] == []
+        assert payload["artifacts"]["chrome_out"] == str(chrome)
+        trace = json.loads(chrome.read_text())
+        assert len(trace["traceEvents"]) == payload["artifacts"]["chrome_events"]
+        journal_list = json.loads(journals.read_text())
+        assert len(journal_list) == payload["artifacts"]["journals"]
+        assert all(j["terminal"] for j in journal_list)
+        assert all("wall_seconds" in j for j in journal_list)
+
+    def test_serve_matrix_merges_artifacts(self, tmp_path, capsys):
+        chrome = tmp_path / "matrix.json"
+        journals = tmp_path / "journals.json"
+        code = main(
+            ["serve", "--matrix", "--queries", "3", "--sf", "0.002",
+             "--chrome-out", str(chrome), "--journal-out", str(journals),
+             "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        trace = json.loads(chrome.read_text())
+        # Matrix profiles stack at distinct pid strides in one file.
+        assert {e["pid"] // 1000 for e in trace["traceEvents"]} >= {0, 1}
+        journal_map = json.loads(journals.read_text())
+        assert isinstance(journal_map, dict)
+        for profile, entries in journal_map.items():
+            assert entries, profile
 
 
 class TestBenchHistoryParser:

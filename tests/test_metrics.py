@@ -141,6 +141,146 @@ class TestSnapshotExport:
         assert "operator_rows_out" in snap.names()
 
 
+class TestPrometheusConformance:
+    """Text exposition format details prometheus scrapers depend on."""
+
+    def test_every_family_has_help_before_type(self):
+        text = self._full_snapshot().render_prometheus()
+        lines = text.splitlines()
+        seen_families = set()
+        for i, line in enumerate(lines):
+            if line.startswith("# TYPE "):
+                family = line.split()[2]
+                assert family not in seen_families, "duplicate TYPE line"
+                seen_families.add(family)
+                assert lines[i - 1].startswith(f"# HELP {family} "), (
+                    f"TYPE for {family} not directly preceded by its HELP"
+                )
+        assert seen_families
+
+    def test_known_metrics_get_curated_help(self):
+        from repro.observability.metrics import METRIC_HELP
+
+        reg = MetricsRegistry()
+        reg.counter("serving_submitted", tenant="t").inc()
+        text = reg.snapshot().render_prometheus()
+        assert (
+            f"# HELP repro_serving_submitted "
+            f"{METRIC_HELP['serving_submitted']}" in text
+        )
+
+    def test_unknown_metrics_get_fallback_help(self):
+        reg = MetricsRegistry()
+        reg.counter("bespoke_metric").inc()
+        text = reg.snapshot().render_prometheus()
+        assert "# HELP repro_bespoke_metric bespoke_metric recorded" in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("x", path='a\\b"c\nd').inc()
+        text = reg.snapshot().render_prometheus()
+        assert 'path="a\\\\b\\"c\\nd"' in text
+        # The raw (unescaped) forms never leak into the exposition.
+        assert 'path="a\\b"' not in text
+
+    def test_help_text_escapes_backslash_and_newline_only(self):
+        from unittest import mock
+
+        from repro.observability import metrics as metrics_mod
+
+        reg = MetricsRegistry()
+        reg.counter("weird").inc()
+        with mock.patch.dict(
+            metrics_mod.METRIC_HELP, {"weird": 'a\\b "quoted"\nrest'}
+        ):
+            text = reg.snapshot().render_prometheus()
+        assert '# HELP repro_weird a\\\\b "quoted"\\nrest' in text
+
+    def _full_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("serving_submitted", tenant="t").inc(3)
+        reg.counter("serving_completed", tenant="t").inc(2)
+        reg.gauge("rowvector_peak_bytes").set_max(64)
+        reg.histogram("comm_put_seconds", bounds=(1.0, 2.0)).observe(0.5)
+        reg.histogram(
+            "serving_latency_seconds", bounds=(0.1, 1.0), tenant="t"
+        ).observe(0.05)
+        return reg.snapshot()
+
+
+class TestBucketQuantile:
+    def test_empty_distribution_is_nan(self):
+        import math
+
+        h = Histogram(bounds=(1.0, 2.0))
+        assert math.isnan(h.quantile(0.5))
+
+    def test_overflow_clamps_to_highest_bound(self):
+        h = Histogram(bounds=(1.0, 2.0))
+        h.observe(100.0)
+        assert h.quantile(0.99) == 2.0
+
+    def test_quantile_bounds_validated(self):
+        h = Histogram(bounds=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_interpolates_within_bucket(self):
+        h = Histogram(bounds=(0.0, 10.0))
+        for _ in range(10):
+            h.observe(5.0)
+        # All mass in (0, 10]; the median interpolates to mid-bucket.
+        assert h.quantile(0.5) == pytest.approx(5.0)
+
+
+@pytest.mark.parametrize("q", [0.5, 0.95, 0.99])
+def test_quantile_matches_numpy_within_one_bucket(q):
+    """Property: bucketed quantiles land within one bucket of numpy's.
+
+    Driven by hypothesis over sample sets spanning the full bucket
+    range including overflow.  ``bucket_quantile`` picks the bucket
+    containing the inverted-CDF sample (the Prometheus rank convention,
+    numpy's ``method="inverted_cdf"``) and interpolates linearly inside
+    it, so the estimate may be off by at most the width of that bucket —
+    never more.  Overflow samples clamp to the highest finite bound.
+    """
+    import bisect
+
+    import numpy as np
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    bounds = exponential_bounds(start=1e-3, factor=2.0, count=12)
+
+    @given(
+        samples=st.lists(
+            st.floats(min_value=1e-4, max_value=10.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def check(samples):
+        h = Histogram(bounds)
+        for s in samples:
+            h.observe(s)
+        estimate = h.quantile(q)
+        exact = float(
+            np.percentile(samples, q * 100, method="inverted_cdf")
+        )
+        # The estimate interpolates inside the bucket holding the exact
+        # quantile sample (clamped into the finite range — overflow
+        # samples clamp to the last bound).
+        clamped = min(exact, bounds[-1])
+        idx = min(bisect.bisect_left(bounds, clamped), len(bounds) - 1)
+        lower = bounds[idx - 1] if idx else 0.0
+        width = bounds[idx] - lower
+        assert abs(estimate - clamped) <= width + 1e-12
+
+    check()
+
+
 def _run_q(catalog, qnum, machines=4, mode="fused", **kwargs):
     cluster = SimCluster(machines, trace=True)
     lowered = lower_to_modularis(ALL_QUERIES[qnum]().plan, catalog, cluster)

@@ -15,8 +15,10 @@ class TestClusterTrace:
     def test_record_and_query(self):
         trace = ClusterTrace(2)
         trace.record(TraceEvent(0, "put", "put->1", 0.0, 1.0,
-                                {"target": 1, "rows": 4, "bytes": 64}))
-        trace.record(TraceEvent(1, "collective", "barrier", 0.0, 2.0, {"stall": 1.5}))
+                                detail={"target": 1, "rows": 4, "bytes": 64}))
+        trace.record(
+            TraceEvent(1, "collective", "barrier", 0.0, 2.0, detail={"stall": 1.5})
+        )
         assert len(trace.events()) == 2
         assert len(trace.events(rank=0)) == 1
         assert len(trace.events(kind="collective")) == 1
@@ -26,7 +28,7 @@ class TestClusterTrace:
     def test_self_put_excluded_from_network_bytes(self):
         trace = ClusterTrace(2)
         trace.record(TraceEvent(0, "put", "put->0", 0.0, 1.0,
-                                {"target": 0, "rows": 4, "bytes": 64}))
+                                detail={"target": 0, "rows": 4, "bytes": 64}))
         assert trace.network_bytes() == 0
         assert trace.bytes_matrix()[0][0] == 64
 

@@ -151,3 +151,79 @@ class TestChromeExport:
         }
         assert substrate_tids == {0}
         assert 0 not in operator_tids
+
+    def test_dropped_spans_surface_as_metadata(self):
+        report = run_traced_join()
+        profile = report.profile
+        assert not any(
+            e["name"] == "dropped_spans"
+            for e in chrome_trace_events(profile=profile)
+            if e.get("ph") == "M"
+        )
+        object.__setattr__(profile, "dropped_spans", 42)
+        dropped = [
+            e for e in chrome_trace_events(profile=profile)
+            if e.get("ph") == "M" and e["name"] == "dropped_spans"
+        ]
+        assert dropped and dropped[0]["args"]["dropped_spans"] == 42
+
+
+class TestServingExport:
+    def _soak(self):
+        from repro.serving import SoakConfig, run_soak
+
+        return run_soak(
+            SoakConfig(
+                scale_factor=0.002, n_queries=4, n_workers=2,
+                trace=True, verify_frames=False,
+            )
+        )
+
+    def test_serving_lanes_and_trace_links(self, tmp_path):
+        from repro.observability import write_serving_chrome_trace
+
+        report = self._soak()
+        queries = [
+            (j, report.reports_by_trace.get(j.trace_id))
+            for j in report.journals
+        ]
+        out = tmp_path / "serving.json"
+        count = write_serving_chrome_trace(
+            str(out),
+            queries,
+            scheduler_events=report.scheduler_events,
+            lifecycle_events=report.lifecycle_events,
+        )
+        payload = json.loads(out.read_text())
+        events = payload["traceEvents"]
+        assert len(events) == count
+        pids = {e["pid"] for e in events}
+        # Scheduler-worker and tenant lanes plus one process per query.
+        assert 1 in pids and 2 in pids
+        assert {10 + i for i in range(len(queries))} <= pids
+        by_trace = {j.trace_id for j in report.journals}
+        for event in events:
+            if event.get("ph") == "X" and "trace_id" in event.get("args", {}):
+                assert event["args"]["trace_id"] in by_trace
+
+    def test_pid_base_offsets_every_lane(self):
+        from repro.observability import serving_trace_events
+
+        report = self._soak()
+        queries = [
+            (j, report.reports_by_trace.get(j.trace_id))
+            for j in report.journals
+        ]
+        events = serving_trace_events(
+            queries,
+            scheduler_events=report.scheduler_events,
+            pid_base=1000,
+            label_prefix="crash",
+        )
+        assert all(e["pid"] >= 1000 for e in events)
+        process_names = [
+            e["args"]["name"] for e in events
+            if e.get("ph") == "M" and e["name"] == "process_name"
+        ]
+        assert process_names
+        assert all(name.startswith("crash: ") for name in process_names)
